@@ -1,0 +1,164 @@
+//! One benchmark per paper figure/table: each runs a scaled-down slice of
+//! the corresponding experiment end to end (trained asset → testing
+//! scenario → metric), so `cargo bench` exercises every reproduction
+//! path and tracks its cost. Full regenerations are the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcc_core::experiments::{
+    calibration, diversity, link_speed, multiplexing, rtt, tcp_aware, topology,
+};
+use lcc_core::{run_homogeneous, run_mix, with_sfq_codel, Scheme};
+use netsim::prelude::*;
+
+const BENCH_SECS: f64 = 5.0;
+
+fn bench_fig1_calibration(c: &mut Criterion) {
+    let tao = calibration::trained_tao();
+    let net = calibration::test_network();
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("tao-on-calibration-network", |b| {
+        let s = Scheme::tao(tao.tree.clone(), "tao");
+        b.iter(|| run_homogeneous(&net, &s, 1, BENCH_SECS));
+    });
+    g.bench_function("cubic-on-calibration-network", |b| {
+        b.iter(|| run_homogeneous(&net, &Scheme::Cubic, 1, BENCH_SECS));
+    });
+    g.bench_function("cubic-sfqcodel-on-calibration-network", |b| {
+        let sfq = with_sfq_codel(&net);
+        b.iter(|| run_homogeneous(&sfq, &Scheme::Cubic, 1, BENCH_SECS));
+    });
+    g.finish();
+}
+
+fn bench_fig2_link_speed(c: &mut Criterion) {
+    let taos = link_speed::trained_taos();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    // one mid-range and one extreme speed point
+    for speed in [32.0, 1000.0] {
+        let rate = speed * 1e6;
+        let net = dumbbell(
+            2,
+            rate,
+            0.150,
+            QueueSpec::drop_tail_bdp(rate, 0.150, 5.0),
+            WorkloadSpec::on_off_1s(),
+        );
+        let s = Scheme::tao(taos[0].tree.clone(), &taos[0].name);
+        g.bench_function(format!("tao-1000x-at-{speed}mbps"), |b| {
+            b.iter(|| run_homogeneous(&net, &s, 1, BENCH_SECS.min(3.0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3_multiplexing(c: &mut Criterion) {
+    let taos = multiplexing::trained_taos();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for n in [2usize, 100] {
+        let net = dumbbell(
+            n,
+            15e6,
+            0.150,
+            QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
+            WorkloadSpec::on_off_1s(),
+        );
+        // tao-mux-100 tested at both extremes of multiplexing
+        let tao = &taos[4];
+        let s = Scheme::tao(tao.tree.clone(), &tao.name);
+        g.bench_function(format!("tao-mux-100-with-{n}-senders"), |b| {
+            b.iter(|| run_homogeneous(&net, &s, 1, BENCH_SECS));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4_rtt(c: &mut Criterion) {
+    let taos = rtt::trained_taos();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for rtt_ms in [10.0, 150.0] {
+        let rtt_s: f64 = rtt_ms / 1e3;
+        let net = dumbbell(
+            2,
+            33e6,
+            rtt_s,
+            QueueSpec::drop_tail_bdp(33e6, rtt_s, 5.0),
+            WorkloadSpec::on_off_1s(),
+        );
+        let tao = &taos[1]; // tao-rtt-145-155, the paper's surprise winner
+        let s = Scheme::tao(tao.tree.clone(), &tao.name);
+        g.bench_function(format!("tao-rtt-145-155-at-{rtt_ms}ms"), |b| {
+            b.iter(|| run_homogeneous(&net, &s, 1, BENCH_SECS));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6_topology(c: &mut Criterion) {
+    let (one, two) = topology::trained_taos();
+    let net = topology::test_network(30.0, 100.0);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for (label, tao) in [("one-bottleneck-model", &one), ("two-bottleneck-model", &two)] {
+        let s = Scheme::tao(tao.tree.clone(), label);
+        g.bench_function(format!("{label}-on-parking-lot"), |b| {
+            b.iter(|| run_homogeneous(&net, &s, 1, BENCH_SECS));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_tcp_awareness(c: &mut Criterion) {
+    let (naive, aware) = tcp_aware::trained_taos();
+    let net = tcp_aware::test_network();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for (label, tao) in [("tcp-naive", &naive), ("tcp-aware", &aware)] {
+        let s = Scheme::tao(tao.tree.clone(), label);
+        g.bench_function(format!("{label}-vs-newreno"), |b| {
+            b.iter(|| run_mix(&net, &[s.clone(), Scheme::NewReno], 1, BENCH_SECS));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_time_domain(c: &mut Criterion) {
+    let (_, aware) = tcp_aware::trained_taos();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("traced-tcp-pulse", |b| {
+        b.iter(|| tcp_aware::time_domain(&aware.tree, "TCP-aware", 1));
+    });
+    g.finish();
+}
+
+fn bench_fig9_diversity(c: &mut Criterion) {
+    let [_, _, tpt_coopt, del_coopt] = diversity::trained_taos();
+    let net = diversity::test_network(2);
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("co-optimized-mixed-pair", |b| {
+        let mix = [
+            Scheme::tao(tpt_coopt.tree.clone(), "tpt"),
+            Scheme::tao(del_coopt.tree.clone(), "del"),
+        ];
+        b.iter(|| run_mix(&net, &mix, 1, BENCH_SECS));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_calibration,
+    bench_fig2_link_speed,
+    bench_fig3_multiplexing,
+    bench_fig4_rtt,
+    bench_fig6_topology,
+    bench_fig7_tcp_awareness,
+    bench_fig8_time_domain,
+    bench_fig9_diversity
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Microbenchmarks of the simulation substrate: event throughput per
+//! protocol, multi-hop routing, queue disciplines, and the whisker-tree
+//! lookup on the executor's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::codel::{Codel, CodelParams};
+use netsim::prelude::*;
+use netsim::queue::{DropTail, QueueDiscipline, QueuedPacket};
+use netsim::sfq_codel::SfqCodel;
+use protocols::{Action, Cubic, NewReno, TaoCc, WhiskerTree};
+
+fn dumbbell_net(n: usize) -> NetworkConfig {
+    dumbbell(
+        n,
+        20e6,
+        0.100,
+        QueueSpec::drop_tail_bdp(20e6, 0.100, 5.0),
+        WorkloadSpec::AlwaysOn,
+    )
+}
+
+fn bench_engine_by_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/protocol");
+    g.sample_size(10);
+    let secs = 3.0;
+    for proto in ["cubic", "newreno", "tao"] {
+        g.bench_with_input(BenchmarkId::from_parameter(proto), &proto, |b, &p| {
+            let net = dumbbell_net(2);
+            b.iter(|| {
+                let ccs: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..2)
+                    .map(|_| -> Box<dyn netsim::transport::CongestionControl> {
+                        match p {
+                            "cubic" => Box::new(Cubic::new()),
+                            "newreno" => Box::new(NewReno::new()),
+                            _ => Box::new(TaoCc::new(
+                                WhiskerTree::uniform(Action::new(0.99, 1.0, 0.4)),
+                                "tao",
+                            )),
+                        }
+                    })
+                    .collect();
+                let mut sim = Simulation::new(&net, ccs, 1);
+                sim.run(SimDuration::from_secs_f64(secs))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/senders");
+    g.sample_size(10);
+    for n in [1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let net = dumbbell(
+                n,
+                15e6,
+                0.150,
+                QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
+                WorkloadSpec::on_off_1s(),
+            );
+            b.iter(|| {
+                let ccs: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..n)
+                    .map(|_| -> Box<dyn netsim::transport::CongestionControl> {
+                        Box::new(NewReno::new())
+                    })
+                    .collect();
+                let mut sim = Simulation::new(&net, ccs, 7);
+                sim.run(SimDuration::from_secs(3))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn mk_pkt(flow: u32, seq: u64) -> QueuedPacket {
+    QueuedPacket {
+        pkt: netsim::packet::Packet {
+            flow: netsim::packet::FlowId(flow),
+            seq,
+            epoch: 0,
+            size: 1500,
+            sent_at: SimTime::ZERO,
+            tx_index: seq,
+            is_retx: false,
+            hop: 0,
+        },
+        enqueued_at: SimTime::ZERO,
+    }
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues/enqueue-dequeue");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("droptail", |b| {
+        b.iter(|| {
+            let mut q = DropTail::new(Some(1 << 24));
+            for i in 0..n {
+                q.enqueue(mk_pkt((i % 16) as u32, i), SimTime::ZERO);
+            }
+            while q.dequeue(SimTime::ZERO).is_some() {}
+        });
+    });
+    g.bench_function("codel", |b| {
+        b.iter(|| {
+            let mut q = Codel::new(CodelParams::default());
+            for i in 0..n {
+                q.push(mk_pkt((i % 16) as u32, i));
+            }
+            let t = SimTime::from_secs_f64(0.001);
+            while q.dequeue(t).is_some() {}
+        });
+    });
+    g.bench_function("sfqcodel", |b| {
+        b.iter(|| {
+            let mut q = SfqCodel::new(1 << 24, CodelParams::default(), 1024, 99);
+            for i in 0..n {
+                q.enqueue(mk_pkt((i % 16) as u32, i), SimTime::ZERO);
+            }
+            let t = SimTime::from_secs_f64(0.001);
+            while q.dequeue(t).is_some() {}
+        });
+    });
+    g.finish();
+}
+
+fn bench_whisker_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whisker/lookup");
+    for leaves in [1usize, 8, 64] {
+        // build a tree with `leaves` leaves via repeated splits
+        let mut tree = WhiskerTree::default_tree();
+        let mut i = 0;
+        while tree.num_leaves() < leaves {
+            let id = protocols::LeafId(i % tree.num_leaves());
+            tree.split_leaf(id, i % protocols::NUM_SIGNALS);
+            i += 1;
+        }
+        g.throughput(Throughput::Elements(1000));
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &tree, |b, tree| {
+            let points: Vec<[f64; 4]> = (0..1000)
+                .map(|k| {
+                    let k = k as f64;
+                    [
+                        (k * 7.3) % 4000.0,
+                        (k * 13.7) % 4000.0,
+                        (k * 3.1) % 4000.0,
+                        (k * 0.11) % 64.0,
+                    ]
+                })
+                .collect();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in &points {
+                    acc += tree.action_for(p).window_increment;
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_by_protocol,
+    bench_engine_scaling,
+    bench_queues,
+    bench_whisker_lookup
+);
+criterion_main!(benches);

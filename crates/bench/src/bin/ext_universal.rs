@@ -1,0 +1,10 @@
+//! Extension experiment: one Tao protocol trained on the union of the
+//! paper's network models, tested across every sweep (the conclusion's
+//! open question).
+
+use lcc_core::experiments::{universal, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", universal::run(fidelity));
+}

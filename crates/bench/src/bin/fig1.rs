@@ -1,0 +1,11 @@
+//! Regenerate Fig 1 / Table 1: the calibration experiment.
+//!
+//! `cargo run --release --bin fig1` (set `LEARNABILITY_FULL=1` for the
+//! full-fidelity sweep).
+
+use lcc_core::experiments::{calibration, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", calibration::run(fidelity));
+}

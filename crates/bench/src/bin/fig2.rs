@@ -1,0 +1,8 @@
+//! Regenerate Fig 2 / Table 2: operating range in link speed.
+
+use lcc_core::experiments::{link_speed, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", link_speed::run(fidelity));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Fig 3 / Table 3: degree of multiplexing.
+
+use lcc_core::experiments::{multiplexing, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", multiplexing::run(fidelity));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Fig 4 / Table 4: knowledge of propagation delay.
+
+use lcc_core::experiments::{rtt, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", rtt::run(fidelity));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figs 5-6 / Table 5: structural knowledge (parking lot).
+
+use lcc_core::experiments::{topology, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", topology::run(fidelity));
+}

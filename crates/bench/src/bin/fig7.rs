@@ -1,0 +1,8 @@
+//! Regenerate Fig 7 / Table 6: knowledge about incumbent endpoints.
+
+use lcc_core::experiments::{tcp_aware, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", tcp_aware::run(fidelity));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Fig 9 / Table 7: the price of sender diversity.
+
+use lcc_core::experiments::{diversity, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", diversity::run(fidelity));
+}

@@ -1,0 +1,8 @@
+//! Regenerate the §3.4 signal-knockout study.
+
+use lcc_core::experiments::{signals, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_env();
+    println!("{}", signals::run(fidelity));
+}

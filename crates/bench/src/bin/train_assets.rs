@@ -1,0 +1,53 @@
+//! Train every Tao protocol the study needs and cache them under
+//! `assets/` — the equivalent of the paper's offline Remy runs (which
+//! burned a CPU-year per protocol; see DESIGN.md for the budget
+//! substitution).
+//!
+//! Usage: `cargo run --release --bin train_assets [filter]`
+//! An optional substring filter trains only matching assets.
+
+use lcc_core::experiments as exp;
+use std::time::Instant;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let t0 = Instant::now();
+    let step = |name: &str, f: &mut dyn FnMut()| {
+        if !filter.is_empty() && !name.contains(&filter) {
+            return;
+        }
+        let s = Instant::now();
+        f();
+        println!(
+            "[{:>7.1}s] {name} ready (+{:.1}s)",
+            t0.elapsed().as_secs_f64(),
+            s.elapsed().as_secs_f64()
+        );
+    };
+
+    step("calibration", &mut || {
+        exp::calibration::trained_tao();
+    });
+    step("tcp-aware", &mut || {
+        exp::tcp_aware::trained_taos();
+    });
+    step("link-speed", &mut || {
+        exp::link_speed::trained_taos();
+    });
+    step("rtt", &mut || {
+        exp::rtt::trained_taos();
+    });
+    step("topology", &mut || {
+        exp::topology::trained_taos();
+    });
+    step("multiplexing", &mut || {
+        exp::multiplexing::trained_taos();
+    });
+    step("diversity", &mut || {
+        exp::diversity::trained_taos();
+    });
+    step("signals", &mut || {
+        exp::signals::trained_taos();
+    });
+    println!("all assets ready in {:.1}s", t0.elapsed().as_secs_f64());
+}

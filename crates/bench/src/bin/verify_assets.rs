@@ -1,0 +1,54 @@
+//! Mechanistic congestion-collapse verification of every committed
+//! protocol asset (the conclusion's "can a protocol optimizer maintain
+//! and verify this requirement mechanistically?").
+//!
+//! Usage: `cargo run --release -p bench --bin verify_assets`
+
+use remy::verifier::{verify, VerifyConfig};
+
+fn main() {
+    let dir = remy::serialize::assets_dir();
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok()).collect(),
+        Err(e) => {
+            eprintln!("no assets at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    entries.sort_by_key(|e| e.file_name());
+    let cfg = VerifyConfig::default();
+    let mut failed = 0;
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let proto = match remy::serialize::load(&path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        let report = verify(&proto.tree, &proto.name, &cfg);
+        if report.passed() {
+            println!("PASS {:<22} ({} probes)", report.protocol, report.probes_run);
+        } else {
+            failed += 1;
+            println!(
+                "FAIL {:<22} ({} probes, {} violations)",
+                report.protocol,
+                report.probes_run,
+                report.violations.len()
+            );
+            for v in report.violations.iter().take(4) {
+                println!("       [{:?}] {} — {}", v.kind, v.probe, v.detail);
+            }
+        }
+    }
+    if failed > 0 {
+        println!("\n{failed} protocol(s) flagged — see above.");
+    } else {
+        println!("\nall committed protocols pass the collapse verifier.");
+    }
+}

@@ -1,0 +1,148 @@
+//! Fig 1 / Table 1 — the calibration experiment.
+//!
+//! A Tao protocol is designed for exactly the network it is tested on
+//! (32 Mbps dumbbell, 150 ms RTT, 2 senders, 1 s ON/OFF, 5 BDP buffer) and
+//! compared with Cubic, Cubic-over-sfqCoDel, and the omniscient protocol.
+//! The paper finds the Tao within 5% of omniscient throughput and 10% on
+//! delay, and considerably ahead of both human-designed baselines.
+
+use super::{fmt_stat, tao_asset, train_cfg, Fidelity, TrainCost};
+use crate::omniscient;
+use crate::report::Table;
+use crate::runner::{flow_points, run_seeds, summarize, with_sfq_codel, Scheme, SummaryStat};
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell;
+use netsim::workload::WorkloadSpec;
+use remy::ScenarioSpec;
+use std::fmt;
+
+pub const ASSET: &str = "tao-calibration";
+
+/// Per-scheme throughput/queueing-delay summary.
+#[derive(Clone, Debug)]
+pub struct SchemeStats {
+    pub label: String,
+    /// Mbps across flows × seeds.
+    pub throughput: SummaryStat,
+    /// Milliseconds across flows × seeds.
+    pub queueing_delay: SummaryStat,
+}
+
+/// Results for Fig 1.
+#[derive(Clone, Debug)]
+pub struct CalibrationResult {
+    pub schemes: Vec<SchemeStats>,
+    /// Omniscient operating point: (throughput Mbps, queueing delay ms).
+    pub omniscient: (f64, f64),
+}
+
+impl CalibrationResult {
+    pub fn scheme(&self, label: &str) -> Option<&SchemeStats> {
+        self.schemes.iter().find(|s| s.label == label)
+    }
+
+    /// Tao throughput as a fraction of omniscient (the paper reports ~0.95).
+    pub fn tao_fraction_of_omniscient(&self) -> Option<f64> {
+        self.scheme("tao")
+            .map(|s| s.throughput.median / self.omniscient.0)
+    }
+}
+
+impl fmt::Display for CalibrationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "Fig 1 — calibration: 32 Mbps, 150 ms RTT, 2 senders, 5 BDP",
+            &["scheme", "throughput", "queueing delay"],
+        );
+        for s in &self.schemes {
+            t.row(vec![
+                s.label.clone(),
+                fmt_stat(&s.throughput, " Mbps"),
+                fmt_stat(&s.queueing_delay, " ms"),
+            ]);
+        }
+        t.row(vec![
+            "omniscient".into(),
+            format!("{:.2} Mbps", self.omniscient.0),
+            format!("{:.2} ms", self.omniscient.1),
+        ]);
+        write!(f, "{t}")?;
+        if let Some(frac) = self.tao_fraction_of_omniscient() {
+            writeln!(
+                f,
+                "tao throughput = {:.1}% of omniscient (paper: within 5%)",
+                frac * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The testing network of Table 1.
+pub fn test_network() -> NetworkConfig {
+    dumbbell(
+        2,
+        32e6,
+        0.150,
+        QueueSpec::drop_tail_bdp(32e6, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    )
+}
+
+/// Train (or load) the calibration Tao.
+pub fn trained_tao() -> remy::TrainedProtocol {
+    tao_asset(ASSET, vec![ScenarioSpec::calibration()], train_cfg(TrainCost::Normal))
+}
+
+/// Run the calibration experiment.
+pub fn run(fidelity: Fidelity) -> CalibrationResult {
+    let tao = trained_tao();
+    let net = test_network();
+    let sfq_net = with_sfq_codel(&net);
+    let dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+
+    let mut schemes = Vec::new();
+    for (label, scheme, net) in [
+        ("tao", Scheme::tao(tao.tree.clone(), "tao"), &net),
+        ("cubic", Scheme::Cubic, &net),
+        ("cubic-sfqcodel", Scheme::Cubic, &sfq_net),
+    ] {
+        let mix = vec![scheme.clone(); net.flows.len()];
+        let outs = run_seeds(net, &mix, seeds.clone(), dur);
+        let (tpt, qd) = flow_points(&outs, |_| true);
+        schemes.push(SchemeStats {
+            label: label.into(),
+            throughput: summarize(&tpt),
+            queueing_delay: summarize(&qd),
+        });
+    }
+
+    let omn = omniscient::omniscient(&net);
+    CalibrationResult {
+        schemes,
+        omniscient: (omn[0].throughput_bps / 1e6, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omniscient_point_matches_closed_form() {
+        // p_on = 1/2, 2 senders: E[x | on] = C/2·(1 + 1/2)= 24 Mbps.
+        let net = test_network();
+        let o = omniscient::omniscient(&net);
+        assert!((o[0].throughput_bps - 24e6).abs() / 24e6 < 1e-9);
+    }
+
+    #[test]
+    fn test_network_matches_table_1() {
+        let net = test_network();
+        assert_eq!(net.flows.len(), 2);
+        assert_eq!(net.links[0].rate_bps, 32e6);
+        assert_eq!(net.min_rtt(0), netsim::time::SimDuration::from_millis(150));
+    }
+}

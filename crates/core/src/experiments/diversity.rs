@@ -1,0 +1,266 @@
+//! Fig 9 / Table 7 — the price of sender diversity.
+//!
+//! Can two protocols with *different* objectives share a bottleneck? A
+//! throughput-sensitive sender (δ = 0.1) and a delay-sensitive sender
+//! (δ = 10) are designed two ways: **naive** — each optimized as if every
+//! other sender were of its own type — and **co-optimized** — jointly
+//! trained on a network carrying 0–2 senders of each type (Table 7a).
+//! Testing (Table 7b) runs each pair on a 10 Mbps / 100 ms no-drop
+//! dumbbell, homogeneously and mixed. The paper finds co-optimization lets
+//! the delay-sensitive sender keep low delay in the mix, paid for by the
+//! throughput-sensitive sender's "niceness".
+
+use super::{fmt_stat, train_cfg, Fidelity, TrainCost};
+use crate::report::Table;
+use crate::runner::{flow_points, run_seeds, summarize, Scheme, SummaryStat};
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell;
+use netsim::workload::WorkloadSpec;
+use remy::{
+    BufferSpec, CountSpec, Objective, RoleSpec, Sample, ScenarioSpec, SenderClassSpec,
+    TopologySpec, TrainedProtocol,
+};
+use std::fmt;
+
+pub const ASSET_TPT_NAIVE: &str = "tao-tpt-naive";
+pub const ASSET_DEL_NAIVE: &str = "tao-del-naive";
+pub const ASSET_TPT_COOPT: &str = "tao-tpt-coopt";
+pub const ASSET_DEL_COOPT: &str = "tao-del-coopt";
+
+/// Naive training spec: 1–2 senders, all of one δ (Table 7a with the other
+/// type absent).
+fn naive_spec(delta: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Dumbbell {
+            link_mbps: Sample::Fixed(10.0),
+            rtt_ms: Sample::Fixed(100.0),
+        },
+        classes: vec![SenderClassSpec {
+            role: RoleSpec::Tao { slot: 0 },
+            count: CountSpec::UniformInt { lo: 1, hi: 2 },
+            workload: WorkloadSpec::on_off_1s(),
+            delta,
+        }],
+        buffer: BufferSpec::Infinite,
+    }
+}
+
+/// Train (or load) all four protocols: naive and co-optimized variants of
+/// the throughput- and delay-sensitive senders.
+pub fn trained_taos() -> [TrainedProtocol; 4] {
+    let tpt_naive = super::tao_asset(
+        ASSET_TPT_NAIVE,
+        vec![naive_spec(Objective::throughput_sensitive().delta)],
+        train_cfg(TrainCost::Normal),
+    );
+    let del_naive = super::tao_asset(
+        ASSET_DEL_NAIVE,
+        vec![naive_spec(Objective::delay_sensitive().delta)],
+        train_cfg(TrainCost::Normal),
+    );
+
+    // Co-optimization trains both slots together on the diversity spec;
+    // cache the pair as two assets produced by one run.
+    let coopt_pair = || {
+        let specs = vec![ScenarioSpec::diversity()];
+        let cfg = train_cfg(TrainCost::Normal);
+        let opt = remy::Optimizer::new(specs, cfg);
+        opt.co_optimize(
+            vec![
+                protocols::WhiskerTree::default_tree(),
+                protocols::WhiskerTree::default_tree(),
+            ],
+            2,
+            &[ASSET_TPT_COOPT, ASSET_DEL_COOPT],
+        )
+    };
+    let tpt_path = remy::serialize::asset_path(ASSET_TPT_COOPT);
+    let del_path = remy::serialize::asset_path(ASSET_DEL_COOPT);
+    let (tpt_coopt, del_coopt) = match (
+        remy::serialize::load(&tpt_path),
+        remy::serialize::load(&del_path),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => {
+            eprintln!("[learnability] co-optimizing diversity pair (no committed assets)...");
+            let mut pair = coopt_pair();
+            let b = pair.pop().expect("two protocols");
+            let a = pair.pop().expect("two protocols");
+            remy::serialize::save(&a, &tpt_path).ok();
+            remy::serialize::save(&b, &del_path).ok();
+            (a, b)
+        }
+    };
+    [tpt_naive, del_naive, tpt_coopt, del_coopt]
+}
+
+/// Table 7b's network: 10 Mbps, 100 ms, no-drop buffer, 1 s ON/OFF.
+pub fn test_network(n_senders: usize) -> NetworkConfig {
+    dumbbell(
+        n_senders,
+        10e6,
+        0.100,
+        QueueSpec::infinite(),
+        WorkloadSpec::on_off_1s(),
+    )
+}
+
+/// Measured operating point of one sender class in one configuration.
+#[derive(Clone, Debug)]
+pub struct DiversityPoint {
+    pub config: String,
+    pub sender: String,
+    pub throughput: SummaryStat,
+    pub queueing_delay: SummaryStat,
+}
+
+#[derive(Clone, Debug)]
+pub struct DiversityResult {
+    /// Fig 9a: each pair running homogeneously (2 senders of one type).
+    pub homogeneous: Vec<DiversityPoint>,
+    /// Fig 9b: mixed network (1 throughput-sensitive + 1 delay-sensitive).
+    pub mixed: Vec<DiversityPoint>,
+}
+
+impl DiversityResult {
+    pub fn point<'a>(rows: &'a [DiversityPoint], config: &str, sender: &str) -> Option<&'a DiversityPoint> {
+        rows.iter().find(|p| p.config == config && p.sender == sender)
+    }
+
+    /// In the co-optimized mix, the delay-sensitive sender should see less
+    /// queueing delay than the throughput-sensitive one.
+    pub fn mixed_coopt_delay_gap(&self) -> Option<f64> {
+        let tpt = Self::point(&self.mixed, "co-optimized mix", ASSET_TPT_COOPT)?;
+        let del = Self::point(&self.mixed, "co-optimized mix", ASSET_DEL_COOPT)?;
+        Some(tpt.queueing_delay.median - del.queueing_delay.median)
+    }
+}
+
+impl fmt::Display for DiversityResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (title, rows) in [
+            ("Fig 9a — homogeneous (each pair by itself)", &self.homogeneous),
+            ("Fig 9b — mixed network (1 tpt-sender + 1 del-sender)", &self.mixed),
+        ] {
+            let mut t = Table::new(title, &["configuration", "sender", "throughput", "queueing delay"]);
+            for p in rows {
+                t.row(vec![
+                    p.config.clone(),
+                    p.sender.clone(),
+                    fmt_stat(&p.throughput, " Mbps"),
+                    fmt_stat(&p.queueing_delay, " ms"),
+                ]);
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(gap) = self.mixed_coopt_delay_gap() {
+            writeln!(
+                f,
+                "co-optimized mix: delay-sensitive sender sees {:.2} ms less queueing delay \
+                 than the throughput-sensitive sender (paper: lower delay for Del. sender)",
+                gap
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn measure_pair(
+    config: &str,
+    schemes: &[Scheme],
+    labels: &[&str],
+    seeds: std::ops::Range<u64>,
+    dur: f64,
+) -> Vec<DiversityPoint> {
+    let net = test_network(schemes.len());
+    let outs = run_seeds(&net, schemes, seeds, dur);
+    let mut uniq: Vec<&str> = Vec::new();
+    for &l in labels {
+        if !uniq.contains(&l) {
+            uniq.push(l);
+        }
+    }
+    uniq.into_iter()
+        .map(|l| {
+            let keep: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x == l)
+                .map(|(i, _)| i)
+                .collect();
+            let (tpt, qd) = flow_points(&outs, |fl| keep.contains(&fl));
+            DiversityPoint {
+                config: config.into(),
+                sender: l.into(),
+                throughput: summarize(&tpt),
+                queueing_delay: summarize(&qd),
+            }
+        })
+        .collect()
+}
+
+/// Run the Fig 9 experiment.
+pub fn run(fidelity: Fidelity) -> DiversityResult {
+    let [tpt_naive, del_naive, tpt_coopt, del_coopt] = trained_taos();
+    let dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+
+    let s = |p: &TrainedProtocol, label: &str| Scheme::tao(p.tree.clone(), label);
+
+    let mut homogeneous = Vec::new();
+    for (config, proto, label) in [
+        ("2x tpt-naive", &tpt_naive, ASSET_TPT_NAIVE),
+        ("2x del-naive", &del_naive, ASSET_DEL_NAIVE),
+        ("2x tpt-coopt", &tpt_coopt, ASSET_TPT_COOPT),
+        ("2x del-coopt", &del_coopt, ASSET_DEL_COOPT),
+    ] {
+        homogeneous.extend(measure_pair(
+            config,
+            &[s(proto, label), s(proto, label)],
+            &[label, label],
+            seeds.clone(),
+            dur,
+        ));
+    }
+
+    let mut mixed = Vec::new();
+    mixed.extend(measure_pair(
+        "naive mix",
+        &[s(&tpt_naive, ASSET_TPT_NAIVE), s(&del_naive, ASSET_DEL_NAIVE)],
+        &[ASSET_TPT_NAIVE, ASSET_DEL_NAIVE],
+        seeds.clone(),
+        dur,
+    ));
+    mixed.extend(measure_pair(
+        "co-optimized mix",
+        &[s(&tpt_coopt, ASSET_TPT_COOPT), s(&del_coopt, ASSET_DEL_COOPT)],
+        &[ASSET_TPT_COOPT, ASSET_DEL_COOPT],
+        seeds,
+        dur,
+    ));
+
+    DiversityResult { homogeneous, mixed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_specs_differ_only_in_delta() {
+        let t = naive_spec(0.1);
+        let d = naive_spec(10.0);
+        assert_eq!(t.classes[0].delta, 0.1);
+        assert_eq!(d.classes[0].delta, 10.0);
+        assert_eq!(t.topology, d.topology);
+        assert_eq!(t.buffer, BufferSpec::Infinite);
+    }
+
+    #[test]
+    fn test_network_is_no_drop() {
+        let net = test_network(2);
+        assert_eq!(net.links[0].queue, QueueSpec::infinite());
+        assert_eq!(net.links[0].rate_bps, 10e6);
+    }
+}

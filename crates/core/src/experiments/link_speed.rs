@@ -1,0 +1,181 @@
+//! Fig 2 / Table 2 — knowledge of link speed.
+//!
+//! Four Tao protocols are trained for nested link-speed ranges centered on
+//! the geometric mean of 1 and 1000 Mbps: 1000× (1–1000), 100× (3.2–320),
+//! 10× (10–100) and 2× (22–44). All are then tested across the full
+//! 1–1000 Mbps sweep against Cubic and Cubic-over-sfqCoDel, plotting the
+//! normalized objective (omniscient = 0). The paper finds only a weak
+//! tradeoff between operating range and performance.
+
+use super::{
+    log_grid, mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost,
+};
+use crate::omniscient;
+use crate::report::{format_series, Series};
+use crate::runner::{run_seeds, with_sfq_codel, Scheme};
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell;
+use netsim::workload::WorkloadSpec;
+use remy::{ScenarioSpec, TrainedProtocol};
+use std::fmt;
+
+/// The four trained operating ranges, as (asset name, lo Mbps, hi Mbps).
+pub const RANGES: [(&str, f64, f64); 4] = [
+    ("tao-1000x", 1.0, 1000.0),
+    ("tao-100x", 3.2, 320.0),
+    ("tao-10x", 10.0, 100.0),
+    ("tao-2x", 22.0, 44.0),
+];
+
+/// Results for Fig 2: one normalized-objective series per scheme over the
+/// link-speed sweep.
+#[derive(Clone, Debug)]
+pub struct LinkSpeedResult {
+    pub series: Vec<Series>,
+    pub speeds_mbps: Vec<f64>,
+}
+
+impl LinkSpeedResult {
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Mean objective of a scheme within a speed window (for the "within
+    /// 3% of the 2x protocol in its design range" comparison).
+    pub fn mean_in_range(&self, name: &str, lo: f64, hi: f64) -> Option<f64> {
+        self.series_named(name)?.mean_in(lo, hi)
+    }
+}
+
+impl fmt::Display for LinkSpeedResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}",
+            format_series(
+                "Fig 2 — normalized objective vs link speed (omniscient = 0)",
+                "Mbps",
+                &self.series
+            )
+        )?;
+        // Headline comparison: broad vs narrow protocol inside the 2x range.
+        if let (Some(broad), Some(narrow)) = (
+            self.mean_in_range("tao-1000x", 22.0, 44.0),
+            self.mean_in_range("tao-2x", 22.0, 44.0),
+        ) {
+            writeln!(
+                f,
+                "in 22-44 Mbps: tao-1000x objective {broad:.3} vs tao-2x {narrow:.3} \
+                 (gap {:.3}; paper found the broad protocol within a few percent \
+                 of throughput at higher delay)",
+                narrow - broad
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Train (or load) the four range protocols.
+pub fn trained_taos() -> Vec<TrainedProtocol> {
+    RANGES
+        .iter()
+        .map(|&(name, lo, hi)| {
+            let cost = if hi >= 300.0 {
+                TrainCost::Heavy // fast links = expensive simulations
+            } else {
+                TrainCost::Normal
+            };
+            tao_asset(name, vec![ScenarioSpec::link_speed_range(lo, hi)], train_cfg(cost))
+        })
+        .collect()
+}
+
+fn test_network(speed_mbps: f64) -> NetworkConfig {
+    let rate = speed_mbps * 1e6;
+    dumbbell(
+        2,
+        rate,
+        0.150,
+        QueueSpec::drop_tail_bdp(rate, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    )
+}
+
+/// Run the Fig 2 sweep.
+pub fn run(fidelity: Fidelity) -> LinkSpeedResult {
+    let taos = trained_taos();
+    let speeds = match fidelity {
+        Fidelity::Quick => log_grid(1.0, 1000.0, 7),
+        Fidelity::Full => log_grid(1.0, 1000.0, 13),
+    };
+    // Scale test time down at very high speeds to bound event counts.
+    let base_dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+
+    let mut series: Vec<Series> = taos
+        .iter()
+        .map(|t| Series::new(t.name.clone()))
+        .chain([Series::new("cubic"), Series::new("cubic-sfqcodel")])
+        .collect();
+
+    for &speed in &speeds {
+        let net = test_network(speed);
+        let sfq_net = with_sfq_codel(&net);
+        let dur = if speed > 300.0 { base_dur.min(20.0) } else { base_dur };
+
+        // Omniscient reference for normalization at this speed.
+        let omn = omniscient::omniscient(&net);
+        let fair = omn[0].throughput_bps;
+        let base_delay = omn[0].delay_s;
+
+        for (si, tao) in taos.iter().enumerate() {
+            let mix = vec![Scheme::tao(tao.tree.clone(), &tao.name); 2];
+            let outs = run_seeds(&net, &mix, seeds.clone(), dur);
+            series[si].push(speed, mean_normalized_objective(&outs, fair, base_delay));
+        }
+        let cubic_outs = run_seeds(&net, &[Scheme::Cubic, Scheme::Cubic], seeds.clone(), dur);
+        series[4].push(speed, mean_normalized_objective(&cubic_outs, fair, base_delay));
+        let sfq_outs = run_seeds(&sfq_net, &[Scheme::Cubic, Scheme::Cubic], seeds.clone(), dur);
+        series[5].push(speed, mean_normalized_objective(&sfq_outs, fair, base_delay));
+    }
+
+    LinkSpeedResult {
+        series,
+        speeds_mbps: speeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_nested_and_centered() {
+        // every range centered on the geometric mean of 1 and 1000
+        for &(_, lo, hi) in &RANGES {
+            let center = (lo * hi).sqrt();
+            assert!(
+                (center - 31.62).abs() / 31.62 < 0.05,
+                "range [{lo},{hi}] centered at {center}"
+            );
+        }
+        // nested
+        for w in RANGES.windows(2) {
+            assert!(w[0].1 <= w[1].1 && w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn test_network_buffer_scales_with_speed() {
+        let slow = test_network(1.0);
+        let fast = test_network(1000.0);
+        let cap = |n: &NetworkConfig| match n.links[0].queue {
+            QueueSpec::DropTail {
+                capacity_bytes: Some(c),
+            } => c,
+            _ => panic!("drop tail expected"),
+        };
+        assert_eq!(cap(&fast), cap(&slow) * 1000);
+    }
+}

@@ -1,0 +1,242 @@
+//! The study's experiments: one module per paper figure/table.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`calibration`] | Fig 1 / Table 1 — Tao vs Cubic vs Cubic-over-sfqCoDel vs omniscient |
+//! | [`link_speed`] | Fig 2 / Table 2 — operating range in link speed |
+//! | [`multiplexing`] | Fig 3 / Table 3 — degree of multiplexing |
+//! | [`rtt`] | Fig 4 / Table 4 — propagation delay |
+//! | [`topology`] | Figs 5–6 / Table 5 — one- vs two-bottleneck knowledge |
+//! | [`tcp_aware`] | Figs 7–8 / Table 6 — knowledge about incumbent endpoints |
+//! | [`diversity`] | Fig 9 / Table 7 — the price of sender diversity |
+//! | [`signals`] | §3.4 — value of the congestion signals (knockout study) |
+//! | [`universal`] | extension — the conclusion's "one protocol for everything" question |
+//!
+//! Every experiment separates *training* (producing Tao protocols with the
+//! Remy optimizer, cached as JSON assets like the protocols the paper
+//! published) from *testing* (sweeping the testing scenarios and printing
+//! the figure's series/rows).
+
+pub mod calibration;
+pub mod diversity;
+pub mod link_speed;
+pub mod multiplexing;
+pub mod rtt;
+pub mod signals;
+pub mod tcp_aware;
+pub mod topology;
+pub mod universal;
+
+use crate::runner::SummaryStat;
+use netsim::flow::FlowOutcome;
+use remy::{Objective, OptimizerConfig, ScenarioSpec, TrainedProtocol};
+
+/// How much compute to spend. `Quick` regenerates every figure's *shape*
+/// in minutes; `Full` uses longer simulations, more seeds and finer sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fidelity {
+    Quick,
+    Full,
+}
+
+impl Fidelity {
+    /// `LEARNABILITY_FULL=1` selects full fidelity.
+    pub fn from_env() -> Self {
+        match std::env::var("LEARNABILITY_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Fidelity::Full,
+            _ => Fidelity::Quick,
+        }
+    }
+
+    /// Seeds per (scheme, test point).
+    pub fn seeds(self) -> std::ops::Range<u64> {
+        match self {
+            Fidelity::Quick => 0..3,
+            Fidelity::Full => 0..8,
+        }
+    }
+
+    /// Simulated seconds per test run.
+    pub fn test_duration_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 16.0,
+            Fidelity::Full => 60.0,
+        }
+    }
+}
+
+/// Cost class of a training spec: heavy specs (very fast links, 100-way
+/// multiplexing) get shorter simulations so training budgets stay sane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainCost {
+    Normal,
+    Heavy,
+}
+
+/// Standard training budget used for all committed protocol assets.
+///
+/// The paper burned a CPU-year per protocol on an 80-core machine; these
+/// budgets train in minutes and reproduce the *orderings* the study is
+/// about (see DESIGN.md on substitutions).
+pub fn train_cfg(cost: TrainCost) -> OptimizerConfig {
+    let mut cfg = OptimizerConfig {
+        draws_per_eval: 6,
+        sim_duration_s: 8.0,
+        rounds: 8,
+        max_leaves: 8,
+        scales: vec![4.0, 1.0],
+        threads: 0,
+        seed: 0x51C0_2014,
+        event_budget: 8_000_000,
+        masks: Vec::new(),
+        verbose: std::env::var("LEARNABILITY_VERBOSE").is_ok(),
+    };
+    if cost == TrainCost::Heavy {
+        cfg.sim_duration_s = 3.0;
+        cfg.draws_per_eval = 5;
+        cfg.rounds = 5;
+        cfg.max_leaves = 5;
+        cfg.event_budget = 4_000_000;
+    }
+    // LEARNABILITY_FAST_TRAIN=1 slashes budgets for time-boxed retrains
+    // (used when regenerating all assets under a deadline).
+    if std::env::var("LEARNABILITY_FAST_TRAIN").is_ok() {
+        cfg.rounds = cfg.rounds.min(4);
+        cfg.max_leaves = cfg.max_leaves.min(4);
+        cfg.draws_per_eval = cfg.draws_per_eval.min(4);
+        cfg.sim_duration_s = cfg.sim_duration_s.min(5.0);
+        cfg.scales = vec![4.0];
+        cfg.event_budget = cfg.event_budget.min(2_000_000);
+    }
+    cfg
+}
+
+/// Train (or load the committed asset for) a Tao protocol.
+pub fn tao_asset(name: &str, specs: Vec<ScenarioSpec>, cfg: OptimizerConfig) -> TrainedProtocol {
+    remy::serialize::load_or_train(name, || {
+        eprintln!("[learnability] training {name} (no committed asset found)...");
+        let t0 = std::time::Instant::now();
+        let p = remy::Optimizer::new(specs, cfg).optimize(name);
+        eprintln!(
+            "[learnability] trained {name} in {:.1}s (score {:.3})",
+            t0.elapsed().as_secs_f64(),
+            p.score
+        );
+        p
+    })
+}
+
+/// Normalized objective of a flow: `log2(tpt/fair) − δ·log2(delay/base)`,
+/// so the omniscient protocol sits at 0. Returns `None` for flows that
+/// never turned on.
+pub fn normalized_objective(
+    out: &FlowOutcome,
+    fair_tpt_bps: f64,
+    base_delay_s: f64,
+    delta: f64,
+) -> Option<f64> {
+    if out.on_time_s <= 0.0 {
+        return None;
+    }
+    let obj = Objective::new(delta);
+    let delay = if out.packets_delivered == 0 {
+        base_delay_s
+    } else {
+        out.avg_delay_s
+    };
+    Some(obj.normalized_utility(out.throughput_bps, delay, fair_tpt_bps, base_delay_s))
+}
+
+/// Mean normalized objective over the flows of several runs.
+pub fn mean_normalized_objective(
+    outcomes: &[netsim::sim::RunOutcome],
+    fair_tpt_bps: f64,
+    base_delay_s: f64,
+) -> f64 {
+    let vals: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|run| run.flows.iter())
+        .filter_map(|f| normalized_objective(f, fair_tpt_bps, base_delay_s, 1.0))
+        .collect();
+    if vals.is_empty() {
+        f64::NEG_INFINITY
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Logarithmically spaced grid including both endpoints.
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+        })
+        .collect()
+}
+
+/// Linearly spaced grid including both endpoints.
+pub fn lin_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Format a [`SummaryStat`] as `median (±std)`.
+pub fn fmt_stat(s: &SummaryStat, unit: &str) -> String {
+    format!("{:.2}{unit} (±{:.2})", s.median, s.std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_have_correct_endpoints() {
+        let g = log_grid(1.0, 1000.0, 4);
+        assert!((g[0] - 1.0).abs() < 1e-9);
+        assert!((g[3] - 1000.0).abs() < 1e-6);
+        assert!((g[1] - 10.0).abs() < 1e-6, "log spacing: {g:?}");
+        let l = lin_grid(0.0, 10.0, 6);
+        assert_eq!(l, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn fidelity_env_default_quick() {
+        std::env::remove_var("LEARNABILITY_FULL");
+        assert_eq!(Fidelity::from_env(), Fidelity::Quick);
+    }
+
+    #[test]
+    fn heavy_budget_is_cheaper() {
+        let n = train_cfg(TrainCost::Normal);
+        let h = train_cfg(TrainCost::Heavy);
+        assert!(h.sim_duration_s < n.sim_duration_s);
+        assert!(h.rounds < n.rounds);
+    }
+
+    #[test]
+    fn normalized_objective_zero_at_ideal() {
+        let f = FlowOutcome {
+            flow: 0,
+            throughput_bps: 5e6,
+            avg_delay_s: 0.075,
+            avg_queueing_delay_s: 0.0,
+            min_one_way_s: 0.075,
+            bytes_delivered: 1,
+            packets_delivered: 1,
+            on_time_s: 1.0,
+            forward_drops: 0,
+            timeouts: 0,
+            losses: 0,
+            transmissions: 0,
+            retransmissions: 0,
+        };
+        let v = normalized_objective(&f, 5e6, 0.075, 1.0).unwrap();
+        assert!(v.abs() < 1e-12);
+        let never_on = FlowOutcome { on_time_s: 0.0, ..f };
+        assert!(normalized_objective(&never_on, 5e6, 0.075, 1.0).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! Fig 3 / Table 3 — knowledge of the degree of multiplexing.
+//!
+//! Five Tao protocols are trained on a 15 Mbps dumbbell with the number of
+//! senders drawn from 1–2, 1–10, 1–20, 1–50 and 1–100, then all are tested
+//! with 1 to 100 senders under two buffer models: 5 BDP drop-tail, and an
+//! infinite "no drop" buffer. The paper finds a genuine tradeoff: training
+//! for high multiplexing sacrifices performance with few senders, and
+//! protocols trained for few senders collapse at 100 (large queues or
+//! repeated drops).
+
+use super::{
+    mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost,
+};
+use crate::omniscient;
+use crate::report::{format_series, Series};
+use crate::runner::{run_seeds, with_sfq_codel, Scheme};
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell;
+use netsim::workload::WorkloadSpec;
+use remy::{BufferSpec, ScenarioSpec, TrainedProtocol};
+use std::fmt;
+
+/// Trained multiplexing ranges: (asset name, max senders in training).
+pub const RANGES: [(&str, u32); 5] = [
+    ("tao-mux-2", 2),
+    ("tao-mux-10", 10),
+    ("tao-mux-20", 20),
+    ("tao-mux-50", 50),
+    ("tao-mux-100", 100),
+];
+
+/// One panel of Fig 3 (a buffer model) as a set of series.
+#[derive(Clone, Debug)]
+pub struct MultiplexingPanel {
+    pub buffer_label: String,
+    pub series: Vec<Series>,
+}
+
+#[derive(Clone, Debug)]
+pub struct MultiplexingResult {
+    pub panels: Vec<MultiplexingPanel>,
+    pub sender_counts: Vec<usize>,
+}
+
+impl MultiplexingResult {
+    pub fn panel(&self, label: &str) -> Option<&MultiplexingPanel> {
+        self.panels.iter().find(|p| p.buffer_label == label)
+    }
+}
+
+impl fmt::Display for MultiplexingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.panels {
+            write!(
+                f,
+                "{}",
+                format_series(
+                    &format!(
+                        "Fig 3 ({}) — normalized objective vs number of senders",
+                        p.buffer_label
+                    ),
+                    "senders",
+                    &p.series
+                )
+            )?;
+        }
+        // Headline: the narrow protocol's collapse at the top of the range.
+        if let Some(panel) = self.panels.first() {
+            let at = |name: &str, x: f64| {
+                panel
+                    .series
+                    .iter()
+                    .find(|s| s.name == name)
+                    .and_then(|s| s.value_at(x))
+            };
+            if let (Some(narrow), Some(broad)) = (at("tao-mux-2", 100.0), at("tao-mux-100", 100.0))
+            {
+                writeln!(
+                    f,
+                    "at 100 senders: tao-mux-2 objective {narrow:.3} vs tao-mux-100 {broad:.3} \
+                     (paper: narrow training collapses at high multiplexing)"
+                )?;
+            }
+            if let (Some(narrow), Some(broad)) = (at("tao-mux-2", 1.0), at("tao-mux-100", 1.0)) {
+                writeln!(
+                    f,
+                    "at 1 sender:    tao-mux-2 objective {narrow:.3} vs tao-mux-100 {broad:.3} \
+                     (paper: broad training costs throughput at low multiplexing)"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Train (or load) the five multiplexing protocols (Table 3a).
+pub fn trained_taos() -> Vec<TrainedProtocol> {
+    RANGES
+        .iter()
+        .map(|&(name, n)| {
+            let cost = if n >= 50 { TrainCost::Heavy } else { TrainCost::Normal };
+            tao_asset(
+                name,
+                vec![ScenarioSpec::multiplexing(n, BufferSpec::BdpMultiple(5.0))],
+                train_cfg(cost),
+            )
+        })
+        .collect()
+}
+
+fn test_network(n_senders: usize, infinite_buffer: bool) -> NetworkConfig {
+    let queue = if infinite_buffer {
+        QueueSpec::infinite()
+    } else {
+        QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0)
+    };
+    dumbbell(n_senders, 15e6, 0.150, queue, WorkloadSpec::on_off_1s())
+}
+
+/// Expected per-sender omniscient throughput with `n` exchangeable ON/OFF
+/// senders (p = 1/2) on 15 Mbps.
+fn fair_share(n: usize) -> f64 {
+    let net = test_network(n, true);
+    omniscient::omniscient(&net)[0].throughput_bps
+}
+
+/// Run the Fig 3 sweep (both panels).
+pub fn run(fidelity: Fidelity) -> MultiplexingResult {
+    let taos = trained_taos();
+    let counts: Vec<usize> = match fidelity {
+        Fidelity::Quick => vec![1, 2, 10, 50, 100],
+        Fidelity::Full => vec![1, 2, 5, 10, 20, 35, 50, 75, 100],
+    };
+    let dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+
+    let mut panels = Vec::new();
+    for (buffer_label, infinite) in [("buffer 5x BDP", false), ("no packet drops", true)] {
+        let mut series: Vec<Series> = taos
+            .iter()
+            .map(|t| Series::new(t.name.clone()))
+            .chain([Series::new("cubic"), Series::new("cubic-sfqcodel")])
+            .collect();
+        for &n in &counts {
+            let net = test_network(n, infinite);
+            let fair = fair_share(n);
+            let base_delay = 0.075;
+            for (si, tao) in taos.iter().enumerate() {
+                let mix = vec![Scheme::tao(tao.tree.clone(), &tao.name); n];
+                let outs = run_seeds(&net, &mix, seeds.clone(), dur);
+                series[si].push(n as f64, mean_normalized_objective(&outs, fair, base_delay));
+            }
+            let cubic_mix = vec![Scheme::Cubic; n];
+            let outs = run_seeds(&net, &cubic_mix, seeds.clone(), dur);
+            series[taos.len()].push(n as f64, mean_normalized_objective(&outs, fair, base_delay));
+            let sfq_net = with_sfq_codel(&net);
+            let outs = run_seeds(&sfq_net, &cubic_mix, seeds.clone(), dur);
+            series[taos.len() + 1]
+                .push(n as f64, mean_normalized_objective(&outs, fair, base_delay));
+        }
+        panels.push(MultiplexingPanel {
+            buffer_label: buffer_label.into(),
+            series,
+        });
+    }
+
+    MultiplexingResult {
+        panels,
+        sender_counts: counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_share_shrinks_with_senders() {
+        let f1 = fair_share(1);
+        let f10 = fair_share(10);
+        let f100 = fair_share(100);
+        assert!(f1 > f10 && f10 > f100);
+        // Single ON/OFF sender alone gets the whole link when on.
+        assert!((f1 - 15e6).abs() / 15e6 < 1e-9);
+        // With 100 senders at p=1/2, a sender shares with ~49.5 others.
+        assert!(f100 < 15e6 / 40.0 && f100 > 15e6 / 60.0, "f100={f100}");
+    }
+
+    #[test]
+    fn test_networks_match_table_3b() {
+        let finite = test_network(100, false);
+        assert_eq!(finite.flows.len(), 100);
+        assert_eq!(finite.links[0].rate_bps, 15e6);
+        let infinite = test_network(3, true);
+        assert_eq!(
+            infinite.links[0].queue,
+            QueueSpec::DropTail { capacity_bytes: None }
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! §3.4 — the value of the congestion signals (knockout study).
+//!
+//! Each of the four memory signals (`rec_ewma`, `slow_rec_ewma`,
+//! `send_ewma`, `rtt_ratio`) is knocked out in turn and a fresh protocol
+//! is designed from scratch without it. Comparing each knockout's final
+//! objective to the full four-signal protocol measures how much the signal
+//! contributes. The paper found every signal carried independent value,
+//! with `rec_ewma` (short-term ack interarrivals) the most valuable.
+
+use super::{tao_asset, train_cfg, Fidelity, TrainCost};
+use crate::report::Table;
+use crate::runner::{run_seeds, Scheme};
+use protocols::{Signal, SignalMask};
+use remy::{Objective, ScenarioSpec, TrainedProtocol};
+use std::fmt;
+
+/// Asset name for a knockout variant.
+pub fn asset_name(knocked_out: Option<Signal>) -> String {
+    match knocked_out {
+        None => "tao-sig-full".into(),
+        Some(s) => format!("tao-sig-no-{}", s.name()),
+    }
+}
+
+/// One knockout's outcome.
+#[derive(Clone, Debug)]
+pub struct KnockoutRow {
+    pub label: String,
+    pub knocked_out: Option<Signal>,
+    /// Mean objective (log2 units) on the calibration test network.
+    pub objective: f64,
+}
+
+#[derive(Clone, Debug)]
+pub struct SignalsResult {
+    pub rows: Vec<KnockoutRow>,
+}
+
+impl SignalsResult {
+    pub fn full(&self) -> &KnockoutRow {
+        self.rows
+            .iter()
+            .find(|r| r.knocked_out.is_none())
+            .expect("full protocol present")
+    }
+
+    /// Harm of each knockout: full objective − knockout objective,
+    /// descending (the first entry is the most valuable signal).
+    pub fn harms(&self) -> Vec<(Signal, f64)> {
+        let full = self.full().objective;
+        let mut harms: Vec<(Signal, f64)> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.knocked_out.map(|s| (s, full - r.objective)))
+            .collect();
+        harms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        harms
+    }
+
+    pub fn most_valuable(&self) -> Signal {
+        self.harms()[0].0
+    }
+}
+
+impl fmt::Display for SignalsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let full = self.full().objective;
+        let mut t = Table::new(
+            "§3.4 — signal knockout on the calibration network",
+            &["protocol", "objective", "harm vs full"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.label.clone(),
+                format!("{:.3}", r.objective),
+                if r.knocked_out.is_none() {
+                    "-".into()
+                } else {
+                    format!("{:+.3}", full - r.objective)
+                },
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "most valuable signal: {} (paper: rec_ewma)",
+            self.most_valuable().name()
+        )
+    }
+}
+
+/// Train (or load) the five protocols: full plus one per knockout.
+pub fn trained_taos() -> Vec<(Option<Signal>, TrainedProtocol)> {
+    let mut out = Vec::new();
+    for knocked in [
+        None,
+        Some(Signal::RecEwma),
+        Some(Signal::SlowRecEwma),
+        Some(Signal::SendEwma),
+        Some(Signal::RttRatio),
+    ] {
+        let mut cfg = train_cfg(TrainCost::Normal);
+        cfg.masks = vec![match knocked {
+            None => SignalMask::all(),
+            Some(s) => SignalMask::without(s),
+        }];
+        let name = asset_name(knocked);
+        let p = tao_asset(&name, vec![ScenarioSpec::calibration()], cfg);
+        out.push((knocked, p));
+    }
+    out
+}
+
+/// Run the knockout comparison on the calibration testing network.
+pub fn run(fidelity: Fidelity) -> SignalsResult {
+    let protos = trained_taos();
+    let net = super::calibration::test_network();
+    let dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+    let obj = Objective::default();
+
+    let rows = protos
+        .into_iter()
+        .map(|(knocked, p)| {
+            let mask = match knocked {
+                None => SignalMask::all(),
+                Some(s) => SignalMask::without(s),
+            };
+            let scheme = Scheme::Tao {
+                tree: p.tree.clone(),
+                mask,
+                label: p.name.clone(),
+            };
+            let mix = vec![scheme; 2];
+            let outs = run_seeds(&net, &mix, seeds.clone(), dur);
+            let utilities: Vec<f64> = outs
+                .iter()
+                .flat_map(|o| o.flows.iter())
+                .filter_map(|fl| obj.flow_utility(fl))
+                .collect();
+            let objective = utilities.iter().sum::<f64>() / utilities.len().max(1) as f64;
+            KnockoutRow {
+                label: p.name,
+                knocked_out: knocked,
+                objective,
+            }
+        })
+        .collect();
+
+    SignalsResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asset_names_cover_all_signals() {
+        assert_eq!(asset_name(None), "tao-sig-full");
+        assert_eq!(asset_name(Some(Signal::RecEwma)), "tao-sig-no-rec_ewma");
+        assert_eq!(asset_name(Some(Signal::RttRatio)), "tao-sig-no-rtt_ratio");
+        let names: std::collections::HashSet<String> =
+            Signal::ALL.iter().map(|&s| asset_name(Some(s))).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn harms_ranking_math() {
+        let rows = vec![
+            KnockoutRow {
+                label: "full".into(),
+                knocked_out: None,
+                objective: 10.0,
+            },
+            KnockoutRow {
+                label: "no-rec".into(),
+                knocked_out: Some(Signal::RecEwma),
+                objective: 7.0,
+            },
+            KnockoutRow {
+                label: "no-rtt".into(),
+                knocked_out: Some(Signal::RttRatio),
+                objective: 9.0,
+            },
+        ];
+        let r = SignalsResult { rows };
+        assert_eq!(r.most_valuable(), Signal::RecEwma);
+        let harms = r.harms();
+        assert_eq!(harms[0], (Signal::RecEwma, 3.0));
+        assert_eq!(harms[1], (Signal::RttRatio, 1.0));
+    }
+}

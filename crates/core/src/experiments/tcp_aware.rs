@@ -1,0 +1,345 @@
+//! Figs 7–8 / Table 6 — knowledge about incumbent endpoints.
+//!
+//! Two Tao protocols are trained on a 10 Mbps / 100 ms dumbbell with 2 BDP
+//! (250 kB) of buffer and near-continuous offered load: **TCP-naive**
+//! assumes all cross-traffic runs the same protocol; **TCP-aware** trains
+//! against AIMD (NewReno-like) cross-traffic half the time. Fig 7 compares
+//! them in homogeneous and mixed settings; Fig 8 inspects queue dynamics
+//! in the time domain against a contrived TCP pulse (ON exactly during
+//! t ∈ [5, 10) s).
+
+use super::{fmt_stat, tao_asset, train_cfg, Fidelity, TrainCost};
+use crate::report::Table;
+use crate::runner::{flow_points, run_seeds, summarize, Scheme, SummaryStat};
+use netsim::packet::LinkId;
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell_mixed;
+use netsim::trace::Trace;
+use netsim::transport::CongestionControl;
+use netsim::workload::WorkloadSpec;
+use protocols::TaoCc;
+use remy::{ScenarioSpec, TrainedProtocol};
+use std::fmt;
+
+pub const ASSET_NAIVE: &str = "tao-tcp-naive";
+pub const ASSET_AWARE: &str = "tao-tcp-aware";
+
+/// Fig 7's testing network: 10 Mbps, 100 ms RTT, 250 kB buffer
+/// (2 BDP = 200 ms of maximum queueing delay), near-continuous load.
+pub fn test_network() -> NetworkConfig {
+    dumbbell_mixed(
+        10e6,
+        0.100,
+        QueueSpec::DropTail {
+            capacity_bytes: Some(250_000),
+        },
+        vec![WorkloadSpec::almost_continuous(); 2],
+    )
+}
+
+/// One row of Fig 7: a (sender population) configuration and the measured
+/// per-side statistics.
+#[derive(Clone, Debug)]
+pub struct ContentionRow {
+    pub config: String,
+    /// Per participating side: (label, throughput Mbps, queueing delay ms).
+    pub sides: Vec<(String, SummaryStat, SummaryStat)>,
+}
+
+#[derive(Clone, Debug)]
+pub struct TcpAwareResult {
+    pub homogeneous: Vec<ContentionRow>,
+    pub mixed: Vec<ContentionRow>,
+}
+
+impl TcpAwareResult {
+    pub fn find<'a>(rows: &'a [ContentionRow], config: &str) -> Option<&'a ContentionRow> {
+        rows.iter().find(|r| r.config == config)
+    }
+
+    fn side<'a>(row: &'a ContentionRow, label: &str) -> Option<&'a (String, SummaryStat, SummaryStat)> {
+        row.sides.iter().find(|(l, _, _)| l == label)
+    }
+
+    /// Queueing-delay cost of TCP-awareness in the homogeneous setting
+    /// (paper: the naive protocol achieved 55% less queueing delay).
+    pub fn homogeneous_delay_ratio(&self) -> Option<f64> {
+        let naive = Self::find(&self.homogeneous, "2x tcp-naive")?;
+        let aware = Self::find(&self.homogeneous, "2x tcp-aware")?;
+        let naive_qd = Self::side(naive, ASSET_NAIVE)?.2.median;
+        let aware_qd = Self::side(aware, ASSET_AWARE)?.2.median;
+        Some(naive_qd / aware_qd)
+    }
+
+    /// Mixed-setting throughput advantage of awareness (paper: +36%).
+    pub fn mixed_throughput_gain(&self) -> Option<f64> {
+        let naive = Self::find(&self.mixed, "tcp-naive vs newreno")?;
+        let aware = Self::find(&self.mixed, "tcp-aware vs newreno")?;
+        let naive_tpt = Self::side(naive, ASSET_NAIVE)?.1.median;
+        let aware_tpt = Self::side(aware, ASSET_AWARE)?.1.median;
+        Some(aware_tpt / naive_tpt - 1.0)
+    }
+}
+
+impl fmt::Display for TcpAwareResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (title, rows) in [
+            ("Fig 7 (left) — homogeneous network", &self.homogeneous),
+            ("Fig 7 (right) — mixed network", &self.mixed),
+        ] {
+            let mut t = Table::new(title, &["configuration", "side", "throughput", "queueing delay"]);
+            for row in rows {
+                for (label, tpt, qd) in &row.sides {
+                    t.row(vec![
+                        row.config.clone(),
+                        label.clone(),
+                        fmt_stat(tpt, " Mbps"),
+                        fmt_stat(qd, " ms"),
+                    ]);
+                }
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(r) = self.homogeneous_delay_ratio() {
+            writeln!(
+                f,
+                "homogeneous: naive/aware queueing delay = {:.2} (paper: ~0.45, i.e. 55% less)",
+                r
+            )?;
+        }
+        if let Some(g) = self.mixed_throughput_gain() {
+            writeln!(
+                f,
+                "mixed vs TCP: awareness throughput gain = {:+.1}% (paper: +36%)",
+                g * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Train (or load) both protocols of Table 6a.
+pub fn trained_taos() -> (TrainedProtocol, TrainedProtocol) {
+    let naive = tao_asset(
+        ASSET_NAIVE,
+        vec![ScenarioSpec::tcp_naive()],
+        train_cfg(TrainCost::Normal),
+    );
+    let aware = tao_asset(
+        ASSET_AWARE,
+        vec![ScenarioSpec::tcp_aware()],
+        train_cfg(TrainCost::Normal),
+    );
+    (naive, aware)
+}
+
+fn measure(
+    net: &NetworkConfig,
+    schemes: &[Scheme],
+    labels: &[&str],
+    seeds: std::ops::Range<u64>,
+    dur: f64,
+) -> Vec<(String, SummaryStat, SummaryStat)> {
+    let outs = run_seeds(net, schemes, seeds, dur);
+    // group flows by label
+    let mut sides = Vec::new();
+    let uniq: Vec<&str> = {
+        let mut u = Vec::new();
+        for &l in labels {
+            if !u.contains(&l) {
+                u.push(l);
+            }
+        }
+        u
+    };
+    for l in uniq {
+        let keep: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == l)
+            .map(|(i, _)| i)
+            .collect();
+        let (tpt, qd) = flow_points(&outs, |f| keep.contains(&f));
+        sides.push((l.to_string(), summarize(&tpt), summarize(&qd)));
+    }
+    sides
+}
+
+/// Run the Fig 7 contention matrix.
+pub fn run(fidelity: Fidelity) -> TcpAwareResult {
+    let (naive, aware) = trained_taos();
+    let net = test_network();
+    let dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+
+    let naive_s = Scheme::tao(naive.tree.clone(), ASSET_NAIVE);
+    let aware_s = Scheme::tao(aware.tree.clone(), ASSET_AWARE);
+
+    let homogeneous = vec![
+        ContentionRow {
+            config: "2x tcp-naive".into(),
+            sides: measure(
+                &net,
+                &[naive_s.clone(), naive_s.clone()],
+                &[ASSET_NAIVE, ASSET_NAIVE],
+                seeds.clone(),
+                dur,
+            ),
+        },
+        ContentionRow {
+            config: "2x tcp-aware".into(),
+            sides: measure(
+                &net,
+                &[aware_s.clone(), aware_s.clone()],
+                &[ASSET_AWARE, ASSET_AWARE],
+                seeds.clone(),
+                dur,
+            ),
+        },
+        ContentionRow {
+            config: "2x newreno".into(),
+            sides: measure(
+                &net,
+                &[Scheme::NewReno, Scheme::NewReno],
+                &["newreno", "newreno"],
+                seeds.clone(),
+                dur,
+            ),
+        },
+    ];
+
+    let mixed = vec![
+        ContentionRow {
+            config: "tcp-naive vs newreno".into(),
+            sides: measure(
+                &net,
+                &[naive_s.clone(), Scheme::NewReno],
+                &[ASSET_NAIVE, "newreno"],
+                seeds.clone(),
+                dur,
+            ),
+        },
+        ContentionRow {
+            config: "tcp-aware vs newreno".into(),
+            sides: measure(
+                &net,
+                &[aware_s.clone(), Scheme::NewReno],
+                &[ASSET_AWARE, "newreno"],
+                seeds.clone(),
+                dur,
+            ),
+        },
+    ];
+
+    TcpAwareResult { homogeneous, mixed }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8: time-domain queue dynamics against a contrived TCP pulse.
+// ---------------------------------------------------------------------------
+
+/// Queue-occupancy trace of one Tao variant against pulsed TCP.
+#[derive(Debug)]
+pub struct TimeDomainResult {
+    pub label: String,
+    /// (time s, queue packets) samples.
+    pub queue: Vec<(f64, usize)>,
+    /// Times of packet drops at the bottleneck.
+    pub drops: Vec<f64>,
+    /// Mean queue during [0,5) (Tao alone), [5,10) (both), [10,15) (after).
+    pub phase_means: [f64; 3],
+}
+
+impl fmt::Display for TimeDomainResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig 8 — {}: mean queue (pkts) alone={:.1}, with TCP={:.1}, after={:.1}; drops={}",
+            self.label, self.phase_means[0], self.phase_means[1], self.phase_means[2],
+            self.drops.len()
+        )?;
+        // coarse sparkline, one char per 500 ms
+        let max = self.queue.iter().map(|&(_, q)| q).max().unwrap_or(1).max(1);
+        let mut line = String::new();
+        for &(_, q) in self.queue.iter().step_by(5) {
+            let lvl = (q * 8 / max).min(7);
+            line.push(['_', '.', ':', '-', '=', '+', '*', '#'][lvl]);
+        }
+        writeln!(f, "  queue [{line}] peak={max} pkts")
+    }
+}
+
+/// Run the Fig 8 time-domain experiment for one protocol tree.
+pub fn time_domain(tree: &protocols::WhiskerTree, label: &str, seed: u64) -> TimeDomainResult {
+    // Tao sender always on; TCP cross-traffic on exactly [5, 10) s.
+    let net = dumbbell_mixed(
+        10e6,
+        0.100,
+        QueueSpec::DropTail {
+            capacity_bytes: Some(250_000),
+        },
+        vec![WorkloadSpec::AlwaysOn, WorkloadSpec::pulse(5.0, 10.0)],
+    );
+    let protocols: Vec<Box<dyn CongestionControl>> = vec![
+        Box::new(TaoCc::new(tree.clone(), label.to_string())),
+        Box::new(protocols::NewReno::new()),
+    ];
+    let mut sim = Simulation::new(&net, protocols, seed);
+    sim.enable_trace(vec![LinkId(0)], SimDuration::from_millis(100));
+    sim.run(SimDuration::from_secs(15));
+    let trace: Trace = sim.take_trace().expect("trace enabled");
+    let series = trace.series_for(LinkId(0)).expect("traced link");
+
+    let queue: Vec<(f64, usize)> = series.iter().map(|s| (s.at.as_secs_f64(), s.packets)).collect();
+    let t = |s: f64| netsim::time::SimTime::from_secs_f64(s);
+    let phase_means = [
+        trace.mean_packets_in(LinkId(0), t(1.0), t(5.0)),
+        trace.mean_packets_in(LinkId(0), t(6.0), t(10.0)),
+        trace.mean_packets_in(LinkId(0), t(11.0), t(15.0)),
+    ];
+    TimeDomainResult {
+        label: label.to_string(),
+        queue,
+        drops: trace.drop_times.iter().map(|d| d.as_secs_f64()).collect(),
+        phase_means,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_network_matches_fig_7_caption() {
+        let net = test_network();
+        assert_eq!(net.links[0].rate_bps, 10e6);
+        assert_eq!(net.min_rtt(0), netsim::time::SimDuration::from_millis(100));
+        match net.links[0].queue {
+            QueueSpec::DropTail {
+                capacity_bytes: Some(c),
+            } => assert_eq!(c, 250_000),
+            _ => panic!("drop-tail expected"),
+        }
+    }
+
+    #[test]
+    fn time_domain_tcp_pulse_builds_queue() {
+        // A deliberately gentle tree (steady window ≈ 5 packets, well under
+        // the BDP) leaves the queue empty when alone, so the TCP pulse's
+        // queue buildup stands out.
+        let tree = protocols::WhiskerTree::uniform(protocols::Action::new(0.8, 1.0, 1.0));
+        let r = time_domain(&tree, "demo", 3);
+        assert!(
+            r.phase_means[1] > r.phase_means[2],
+            "queue with TCP ({:.1}) should exceed queue after ({:.1})",
+            r.phase_means[1],
+            r.phase_means[2]
+        );
+        assert!(!r.queue.is_empty());
+        // NewReno against a 250 kB buffer must overflow it eventually.
+        assert!(!r.drops.is_empty(), "TCP pulse should cause drops");
+        assert!(r.drops.iter().all(|&d| (5.0..10.5).contains(&d)),
+            "drops happen while TCP active: {:?}", &r.drops[..r.drops.len().min(5)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Extension — the conclusion's open question: "can we tractably
+//! synthesize a single computer-generated protocol that outperforms
+//! human-generated incumbents over a wide range of topologies, link
+//! speeds, propagation delays, and degrees of multiplexing
+//! simultaneously?"
+//!
+//! We train one **Tao-universal** on the *union* of the paper's training
+//! models — broad link speeds, broad RTTs, broad multiplexing, and the
+//! two-bottleneck parking lot — then score it on each experiment's
+//! testing sweep against Cubic and the specialist protocol for that
+//! sweep.
+
+use super::{
+    mean_normalized_objective, tao_asset, Fidelity, TrainCost,
+};
+use crate::omniscient;
+use crate::report::Table;
+use crate::runner::{run_seeds, Scheme};
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell;
+use netsim::workload::WorkloadSpec;
+use remy::{BufferSpec, OptimizerConfig, ScenarioSpec, TrainedProtocol};
+use std::fmt;
+
+pub const ASSET: &str = "tao-universal";
+
+/// The union training model.
+pub fn training_specs() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::link_speed_range(1.0, 1000.0),
+        ScenarioSpec::rtt_range(50.0, 250.0),
+        ScenarioSpec::multiplexing(50, BufferSpec::BdpMultiple(5.0)),
+        ScenarioSpec::two_bottleneck_model(),
+    ]
+}
+
+/// Train (or load) the universal protocol. The union model costs more
+/// per evaluation, so it gets the heavy budget.
+pub fn trained_tao() -> TrainedProtocol {
+    let mut cfg = super::train_cfg(TrainCost::Heavy);
+    // one extra whisker of headroom: the union model is more varied
+    cfg.max_leaves = 10;
+    train_with(cfg)
+}
+
+pub fn train_with(cfg: OptimizerConfig) -> TrainedProtocol {
+    tao_asset(ASSET, training_specs(), cfg)
+}
+
+/// One row of the universal comparison: a probe network and the
+/// normalized objective of each contender.
+#[derive(Clone, Debug)]
+pub struct UniversalRow {
+    pub probe: String,
+    pub universal: f64,
+    pub specialist: f64,
+    pub cubic: f64,
+}
+
+#[derive(Clone, Debug)]
+pub struct UniversalResult {
+    pub rows: Vec<UniversalRow>,
+}
+
+impl UniversalResult {
+    /// Probes where the universal protocol beats Cubic.
+    pub fn wins_vs_cubic(&self) -> usize {
+        self.rows.iter().filter(|r| r.universal > r.cubic).count()
+    }
+
+    /// Mean shortfall against the per-sweep specialists (≥ 0 when the
+    /// specialists are better, as expected).
+    pub fn mean_gap_to_specialists(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        self.rows
+            .iter()
+            .map(|r| r.specialist - r.universal)
+            .sum::<f64>()
+            / n
+    }
+}
+
+impl fmt::Display for UniversalResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "Extension — one protocol for everything (normalized objective, omniscient = 0)",
+            &["probe network", "tao-universal", "specialist", "cubic"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.probe.clone(),
+                format!("{:.3}", r.universal),
+                format!("{:.3}", r.specialist),
+                format!("{:.3}", r.cubic),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "universal beats cubic on {}/{} probes; mean gap to specialists {:.3} \
+             (the conclusion conjectured such a protocol may be feasible)",
+            self.wins_vs_cubic(),
+            self.rows.len(),
+            self.mean_gap_to_specialists()
+        )
+    }
+}
+
+struct Probe {
+    label: String,
+    net: NetworkConfig,
+    specialist: TrainedProtocol,
+    fair_tpt: f64,
+    base_delay: f64,
+}
+
+fn probes(fidelity: Fidelity) -> Vec<Probe> {
+    let _ = fidelity;
+    let mut out = Vec::new();
+
+    // Probe 1: mid link speed (the 2x specialist's home turf).
+    let taos_speed = super::link_speed::trained_taos();
+    let net = dumbbell(
+        2,
+        32e6,
+        0.150,
+        QueueSpec::drop_tail_bdp(32e6, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    );
+    let omn = omniscient::omniscient(&net);
+    out.push(Probe {
+        label: "32 Mbps / 150 ms / 2 senders".into(),
+        net,
+        specialist: taos_speed[3].clone(), // tao-2x
+        fair_tpt: omn[0].throughput_bps,
+        base_delay: omn[0].delay_s,
+    });
+
+    // Probe 2: extreme link speed (inside only the 1000x range).
+    let net = dumbbell(
+        2,
+        700e6,
+        0.150,
+        QueueSpec::drop_tail_bdp(700e6, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    );
+    let omn = omniscient::omniscient(&net);
+    out.push(Probe {
+        label: "700 Mbps / 150 ms / 2 senders".into(),
+        net,
+        specialist: taos_speed[0].clone(), // tao-1000x
+        fair_tpt: omn[0].throughput_bps,
+        base_delay: omn[0].delay_s,
+    });
+
+    // Probe 3: short RTT (the rtt-50-250 specialist's range edge).
+    let taos_rtt = super::rtt::trained_taos();
+    let net = dumbbell(
+        2,
+        33e6,
+        0.050,
+        QueueSpec::drop_tail_bdp(33e6, 0.050, 5.0),
+        WorkloadSpec::on_off_1s(),
+    );
+    let omn = omniscient::omniscient(&net);
+    out.push(Probe {
+        label: "33 Mbps / 50 ms / 2 senders".into(),
+        net,
+        specialist: taos_rtt[3].clone(), // tao-rtt-50-250
+        fair_tpt: omn[0].throughput_bps,
+        base_delay: omn[0].delay_s,
+    });
+
+    // Probe 4: heavy multiplexing.
+    let taos_mux = super::multiplexing::trained_taos();
+    let net = dumbbell(
+        40,
+        15e6,
+        0.150,
+        QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    );
+    let omn = omniscient::omniscient(&net);
+    out.push(Probe {
+        label: "15 Mbps / 150 ms / 40 senders".into(),
+        net,
+        specialist: taos_mux[3].clone(), // tao-mux-50
+        fair_tpt: omn[0].throughput_bps,
+        base_delay: omn[0].delay_s,
+    });
+
+    out
+}
+
+/// Run the universal-protocol comparison.
+pub fn run(fidelity: Fidelity) -> UniversalResult {
+    let universal = trained_tao();
+    let dur = fidelity.test_duration_s();
+    let seeds = fidelity.seeds();
+
+    let rows = probes(fidelity)
+        .into_iter()
+        .map(|p| {
+            let n = p.net.flows.len();
+            let score = |scheme: &Scheme| {
+                let mix = vec![scheme.clone(); n];
+                let outs = run_seeds(&p.net, &mix, seeds.clone(), dur);
+                mean_normalized_objective(&outs, p.fair_tpt, p.base_delay)
+            };
+            UniversalRow {
+                probe: p.label.clone(),
+                universal: score(&Scheme::tao(universal.tree.clone(), ASSET)),
+                specialist: score(&Scheme::tao(p.specialist.tree.clone(), &p.specialist.name)),
+                cubic: score(&Scheme::Cubic),
+            }
+        })
+        .collect();
+
+    UniversalResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_model_covers_all_four_axes() {
+        let specs = training_specs();
+        assert_eq!(specs.len(), 4);
+        // at least one spec is a parking lot
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.topology, remy::TopologySpec::ParkingLot { .. })));
+        // the link-speed spec spans the full thousand-fold range
+        assert!(specs.iter().any(|s| matches!(
+            s.topology,
+            remy::TopologySpec::Dumbbell {
+                link_mbps: remy::Sample::LogUniform { lo, hi },
+                ..
+            } if lo == 1.0 && hi == 1000.0
+        )));
+    }
+
+    #[test]
+    fn result_summary_math() {
+        let r = UniversalResult {
+            rows: vec![
+                UniversalRow {
+                    probe: "a".into(),
+                    universal: -0.5,
+                    specialist: -0.3,
+                    cubic: -1.0,
+                },
+                UniversalRow {
+                    probe: "b".into(),
+                    universal: -2.0,
+                    specialist: -1.0,
+                    cubic: -1.5,
+                },
+            ],
+        };
+        assert_eq!(r.wins_vs_cubic(), 1);
+        assert!((r.mean_gap_to_specialists() - 0.6).abs() < 1e-12);
+    }
+}

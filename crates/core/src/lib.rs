@@ -1,0 +1,30 @@
+//! # lcc-core — the learnability-of-congestion-control study
+//!
+//! The experiment layer of the reproduction of *An Experimental Study of
+//! the Learnability of Congestion Control* (SIGCOMM 2014). It combines:
+//!
+//! * the [`netsim`] simulator (testing substrate),
+//! * the [`remy`] protocol-design tool (training substrate),
+//! * the [`protocols`] zoo (Tao executor, Cubic, NewReno),
+//! * the analytic [`omniscient()`] reference protocol, and
+//! * one [`experiments`] module per paper figure/table.
+//!
+//! Regeneration binaries live in the `bench` crate (`cargo run --bin
+//! fig1` … `fig9`, `sig_knockout`); each prints the same rows/series the
+//! paper reports. Training is cached as JSON assets under `assets/`,
+//! mirroring the paper's published Remy-produced protocols.
+
+pub mod experiments;
+pub mod omniscient;
+pub mod report;
+pub mod runner;
+
+pub use experiments::Fidelity;
+pub use omniscient::{omniscient, proportional_fair, OmniscientFlow};
+#[doc(hidden)]
+pub use omniscient as omniscient_mod;
+pub use report::{Series, Table};
+pub use runner::{
+    flow_points, run_homogeneous, run_mix, run_seeds, summarize, with_sfq_codel, Scheme,
+    SummaryStat,
+};

@@ -1,0 +1,321 @@
+//! The omniscient reference protocol (§1.1 of the paper).
+//!
+//! A hypothetical centralized protocol that knows the topology, the link
+//! speeds, and exactly when senders turn on and off. Whenever the set of
+//! active senders changes it computes the proportionally fair throughput
+//! allocation and each sender transmits at exactly that rate — so no queue
+//! ever builds and every packet experiences pure propagation delay. The
+//! long-term average throughput of a sender is the expectation of its
+//! allocation over the ON/OFF process.
+
+use netsim::topology::NetworkConfig;
+use netsim::workload::WorkloadSpec;
+
+/// Proportionally fair allocation: maximize Σ log xᵢ subject to, for each
+/// link ℓ, Σ_{i crosses ℓ} xᵢ ≤ c_ℓ.
+///
+/// Solved by the standard dual fixed point xᵢ = 1 / Σ_{ℓ ∋ i} λ_ℓ with a
+/// damped multiplicative update on the link prices — more than enough for
+/// the study's two-link topologies, and validated against closed forms in
+/// the tests.
+///
+/// `routes[i]` lists the links flow `i` crosses. Returns one rate per
+/// flow, in the same units as `capacities`.
+pub fn proportional_fair(capacities: &[f64], routes: &[Vec<usize>]) -> Vec<f64> {
+    let n = routes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for (i, r) in routes.iter().enumerate() {
+        assert!(!r.is_empty(), "flow {i} crosses no links");
+        assert!(
+            r.iter().all(|&l| l < capacities.len()),
+            "flow {i} references an unknown link"
+        );
+    }
+    let m = capacities.len();
+    // Initialize prices so that a flow crossing one average link starts
+    // near its equal share.
+    let mut lambda = vec![1.0; m];
+    let mut rates = vec![0.0; n];
+    for _ in 0..10_000 {
+        for (i, route) in routes.iter().enumerate() {
+            let price: f64 = route.iter().map(|&l| lambda[l]).sum();
+            rates[i] = 1.0 / price.max(1e-300);
+        }
+        let mut max_rel_err: f64 = 0.0;
+        for l in 0..m {
+            let usage: f64 = routes
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&l))
+                .map(|(i, _)| rates[i])
+                .sum();
+            if usage <= 0.0 {
+                // No flow uses this link: its price decays to zero.
+                lambda[l] *= 0.5;
+                continue;
+            }
+            let ratio = usage / capacities[l];
+            max_rel_err = max_rel_err.max((ratio - 1.0).abs());
+            // Damped multiplicative price update; exponent < 1 for
+            // stability on shared-bottleneck systems.
+            lambda[l] *= ratio.powf(0.5);
+        }
+        if max_rel_err < 1e-10 {
+            break;
+        }
+    }
+    // Binding constraints only: a flow bottlenecked elsewhere may leave a
+    // link under-used; that is the correct PF solution.
+    rates
+}
+
+/// Stationary probability a sender with the given workload is ON.
+pub fn on_probability(w: &WorkloadSpec) -> f64 {
+    match w {
+        WorkloadSpec::AlwaysOn => 1.0,
+        WorkloadSpec::OnOff {
+            mean_on_s,
+            mean_off_s,
+        } => mean_on_s / (mean_on_s + mean_off_s),
+        // For deterministic schedules the notion of a stationary ON
+        // probability is ill-defined; callers handle pulses explicitly.
+        WorkloadSpec::Schedule(_) => 1.0,
+    }
+}
+
+/// Omniscient outcome for one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct OmniscientFlow {
+    /// Expected throughput while ON (bits/s): E[allocation | flow on].
+    pub throughput_bps: f64,
+    /// One-way delay: pure propagation (no queueing by construction).
+    pub delay_s: f64,
+}
+
+/// Compute the omniscient allocation for every flow of a network, taking
+/// the expectation over the independent ON/OFF processes by exact subset
+/// enumeration (≤ 16 flows) or by the law of large numbers via binomial
+/// aggregation when all flows are exchangeable on one link.
+pub fn omniscient(net: &NetworkConfig) -> Vec<OmniscientFlow> {
+    let n = net.flows.len();
+    let caps: Vec<f64> = net.links.iter().map(|l| l.rate_bps).collect();
+    let p_on: Vec<f64> = net.flows.iter().map(|f| on_probability(&f.workload)).collect();
+
+    let single_link = net.links.len() == 1;
+    let mut out = Vec::with_capacity(n);
+
+    if single_link && p_on.iter().all(|&p| (p - p_on[0]).abs() < 1e-12) {
+        // Dumbbell with exchangeable senders: conditional on flow i being
+        // ON, the number of other active senders is Binomial(n-1, p), and
+        // the PF allocation is C / (k+1).
+        let c = caps[0];
+        let p = p_on[0];
+        for i in 0..n {
+            let mut expect = 0.0;
+            for k in 0..n {
+                // P[k other senders on]
+                let prob = binomial_pmf(n - 1, k, p);
+                expect += prob * c / (k + 1) as f64;
+            }
+            out.push(OmniscientFlow {
+                throughput_bps: expect,
+                delay_s: net.min_one_way(i).as_secs_f64(),
+            });
+        }
+        return out;
+    }
+
+    assert!(
+        n <= 16,
+        "exact subset enumeration limited to 16 flows (got {n})"
+    );
+    for i in 0..n {
+        // E[x_i | i on] = Σ over subsets S of the other flows.
+        let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        let mut expect = 0.0;
+        for mask in 0..(1u32 << others.len()) {
+            let mut active = vec![i];
+            let mut prob = 1.0;
+            for (bit, &j) in others.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    active.push(j);
+                    prob *= p_on[j];
+                } else {
+                    prob *= 1.0 - p_on[j];
+                }
+            }
+            let routes: Vec<Vec<usize>> =
+                active.iter().map(|&j| net.flows[j].route.clone()).collect();
+            let rates = proportional_fair(&caps, &routes);
+            expect += prob * rates[0]; // flow i is always first in `active`
+        }
+        out.push(OmniscientFlow {
+            throughput_bps: expect,
+            delay_s: net.min_one_way(i).as_secs_f64(),
+        });
+    }
+    out
+}
+
+fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    // Degenerate probabilities first (log-space below would produce NaN).
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // log-space for large n
+    let mut log_c = 0.0;
+    for j in 0..k {
+        log_c += ((n - j) as f64).ln() - ((j + 1) as f64).ln();
+    }
+    (log_c + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::queue::QueueSpec;
+    use netsim::topology::{dumbbell, parking_lot};
+
+    #[test]
+    fn pf_single_link_equal_split() {
+        let rates = proportional_fair(&[12e6], &[vec![0], vec![0], vec![0]]);
+        for r in &rates {
+            assert!((r - 4e6).abs() / 4e6 < 1e-6, "equal split, got {r}");
+        }
+    }
+
+    #[test]
+    fn pf_parking_lot_closed_form() {
+        // Flows: 0 on both links, 1 on link A, 2 on link B; C_A = C_B = C.
+        // Symmetric PF: maximize log x0 + log(C-x0)·2 -> 1/x0 = 2/(C-x0)
+        // -> x0 = C/3, x1 = x2 = 2C/3.
+        let c = 30e6;
+        let rates = proportional_fair(&[c, c], &[vec![0, 1], vec![0], vec![1]]);
+        assert!((rates[0] - c / 3.0).abs() / c < 1e-6, "x0={}", rates[0]);
+        assert!((rates[1] - 2.0 * c / 3.0).abs() / c < 1e-6);
+        assert!((rates[2] - 2.0 * c / 3.0).abs() / c < 1e-6);
+    }
+
+    #[test]
+    fn pf_asymmetric_parking_lot_satisfies_kkt() {
+        // 1/x0 = 1/x1 + 1/x2 with x1 = C1-x0, x2 = C2-x0 at the optimum.
+        let (c1, c2) = (10e6, 100e6);
+        let rates = proportional_fair(&[c1, c2], &[vec![0, 1], vec![0], vec![1]]);
+        let (x0, x1, x2) = (rates[0], rates[1], rates[2]);
+        assert!((x0 + x1 - c1).abs() / c1 < 1e-6, "link 1 saturated");
+        assert!((x0 + x2 - c2).abs() / c2 < 1e-6, "link 2 saturated");
+        let lhs = 1.0 / x0;
+        let rhs = 1.0 / x1 + 1.0 / x2;
+        assert!((lhs - rhs).abs() / lhs < 1e-4, "KKT: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn pf_respects_capacities() {
+        let caps = [5e6, 50e6];
+        let routes = vec![vec![0, 1], vec![0], vec![1], vec![1]];
+        let rates = proportional_fair(&caps, &routes);
+        let u0: f64 = rates[0] + rates[1];
+        let u1: f64 = rates[0] + rates[2] + rates[3];
+        assert!(u0 <= caps[0] * (1.0 + 1e-6));
+        assert!(u1 <= caps[1] * (1.0 + 1e-6));
+        assert!(rates.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn on_probability_half_for_symmetric_onoff() {
+        assert_eq!(on_probability(&WorkloadSpec::on_off_1s()), 0.5);
+        assert_eq!(on_probability(&WorkloadSpec::AlwaysOn), 1.0);
+        let w = WorkloadSpec::OnOff {
+            mean_on_s: 5.0,
+            mean_off_s: 0.010,
+        };
+        assert!((on_probability(&w) - 0.998) < 0.01);
+    }
+
+    #[test]
+    fn omniscient_dumbbell_always_on() {
+        let net = dumbbell(2, 32e6, 0.150, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let o = omniscient(&net);
+        assert_eq!(o.len(), 2);
+        for f in &o {
+            assert!((f.throughput_bps - 16e6).abs() / 16e6 < 1e-9);
+            assert!((f.delay_s - 0.075).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn omniscient_dumbbell_onoff_expectation() {
+        // 2 senders, p=1/2 each. Given i on: other on w.p. 1/2.
+        // E[x] = 1/2·C + 1/2·C/2 = 3C/4.
+        let net = dumbbell(2, 32e6, 0.150, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let o = omniscient(&net);
+        assert!((o[0].throughput_bps - 24e6).abs() / 24e6 < 1e-9, "{}", o[0].throughput_bps);
+    }
+
+    #[test]
+    fn omniscient_many_senders_binomial() {
+        let n = 100;
+        let net = dumbbell(n, 15e6, 0.150, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let o = omniscient(&net);
+        // E[C/(K+1)], K~Bin(99, 1/2): dominated by K≈49.5 -> about C/50.5,
+        // slightly above due to convexity.
+        let expect_low = 15e6 / 51.0;
+        let expect_high = 15e6 / 49.0;
+        assert!(
+            o[0].throughput_bps > expect_low * 0.95 && o[0].throughput_bps < expect_high * 1.2,
+            "got {}",
+            o[0].throughput_bps
+        );
+    }
+
+    #[test]
+    fn omniscient_parking_lot() {
+        let net = parking_lot(
+            10e6,
+            10e6,
+            0.075,
+            QueueSpec::infinite(),
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let o = omniscient(&net);
+        assert!((o[0].throughput_bps - 10e6 / 3.0).abs() / 10e6 < 1e-6);
+        assert!((o[1].throughput_bps - 20e6 / 3.0).abs() / 10e6 < 1e-6);
+        // Flow 0 crosses both hops: 75 ms one-way.
+        assert!((o[0].delay_s - 0.075).abs() < 1e-12);
+        assert!((o[1].delay_s - 0.0375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omniscient_parking_lot_onoff_bounds() {
+        let net = parking_lot(
+            10e6,
+            10e6,
+            0.075,
+            QueueSpec::infinite(),
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
+        let o = omniscient(&net);
+        // Flow 0's allocation ranges from C/3 (all on) to C (alone):
+        // expectation strictly inside.
+        assert!(o[0].throughput_bps > 10e6 / 3.0);
+        assert!(o[0].throughput_bps < 10e6);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 20;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

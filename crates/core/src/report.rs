@@ -1,0 +1,216 @@
+//! Plain-text tables and series for experiment output.
+//!
+//! Every figure and table regenerator prints its data through these types,
+//! so `cargo run --bin fig2` produces the rows/series the paper plots.
+
+use std::fmt;
+
+/// A column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::new();
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<width$}", c, width = w[i]));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 3 * w.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named (x, y) series, one per scheme per figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Linear interpolation at `x` (clamped to the series range).
+    pub fn value_at(&self, x: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN x"));
+        if x <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if x >= x0 && x <= x1 {
+                let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+                return Some(y0 + t * (y1 - y0));
+            }
+        }
+        None
+    }
+
+    /// Mean y over points whose x falls in `[lo, hi]`.
+    pub fn mean_in(&self, lo: f64, hi: f64) -> Option<f64> {
+        let ys: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(x, _)| *x >= lo && *x <= hi)
+            .map(|(_, y)| *y)
+            .collect();
+        if ys.is_empty() {
+            None
+        } else {
+            Some(ys.iter().sum::<f64>() / ys.len() as f64)
+        }
+    }
+}
+
+/// Print a set of series as aligned columns (x, then one column each).
+pub fn format_series(title: &str, x_label: &str, series: &[Series]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "== {title} ==").unwrap();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs.dedup();
+    write!(out, "{:>12}", x_label).unwrap();
+    for s in series {
+        write!(out, " {:>18}", s.name).unwrap();
+    }
+    writeln!(out).unwrap();
+    for x in xs {
+        write!(out, "{:>12.3}", x).unwrap();
+        for s in series {
+            match s.points.iter().find(|(px, _)| (px - x).abs() < 1e-9) {
+                Some((_, y)) => write!(out, " {:>18.4}", y).unwrap(),
+                None => write!(out, " {:>18}", "-").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// `log2(x)` convenience used across figure code.
+pub fn log2(x: f64) -> f64 {
+    x.max(1e-12).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned() {
+        let mut t = Table::new("demo", &["scheme", "tpt (Mbps)"]);
+        t.row(vec!["cubic".into(), "9.41".into()]);
+        t.row(vec!["tao-1000x".into(), "10.02".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| cubic     | 9.41       |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_interpolation() {
+        let mut s = Series::new("t");
+        s.push(1.0, 10.0);
+        s.push(3.0, 30.0);
+        assert_eq!(s.value_at(2.0), Some(20.0));
+        assert_eq!(s.value_at(0.0), Some(10.0), "clamped low");
+        assert_eq!(s.value_at(9.0), Some(30.0), "clamped high");
+        assert_eq!(Series::new("e").value_at(1.0), None);
+    }
+
+    #[test]
+    fn series_mean_in_window() {
+        let mut s = Series::new("t");
+        for i in 0..10 {
+            s.push(i as f64, (i * 2) as f64);
+        }
+        assert_eq!(s.mean_in(2.0, 4.0), Some(6.0));
+        assert_eq!(s.mean_in(100.0, 200.0), None);
+    }
+
+    #[test]
+    fn format_series_merges_x_axes() {
+        let mut a = Series::new("a");
+        a.push(1.0, 0.5);
+        let mut b = Series::new("b");
+        b.push(2.0, 0.7);
+        let out = format_series("fig", "x", &[a, b]);
+        assert!(out.contains("fig"));
+        // x=1 row has '-' for series b
+        let row1: Vec<&str> = out.lines().filter(|l| l.trim_start().starts_with("1.000")).collect();
+        assert_eq!(row1.len(), 1);
+        assert!(row1[0].contains('-'));
+    }
+
+    #[test]
+    fn log2_is_safe_at_zero() {
+        assert!(log2(0.0).is_finite());
+        assert_eq!(log2(8.0), 3.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Test-side execution: run protocol mixes on concrete networks.
+//!
+//! The experiments (§4) evaluate each scheme on *testing scenarios* —
+//! concrete networks swept over a parameter — and summarize per-flow
+//! throughput and queueing delay across several seeded runs (the ellipses
+//! of Figs 1, 7 and 9 are 1-σ ranges over such runs).
+
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::transport::CongestionControl;
+use protocols::{Cubic, NewReno, SignalMask, TaoCc, WhiskerTree};
+
+/// A congestion-control scheme under test.
+#[derive(Clone)]
+pub enum Scheme {
+    /// A Tao protocol (optionally with a §3.4 signal-knockout mask).
+    Tao {
+        tree: WhiskerTree,
+        mask: SignalMask,
+        label: String,
+    },
+    /// TCP Cubic over whatever queue the network defines.
+    Cubic,
+    /// TCP NewReno (the paper's AIMD incumbent).
+    NewReno,
+}
+
+impl Scheme {
+    pub fn tao(tree: WhiskerTree, label: impl Into<String>) -> Self {
+        Scheme::Tao {
+            tree,
+            mask: SignalMask::all(),
+            label: label.into(),
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Tao { label, .. } => label.clone(),
+            Scheme::Cubic => "cubic".into(),
+            Scheme::NewReno => "newreno".into(),
+        }
+    }
+
+    pub fn build(&self) -> Box<dyn CongestionControl> {
+        match self {
+            Scheme::Tao { tree, mask, label } => {
+                Box::new(TaoCc::with_mask(tree.clone(), *mask, label.clone()))
+            }
+            Scheme::Cubic => Box::new(Cubic::new()),
+            Scheme::NewReno => Box::new(NewReno::new()),
+        }
+    }
+}
+
+/// Replace every finite drop-tail queue in a network with sfqCoDel of the
+/// same byte capacity (the "Cubic-over-sfqCoDel" configuration: sfqCoDel
+/// runs at the bottleneck gateways).
+pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
+    let mut out = net.clone();
+    for link in &mut out.links {
+        let cap = match link.queue {
+            QueueSpec::DropTail {
+                capacity_bytes: Some(c),
+            } => c,
+            QueueSpec::DropTail {
+                capacity_bytes: None,
+            } => {
+                // sfqCoDel needs a finite shared buffer; give it 5 BDP.
+                (link.rate_bps / 8.0 * link.delay_s * 5.0).ceil().max(30_000.0) as u64
+            }
+            QueueSpec::SfqCodel { capacity_bytes, .. } => capacity_bytes,
+            QueueSpec::Red { capacity_bytes, .. } => capacity_bytes,
+        };
+        link.queue = QueueSpec::SfqCodel {
+            capacity_bytes: cap,
+            target_ms: 5.0,
+            interval_ms: 100.0,
+            bins: 1024,
+        };
+    }
+    out
+}
+
+/// Run one mix of schemes (one per flow) on a network.
+pub fn run_mix(
+    net: &NetworkConfig,
+    schemes: &[Scheme],
+    seed: u64,
+    duration_s: f64,
+) -> RunOutcome {
+    assert_eq!(schemes.len(), net.flows.len(), "one scheme per flow");
+    let protocols: Vec<Box<dyn CongestionControl>> = schemes.iter().map(|s| s.build()).collect();
+    let mut sim = Simulation::new(net, protocols, seed);
+    sim.set_event_budget(200_000_000);
+    sim.run(SimDuration::from_secs_f64(duration_s))
+}
+
+/// Run the same scheme on every flow.
+pub fn run_homogeneous(
+    net: &NetworkConfig,
+    scheme: &Scheme,
+    seed: u64,
+    duration_s: f64,
+) -> RunOutcome {
+    let schemes = vec![scheme.clone(); net.flows.len()];
+    run_mix(net, &schemes, seed, duration_s)
+}
+
+/// Run a mix over several seeds.
+pub fn run_seeds(
+    net: &NetworkConfig,
+    schemes: &[Scheme],
+    seeds: std::ops::Range<u64>,
+    duration_s: f64,
+) -> Vec<RunOutcome> {
+    seeds
+        .map(|seed| run_mix(net, schemes, seed, duration_s))
+        .collect()
+}
+
+/// Mean / standard deviation / median of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SummaryStat {
+    pub mean: f64,
+    pub std: f64,
+    pub median: f64,
+    pub n: usize,
+}
+
+pub fn summarize(xs: &[f64]) -> SummaryStat {
+    if xs.is_empty() {
+        return SummaryStat {
+            mean: 0.0,
+            std: 0.0,
+            median: 0.0,
+            n: 0,
+        };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    SummaryStat {
+        mean,
+        std: var.sqrt(),
+        median,
+        n: xs.len(),
+    }
+}
+
+/// Per-flow (throughput Mbps, queueing delay ms) pairs from a set of runs,
+/// restricted to flows selected by `keep`.
+pub fn flow_points(
+    outcomes: &[RunOutcome],
+    keep: impl Fn(usize) -> bool,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut tpt = Vec::new();
+    let mut qd = Vec::new();
+    for run in outcomes {
+        for f in &run.flows {
+            if keep(f.flow) && f.on_time_s > 0.0 {
+                tpt.push(f.throughput_bps / 1e6);
+                qd.push(f.avg_queueing_delay_s * 1e3);
+            }
+        }
+    }
+    (tpt, qd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::dumbbell;
+    use netsim::workload::WorkloadSpec;
+    use protocols::Action;
+
+    fn net() -> NetworkConfig {
+        dumbbell(
+            2,
+            10e6,
+            0.100,
+            QueueSpec::drop_tail_bdp(10e6, 0.100, 5.0),
+            WorkloadSpec::AlwaysOn,
+        )
+    }
+
+    #[test]
+    fn cubic_fills_a_dumbbell() {
+        let out = run_homogeneous(&net(), &Scheme::Cubic, 3, 30.0);
+        let total: f64 = out.flows.iter().map(|f| f.throughput_bps).sum();
+        assert!(total > 8.5e6, "Cubic should saturate 10 Mbps, got {total}");
+    }
+
+    #[test]
+    fn newreno_fills_a_dumbbell() {
+        let out = run_homogeneous(&net(), &Scheme::NewReno, 3, 30.0);
+        let total: f64 = out.flows.iter().map(|f| f.throughput_bps).sum();
+        assert!(total > 8.0e6, "NewReno total {total}");
+    }
+
+    #[test]
+    fn sfq_codel_cuts_cubic_queueing_delay() {
+        let fifo = net();
+        let sfq = with_sfq_codel(&fifo);
+        let out_fifo = run_homogeneous(&fifo, &Scheme::Cubic, 7, 30.0);
+        let out_sfq = run_homogeneous(&sfq, &Scheme::Cubic, 7, 30.0);
+        let qd_fifo: f64 = out_fifo.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / 2.0;
+        let qd_sfq: f64 = out_sfq.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / 2.0;
+        assert!(
+            qd_sfq < qd_fifo * 0.5,
+            "CoDel should slash standing queues: fifo={qd_fifo:.4}s sfq={qd_sfq:.4}s"
+        );
+    }
+
+    #[test]
+    fn mixed_schemes_per_flow() {
+        let schemes = [
+            Scheme::tao(
+                WhiskerTree::uniform(Action::new(1.0, 1.0, 1.0)),
+                "tao-demo",
+            ),
+            Scheme::NewReno,
+        ];
+        let out = run_mix(&net(), &schemes, 5, 20.0);
+        assert!(out.flows[0].bytes_delivered > 0);
+        assert!(out.flows[1].bytes_delivered > 0);
+    }
+
+    #[test]
+    fn summarize_stats() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 22.0).abs() < 1e-12);
+        assert_eq!(s.median, 3.0);
+        assert!(s.std > 30.0);
+        let even = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(even.median, 2.5);
+        assert_eq!(summarize(&[]).n, 0);
+    }
+
+    #[test]
+    fn flow_points_filters() {
+        let out = run_seeds(&net(), &[Scheme::Cubic, Scheme::Cubic], 0..3, 10.0);
+        let (tpt_all, _) = flow_points(&out, |_| true);
+        let (tpt_f0, _) = flow_points(&out, |f| f == 0);
+        assert_eq!(tpt_all.len(), 6);
+        assert_eq!(tpt_f0.len(), 3);
+    }
+
+    #[test]
+    fn sfq_conversion_gives_infinite_buffers_a_cap() {
+        let inf = dumbbell(1, 8e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let sfq = with_sfq_codel(&inf);
+        match sfq.links[0].queue {
+            QueueSpec::SfqCodel { capacity_bytes, .. } => assert!(capacity_bytes > 0),
+            _ => panic!("expected sfqCoDel"),
+        }
+    }
+}

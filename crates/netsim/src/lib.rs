@@ -1,0 +1,63 @@
+//! # netsim — deterministic packet-level network simulator
+//!
+//! The simulation substrate for the learnability-of-congestion-control
+//! study. Models store-and-forward links with pluggable queue disciplines
+//! (drop-tail, CoDel, sfqCoDel), dumbbell and parking-lot topologies,
+//! exponential ON/OFF workloads, and a sender-side reliability layer into
+//! which congestion-control algorithms plug via the
+//! [`transport::CongestionControl`] trait.
+//!
+//! Every run is a pure function of `(NetworkConfig, protocols, seed)`:
+//! integer nanosecond time, a deterministic event queue, and per-component
+//! forked RNG streams make results bit-identical across runs and platforms.
+//!
+//! ```
+//! use netsim::prelude::*;
+//!
+//! // 10 Mbps dumbbell, 100 ms RTT, one always-on sender with a fixed
+//! // 20-packet window.
+//! struct Fixed;
+//! impl CongestionControl for Fixed {
+//!     fn reset(&mut self, _: SimTime) {}
+//!     fn on_ack(&mut self, _: SimTime, _: &Ack, _: &AckInfo) {}
+//!     fn on_loss(&mut self, _: SimTime) {}
+//!     fn on_timeout(&mut self, _: SimTime) {}
+//!     fn window(&self) -> f64 { 20.0 }
+//!     fn intersend(&self) -> SimDuration { SimDuration::ZERO }
+//!     fn name(&self) -> String { "fixed".into() }
+//! }
+//!
+//! let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+//! let mut sim = Simulation::new(&net, vec![Box::new(Fixed)], 1);
+//! let out = sim.run(SimDuration::from_secs(10));
+//! assert!(out.flows[0].throughput_bps > 1e6);
+//! ```
+
+pub mod codel;
+pub mod event;
+pub mod flow;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod red;
+pub mod rng;
+pub mod sfq_codel;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod transport;
+pub mod workload;
+
+/// Common imports for simulator users.
+pub mod prelude {
+    pub use crate::flow::{FlowOutcome, FlowStats};
+    pub use crate::packet::{Ack, FlowId, LinkId, Packet, ACK_BYTES, DATA_PACKET_BYTES};
+    pub use crate::queue::QueueSpec;
+    pub use crate::rng::SimRng;
+    pub use crate::sim::{RunOutcome, Simulation};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{dumbbell, dumbbell_mixed, parking_lot, NetworkConfig};
+    pub use crate::transport::{AckInfo, CongestionControl};
+    pub use crate::workload::WorkloadSpec;
+}

@@ -1,0 +1,191 @@
+//! Store-and-forward links.
+//!
+//! A link serializes one packet at a time at a fixed bit rate, then the
+//! packet propagates for the link's one-way delay. Packets arriving while
+//! the link is busy wait in the attached queue discipline. This is the same
+//! model ns-2's `DelayLink` + queue object pair implements, which the paper
+//! uses for all experiments.
+
+use crate::packet::Packet;
+use crate::queue::{QueueDiscipline, QueueStats, QueuedPacket};
+use crate::time::{SimDuration, SimTime};
+
+/// What the link wants the engine to do after a packet is offered to it.
+#[derive(Debug, PartialEq)]
+pub enum Offer {
+    /// Link was idle; packet starts serializing now and finishes after the
+    /// returned transmission time.
+    StartTx(SimDuration),
+    /// Link busy; packet queued.
+    Queued,
+    /// Link busy and the queue discipline dropped the packet.
+    Dropped,
+}
+
+/// A unidirectional link with an attached queue.
+pub struct Link {
+    /// Line rate in bits per second.
+    rate_bps: f64,
+    /// One-way propagation delay.
+    delay: SimDuration,
+    queue: Box<dyn QueueDiscipline>,
+    busy: bool,
+    /// Total bytes that finished serializing (utilization accounting).
+    bytes_transmitted: u64,
+}
+
+impl Link {
+    pub fn new(rate_bps: f64, delay: SimDuration, queue: Box<dyn QueueDiscipline>) -> Self {
+        assert!(rate_bps > 0.0, "link rate must be positive");
+        Link {
+            rate_bps,
+            delay,
+            queue,
+            busy: false,
+            bytes_transmitted: 0,
+        }
+    }
+
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Time to serialize `bytes` onto the wire.
+    pub fn tx_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
+    }
+
+    /// A packet arrives at the link ingress.
+    pub fn offer(&mut self, pkt: Packet, now: SimTime) -> Offer {
+        if !self.busy {
+            self.busy = true;
+            Offer::StartTx(self.tx_time(pkt.size))
+        } else if self.queue.enqueue(
+            QueuedPacket {
+                pkt,
+                enqueued_at: now,
+            },
+            now,
+        ) {
+            Offer::Queued
+        } else {
+            Offer::Dropped
+        }
+    }
+
+    /// The current packet finished serializing. Returns the next packet to
+    /// transmit (engine schedules its completion) or `None` if the link
+    /// goes idle.
+    pub fn tx_complete(&mut self, finished: &Packet, now: SimTime) -> Option<(Packet, SimDuration)> {
+        debug_assert!(self.busy, "tx_complete on idle link");
+        self.bytes_transmitted += finished.size as u64;
+        match self.queue.dequeue(now) {
+            Some(qp) => Some((qp.pkt, self.tx_time(qp.pkt.size))),
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    pub fn queue_len_packets(&self) -> usize {
+        self.queue.len_packets()
+    }
+
+    pub fn queue_len_bytes(&self) -> u64 {
+        self.queue.len_bytes()
+    }
+
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    pub fn bytes_transmitted(&self) -> u64 {
+        self.bytes_transmitted
+    }
+
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Packet};
+    use crate::queue::DropTail;
+
+    fn pkt(seq: u64, size: u32) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            seq,
+            epoch: 0,
+            size,
+            sent_at: SimTime::ZERO,
+            tx_index: seq,
+            is_retx: false,
+            hop: 0,
+        }
+    }
+
+    fn link_10mbps() -> Link {
+        Link::new(
+            10e6,
+            SimDuration::from_millis(50),
+            Box::new(DropTail::new(Some(6000))),
+        )
+    }
+
+    #[test]
+    fn tx_time_matches_rate() {
+        let l = link_10mbps();
+        // 1500 bytes at 10 Mbps = 1.2 ms
+        assert_eq!(l.tx_time(1500), SimDuration::from_micros(1200));
+        assert_eq!(l.tx_time(40), SimDuration::from_micros(32));
+    }
+
+    #[test]
+    fn idle_link_starts_tx_immediately() {
+        let mut l = link_10mbps();
+        match l.offer(pkt(0, 1500), SimTime::ZERO) {
+            Offer::StartTx(d) => assert_eq!(d, SimDuration::from_micros(1200)),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = link_10mbps();
+        assert!(matches!(l.offer(pkt(0, 1500), SimTime::ZERO), Offer::StartTx(_)));
+        // capacity 6000 bytes = 4 queued packets
+        for i in 1..=4 {
+            assert_eq!(l.offer(pkt(i, 1500), SimTime::ZERO), Offer::Queued);
+        }
+        assert_eq!(l.offer(pkt(5, 1500), SimTime::ZERO), Offer::Dropped);
+        assert_eq!(l.queue_len_packets(), 4);
+    }
+
+    #[test]
+    fn tx_complete_drains_queue_in_order() {
+        let mut l = link_10mbps();
+        let p0 = pkt(0, 1500);
+        l.offer(p0, SimTime::ZERO);
+        l.offer(pkt(1, 1500), SimTime::ZERO);
+        l.offer(pkt(2, 40), SimTime::ZERO);
+        let now = SimTime::from_secs_f64(0.0012);
+        let (next, d) = l.tx_complete(&p0, now).unwrap();
+        assert_eq!(next.seq, 1);
+        assert_eq!(d, SimDuration::from_micros(1200));
+        let (next2, d2) = l.tx_complete(&next, now).unwrap();
+        assert_eq!(next2.seq, 2);
+        assert_eq!(d2, SimDuration::from_micros(32));
+        assert!(l.tx_complete(&next2, now).is_none());
+        assert!(!l.is_busy());
+        assert_eq!(l.bytes_transmitted(), 1500 + 1500 + 40);
+    }
+}

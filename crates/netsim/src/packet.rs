@@ -1,0 +1,104 @@
+//! Packets and acknowledgments.
+//!
+//! The simulator models two kinds of traffic: data packets flowing from a
+//! sender through the (possibly congested) forward path, and per-packet
+//! acknowledgments returning over an uncongested reverse path. ACKs echo the
+//! sender's transmission timestamp — the Tao protocols' `send_ewma` and
+//! `rtt_ratio` congestion signals are computed from this echo, exactly as in
+//! the paper (§3.3).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a flow (sender/receiver pair). Index into the simulator's
+/// sender table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+/// Identifies a unidirectional link. Index into the simulator's link table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Default MTU-sized data packet payload, matching the 1500-byte packets the
+/// paper's ns-2 setup uses.
+pub const DATA_PACKET_BYTES: u32 = 1500;
+
+/// Size of a returning acknowledgment (TCP ACK-sized).
+pub const ACK_BYTES: u32 = 40;
+
+/// A data packet in flight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Packet {
+    pub flow: FlowId,
+    /// Sequence number within the flow epoch.
+    pub seq: u64,
+    /// Flow epoch: incremented each time the ON/OFF workload restarts the
+    /// flow, so stale in-flight packets from a previous burst are ignored.
+    pub epoch: u32,
+    /// Payload size in bytes (transmission time = size * 8 / link rate).
+    pub size: u32,
+    /// Sender timestamp at (re)transmission; echoed back in the ACK.
+    pub sent_at: SimTime,
+    /// Monotonic per-sender transmission index, used by the reliability
+    /// layer's reordering-window loss detector.
+    pub tx_index: u64,
+    /// True if this is a retransmission.
+    pub is_retx: bool,
+    /// Remaining hops: index into the flow's route of the *next* link to
+    /// traverse after the current one.
+    pub hop: u8,
+}
+
+/// An acknowledgment returning to the sender.
+///
+/// The receiver acknowledges every data packet individually (selective
+/// per-packet acks, as in Remy's simulator), echoing the data packet's
+/// sender timestamp and stamping its own arrival time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ack {
+    pub flow: FlowId,
+    /// Sequence number of the data packet being acknowledged.
+    pub seq: u64,
+    pub epoch: u32,
+    /// Echo of `Packet::sent_at`; `now - echo_sent_at` is an RTT sample.
+    pub echo_sent_at: SimTime,
+    /// Echo of `Packet::tx_index` for the loss detector.
+    pub echo_tx_index: u64,
+    /// Receiver timestamp when the data packet arrived.
+    pub recv_at: SimTime,
+    /// Whether the acknowledged packet was a retransmission.
+    pub was_retx: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn rtt_from_echo() {
+        let sent = SimTime::from_secs_f64(1.0);
+        let ack = Ack {
+            flow: FlowId(0),
+            seq: 5,
+            epoch: 0,
+            echo_sent_at: sent,
+            echo_tx_index: 5,
+            recv_at: sent + SimDuration::from_millis(75),
+            was_retx: false,
+        };
+        let now = sent + SimDuration::from_millis(150);
+        assert_eq!((now - ack.echo_sent_at).as_millis_f64(), 150.0);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(FlowId(1));
+        s.insert(FlowId(2));
+        s.insert(FlowId(1));
+        assert_eq!(s.len(), 2);
+        assert!(LinkId(0) < LinkId(3));
+    }
+}

@@ -1,0 +1,298 @@
+//! Queueing disciplines at bottleneck gateways.
+//!
+//! The paper trains every protocol against FIFO drop-tail queues (finite
+//! buffers measured in bandwidth-delay products, or an infinite "no drop"
+//! buffer for the extreme multiplexing case of Fig 3) and additionally tests
+//! Cubic over sfqCoDel. The discipline is pluggable per link.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A packet resting in a queue, stamped with its enqueue time (CoDel keys
+/// its drop law off sojourn time).
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedPacket {
+    pub pkt: Packet,
+    pub enqueued_at: SimTime,
+}
+
+/// Counters every discipline maintains; the study's figures read drops and
+/// occupancy from here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    pub enqueued: u64,
+    pub dropped: u64,
+    pub dequeued: u64,
+}
+
+/// A queueing discipline attached to a link.
+///
+/// The link calls [`enqueue`](QueueDiscipline::enqueue) when a packet
+/// arrives while the link is busy, and [`dequeue`](QueueDiscipline::dequeue)
+/// each time it finishes serializing a packet. Disciplines may drop on
+/// enqueue (drop-tail) or on dequeue (CoDel).
+pub trait QueueDiscipline: Send {
+    /// Offer a packet to the queue at time `now`. Returns `false` if the
+    /// packet was dropped.
+    fn enqueue(&mut self, qp: QueuedPacket, now: SimTime) -> bool;
+
+    /// Pull the next packet to transmit. CoDel-style disciplines may drop
+    /// packets internally before returning one.
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket>;
+
+    /// Queue occupancy in packets.
+    fn len_packets(&self) -> usize;
+
+    /// Queue occupancy in bytes.
+    fn len_bytes(&self) -> u64;
+
+    fn stats(&self) -> QueueStats;
+
+    fn name(&self) -> &'static str;
+}
+
+/// Declarative queue configuration; built into a boxed discipline by the
+/// topology layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum QueueSpec {
+    /// FIFO with a byte capacity; `None` means infinite ("no drop" in
+    /// Table 3b).
+    DropTail { capacity_bytes: Option<u64> },
+    /// Stochastic fair queueing with per-bin CoDel and DRR scheduling
+    /// (the paper's sfqCoDel gateway).
+    SfqCodel {
+        capacity_bytes: u64,
+        target_ms: f64,
+        interval_ms: f64,
+        bins: u32,
+    },
+    /// Random Early Detection (gentle variant) with a byte-capacity
+    /// backstop; thresholds in packets.
+    Red {
+        capacity_bytes: u64,
+        min_th: f64,
+        max_th: f64,
+        max_p: f64,
+    },
+}
+
+impl QueueSpec {
+    /// Drop-tail sized to `bdp_multiple` bandwidth-delay products.
+    pub fn drop_tail_bdp(rate_bps: f64, min_rtt_s: f64, bdp_multiple: f64) -> QueueSpec {
+        let bdp_bytes = rate_bps / 8.0 * min_rtt_s;
+        QueueSpec::DropTail {
+            capacity_bytes: Some((bdp_bytes * bdp_multiple).ceil().max(3000.0) as u64),
+        }
+    }
+
+    /// Infinite FIFO (the "no packet drops" buffer of Fig 3's right panel).
+    pub fn infinite() -> QueueSpec {
+        QueueSpec::DropTail {
+            capacity_bytes: None,
+        }
+    }
+
+    /// sfqCoDel with the reference parameters (5 ms target, 100 ms interval).
+    pub fn sfq_codel_default(rate_bps: f64, min_rtt_s: f64, bdp_multiple: f64) -> QueueSpec {
+        let bdp_bytes = rate_bps / 8.0 * min_rtt_s;
+        QueueSpec::SfqCodel {
+            capacity_bytes: (bdp_bytes * bdp_multiple).ceil().max(3000.0) as u64,
+            target_ms: 5.0,
+            interval_ms: 100.0,
+            bins: 1024,
+        }
+    }
+
+    pub fn build(&self, salt: u64) -> Box<dyn QueueDiscipline> {
+        match *self {
+            QueueSpec::DropTail { capacity_bytes } => Box::new(DropTail::new(capacity_bytes)),
+            QueueSpec::SfqCodel {
+                capacity_bytes,
+                target_ms,
+                interval_ms,
+                bins,
+            } => Box::new(crate::sfq_codel::SfqCodel::new(
+                capacity_bytes,
+                crate::codel::CodelParams {
+                    target: crate::time::SimDuration::from_millis_f64(target_ms),
+                    interval: crate::time::SimDuration::from_millis_f64(interval_ms),
+                },
+                bins,
+                salt,
+            )),
+            QueueSpec::Red {
+                capacity_bytes,
+                min_th,
+                max_th,
+                max_p,
+            } => Box::new(crate::red::Red::new(
+                capacity_bytes,
+                crate::red::RedParams {
+                    min_th,
+                    max_th,
+                    max_p,
+                    ..Default::default()
+                },
+                salt,
+            )),
+        }
+    }
+
+    /// RED sized to the buffer's packet capacity.
+    pub fn red_default(rate_bps: f64, min_rtt_s: f64, bdp_multiple: f64) -> QueueSpec {
+        let cap_bytes = (rate_bps / 8.0 * min_rtt_s * bdp_multiple).ceil().max(3000.0) as u64;
+        let params = crate::red::RedParams::for_capacity((cap_bytes / 1500) as usize);
+        QueueSpec::Red {
+            capacity_bytes: cap_bytes,
+            min_th: params.min_th,
+            max_th: params.max_th,
+            max_p: params.max_p,
+        }
+    }
+}
+
+/// FIFO drop-tail queue: the discipline of every training scenario in the
+/// paper (§3.1, item 4).
+#[derive(Debug)]
+pub struct DropTail {
+    q: VecDeque<QueuedPacket>,
+    bytes: u64,
+    capacity_bytes: Option<u64>,
+    stats: QueueStats,
+}
+
+impl DropTail {
+    pub fn new(capacity_bytes: Option<u64>) -> Self {
+        DropTail {
+            q: VecDeque::new(),
+            bytes: 0,
+            capacity_bytes,
+            stats: QueueStats::default(),
+        }
+    }
+}
+
+impl QueueDiscipline for DropTail {
+    fn enqueue(&mut self, qp: QueuedPacket, _now: SimTime) -> bool {
+        if let Some(cap) = self.capacity_bytes {
+            if self.bytes + qp.pkt.size as u64 > cap {
+                self.stats.dropped += 1;
+                return false;
+            }
+        }
+        self.bytes += qp.pkt.size as u64;
+        self.stats.enqueued += 1;
+        self.q.push_back(qp);
+        true
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
+        let qp = self.q.pop_front()?;
+        self.bytes -= qp.pkt.size as u64;
+        self.stats.dequeued += 1;
+        Some(qp)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.q.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "droptail"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Packet};
+
+    pub(crate) fn pkt(flow: u32, seq: u64, size: u32) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            seq,
+            epoch: 0,
+            size,
+            sent_at: SimTime::ZERO,
+            tx_index: seq,
+            is_retx: false,
+            hop: 0,
+        }
+    }
+
+    fn qp(flow: u32, seq: u64, size: u32) -> QueuedPacket {
+        QueuedPacket {
+            pkt: pkt(flow, seq, size),
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTail::new(None);
+        for i in 0..5 {
+            assert!(q.enqueue(qp(0, i, 1500), SimTime::ZERO));
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().pkt.seq, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = DropTail::new(Some(3000));
+        assert!(q.enqueue(qp(0, 0, 1500), SimTime::ZERO));
+        assert!(q.enqueue(qp(0, 1, 1500), SimTime::ZERO));
+        assert!(!q.enqueue(qp(0, 2, 1500), SimTime::ZERO), "over capacity");
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.len_packets(), 2);
+        assert_eq!(q.len_bytes(), 3000);
+        // draining frees capacity
+        q.dequeue(SimTime::ZERO);
+        assert!(q.enqueue(qp(0, 3, 1500), SimTime::ZERO));
+    }
+
+    #[test]
+    fn infinite_never_drops() {
+        let mut q = DropTail::new(None);
+        for i in 0..10_000 {
+            assert!(q.enqueue(qp(0, i, 1500), SimTime::ZERO));
+        }
+        assert_eq!(q.stats().dropped, 0);
+        assert_eq!(q.len_packets(), 10_000);
+    }
+
+    #[test]
+    fn byte_accounting_mixed_sizes() {
+        let mut q = DropTail::new(Some(4000));
+        assert!(q.enqueue(qp(0, 0, 1500), SimTime::ZERO));
+        assert!(q.enqueue(qp(0, 1, 40), SimTime::ZERO));
+        assert!(q.enqueue(qp(0, 2, 1500), SimTime::ZERO));
+        assert_eq!(q.len_bytes(), 3040);
+        assert!(!q.enqueue(qp(0, 3, 1500), SimTime::ZERO));
+        assert!(q.enqueue(qp(0, 4, 40), SimTime::ZERO), "small packet still fits");
+    }
+
+    #[test]
+    fn bdp_spec_sizing() {
+        // 32 Mbps * 150 ms = 600 kB BDP; 5 BDP = 3 MB
+        let spec = QueueSpec::drop_tail_bdp(32e6, 0.150, 5.0);
+        match spec {
+            QueueSpec::DropTail {
+                capacity_bytes: Some(c),
+            } => assert_eq!(c, 3_000_000),
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+}

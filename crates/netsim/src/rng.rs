@@ -1,0 +1,179 @@
+//! Deterministic randomness for the simulator.
+//!
+//! Every stochastic component (workload ON/OFF draws, sfqCoDel hash salt,
+//! scenario sampling) pulls from a [`SimRng`] derived from a single root
+//! seed, so a simulation is a pure function of `(config, seed)`. The
+//! optimizer exploits this for common-random-number comparisons between
+//! candidate protocols.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{Distribution, Exp};
+
+/// A deterministic random number generator.
+///
+/// Thin wrapper over `StdRng` adding the distribution draws the simulator
+/// needs (exponential holding times) and a stable `fork` operation for
+/// giving each component an independent stream.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream. The child is a pure function of
+    /// `(self's seed history, salt)`, so components get stable streams no
+    /// matter how many draws other components make.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ splitmix64(salt);
+        SimRng::from_seed(s)
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// A zero mean returns zero (used to express "always on" workloads with
+    /// a degenerate OFF period).
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let lambda = 1.0 / mean.as_secs_f64();
+        let exp = Exp::new(lambda).expect("positive rate");
+        SimDuration::from_secs_f64(exp.sample(&mut self.inner))
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Log-uniform f64 in `[lo, hi)`: uniform in the exponent, as the paper
+    /// samples link speeds ("sampled 100 link speeds logarithmically").
+    pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
+        if lo == hi {
+            return lo;
+        }
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        self.uniform(llo, lhi).exp()
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        if lo >= hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// SplitMix64 finalizer: turns correlated salts into well-spread seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_but_are_stable() {
+        let mut root1 = SimRng::from_seed(7);
+        let mut root2 = SimRng::from_seed(7);
+        let mut c1 = root1.fork(1);
+        let mut c2 = root1.fork(2);
+        let mut c1_again = root2.fork(1);
+        let mut c2_again = root2.fork(2);
+        let (x1, x2) = (c1.gen_u64(), c2.gen_u64());
+        assert_ne!(x1, x2, "different salts give different streams");
+        assert_eq!(x1, c1_again.gen_u64());
+        assert_eq!(x2, c2_again.gen_u64());
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut rng = SimRng::from_seed(1);
+        let mean = SimDuration::from_secs(1);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 1.0).abs() < 0.05, "sample mean {avg} too far from 1.0");
+    }
+
+    #[test]
+    fn exp_duration_zero_mean() {
+        let mut rng = SimRng::from_seed(1);
+        assert_eq!(rng.exp_duration(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn log_uniform_within_bounds_and_log_spread() {
+        let mut rng = SimRng::from_seed(3);
+        let mut below_geomean = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let x = rng.log_uniform(1.0, 1000.0);
+            assert!((1.0..1000.0).contains(&x));
+            // geometric mean of the range is ~31.6; half the draws should sit below it
+            if x < 31.6227766 {
+                below_geomean += 1;
+            }
+        }
+        let frac = below_geomean as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "log-uniform median off: {frac}");
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let mut rng = SimRng::from_seed(3);
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.log_uniform(8.0, 8.0), 8.0);
+        assert_eq!(rng.uniform_u32(9, 9), 9);
+    }
+}

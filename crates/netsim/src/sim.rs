@@ -1,0 +1,692 @@
+//! The simulation engine.
+//!
+//! Wires the pieces together: senders (a [`CongestionControl`] plugged into
+//! a [`Transport`]) emit packets over routed paths of [`Link`]s; receivers
+//! acknowledge every delivery over an uncongested reverse path; ON/OFF
+//! [`crate::workload::Workload`] processes gate offered load. A run is a pure function of
+//! `(NetworkConfig, protocols, seed)`.
+
+use crate::event::{Event, EventQueue};
+use crate::flow::{FlowOutcome, FlowStats, OnTimeTracker};
+use crate::link::{Link, Offer};
+use crate::packet::{Ack, FlowId, LinkId, Packet, ACK_BYTES};
+use crate::queue::QueueStats;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NetworkConfig;
+use crate::trace::{QueueSample, Trace};
+use crate::transport::{CongestionControl, Transport};
+use std::collections::HashSet;
+
+struct SenderSlot {
+    cc: Box<dyn CongestionControl>,
+    transport: Transport,
+    workload: crate::workload::Workload,
+    route: Vec<usize>,
+    ack_delay: SimDuration,
+    on: bool,
+    on_tracker: OnTimeTracker,
+    /// Time of the last transmission, for pacing.
+    last_send: Option<SimTime>,
+    /// Earliest pending SenderWake, to avoid duplicate timers.
+    pending_wake: Option<SimTime>,
+    /// Current RTO deadline (valid only at the matching rto_gen).
+    rto_deadline: SimTime,
+    toggle_gen: u64,
+    rng: SimRng,
+}
+
+/// Per-flow receiver state: which sequences have been seen this epoch
+/// (deduplicates retransmissions in the delivery stats).
+#[derive(Default)]
+struct ReceiverSlot {
+    epoch: u32,
+    seen: HashSet<u64>,
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    pub flows: Vec<FlowOutcome>,
+    pub duration_s: f64,
+    /// Final queue counters per link.
+    pub link_queues: Vec<QueueStats>,
+    /// Bytes each link transmitted (utilization = bytes*8 / rate / T).
+    pub link_bytes: Vec<u64>,
+    pub events_processed: u64,
+}
+
+impl RunOutcome {
+    /// Utilization of a link over the run.
+    pub fn utilization(&self, link: usize, rate_bps: f64) -> f64 {
+        self.link_bytes[link] as f64 * 8.0 / (rate_bps * self.duration_s)
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    now: SimTime,
+    events: EventQueue,
+    links: Vec<Link>,
+    senders: Vec<SenderSlot>,
+    receivers: Vec<ReceiverSlot>,
+    stats: Vec<FlowStats>,
+    min_one_way: Vec<SimDuration>,
+    trace: Option<Trace>,
+    events_processed: u64,
+    /// Hard cap on events to guard against pathological protocol settings
+    /// (e.g. a candidate action with near-zero pacing during optimization).
+    event_budget: u64,
+}
+
+impl Simulation {
+    /// Build a simulation. `protocols[i]` drives `config.flows[i]`; the
+    /// whole run is deterministic in `seed`.
+    pub fn new(
+        config: &NetworkConfig,
+        protocols: Vec<Box<dyn CongestionControl>>,
+        seed: u64,
+    ) -> Self {
+        config.validate().expect("invalid network config");
+        assert_eq!(
+            protocols.len(),
+            config.flows.len(),
+            "one protocol per flow required"
+        );
+        let mut root = SimRng::from_seed(seed);
+        let links: Vec<Link> = config
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, ls)| {
+                let salt = root.fork(0x1111 + i as u64).gen_u64();
+                Link::new(ls.rate_bps, ls.one_way_delay(), ls.queue.build(salt))
+            })
+            .collect();
+        let senders: Vec<SenderSlot> = protocols
+            .into_iter()
+            .enumerate()
+            .map(|(i, cc)| SenderSlot {
+                cc,
+                transport: Transport::new(FlowId(i as u32)),
+                workload: crate::workload::Workload::new(config.flows[i].workload.clone()),
+                route: config.flows[i].route.clone(),
+                ack_delay: config.ack_delay(i),
+                on: false,
+                on_tracker: OnTimeTracker::default(),
+                last_send: None,
+                pending_wake: None,
+                rto_deadline: SimTime::MAX,
+                toggle_gen: 0,
+                rng: root.fork(0x2222 + i as u64),
+            })
+            .collect();
+        let n = senders.len();
+        Simulation {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            links,
+            senders,
+            receivers: (0..n).map(|_| ReceiverSlot::default()).collect(),
+            stats: vec![FlowStats::default(); n],
+            min_one_way: (0..n).map(|i| config.min_one_way(i)).collect(),
+            trace: None,
+            events_processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Record queue occupancy of `links` every `period` (Fig 8).
+    pub fn enable_trace(&mut self, links: Vec<LinkId>, period: SimDuration) {
+        self.trace = Some(Trace::new(links, period));
+    }
+
+    /// Cap the number of processed events (optimizer safety valve).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Run for `duration` of simulated time and return per-flow outcomes.
+    pub fn run(&mut self, duration: SimDuration) -> RunOutcome {
+        let end = SimTime::ZERO + duration;
+
+        // Prime workload processes.
+        for i in 0..self.senders.len() {
+            let s = &mut self.senders[i];
+            if s.workload.is_on() {
+                self.turn_on(i);
+            } else {
+                let first = {
+                    let s = &mut self.senders[i];
+                    let mut rng = s.rng.fork(0x9999);
+                    s.workload.first_toggle(&mut rng)
+                };
+                if let Some(t) = first {
+                    let gen = self.senders[i].toggle_gen;
+                    self.events.schedule(
+                        t,
+                        Event::WorkloadToggle {
+                            flow: FlowId(i as u32),
+                            gen,
+                        },
+                    );
+                }
+            }
+        }
+        if self.trace.is_some() {
+            self.events.schedule(SimTime::ZERO, Event::TraceSample);
+        }
+
+        while let Some((at, ev)) = self.events.pop() {
+            if at > end {
+                break;
+            }
+            self.now = at;
+            self.events_processed += 1;
+            if self.events_processed > self.event_budget {
+                break;
+            }
+            self.dispatch(ev, end);
+        }
+        self.now = end;
+
+        // Close out ON intervals.
+        for i in 0..self.senders.len() {
+            if self.senders[i].on {
+                let d = self.senders[i].on_tracker.finish(end);
+                self.stats[i].on_time += d;
+            }
+        }
+
+        RunOutcome {
+            flows: (0..self.senders.len())
+                .map(|i| FlowOutcome::from_stats(i, &self.stats[i], self.min_one_way[i]))
+                .collect(),
+            duration_s: duration.as_secs_f64(),
+            link_queues: self.links.iter().map(|l| l.queue_stats()).collect(),
+            link_bytes: self.links.iter().map(|l| l.bytes_transmitted()).collect(),
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Take the recorded trace (after `run`).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Consume the simulation and hand back the protocol objects (the
+    /// optimizer reads whisker usage counts out of Tao executors).
+    pub fn into_protocols(self) -> Vec<Box<dyn CongestionControl>> {
+        self.senders.into_iter().map(|s| s.cc).collect()
+    }
+
+    fn dispatch(&mut self, ev: Event, end: SimTime) {
+        match ev {
+            Event::Arrive { link, pkt } => self.handle_arrive(link, pkt),
+            Event::TxComplete { link, pkt } => self.handle_tx_complete(link, pkt),
+            Event::Propagated { link, pkt } => self.handle_propagated(link, pkt),
+            Event::AckArrive { flow, ack } => self.handle_ack(flow, ack),
+            Event::SenderWake { flow } => {
+                let i = flow.0 as usize;
+                self.senders[i].pending_wake = None;
+                self.try_send(i);
+            }
+            Event::RtoCheck { flow, gen } => self.handle_rto(flow, gen),
+            Event::WorkloadToggle { flow, gen } => self.handle_toggle(flow, gen),
+            Event::TraceSample => self.handle_trace_sample(end),
+        }
+    }
+
+    fn handle_arrive(&mut self, link: LinkId, pkt: Packet) {
+        let l = link.0 as usize;
+        match self.links[l].offer(pkt, self.now) {
+            Offer::StartTx(d) => self.events.schedule(self.now + d, Event::TxComplete { link, pkt }),
+            Offer::Queued => {}
+            Offer::Dropped => {
+                self.stats[pkt.flow.0 as usize].forward_drops += 1;
+                if let Some(tr) = &mut self.trace {
+                    if tr.links.contains(&link) {
+                        tr.record_drop(self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_tx_complete(&mut self, link: LinkId, pkt: Packet) {
+        let l = link.0 as usize;
+        // The finished packet begins propagating.
+        self.events.schedule(
+            self.now + self.links[l].delay(),
+            Event::Propagated { link, pkt },
+        );
+        // Pull the next packet from the queue.
+        if let Some((next, d)) = self.links[l].tx_complete(&pkt, self.now) {
+            self.events
+                .schedule(self.now + d, Event::TxComplete { link, pkt: next });
+        }
+    }
+
+    fn handle_propagated(&mut self, link: LinkId, pkt: Packet) {
+        let flow = pkt.flow.0 as usize;
+        let route = &self.senders[flow].route;
+        let next_hop = pkt.hop as usize + 1;
+        if next_hop < route.len() {
+            let mut fwd = pkt;
+            fwd.hop = next_hop as u8;
+            let next_link = LinkId(route[next_hop] as u32);
+            self.events
+                .schedule(self.now, Event::Arrive { link: next_link, pkt: fwd });
+            return;
+        }
+        debug_assert_eq!(route[pkt.hop as usize], link.0 as usize);
+
+        // Delivery at the receiver.
+        let rx = &mut self.receivers[flow];
+        if rx.epoch != pkt.epoch {
+            // Stale packet from a previous burst: ignore entirely.
+            return;
+        }
+        if rx.seen.insert(pkt.seq) {
+            let delay = self.now - pkt.sent_at;
+            self.stats[flow].record_delivery(pkt.size, delay);
+        }
+        // Per-packet selective ack over the uncongested reverse path.
+        let ack = Ack {
+            flow: pkt.flow,
+            seq: pkt.seq,
+            epoch: pkt.epoch,
+            echo_sent_at: pkt.sent_at,
+            echo_tx_index: pkt.tx_index,
+            recv_at: self.now,
+            was_retx: pkt.is_retx,
+        };
+        let ack_delay = self.senders[flow].ack_delay
+            + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9); // negligible serialization
+        self.events.schedule(
+            self.now + ack_delay,
+            Event::AckArrive {
+                flow: pkt.flow,
+                ack,
+            },
+        );
+    }
+
+    fn handle_ack(&mut self, flow: FlowId, ack: Ack) {
+        let i = flow.0 as usize;
+        let s = &mut self.senders[i];
+        if !s.on {
+            return; // burst already ended; ignore late acks
+        }
+        let outcome = s.transport.on_ack(self.now, &ack);
+        if !outcome.valid {
+            return;
+        }
+        for _ in &outcome.newly_lost {
+            self.stats[i].losses += 1;
+            s.cc.on_loss(self.now);
+        }
+        if let Some(info) = &outcome.info {
+            s.cc.on_ack(self.now, &ack, info);
+        }
+        self.reschedule_rto(i);
+        self.try_send(i);
+    }
+
+    fn handle_rto(&mut self, flow: FlowId, gen: u64) {
+        let i = flow.0 as usize;
+        let s = &mut self.senders[i];
+        if !s.on || gen != s.transport.rto_gen() {
+            return;
+        }
+        if self.now < s.rto_deadline {
+            return; // superseded deadline
+        }
+        if s.transport.in_flight() == 0 && !s.transport.has_retx_pending() {
+            return;
+        }
+        self.stats[i].timeouts += 1;
+        s.cc.on_timeout(self.now);
+        s.transport.on_timeout();
+        self.reschedule_rto(i);
+        self.try_send(i);
+    }
+
+    fn handle_toggle(&mut self, flow: FlowId, gen: u64) {
+        let i = flow.0 as usize;
+        if gen != self.senders[i].toggle_gen {
+            return;
+        }
+        let (on, next) = {
+            let s = &mut self.senders[i];
+            let mut rng = s.rng.fork(0xAAAA ^ self.now.as_nanos());
+            s.workload.toggle(self.now, &mut rng)
+        };
+        if let Some(t) = next {
+            let gen = self.senders[i].toggle_gen;
+            self.events
+                .schedule(t, Event::WorkloadToggle { flow, gen });
+        }
+        if on && !self.senders[i].on {
+            self.turn_on(i);
+        } else if !on && self.senders[i].on {
+            self.turn_off(i);
+        }
+    }
+
+    fn turn_on(&mut self, i: usize) {
+        let s = &mut self.senders[i];
+        s.on = true;
+        s.on_tracker.turn_on(self.now);
+        let epoch = s.transport.start_epoch();
+        s.cc.reset(self.now);
+        s.last_send = None;
+        s.rto_deadline = SimTime::MAX;
+        let rx = &mut self.receivers[i];
+        rx.epoch = epoch;
+        rx.seen.clear();
+        self.try_send(i);
+    }
+
+    fn turn_off(&mut self, i: usize) {
+        let s = &mut self.senders[i];
+        s.on = false;
+        let d = s.on_tracker.turn_off(self.now);
+        self.stats[i].on_time += d;
+        s.transport.abort();
+        s.rto_deadline = SimTime::MAX;
+    }
+
+    /// Send as many packets as window and pacing allow; schedule a pacing
+    /// wake-up if the window has room but pacing blocks.
+    fn try_send(&mut self, i: usize) {
+        loop {
+            let s = &mut self.senders[i];
+            if !s.on {
+                return;
+            }
+            let window = s.cc.window().floor().max(0.0) as usize;
+            if s.transport.in_flight() >= window {
+                return;
+            }
+            // Pacing check.
+            let intersend = s.cc.intersend();
+            if let (Some(last), false) = (s.last_send, intersend.is_zero()) {
+                let allowed = last + intersend;
+                if allowed > self.now {
+                    if s.pending_wake.map_or(true, |w| allowed < w) {
+                        s.pending_wake = Some(allowed);
+                        self.events.schedule(
+                            allowed,
+                            Event::SenderWake {
+                                flow: FlowId(i as u32),
+                            },
+                        );
+                    }
+                    return;
+                }
+            }
+            let Some(pkt) = s.transport.produce(self.now, window) else {
+                return;
+            };
+            s.last_send = Some(self.now);
+            self.stats[i].transmissions += 1;
+            if pkt.is_retx {
+                self.stats[i].retransmissions += 1;
+            }
+            let first_link = LinkId(s.route[0] as u32);
+            let had_outstanding = s.transport.in_flight() > 1;
+            self.events.schedule(
+                self.now,
+                Event::Arrive {
+                    link: first_link,
+                    pkt,
+                },
+            );
+            if !had_outstanding {
+                self.reschedule_rto(i);
+            }
+        }
+    }
+
+    fn reschedule_rto(&mut self, i: usize) {
+        let s = &mut self.senders[i];
+        if s.transport.in_flight() == 0 && !s.transport.has_retx_pending() {
+            s.transport.bump_rto_gen();
+            s.rto_deadline = SimTime::MAX;
+            return;
+        }
+        let base = s.transport.oldest_outstanding_at().unwrap_or(self.now);
+        let deadline = base.max(self.now) + s.transport.rto();
+        s.rto_deadline = deadline;
+        let gen = s.transport.rto_gen();
+        self.events.schedule(
+            deadline,
+            Event::RtoCheck {
+                flow: FlowId(i as u32),
+                gen,
+            },
+        );
+    }
+
+    fn handle_trace_sample(&mut self, end: SimTime) {
+        let Some(tr) = &mut self.trace else { return };
+        for (idx, &lid) in tr.links.clone().iter().enumerate() {
+            let l = &self.links[lid.0 as usize];
+            let sample = QueueSample {
+                at: self.now,
+                packets: l.queue_len_packets(),
+                bytes: l.queue_len_bytes(),
+                cum_drops: l.queue_stats().dropped,
+            };
+            tr.record(idx, sample);
+        }
+        let next = self.now + tr.period;
+        if next <= end {
+            self.events.schedule(next, Event::TraceSample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueSpec;
+    use crate::topology::dumbbell;
+    use crate::transport::AckInfo;
+    use crate::workload::WorkloadSpec;
+
+    /// Fixed-window protocol for engine tests.
+    struct FixedWindow {
+        w: f64,
+        intersend: SimDuration,
+    }
+
+    impl CongestionControl for FixedWindow {
+        fn reset(&mut self, _now: SimTime) {}
+        fn on_ack(&mut self, _now: SimTime, _ack: &Ack, _info: &AckInfo) {}
+        fn on_loss(&mut self, _now: SimTime) {}
+        fn on_timeout(&mut self, _now: SimTime) {}
+        fn window(&self) -> f64 {
+            self.w
+        }
+        fn intersend(&self) -> SimDuration {
+            self.intersend
+        }
+        fn name(&self) -> String {
+            format!("fixed-{}", self.w)
+        }
+    }
+
+    fn fixed(w: f64) -> Box<dyn CongestionControl> {
+        Box::new(FixedWindow {
+            w,
+            intersend: SimDuration::ZERO,
+        })
+    }
+
+    #[test]
+    fn single_flow_saturates_link_with_big_window() {
+        // 10 Mbps, 100 ms RTT, BDP ~ 83 packets; window 200 saturates.
+        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(&net, vec![fixed(200.0)], 1);
+        let out = sim.run(SimDuration::from_secs(20));
+        let f = &out.flows[0];
+        assert!(
+            f.throughput_bps > 9.2e6,
+            "throughput {} should approach 10 Mbps",
+            f.throughput_bps
+        );
+        // Standing queue of ~117 packets: delay well above propagation.
+        assert!(f.avg_queueing_delay_s > 0.005);
+        assert_eq!(f.forward_drops, 0);
+    }
+
+    #[test]
+    fn small_window_is_rtt_limited() {
+        // window 10 over 100 ms RTT = ~100 pkt/s = 1.2 Mbps
+        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(&net, vec![fixed(10.0)], 1);
+        let out = sim.run(SimDuration::from_secs(20));
+        let f = &out.flows[0];
+        let expect = 10.0 * 1500.0 * 8.0 / 0.100;
+        assert!(
+            (f.throughput_bps - expect).abs() / expect < 0.08,
+            "throughput {} vs rtt-limited {}",
+            f.throughput_bps,
+            expect
+        );
+        // no queueing: delay ~= propagation
+        assert!(f.avg_queueing_delay_s < 0.002, "{}", f.avg_queueing_delay_s);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck() {
+        let net = dumbbell(2, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(&net, vec![fixed(100.0), fixed(100.0)], 7);
+        let out = sim.run(SimDuration::from_secs(30));
+        let t0 = out.flows[0].throughput_bps;
+        let t1 = out.flows[1].throughput_bps;
+        assert!((t0 + t1) > 9.2e6, "link saturated: {}", t0 + t1);
+        // equal windows, equal RTT: close to equal split
+        assert!(
+            (t0 - t1).abs() / (t0 + t1) < 0.1,
+            "fair split expected: {t0} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn finite_buffer_drops_under_overload() {
+        let net = dumbbell(
+            1,
+            1e6,
+            0.100,
+            QueueSpec::DropTail {
+                capacity_bytes: Some(15_000),
+            },
+            WorkloadSpec::AlwaysOn,
+        );
+        let mut sim = Simulation::new(&net, vec![fixed(400.0)], 3);
+        let out = sim.run(SimDuration::from_secs(10));
+        assert!(out.flows[0].forward_drops > 0, "oversized window must drop");
+        assert!(out.flows[0].retransmissions > 0, "losses get retransmitted");
+        // Delivered bytes are unique: throughput can't exceed line rate.
+        assert!(out.flows[0].throughput_bps <= 1.0e6 * 1.01);
+    }
+
+    #[test]
+    fn pacing_limits_rate() {
+        // Pacing of 10 ms/packet = 1.2 Mbps regardless of window.
+        let net = dumbbell(1, 100e6, 0.050, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(
+            &net,
+            vec![Box::new(FixedWindow {
+                w: 1000.0,
+                intersend: SimDuration::from_millis(10),
+            })],
+            5,
+        );
+        let out = sim.run(SimDuration::from_secs(20));
+        let expect = 1500.0 * 8.0 / 0.010;
+        let tput = out.flows[0].throughput_bps;
+        assert!(
+            (tput - expect).abs() / expect < 0.05,
+            "paced throughput {tput} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = dumbbell(2, 5e6, 0.080, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let run = |seed| {
+            let mut sim = Simulation::new(&net, vec![fixed(50.0), fixed(50.0)], seed);
+            let out = sim.run(SimDuration::from_secs(15));
+            (
+                out.flows[0].bytes_delivered,
+                out.flows[1].bytes_delivered,
+                out.events_processed,
+            )
+        };
+        assert_eq!(run(42), run(42), "same seed, same run");
+        assert_ne!(run(42), run(43), "different seed, different workload draws");
+    }
+
+    #[test]
+    fn on_off_workload_reduces_on_time() {
+        let net = dumbbell(1, 10e6, 0.050, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let mut sim = Simulation::new(&net, vec![fixed(40.0)], 11);
+        let out = sim.run(SimDuration::from_secs(60));
+        let on = out.flows[0].on_time_s;
+        assert!(on > 15.0 && on < 45.0, "duty cycle ~50%: on_time={on}");
+        assert!(out.flows[0].throughput_bps > 0.0);
+    }
+
+    #[test]
+    fn parking_lot_multihop_delivery() {
+        let net = crate::topology::parking_lot(
+            10e6,
+            10e6,
+            0.075,
+            QueueSpec::infinite(),
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let mut sim = Simulation::new(&net, vec![fixed(50.0), fixed(50.0), fixed(50.0)], 2);
+        let out = sim.run(SimDuration::from_secs(20));
+        // all three flows deliver
+        for f in &out.flows {
+            assert!(f.bytes_delivered > 0, "flow {} delivered nothing", f.flow);
+        }
+        // flow 0 (two hops) has roughly double the propagation delay
+        assert!(out.flows[0].min_one_way_s > out.flows[1].min_one_way_s * 1.9);
+    }
+
+    #[test]
+    fn trace_records_queue_series() {
+        let net = dumbbell(1, 1e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(&net, vec![fixed(100.0)], 1);
+        sim.enable_trace(vec![LinkId(0)], SimDuration::from_millis(100));
+        sim.run(SimDuration::from_secs(5));
+        let tr = sim.take_trace().unwrap();
+        let series = tr.series_for(LinkId(0)).unwrap();
+        assert!(series.len() >= 40, "expect ~50 samples, got {}", series.len());
+        assert!(tr.peak_packets(LinkId(0)) > 50, "standing queue builds");
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(&net, vec![fixed(1000.0)], 1);
+        sim.set_event_budget(10_000);
+        let out = sim.run(SimDuration::from_secs(1_000));
+        assert!(out.events_processed <= 10_001);
+    }
+
+    #[test]
+    fn zero_window_sends_nothing() {
+        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut sim = Simulation::new(&net, vec![fixed(0.0)], 1);
+        let out = sim.run(SimDuration::from_secs(5));
+        assert_eq!(out.flows[0].bytes_delivered, 0);
+    }
+}

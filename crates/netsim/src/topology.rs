@@ -1,0 +1,267 @@
+//! Network configurations: the topologies of the study.
+//!
+//! A [`NetworkConfig`] lists unidirectional links and the flows routed over
+//! them. Two builders cover every topology the paper uses: the dumbbell
+//! (single bottleneck, Tables 1–4, 6, 7) and the two-bottleneck parking lot
+//! of Fig 5 (Table 5).
+//!
+//! Convention: a link's `delay_s` contributes round-trip `delay_s` to flows
+//! crossing it (one-way forward propagation `delay_s / 2`, matching reverse
+//! ACK propagation `delay_s / 2`). So "one link, 150 ms delay" yields the
+//! paper's 150 ms minimum RTT, and the parking lot's "two links, 75 ms
+//! each" gives Flow 1 a 150 ms RTT.
+
+use crate::queue::QueueSpec;
+use crate::time::SimDuration;
+use crate::workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional link description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub rate_bps: f64,
+    /// Round-trip propagation contribution of this link, in seconds
+    /// (one-way delay is half this value; see module docs).
+    pub delay_s: f64,
+    pub queue: QueueSpec,
+}
+
+impl LinkSpec {
+    pub fn one_way_delay(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.delay_s / 2.0)
+    }
+}
+
+/// A sender/receiver pair and its path.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Indices into [`NetworkConfig::links`], in forward-path order.
+    pub route: Vec<usize>,
+    pub workload: WorkloadSpec,
+}
+
+/// A complete network configuration (topology + workloads). Protocols are
+/// attached separately when the simulation is built, so one config can be
+/// evaluated under many protocol mixes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    pub links: Vec<LinkSpec>,
+    pub flows: Vec<FlowSpec>,
+}
+
+impl NetworkConfig {
+    /// Minimum round-trip time of a flow: forward propagation plus reverse
+    /// ACK-path propagation (no queueing, no serialization).
+    pub fn min_rtt(&self, flow: usize) -> SimDuration {
+        let s: f64 = self.flows[flow]
+            .route
+            .iter()
+            .map(|&l| self.links[l].delay_s)
+            .sum();
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// Minimum one-way (data-path) delay of a flow.
+    pub fn min_one_way(&self, flow: usize) -> SimDuration {
+        self.min_rtt(flow).div_u64(2)
+    }
+
+    /// Reverse-path (ACK) propagation delay of a flow. The reverse path is
+    /// modeled as uncongested pure delay: the paper's topologies place all
+    /// contention on the forward direction.
+    pub fn ack_delay(&self, flow: usize) -> SimDuration {
+        self.min_rtt(flow).div_u64(2)
+    }
+
+    /// The rate of the slowest link on the flow's path (its bottleneck).
+    pub fn bottleneck_rate(&self, flow: usize) -> f64 {
+        self.flows[flow]
+            .route
+            .iter()
+            .map(|&l| self.links[l].rate_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.route.is_empty() {
+                return Err(format!("flow {i} has an empty route"));
+            }
+            for &l in &f.route {
+                if l >= self.links.len() {
+                    return Err(format!("flow {i} routes over unknown link {l}"));
+                }
+            }
+            if f.route.len() > u8::MAX as usize {
+                return Err(format!("flow {i} route too long"));
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if !(l.rate_bps > 0.0) {
+                return Err(format!("link {i} has non-positive rate"));
+            }
+            if l.delay_s < 0.0 {
+                return Err(format!("link {i} has negative delay"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Single-bottleneck dumbbell: `n_senders` flows share one link.
+///
+/// * `rate_bps` — bottleneck rate.
+/// * `min_rtt_s` — minimum round-trip time of every flow.
+/// * `queue` — bottleneck queue discipline.
+/// * `workload` — workload of every sender.
+pub fn dumbbell(
+    n_senders: usize,
+    rate_bps: f64,
+    min_rtt_s: f64,
+    queue: QueueSpec,
+    workload: WorkloadSpec,
+) -> NetworkConfig {
+    NetworkConfig {
+        links: vec![LinkSpec {
+            rate_bps,
+            delay_s: min_rtt_s,
+            queue,
+        }],
+        flows: (0..n_senders)
+            .map(|_| FlowSpec {
+                route: vec![0],
+                workload: workload.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Dumbbell with per-flow workloads (used for mixed sender populations,
+/// e.g. Tao + AIMD cross-traffic in the TCP-awareness experiment).
+pub fn dumbbell_mixed(
+    rate_bps: f64,
+    min_rtt_s: f64,
+    queue: QueueSpec,
+    workloads: Vec<WorkloadSpec>,
+) -> NetworkConfig {
+    NetworkConfig {
+        links: vec![LinkSpec {
+            rate_bps,
+            delay_s: min_rtt_s,
+            queue,
+        }],
+        flows: workloads
+            .into_iter()
+            .map(|w| FlowSpec {
+                route: vec![0],
+                workload: w,
+            })
+            .collect(),
+    }
+}
+
+/// The two-bottleneck "parking lot" of Fig 5.
+///
+/// Flow 0 crosses both links (A→B→C); flow 1 contends on link 1 only; flow 2
+/// on link 2 only. Each link contributes `per_link_delay_s` of round-trip
+/// delay (75 ms each in the paper, so Flow 0 sees a 150 ms RTT).
+pub fn parking_lot(
+    rate1_bps: f64,
+    rate2_bps: f64,
+    per_link_delay_s: f64,
+    queue1: QueueSpec,
+    queue2: QueueSpec,
+    workload: WorkloadSpec,
+) -> NetworkConfig {
+    NetworkConfig {
+        links: vec![
+            LinkSpec {
+                rate_bps: rate1_bps,
+                delay_s: per_link_delay_s,
+                queue: queue1,
+            },
+            LinkSpec {
+                rate_bps: rate2_bps,
+                delay_s: per_link_delay_s,
+                queue: queue2,
+            },
+        ],
+        flows: vec![
+            FlowSpec {
+                route: vec![0, 1],
+                workload: workload.clone(),
+            },
+            FlowSpec {
+                route: vec![0],
+                workload: workload.clone(),
+            },
+            FlowSpec {
+                route: vec![1],
+                workload: workload,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumbbell_rtts() {
+        let net = dumbbell(2, 32e6, 0.150, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        assert_eq!(net.links.len(), 1);
+        assert_eq!(net.flows.len(), 2);
+        assert_eq!(net.min_rtt(0), SimDuration::from_millis(150));
+        assert_eq!(net.min_one_way(0), SimDuration::from_millis(75));
+        assert_eq!(net.ack_delay(1), SimDuration::from_millis(75));
+        assert_eq!(net.bottleneck_rate(0), 32e6);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn parking_lot_structure() {
+        let net = parking_lot(
+            10e6,
+            100e6,
+            0.075,
+            QueueSpec::infinite(),
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
+        net.validate().unwrap();
+        assert_eq!(net.flows[0].route, vec![0, 1]);
+        // Flow 0 crosses both hops: 150 ms RTT as in the paper.
+        assert_eq!(net.min_rtt(0), SimDuration::from_millis(150));
+        assert_eq!(net.min_rtt(1), SimDuration::from_millis(75));
+        assert_eq!(net.min_rtt(2), SimDuration::from_millis(75));
+        // Flow 0's bottleneck is the slower of the two links.
+        assert_eq!(net.bottleneck_rate(0), 10e6);
+        assert_eq!(net.bottleneck_rate(2), 100e6);
+    }
+
+    #[test]
+    fn validation_catches_bad_routes() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.flows[0].route = vec![7];
+        assert!(net.validate().is_err());
+        net.flows[0].route = vec![];
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_links() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.links[0].rate_bps = 0.0;
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn config_serializes() {
+        let net = dumbbell(2, 15e6, 0.150, QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0), WorkloadSpec::on_off_1s());
+        let json = serde_json::to_string(&net).unwrap();
+        let back: NetworkConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+    }
+}

@@ -1,0 +1,516 @@
+//! The sender-side reliability layer and the congestion-control plug-in
+//! interface.
+//!
+//! The paper separates *what to send when* (reliability: sequencing,
+//! retransmission, timeouts — common to every protocol) from *how much and
+//! how fast* (congestion control: the window/pacing decisions that differ
+//! between Tao, NewReno and Cubic). [`Transport`] implements the former;
+//! the [`CongestionControl`] trait is the plug-in point for the latter.
+//!
+//! Loss detection follows SACK-style reordering: a packet is declared lost
+//! once three transmissions sent after it have been acknowledged. RTO uses
+//! the standard `srtt + 4·rttvar` estimator with exponential backoff.
+
+use crate::packet::{Ack, FlowId, Packet, DATA_PACKET_BYTES};
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Packets sent after a given packet that must be acked before that packet
+/// is declared lost (the classic dupack threshold).
+pub const REORDER_THRESHOLD: u64 = 3;
+
+/// Lower bound on the retransmission timer.
+pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Initial RTO before the first RTT sample (RFC 6298 uses 1 s).
+pub const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+
+/// Upper bound on the backed-off RTO.
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(60);
+
+/// Context passed to [`CongestionControl::on_ack`] alongside the ACK itself.
+#[derive(Clone, Copy, Debug)]
+pub struct AckInfo {
+    /// RTT sample from the echoed sender timestamp (Karn-filtered: absent
+    /// for acks of retransmissions).
+    pub rtt: Option<SimDuration>,
+    /// Smallest RTT observed so far this epoch.
+    pub min_rtt: SimDuration,
+    /// Packets still outstanding after this ack was processed.
+    pub in_flight: usize,
+}
+
+/// A congestion-control algorithm: decides the window (cap on packets in
+/// flight) and a minimum pacing interval between transmissions.
+///
+/// Implementations are event-driven, mirroring the paper's §3.5: the
+/// reliability layer calls `on_ack` for every acknowledgment, `on_loss`
+/// when the reordering detector declares a packet lost, and `on_timeout`
+/// when the RTO fires.
+pub trait CongestionControl: Send {
+    /// Start of a new flow epoch (the workload turned ON): clear all state,
+    /// as Remy's senders do between bursts.
+    fn reset(&mut self, now: SimTime);
+
+    fn on_ack(&mut self, now: SimTime, ack: &Ack, info: &AckInfo);
+
+    /// A packet was declared lost via reordering. May be called several
+    /// times per window; implementations enforce their own once-per-RTT
+    /// reaction if desired.
+    fn on_loss(&mut self, now: SimTime);
+
+    /// The retransmission timer expired with data outstanding.
+    fn on_timeout(&mut self, now: SimTime);
+
+    /// Current congestion window in packets. The transport sends while
+    /// `in_flight < floor(window)`.
+    fn window(&self) -> f64;
+
+    /// Minimum interval between transmissions (τ in the paper's action
+    /// triple). `SimDuration::ZERO` disables pacing.
+    fn intersend(&self) -> SimDuration;
+
+    fn name(&self) -> String;
+
+    /// Downcast hook: protocols that expose post-run state (e.g. the Tao
+    /// executor's whisker usage counts, which the optimizer reads back)
+    /// override this to return `self`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Outstanding {
+    tx_index: u64,
+    sent_at: SimTime,
+}
+
+/// Sender-side reliability state for one flow.
+#[derive(Debug)]
+pub struct Transport {
+    flow: FlowId,
+    epoch: u32,
+    next_seq: u64,
+    next_tx_index: u64,
+    /// In-flight packets keyed by sequence number.
+    outstanding: BTreeMap<u64, Outstanding>,
+    /// In-flight packets keyed by transmission index (loss detector order).
+    by_tx_index: BTreeMap<u64, u64>,
+    /// Sequences awaiting retransmission.
+    retx_queue: VecDeque<u64>,
+    highest_acked_tx_index: Option<u64>,
+    /// RTT estimation (RFC 6298).
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: Option<SimDuration>,
+    /// Exponential RTO backoff multiplier (resets on a valid ack).
+    backoff: u32,
+    /// Generation counter invalidating stale RTO events.
+    rto_gen: u64,
+}
+
+/// Result of processing one acknowledgment.
+#[derive(Debug)]
+pub struct AckOutcome {
+    /// Whether the ack matched an outstanding packet of the current epoch.
+    pub valid: bool,
+    pub info: Option<AckInfo>,
+    /// Packets declared lost by the reordering detector (now queued for
+    /// retransmission).
+    pub newly_lost: Vec<u64>,
+}
+
+impl Transport {
+    pub fn new(flow: FlowId) -> Self {
+        Transport {
+            flow,
+            epoch: 0,
+            next_seq: 0,
+            next_tx_index: 0,
+            outstanding: BTreeMap::new(),
+            by_tx_index: BTreeMap::new(),
+            retx_queue: VecDeque::new(),
+            highest_acked_tx_index: None,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: None,
+            backoff: 0,
+            rto_gen: 0,
+        }
+    }
+
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    pub fn has_retx_pending(&self) -> bool {
+        !self.retx_queue.is_empty()
+    }
+
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    pub fn rto_gen(&self) -> u64 {
+        self.rto_gen
+    }
+
+    /// Begin a new epoch (workload turned ON): abandon all in-flight state.
+    pub fn start_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.next_seq = 0;
+        self.next_tx_index = 0;
+        self.outstanding.clear();
+        self.by_tx_index.clear();
+        self.retx_queue.clear();
+        self.highest_acked_tx_index = None;
+        self.srtt = None;
+        self.rttvar = SimDuration::ZERO;
+        self.min_rtt = None;
+        self.backoff = 0;
+        self.rto_gen += 1;
+        self.epoch
+    }
+
+    /// Abandon in-flight state without starting a new epoch (workload
+    /// turned OFF).
+    pub fn abort(&mut self) {
+        self.outstanding.clear();
+        self.by_tx_index.clear();
+        self.retx_queue.clear();
+        self.rto_gen += 1;
+    }
+
+    /// Produce the next packet to transmit (retransmissions first), or
+    /// `None` if sending must be limited by the window.
+    pub fn produce(&mut self, now: SimTime, window: usize) -> Option<Packet> {
+        if self.outstanding.len() >= window {
+            return None;
+        }
+        let (seq, is_retx) = match self.retx_queue.pop_front() {
+            Some(s) => (s, true),
+            None => {
+                let s = self.next_seq;
+                self.next_seq += 1;
+                (s, false)
+            }
+        };
+        let tx_index = self.next_tx_index;
+        self.next_tx_index += 1;
+        self.outstanding.insert(
+            seq,
+            Outstanding {
+                tx_index,
+                sent_at: now,
+            },
+        );
+        self.by_tx_index.insert(tx_index, seq);
+        Some(Packet {
+            flow: self.flow,
+            seq,
+            epoch: self.epoch,
+            size: DATA_PACKET_BYTES,
+            sent_at: now,
+            tx_index,
+            is_retx,
+            hop: 0,
+        })
+    }
+
+    /// Process an acknowledgment: RTT estimation, removal from the
+    /// in-flight set, and reordering-based loss detection.
+    pub fn on_ack(&mut self, now: SimTime, ack: &Ack) -> AckOutcome {
+        if ack.epoch != self.epoch {
+            return AckOutcome {
+                valid: false,
+                info: None,
+                newly_lost: Vec::new(),
+            };
+        }
+        let Some(out) = self.outstanding.remove(&ack.seq) else {
+            // Duplicate or ack of an already-retransmitted packet.
+            return AckOutcome {
+                valid: false,
+                info: None,
+                newly_lost: Vec::new(),
+            };
+        };
+        self.by_tx_index.remove(&out.tx_index);
+        self.backoff = 0;
+
+        // Karn's rule: only un-ambiguous samples update the estimators.
+        let rtt = if ack.was_retx {
+            None
+        } else {
+            let sample = now - ack.echo_sent_at;
+            self.update_rtt(sample);
+            Some(sample)
+        };
+
+        let acked_tx = ack.echo_tx_index;
+        self.highest_acked_tx_index = Some(
+            self.highest_acked_tx_index
+                .map_or(acked_tx, |h| h.max(acked_tx)),
+        );
+
+        // Reordering loss detection: everything sent REORDER_THRESHOLD
+        // transmissions before the newest ack is presumed lost.
+        let mut newly_lost = Vec::new();
+        if let Some(h) = self.highest_acked_tx_index {
+            if h >= REORDER_THRESHOLD {
+                let cutoff = h - REORDER_THRESHOLD;
+                let lost_tx: Vec<u64> = self
+                    .by_tx_index
+                    .range(..=cutoff)
+                    .map(|(&tx, _)| tx)
+                    .collect();
+                for tx in lost_tx {
+                    let seq = self.by_tx_index.remove(&tx).expect("indexed");
+                    self.outstanding.remove(&seq);
+                    self.retx_queue.push_back(seq);
+                    newly_lost.push(seq);
+                }
+            }
+        }
+
+        let info = AckInfo {
+            rtt,
+            min_rtt: self.min_rtt.unwrap_or(SimDuration::ZERO),
+            in_flight: self.outstanding.len(),
+        };
+        AckOutcome {
+            valid: true,
+            info: Some(info),
+            newly_lost,
+        }
+    }
+
+    fn update_rtt(&mut self, sample: SimDuration) {
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(sample),
+            None => sample,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample.div_u64(2);
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - sample|
+                let err = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
+                self.rttvar = self.rttvar.mul_f64(0.75) + err.mul_f64(0.25);
+                self.srtt = Some(srtt.mul_f64(0.875) + sample.mul_f64(0.125));
+            }
+        }
+    }
+
+    /// Current retransmission timeout with backoff applied.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            Some(srtt) => {
+                let candidate = srtt + self.rttvar.mul_f64(4.0);
+                candidate.max(MIN_RTO)
+            }
+            None => INITIAL_RTO,
+        };
+        let backed = base.mul_f64((1u64 << self.backoff.min(8)) as f64);
+        backed.min(MAX_RTO)
+    }
+
+    /// Handle an expired retransmission timer: every outstanding packet is
+    /// queued for retransmission (go-back-N) and the RTO backs off.
+    /// Returns the number of packets queued.
+    pub fn on_timeout(&mut self) -> usize {
+        let n = self.outstanding.len();
+        // Re-queue in sequence order for in-order recovery.
+        let seqs: Vec<u64> = self.outstanding.keys().copied().collect();
+        for seq in seqs {
+            let out = self.outstanding.remove(&seq).expect("present");
+            self.by_tx_index.remove(&out.tx_index);
+            self.retx_queue.push_back(seq);
+        }
+        self.backoff = (self.backoff + 1).min(16);
+        self.rto_gen += 1;
+        n
+    }
+
+    /// Bump the RTO generation (invalidates scheduled RtoCheck events).
+    pub fn bump_rto_gen(&mut self) -> u64 {
+        self.rto_gen += 1;
+        self.rto_gen
+    }
+
+    /// Oldest outstanding transmission time (None when idle); the RTO
+    /// deadline is measured from here.
+    pub fn oldest_outstanding_at(&self) -> Option<SimTime> {
+        self.outstanding.values().map(|o| o.sent_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_for(pkt: &Packet, now: SimTime) -> Ack {
+        Ack {
+            flow: pkt.flow,
+            seq: pkt.seq,
+            epoch: pkt.epoch,
+            echo_sent_at: pkt.sent_at,
+            echo_tx_index: pkt.tx_index,
+            recv_at: now,
+            was_retx: pkt.is_retx,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn window_limits_production() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        assert!(tr.produce(t(0), 2).is_some());
+        assert!(tr.produce(t(0), 2).is_some());
+        assert!(tr.produce(t(0), 2).is_none(), "window of 2 is full");
+        assert_eq!(tr.in_flight(), 2);
+    }
+
+    #[test]
+    fn ack_frees_window_and_updates_rtt() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let p = tr.produce(t(0), 10).unwrap();
+        let out = tr.on_ack(t(150), &ack_for(&p, t(75)));
+        assert!(out.valid);
+        let info = out.info.unwrap();
+        assert_eq!(info.rtt, Some(SimDuration::from_millis(150)));
+        assert_eq!(info.min_rtt, SimDuration::from_millis(150));
+        assert_eq!(info.in_flight, 0);
+        assert!(out.newly_lost.is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_acks_rejected() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let p = tr.produce(t(0), 10).unwrap();
+        tr.start_epoch(); // workload cycled
+        let out = tr.on_ack(t(10), &ack_for(&p, t(5)));
+        assert!(!out.valid);
+    }
+
+    #[test]
+    fn duplicate_acks_rejected() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let p = tr.produce(t(0), 10).unwrap();
+        assert!(tr.on_ack(t(150), &ack_for(&p, t(75))).valid);
+        assert!(!tr.on_ack(t(151), &ack_for(&p, t(75))).valid);
+    }
+
+    #[test]
+    fn reordering_loss_detection() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let pkts: Vec<Packet> = (0..6).map(|_| tr.produce(t(0), 10).unwrap()).collect();
+        // Packet 0 is "lost": ack packets 1..=3. After ack of tx_index 3,
+        // packet 0 (tx_index 0) has 3 later acks -> lost.
+        assert!(tr.on_ack(t(150), &ack_for(&pkts[1], t(75))).newly_lost.is_empty());
+        assert!(tr.on_ack(t(151), &ack_for(&pkts[2], t(75))).newly_lost.is_empty());
+        let out = tr.on_ack(t(152), &ack_for(&pkts[3], t(75)));
+        assert_eq!(out.newly_lost, vec![0], "seq 0 declared lost");
+        assert!(tr.has_retx_pending());
+        // The retransmission goes out first and carries is_retx.
+        let r = tr.produce(t(200), 10).unwrap();
+        assert_eq!(r.seq, 0);
+        assert!(r.is_retx);
+    }
+
+    #[test]
+    fn karn_rule_ignores_retx_rtt() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let pkts: Vec<Packet> = (0..5).map(|_| tr.produce(t(0), 10).unwrap()).collect();
+        for i in 1..=3 {
+            tr.on_ack(t(150 + i), &ack_for(&pkts[i as usize], t(75)));
+        }
+        let r = tr.produce(t(200), 10).unwrap();
+        assert!(r.is_retx);
+        let out = tr.on_ack(t(900), &ack_for(&r, t(850)));
+        assert!(out.valid);
+        assert_eq!(out.info.unwrap().rtt, None, "retx ack gives no RTT sample");
+    }
+
+    #[test]
+    fn timeout_requeues_everything_and_backs_off() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        for _ in 0..4 {
+            tr.produce(t(0), 10);
+        }
+        let rto_before = tr.rto();
+        assert_eq!(rto_before, INITIAL_RTO);
+        let n = tr.on_timeout();
+        assert_eq!(n, 4);
+        assert_eq!(tr.in_flight(), 0);
+        assert!(tr.rto() > rto_before, "exponential backoff");
+        // All four retransmit in order.
+        for want in 0..4 {
+            let p = tr.produce(t(1000), 10).unwrap();
+            assert_eq!(p.seq, want);
+            assert!(p.is_retx);
+        }
+    }
+
+    #[test]
+    fn rto_tracks_srtt() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        // feed a stream of 100 ms RTT samples
+        for _ in 0..20 {
+            let p = tr.produce(t(0), 100).unwrap();
+            tr.on_ack(p.sent_at + SimDuration::from_millis(100), &ack_for(&p, t(50)));
+        }
+        let rto = tr.rto();
+        // srtt -> 100 ms, rttvar -> small; RTO clamps at MIN_RTO = 200 ms.
+        assert!(rto >= MIN_RTO);
+        assert!(rto < SimDuration::from_millis(400), "rto={rto:?}");
+    }
+
+    #[test]
+    fn abort_clears_in_flight() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        tr.produce(t(0), 10);
+        tr.produce(t(0), 10);
+        tr.abort();
+        assert_eq!(tr.in_flight(), 0);
+        assert!(!tr.has_retx_pending());
+    }
+
+    #[test]
+    fn min_rtt_is_monotone_decreasing() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let p1 = tr.produce(t(0), 10).unwrap();
+        tr.on_ack(t(200), &ack_for(&p1, t(100)));
+        assert_eq!(tr.min_rtt(), Some(SimDuration::from_millis(200)));
+        let p2 = tr.produce(t(300), 10).unwrap();
+        tr.on_ack(t(450), &ack_for(&p2, t(400)));
+        assert_eq!(tr.min_rtt(), Some(SimDuration::from_millis(150)));
+        let p3 = tr.produce(t(500), 10).unwrap();
+        tr.on_ack(t(800), &ack_for(&p3, t(700)));
+        assert_eq!(tr.min_rtt(), Some(SimDuration::from_millis(150)), "does not increase");
+    }
+}

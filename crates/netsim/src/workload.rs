@@ -1,0 +1,198 @@
+//! Application workload models.
+//!
+//! The paper's workload (§3.1, item 3) is an ON/OFF process: a sender is
+//! "on" for an exponentially distributed duration, then "off" for another
+//! exponential duration. Fig 8 additionally uses a deterministic schedule
+//! (TCP cross-traffic switching on at exactly t = 5 s and off at t = 10 s).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Declarative workload configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Sender always has offered load.
+    AlwaysOn,
+    /// Exponential ON/OFF process with the given mean durations (seconds).
+    /// The process starts OFF and draws its first ON arrival from the OFF
+    /// distribution, so contending senders come up at staggered times.
+    OnOff { mean_on_s: f64, mean_off_s: f64 },
+    /// Deterministic state switchpoints: `(time_s, on)` pairs, sorted by
+    /// time. State before the first switchpoint is OFF.
+    Schedule(Vec<(f64, bool)>),
+}
+
+impl WorkloadSpec {
+    /// The paper's most common workload: mean 1 s on, 1 s off.
+    pub fn on_off_1s() -> Self {
+        WorkloadSpec::OnOff {
+            mean_on_s: 1.0,
+            mean_off_s: 1.0,
+        }
+    }
+
+    /// The near-continuous load of the TCP-awareness experiment
+    /// (5 s ON, 10 ms OFF).
+    pub fn almost_continuous() -> Self {
+        WorkloadSpec::OnOff {
+            mean_on_s: 5.0,
+            mean_off_s: 0.010,
+        }
+    }
+
+    /// Fig 8's contrived cross-traffic: ON exactly during `[on_s, off_s)`.
+    pub fn pulse(on_s: f64, off_s: f64) -> Self {
+        WorkloadSpec::Schedule(vec![(on_s, true), (off_s, false)])
+    }
+}
+
+/// Runtime state of a workload process.
+#[derive(Debug)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    on: bool,
+    /// Remaining schedule entries (for `Schedule` specs).
+    schedule: Vec<(SimTime, bool)>,
+    schedule_pos: usize,
+}
+
+impl Workload {
+    pub fn new(spec: WorkloadSpec) -> Self {
+        let (on, schedule) = match &spec {
+            WorkloadSpec::AlwaysOn => (true, Vec::new()),
+            WorkloadSpec::OnOff { .. } => (false, Vec::new()),
+            WorkloadSpec::Schedule(points) => {
+                let sched: Vec<(SimTime, bool)> = points
+                    .iter()
+                    .map(|&(s, on)| (SimTime::from_secs_f64(s), on))
+                    .collect();
+                debug_assert!(
+                    sched.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "schedule must be time-sorted"
+                );
+                (false, sched)
+            }
+        };
+        Workload {
+            spec,
+            on,
+            schedule,
+            schedule_pos: 0,
+        }
+    }
+
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Time of the first toggle after simulation start, if any.
+    pub fn first_toggle(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        match &self.spec {
+            WorkloadSpec::AlwaysOn => None,
+            WorkloadSpec::OnOff { mean_off_s, .. } => {
+                Some(SimTime::ZERO + rng.exp_duration(SimDuration::from_secs_f64(*mean_off_s)))
+            }
+            WorkloadSpec::Schedule(_) => self.schedule.first().map(|&(t, _)| t),
+        }
+    }
+
+    /// Apply a toggle at time `now`; returns the new state and the time of
+    /// the next toggle (if any).
+    pub fn toggle(&mut self, now: SimTime, rng: &mut SimRng) -> (bool, Option<SimTime>) {
+        match &self.spec {
+            WorkloadSpec::AlwaysOn => (true, None),
+            WorkloadSpec::OnOff {
+                mean_on_s,
+                mean_off_s,
+            } => {
+                self.on = !self.on;
+                let mean = if self.on {
+                    SimDuration::from_secs_f64(*mean_on_s)
+                } else {
+                    SimDuration::from_secs_f64(*mean_off_s)
+                };
+                let mut dwell = rng.exp_duration(mean);
+                // Zero-length dwell times would schedule a same-instant
+                // re-toggle; clamp to 1 us to keep the event loop sane.
+                if dwell.is_zero() {
+                    dwell = SimDuration::from_micros(1);
+                }
+                (self.on, Some(now + dwell))
+            }
+            WorkloadSpec::Schedule(_) => {
+                if self.schedule_pos < self.schedule.len() {
+                    self.on = self.schedule[self.schedule_pos].1;
+                    self.schedule_pos += 1;
+                }
+                let next = self.schedule.get(self.schedule_pos).map(|&(t, _)| t);
+                (self.on, next)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_never_toggles() {
+        let mut w = Workload::new(WorkloadSpec::AlwaysOn);
+        let mut rng = SimRng::from_seed(1);
+        assert!(w.is_on());
+        assert_eq!(w.first_toggle(&mut rng), None);
+    }
+
+    #[test]
+    fn on_off_alternates() {
+        let mut w = Workload::new(WorkloadSpec::on_off_1s());
+        let mut rng = SimRng::from_seed(2);
+        assert!(!w.is_on(), "starts off");
+        let t0 = w.first_toggle(&mut rng).unwrap();
+        let (on, next) = w.toggle(t0, &mut rng);
+        assert!(on, "first toggle turns on");
+        let t1 = next.unwrap();
+        assert!(t1 > t0);
+        let (on, next) = w.toggle(t1, &mut rng);
+        assert!(!on, "second toggle turns off");
+        assert!(next.unwrap() > t1);
+    }
+
+    #[test]
+    fn on_off_duty_cycle_statistics() {
+        // mean 1s on / 1s off: fraction of time on should approach 1/2
+        let mut w = Workload::new(WorkloadSpec::on_off_1s());
+        let mut rng = SimRng::from_seed(3);
+        let mut now = w.first_toggle(&mut rng).unwrap();
+        let mut on_time = 0.0;
+        let mut last = now;
+        let mut state = false;
+        for _ in 0..20_000 {
+            let (on, next) = w.toggle(now, &mut rng);
+            if state {
+                on_time += (now - last).as_secs_f64();
+            }
+            last = now;
+            state = on;
+            now = next.unwrap();
+        }
+        let frac = on_time / last.as_secs_f64();
+        assert!((frac - 0.5).abs() < 0.03, "duty cycle {frac} != 0.5");
+    }
+
+    #[test]
+    fn pulse_schedule() {
+        let mut w = Workload::new(WorkloadSpec::pulse(5.0, 10.0));
+        let mut rng = SimRng::from_seed(4);
+        assert!(!w.is_on());
+        let t0 = w.first_toggle(&mut rng).unwrap();
+        assert_eq!(t0, SimTime::from_secs_f64(5.0));
+        let (on, next) = w.toggle(t0, &mut rng);
+        assert!(on);
+        assert_eq!(next, Some(SimTime::from_secs_f64(10.0)));
+        let (on, next) = w.toggle(next.unwrap(), &mut rng);
+        assert!(!on);
+        assert_eq!(next, None);
+    }
+}

@@ -1,0 +1,204 @@
+//! Congestion-response actions (§3.5 of the paper).
+//!
+//! An action is the triple applied on every acknowledgment:
+//!
+//! * `window_multiple` *m* — multiplier to the congestion window,
+//! * `window_increment` *b* — additive increment (packets, may be negative),
+//! * `intersend_ms` *τ* — lower bound on the pacing interval.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bounds of the action space searched by the optimizer.
+pub const MIN_WINDOW_MULTIPLE: f64 = 0.0;
+pub const MAX_WINDOW_MULTIPLE: f64 = 2.0;
+pub const MIN_WINDOW_INCREMENT: f64 = -32.0;
+pub const MAX_WINDOW_INCREMENT: f64 = 32.0;
+pub const MIN_INTERSEND_MS: f64 = 0.002;
+pub const MAX_INTERSEND_MS: f64 = 1000.0;
+
+/// A congestion-response action.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Multiplier m applied to the congestion window on each ack.
+    pub window_multiple: f64,
+    /// Increment b added to the congestion window on each ack.
+    pub window_increment: f64,
+    /// Minimum pacing interval τ between transmissions, milliseconds.
+    pub intersend_ms: f64,
+}
+
+impl Default for Action {
+    /// The optimizer's starting point: grow by one packet per ack (slow-
+    /// start-like doubling) with light pacing.
+    fn default() -> Self {
+        Action {
+            window_multiple: 1.0,
+            window_increment: 1.0,
+            intersend_ms: 0.25,
+        }
+    }
+}
+
+impl Action {
+    pub fn new(window_multiple: f64, window_increment: f64, intersend_ms: f64) -> Self {
+        Action {
+            window_multiple,
+            window_increment,
+            intersend_ms,
+        }
+        .clamped()
+    }
+
+    /// Clamp into the legal action space.
+    pub fn clamped(mut self) -> Self {
+        self.window_multiple = self
+            .window_multiple
+            .clamp(MIN_WINDOW_MULTIPLE, MAX_WINDOW_MULTIPLE);
+        self.window_increment = self
+            .window_increment
+            .clamp(MIN_WINDOW_INCREMENT, MAX_WINDOW_INCREMENT);
+        self.intersend_ms = self.intersend_ms.clamp(MIN_INTERSEND_MS, MAX_INTERSEND_MS);
+        self
+    }
+
+    pub fn is_within_bounds(&self) -> bool {
+        (MIN_WINDOW_MULTIPLE..=MAX_WINDOW_MULTIPLE).contains(&self.window_multiple)
+            && (MIN_WINDOW_INCREMENT..=MAX_WINDOW_INCREMENT).contains(&self.window_increment)
+            && (MIN_INTERSEND_MS..=MAX_INTERSEND_MS).contains(&self.intersend_ms)
+    }
+
+    /// Candidate single-coordinate modifications at a given step scale, for
+    /// the optimizer's hill-climb. Remy explores increments additively,
+    /// multiples additively in small steps, and intersend geometrically.
+    pub fn neighbors(&self, scale: f64) -> Vec<Action> {
+        let mut out = Vec::with_capacity(6);
+        let m_step = 0.01 * scale;
+        let b_step = 1.0 * scale;
+        let tau_factor = 1.0 + 0.08 * scale;
+        out.push(Action::new(
+            self.window_multiple + m_step,
+            self.window_increment,
+            self.intersend_ms,
+        ));
+        out.push(Action::new(
+            self.window_multiple - m_step,
+            self.window_increment,
+            self.intersend_ms,
+        ));
+        out.push(Action::new(
+            self.window_multiple,
+            self.window_increment + b_step,
+            self.intersend_ms,
+        ));
+        out.push(Action::new(
+            self.window_multiple,
+            self.window_increment - b_step,
+            self.intersend_ms,
+        ));
+        out.push(Action::new(
+            self.window_multiple,
+            self.window_increment,
+            self.intersend_ms * tau_factor,
+        ));
+        out.push(Action::new(
+            self.window_multiple,
+            self.window_increment,
+            self.intersend_ms / tau_factor,
+        ));
+        out.retain(|a| a != self);
+        out.dedup_by(|a, b| a == b);
+        out
+    }
+
+    /// Apply the action to a congestion window.
+    pub fn apply_to_window(&self, cwnd: f64) -> f64 {
+        (self.window_multiple * cwnd + self.window_increment).clamp(1.0, 1e6)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(m={:.3}, b={:+.2}, τ={:.3}ms)",
+            self.window_multiple, self.window_increment, self.intersend_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_bounds() {
+        assert!(Action::default().is_within_bounds());
+    }
+
+    #[test]
+    fn clamping() {
+        let a = Action::new(5.0, -100.0, 1e9);
+        assert_eq!(a.window_multiple, MAX_WINDOW_MULTIPLE);
+        assert_eq!(a.window_increment, MIN_WINDOW_INCREMENT);
+        assert_eq!(a.intersend_ms, MAX_INTERSEND_MS);
+        assert!(a.is_within_bounds());
+    }
+
+    #[test]
+    fn apply_to_window_clamps_low() {
+        let a = Action::new(0.0, -10.0, 1.0);
+        assert_eq!(a.apply_to_window(100.0), 1.0, "window floor is 1 packet");
+        let grow = Action::new(1.0, 1.0, 1.0);
+        assert_eq!(grow.apply_to_window(10.0), 11.0);
+        let halve = Action::new(0.5, 0.0, 1.0);
+        assert_eq!(halve.apply_to_window(10.0), 5.0);
+    }
+
+    #[test]
+    fn neighbors_move_one_coordinate() {
+        let a = Action::default();
+        let n = a.neighbors(1.0);
+        assert_eq!(n.len(), 6);
+        for cand in &n {
+            assert!(cand.is_within_bounds());
+            let diffs = [
+                (cand.window_multiple - a.window_multiple).abs() > 1e-12,
+                (cand.window_increment - a.window_increment).abs() > 1e-12,
+                (cand.intersend_ms - a.intersend_ms).abs() > 1e-12,
+            ];
+            assert_eq!(
+                diffs.iter().filter(|&&d| d).count(),
+                1,
+                "exactly one coordinate changes: {cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_at_boundary_drop_clamped_duplicates() {
+        // At the multiplicative floor, the "decrease m" neighbor clamps
+        // back onto the current action and must be filtered out.
+        let a = Action::new(0.0, 0.0, 1.0);
+        let n = a.neighbors(1.0);
+        assert!(n.iter().all(|c| c != &a));
+    }
+
+    #[test]
+    fn neighbor_scale_grows_steps() {
+        let a = Action::default();
+        let near = a.neighbors(1.0);
+        let far = a.neighbors(4.0);
+        let d_near = (near[0].window_multiple - a.window_multiple).abs();
+        let d_far = (far[0].window_multiple - a.window_multiple).abs();
+        assert!(d_far > d_near * 3.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Action::new(0.87, -2.5, 3.2);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Action = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

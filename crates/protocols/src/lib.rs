@@ -1,0 +1,37 @@
+//! # protocols — congestion-control algorithms for the learnability study
+//!
+//! Implementations of every end-to-end protocol the paper evaluates:
+//!
+//! * [`tao::TaoCc`] — the executor for Remy-designed "tractable attempt at
+//!   optimal" protocols: a 4-signal congestion [`memory::Memory`] driving a
+//!   piecewise-constant [`whisker::WhiskerTree`] of window/pacing
+//!   [`action::Action`]s (§3.3–3.5 of the paper).
+//! * [`newreno::NewReno`] — AIMD / TCP NewReno, also the model of
+//!   incumbent TCP cross-traffic in the TCP-awareness experiments (§4.5).
+//! * [`cubic::Cubic`] — TCP Cubic per RFC 8312, the paper's main
+//!   human-designed baseline.
+//! * [`vegas::Vegas`] — the delay-based protocol §4.5 cites as the
+//!   canonical "squeezed out by TCP" cautionary tale.
+//! * [`const_window::ConstWindow`] — fixed window/pacing, for calibration
+//!   and tests.
+//!
+//! All protocols implement [`netsim::transport::CongestionControl`] and
+//! plug into the simulator's reliability layer.
+
+pub mod action;
+pub mod const_window;
+pub mod cubic;
+pub mod memory;
+pub mod newreno;
+pub mod tao;
+pub mod vegas;
+pub mod whisker;
+
+pub use action::Action;
+pub use const_window::ConstWindow;
+pub use cubic::Cubic;
+pub use memory::{Memory, MemoryPoint, Signal, SignalMask, NUM_SIGNALS};
+pub use newreno::NewReno;
+pub use tao::TaoCc;
+pub use vegas::Vegas;
+pub use whisker::{LeafId, MemoryRange, Whisker, WhiskerTree};

@@ -1,0 +1,496 @@
+//! Whisker trees: piecewise-constant mappings from congestion memory to
+//! actions.
+//!
+//! Remy "assumes a piecewise-constant mapping, and searches for the mapping
+//! that maximizes the average value of the objective function" (§3.3). The
+//! memory space is recursively partitioned into axis-aligned boxes
+//! ("whiskers"), each holding one [`Action`]. The executor looks up the
+//! whisker containing the current memory point; the optimizer refines the
+//! mapping by improving whisker actions and splitting heavily-used
+//! whiskers.
+
+use crate::action::Action;
+use crate::memory::{MemoryPoint, NUM_SIGNALS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Upper bound of the representable memory space per signal
+/// (EWMAs in milliseconds; RTT ratio dimensionless).
+pub const SIGNAL_MAX: MemoryPoint = [4000.0, 4000.0, 4000.0, 64.0];
+
+/// An axis-aligned half-open box `[lower, upper)` in memory space.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRange {
+    pub lower: MemoryPoint,
+    pub upper: MemoryPoint,
+}
+
+impl MemoryRange {
+    /// The whole representable memory space.
+    pub fn whole() -> Self {
+        MemoryRange {
+            lower: [0.0; NUM_SIGNALS],
+            upper: SIGNAL_MAX,
+        }
+    }
+
+    pub fn contains(&self, p: &MemoryPoint) -> bool {
+        (0..NUM_SIGNALS).all(|i| p[i] >= self.lower[i] && p[i] < self.upper[i])
+    }
+
+    /// Clamp a raw memory point into the representable space (the EWMAs
+    /// are unbounded in principle; the tree maps everything beyond
+    /// `SIGNAL_MAX` to the outermost whisker).
+    pub fn clamp_point(p: &MemoryPoint) -> MemoryPoint {
+        let mut q = *p;
+        for i in 0..NUM_SIGNALS {
+            q[i] = q[i].clamp(0.0, SIGNAL_MAX[i] * (1.0 - 1e-12));
+        }
+        q
+    }
+
+    pub fn midpoint(&self, dim: usize) -> f64 {
+        (self.lower[dim] + self.upper[dim]) / 2.0
+    }
+
+    pub fn width(&self, dim: usize) -> f64 {
+        self.upper[dim] - self.lower[dim]
+    }
+}
+
+/// A leaf of the tree: one box and its action, plus usage statistics the
+/// optimizer reads (how often the whisker fired, and the mean memory point
+/// observed inside it, used as the split point).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Whisker {
+    pub domain: MemoryRange,
+    pub action: Action,
+    #[serde(default)]
+    pub use_count: u64,
+    #[serde(default)]
+    pub obs_sum: MemoryPoint,
+}
+
+impl Whisker {
+    pub fn new(domain: MemoryRange, action: Action) -> Self {
+        Whisker {
+            domain,
+            action,
+            use_count: 0,
+            obs_sum: [0.0; NUM_SIGNALS],
+        }
+    }
+
+    fn observe(&mut self, p: &MemoryPoint) {
+        self.use_count += 1;
+        for i in 0..NUM_SIGNALS {
+            self.obs_sum[i] += p[i];
+        }
+    }
+
+    /// Mean observed memory point (None if never used).
+    pub fn mean_observation(&self) -> Option<MemoryPoint> {
+        if self.use_count == 0 {
+            return None;
+        }
+        let mut m = self.obs_sum;
+        for v in &mut m {
+            *v /= self.use_count as f64;
+        }
+        Some(m)
+    }
+}
+
+/// Identifies a leaf by its position in an in-order traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeafId(pub usize);
+
+/// The piecewise-constant memory→action mapping.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WhiskerTree {
+    Leaf(Whisker),
+    Node {
+        dim: usize,
+        split_at: f64,
+        below: Box<WhiskerTree>,
+        above: Box<WhiskerTree>,
+    },
+}
+
+impl WhiskerTree {
+    /// A single whisker covering all of memory space with the default
+    /// action — Remy's initialization.
+    pub fn default_tree() -> Self {
+        WhiskerTree::Leaf(Whisker::new(MemoryRange::whole(), Action::default()))
+    }
+
+    /// Single whisker with a given action (tests, hand-built protocols).
+    pub fn uniform(action: Action) -> Self {
+        WhiskerTree::Leaf(Whisker::new(MemoryRange::whole(), action))
+    }
+
+    /// Look up the action for a memory point without recording usage.
+    pub fn action_for(&self, point: &MemoryPoint) -> Action {
+        let p = MemoryRange::clamp_point(point);
+        self.leaf_for(&p).action
+    }
+
+    /// Look up and record usage (executor path).
+    pub fn use_action_for(&mut self, point: &MemoryPoint) -> Action {
+        let p = MemoryRange::clamp_point(point);
+        let w = self.leaf_for_mut(&p);
+        w.observe(&p);
+        w.action
+    }
+
+    fn leaf_for(&self, p: &MemoryPoint) -> &Whisker {
+        match self {
+            WhiskerTree::Leaf(w) => w,
+            WhiskerTree::Node {
+                dim,
+                split_at,
+                below,
+                above,
+            } => {
+                if p[*dim] < *split_at {
+                    below.leaf_for(p)
+                } else {
+                    above.leaf_for(p)
+                }
+            }
+        }
+    }
+
+    fn leaf_for_mut(&mut self, p: &MemoryPoint) -> &mut Whisker {
+        match self {
+            WhiskerTree::Leaf(w) => w,
+            WhiskerTree::Node {
+                dim,
+                split_at,
+                below,
+                above,
+            } => {
+                if p[*dim] < *split_at {
+                    below.leaf_for_mut(p)
+                } else {
+                    above.leaf_for_mut(p)
+                }
+            }
+        }
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            WhiskerTree::Leaf(_) => 1,
+            WhiskerTree::Node { below, above, .. } => below.num_leaves() + above.num_leaves(),
+        }
+    }
+
+    /// In-order list of leaves.
+    pub fn leaves(&self) -> Vec<&Whisker> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Whisker>) {
+        match self {
+            WhiskerTree::Leaf(w) => out.push(w),
+            WhiskerTree::Node { below, above, .. } => {
+                below.collect_leaves(out);
+                above.collect_leaves(out);
+            }
+        }
+    }
+
+    fn leaf_mut_by_id(&mut self, id: LeafId) -> Option<&mut Whisker> {
+        fn walk<'a>(t: &'a mut WhiskerTree, id: usize, counter: &mut usize) -> Option<&'a mut Whisker> {
+            match t {
+                WhiskerTree::Leaf(w) => {
+                    let mine = *counter;
+                    *counter += 1;
+                    if mine == id {
+                        Some(w)
+                    } else {
+                        None
+                    }
+                }
+                WhiskerTree::Node { below, above, .. } => {
+                    walk(below, id, counter).or_else(|| walk(above, id, counter))
+                }
+            }
+        }
+        let mut counter = 0;
+        walk(self, id.0, &mut counter)
+    }
+
+    pub fn leaf_by_id(&self, id: LeafId) -> Option<&Whisker> {
+        self.leaves().into_iter().nth(id.0)
+    }
+
+    /// The most heavily used leaf, if any use was recorded.
+    pub fn most_used_leaf(&self) -> Option<LeafId> {
+        let leaves = self.leaves();
+        let (idx, best) = leaves
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, w)| w.use_count)?;
+        if best.use_count == 0 {
+            None
+        } else {
+            Some(LeafId(idx))
+        }
+    }
+
+    pub fn set_leaf_action(&mut self, id: LeafId, action: Action) -> bool {
+        match self.leaf_mut_by_id(id) {
+            Some(w) => {
+                w.action = action;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clear all usage statistics (between optimizer evaluations).
+    pub fn reset_counts(&mut self) {
+        match self {
+            WhiskerTree::Leaf(w) => {
+                w.use_count = 0;
+                w.obs_sum = [0.0; NUM_SIGNALS];
+            }
+            WhiskerTree::Node { below, above, .. } => {
+                below.reset_counts();
+                above.reset_counts();
+            }
+        }
+    }
+
+    /// Merge usage statistics from a structurally identical tree (the
+    /// optimizer runs per-sender clones and folds their counts back).
+    pub fn absorb_counts(&mut self, other: &WhiskerTree) {
+        match (self, other) {
+            (WhiskerTree::Leaf(a), WhiskerTree::Leaf(b)) => {
+                a.use_count += b.use_count;
+                for i in 0..NUM_SIGNALS {
+                    a.obs_sum[i] += b.obs_sum[i];
+                }
+            }
+            (
+                WhiskerTree::Node { below: b1, above: a1, .. },
+                WhiskerTree::Node { below: b2, above: a2, .. },
+            ) => {
+                b1.absorb_counts(b2);
+                a1.absorb_counts(a2);
+            }
+            _ => panic!("absorb_counts on structurally different trees"),
+        }
+    }
+
+    /// Split a leaf along `dim`. The split point is the mean observed
+    /// value in that dimension (falling back to the box midpoint), clamped
+    /// strictly inside the box. Both children inherit the parent action.
+    /// Returns false if the leaf doesn't exist or the box is too thin.
+    pub fn split_leaf(&mut self, id: LeafId, dim: usize) -> bool {
+        fn walk(t: &mut WhiskerTree, id: usize, dim: usize, counter: &mut usize) -> bool {
+            match t {
+                WhiskerTree::Leaf(w) => {
+                    let mine = *counter;
+                    *counter += 1;
+                    if mine != id {
+                        return false;
+                    }
+                    let lo = w.domain.lower[dim];
+                    let hi = w.domain.upper[dim];
+                    if hi - lo < 1e-9 {
+                        return false;
+                    }
+                    let mut at = w
+                        .mean_observation()
+                        .map(|m| m[dim])
+                        .unwrap_or_else(|| w.domain.midpoint(dim));
+                    // keep the split strictly interior
+                    let eps = (hi - lo) * 1e-6;
+                    if at <= lo + eps || at >= hi - eps {
+                        at = w.domain.midpoint(dim);
+                    }
+                    let mut below_dom = w.domain;
+                    below_dom.upper[dim] = at;
+                    let mut above_dom = w.domain;
+                    above_dom.lower[dim] = at;
+                    let action = w.action;
+                    *t = WhiskerTree::Node {
+                        dim,
+                        split_at: at,
+                        below: Box::new(WhiskerTree::Leaf(Whisker::new(below_dom, action))),
+                        above: Box::new(WhiskerTree::Leaf(Whisker::new(above_dom, action))),
+                    };
+                    true
+                }
+                WhiskerTree::Node { below, above, .. } => {
+                    walk(below, id, dim, counter) || walk(above, id, dim, counter)
+                }
+            }
+        }
+        let mut counter = 0;
+        walk(self, id.0, dim, &mut counter)
+    }
+
+    /// Total recorded uses across all leaves.
+    pub fn total_uses(&self) -> u64 {
+        self.leaves().iter().map(|w| w.use_count).sum()
+    }
+}
+
+impl fmt::Display for WhiskerTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "WhiskerTree ({} leaves):", self.num_leaves())?;
+        for (i, w) in self.leaves().iter().enumerate() {
+            writeln!(
+                f,
+                "  [{i}] rec[{:.1},{:.1}) slow[{:.1},{:.1}) send[{:.1},{:.1}) rttr[{:.2},{:.2}) -> {} (uses={})",
+                w.domain.lower[0],
+                w.domain.upper[0],
+                w.domain.lower[1],
+                w.domain.upper[1],
+                w.domain.lower[2],
+                w.domain.upper[2],
+                w.domain.lower[3],
+                w.domain.upper[3],
+                w.action,
+                w.use_count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tree_covers_everything() {
+        let t = WhiskerTree::default_tree();
+        assert_eq!(t.num_leaves(), 1);
+        for p in [
+            [0.0, 0.0, 0.0, 0.0],
+            [3999.0, 10.0, 0.5, 1.0],
+            [1e9, 1e9, 1e9, 1e9], // clamped into range
+        ] {
+            assert_eq!(t.action_for(&p), Action::default());
+        }
+    }
+
+    #[test]
+    fn split_routes_points_to_children() {
+        let mut t = WhiskerTree::default_tree();
+        assert!(t.split_leaf(LeafId(0), 3)); // split on rtt_ratio at midpoint 32
+        assert_eq!(t.num_leaves(), 2);
+        let low = Action::new(1.0, 5.0, 1.0);
+        let high = Action::new(0.5, -5.0, 10.0);
+        assert!(t.set_leaf_action(LeafId(0), low));
+        assert!(t.set_leaf_action(LeafId(1), high));
+        assert_eq!(t.action_for(&[0.0, 0.0, 0.0, 1.0]), low);
+        assert_eq!(t.action_for(&[0.0, 0.0, 0.0, 50.0]), high);
+    }
+
+    #[test]
+    fn split_uses_mean_observation() {
+        let mut t = WhiskerTree::default_tree();
+        // record uses clustered around rec_ewma = 100
+        for _ in 0..10 {
+            t.use_action_for(&[100.0, 0.0, 0.0, 1.0]);
+        }
+        assert!(t.split_leaf(LeafId(0), 0));
+        match &t {
+            WhiskerTree::Node { dim, split_at, .. } => {
+                assert_eq!(*dim, 0);
+                assert!((*split_at - 100.0).abs() < 1e-6, "split at mean, got {split_at}");
+            }
+            _ => panic!("expected node"),
+        }
+    }
+
+    #[test]
+    fn use_counting_and_most_used() {
+        let mut t = WhiskerTree::default_tree();
+        t.split_leaf(LeafId(0), 3);
+        // leaf 0: rtt_ratio < 32; leaf 1: >= 32
+        for _ in 0..5 {
+            t.use_action_for(&[0.0, 0.0, 0.0, 1.0]);
+        }
+        t.use_action_for(&[0.0, 0.0, 0.0, 40.0]);
+        assert_eq!(t.most_used_leaf(), Some(LeafId(0)));
+        assert_eq!(t.total_uses(), 6);
+        t.reset_counts();
+        assert_eq!(t.total_uses(), 0);
+        assert_eq!(t.most_used_leaf(), None);
+    }
+
+    #[test]
+    fn absorb_counts_merges() {
+        let mut a = WhiskerTree::default_tree();
+        a.split_leaf(LeafId(0), 0);
+        let mut b = a.clone();
+        a.use_action_for(&[10.0, 0.0, 0.0, 1.0]);
+        b.use_action_for(&[10.0, 0.0, 0.0, 1.0]);
+        b.use_action_for(&[3000.0, 0.0, 0.0, 1.0]);
+        a.absorb_counts(&b);
+        let leaves = a.leaves();
+        assert_eq!(leaves[0].use_count, 2);
+        assert_eq!(leaves[1].use_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally different")]
+    fn absorb_counts_rejects_mismatch() {
+        let mut a = WhiskerTree::default_tree();
+        let mut b = WhiskerTree::default_tree();
+        b.split_leaf(LeafId(0), 0);
+        a.absorb_counts(&b);
+    }
+
+    #[test]
+    fn repeated_splits_partition_cleanly() {
+        let mut t = WhiskerTree::default_tree();
+        // split a few times along different dims
+        assert!(t.split_leaf(LeafId(0), 0));
+        assert!(t.split_leaf(LeafId(0), 1));
+        assert!(t.split_leaf(LeafId(2), 3));
+        assert_eq!(t.num_leaves(), 4);
+        // each leaf's domain must contain its own midpoint and route back
+        // to itself
+        for (i, w) in t.leaves().iter().enumerate() {
+            let mut mid = [0.0; NUM_SIGNALS];
+            for d in 0..NUM_SIGNALS {
+                mid[d] = w.domain.midpoint(d);
+            }
+            assert!(w.domain.contains(&mid));
+            let found = t.leaf_for(&mid);
+            assert_eq!(found.domain, w.domain, "point routes to leaf {i}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure() {
+        let mut t = WhiskerTree::default_tree();
+        t.split_leaf(LeafId(0), 2);
+        t.set_leaf_action(LeafId(1), Action::new(0.7, -1.0, 5.0));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: WhiskerTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn leaf_by_id_matches_leaves_order() {
+        let mut t = WhiskerTree::default_tree();
+        t.split_leaf(LeafId(0), 0);
+        t.split_leaf(LeafId(1), 1);
+        let leaves = t.leaves();
+        for i in 0..leaves.len() {
+            assert_eq!(t.leaf_by_id(LeafId(i)).unwrap().domain, leaves[i].domain);
+        }
+        assert!(t.leaf_by_id(LeafId(99)).is_none());
+    }
+}

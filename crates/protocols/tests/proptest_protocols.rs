@@ -1,0 +1,161 @@
+//! Property-based tests of the protocol implementations: EWMA bounds,
+//! AIMD invariants, Cubic's window discipline, and serde stability of the
+//! whisker tree.
+
+use netsim::packet::{Ack, FlowId};
+use netsim::time::{SimDuration, SimTime};
+use netsim::transport::{AckInfo, CongestionControl};
+use proptest::prelude::*;
+use protocols::{Action, Cubic, Memory, NewReno, SignalMask, WhiskerTree};
+
+fn ack_at(sent_ms: u64, seq: u64) -> Ack {
+    Ack {
+        flow: FlowId(0),
+        seq,
+        epoch: 0,
+        echo_sent_at: SimTime::ZERO + SimDuration::from_millis(sent_ms),
+        echo_tx_index: seq,
+        recv_at: SimTime::ZERO,
+        was_retx: false,
+    }
+}
+
+fn info(rtt_ms: u64) -> AckInfo {
+    AckInfo {
+        rtt: Some(SimDuration::from_millis(rtt_ms)),
+        min_rtt: SimDuration::from_millis(rtt_ms),
+        in_flight: 1,
+    }
+}
+
+proptest! {
+    /// EWMAs are convex combinations: they stay within the range of the
+    /// observed inter-arrival samples.
+    #[test]
+    fn memory_ewmas_bounded_by_samples(gaps in proptest::collection::vec(1u64..500, 2..60)) {
+        let mut m = Memory::new(SignalMask::all());
+        let mut now = SimTime::from_secs_f64(10.0);
+        let mut sent = 0u64;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &g) in gaps.iter().enumerate() {
+            now = now + SimDuration::from_millis(g);
+            sent += g; // echo stream advances by the same gaps
+            m.on_ack(now, &ack_at(sent, i as u64));
+            if i >= 1 {
+                lo = lo.min(g as f64);
+                hi = hi.max(g as f64);
+            }
+        }
+        let p = m.point();
+        prop_assert!(p[0] >= lo - 1e-9 && p[0] <= hi + 1e-9, "rec_ewma {} not in [{lo},{hi}]", p[0]);
+        prop_assert!(p[1] >= lo - 1e-9 && p[1] <= hi + 1e-9, "slow_rec {} not in [{lo},{hi}]", p[1]);
+    }
+
+    /// rtt_ratio is always >= 1 once defined (current RTT over min RTT).
+    #[test]
+    fn rtt_ratio_at_least_one(rtts in proptest::collection::vec(10u64..2_000, 1..50)) {
+        let mut m = Memory::new(SignalMask::all());
+        let mut now = SimTime::from_secs_f64(100.0);
+        for (i, &rtt) in rtts.iter().enumerate() {
+            now = now + SimDuration::from_millis(17);
+            let sent = now.checked_sub(SimDuration::from_millis(rtt)).unwrap();
+            let ack = Ack {
+                flow: FlowId(0),
+                seq: i as u64,
+                epoch: 0,
+                echo_sent_at: sent,
+                echo_tx_index: i as u64,
+                recv_at: now,
+                was_retx: false,
+            };
+            m.on_ack(now, &ack);
+            prop_assert!(m.point()[3] >= 1.0 - 1e-12);
+        }
+    }
+
+    /// NewReno: window never exceeds start + #acks (slow start is the
+    /// fastest regime), never goes below 1, and halves on loss.
+    #[test]
+    fn newreno_window_discipline(
+        events in proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8), Just(2u8)], 1..200)
+    ) {
+        let mut cc = NewReno::new();
+        cc.reset(SimTime::ZERO);
+        let start = cc.window();
+        let mut acks = 0u64;
+        let mut now = SimTime::ZERO;
+        for e in events {
+            now = now + SimDuration::from_millis(200); // outside recovery
+            match e {
+                0 => {
+                    cc.on_ack(now, &ack_at(0, acks), &info(100));
+                    acks += 1;
+                }
+                1 => {
+                    let before = cc.window();
+                    cc.on_loss(now);
+                    // the post-loss window is half the old one, but never
+                    // below NewReno's floor of 2 packets (which can exceed
+                    // a post-timeout window of 1)
+                    prop_assert!(cc.window() <= before.max(2.0));
+                    prop_assert!(cc.window() >= (before / 2.0).min(2.0) - 1e-9);
+                }
+                _ => {
+                    cc.on_timeout(now);
+                    prop_assert!((cc.window() - 1.0).abs() < 1e-9);
+                }
+            }
+            prop_assert!(cc.window() >= 1.0 - 1e-12);
+            prop_assert!(cc.window() <= start.max(2.0) + acks as f64 + 1e-9);
+        }
+    }
+
+    /// Cubic: the window stays within [1, 1e9] under arbitrary event
+    /// interleavings and never grows on a loss.
+    #[test]
+    fn cubic_window_bounded(
+        events in proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8), Just(2u8)], 1..300),
+        rtt_ms in 10u64..400,
+    ) {
+        let mut cc = Cubic::new();
+        cc.reset(SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for e in events {
+            now = now + SimDuration::from_millis(rtt_ms);
+            match e {
+                0 => cc.on_ack(now, &ack_at(0, 0), &info(rtt_ms)),
+                1 => {
+                    let before = cc.window();
+                    cc.on_loss(now);
+                    prop_assert!(cc.window() <= before + 1e-9);
+                }
+                _ => cc.on_timeout(now),
+            }
+            prop_assert!((1.0..=1e9).contains(&cc.window()), "cubic window {}", cc.window());
+        }
+    }
+
+    /// Whisker trees survive arbitrary action rewrites + JSON round trips.
+    #[test]
+    fn whisker_tree_serde_stable(
+        dims in proptest::collection::vec(0usize..4, 0..6),
+        m in 0.0f64..2.0,
+        b in -32.0f64..32.0,
+        tau in 0.01f64..100.0,
+    ) {
+        let mut tree = WhiskerTree::default_tree();
+        for (i, d) in dims.iter().enumerate() {
+            let n = tree.num_leaves();
+            tree.split_leaf(protocols::LeafId(i % n), *d);
+        }
+        let n = tree.num_leaves();
+        tree.set_leaf_action(protocols::LeafId(n / 2), Action::new(m, b, tau));
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: WhiskerTree = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&tree, &back);
+        // lookups agree after the round trip
+        for probe in [[0.0, 0.0, 0.0, 0.0], [100.0, 5.0, 30.0, 1.5], [3999.0, 3999.0, 3999.0, 63.0]] {
+            prop_assert_eq!(tree.action_for(&probe), back.action_for(&probe));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # remy — the automatic protocol-design tool
+//!
+//! A reimplementation of the Remy optimizer (Winstein & Balakrishnan,
+//! *TCP ex Machina*, SIGCOMM 2013) as used by *An Experimental Study of
+//! the Learnability of Congestion Control* (SIGCOMM 2014) to produce
+//! "tractable attempts at optimal" (Tao) congestion-control protocols.
+//!
+//! The pipeline:
+//!
+//! 1. Describe the designer's network model as [`scenario::ScenarioSpec`]s
+//!    — distributions over link speeds, RTTs, multiplexing, buffers, and
+//!    cross-traffic (§3.1).
+//! 2. Pick an [`objective::Objective`]: `log(throughput) − δ·log(delay)`
+//!    (§3.2).
+//! 3. Run the [`optimizer::Optimizer`]: hill-climb whisker actions and
+//!    split busy whiskers until the budget is exhausted (§3.3).
+//! 4. Save the resulting protocol with [`serialize`], and execute it with
+//!    [`protocols::TaoCc`].
+//!
+//! ```no_run
+//! use remy::prelude::*;
+//!
+//! let specs = vec![ScenarioSpec::link_speed_range(22.0, 44.0)];
+//! let opt = Optimizer::new(specs, OptimizerConfig::default());
+//! let trained = opt.optimize("tao-2x");
+//! println!("score {:.3}\n{}", trained.score, trained.tree);
+//! ```
+
+pub mod eval;
+pub mod objective;
+pub mod optimizer;
+pub mod scenario;
+pub mod serialize;
+pub mod verifier;
+
+pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalResult};
+pub use objective::Objective;
+pub use optimizer::{Optimizer, OptimizerConfig, TrainedProtocol};
+pub use scenario::{
+    BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec,
+    SenderClassSpec, TopologySpec,
+};
+pub use verifier::{verify, VerifyConfig, VerifyReport};
+
+/// Common imports for optimizer users.
+pub mod prelude {
+    pub use crate::eval::{EvalConfig, EvalResult};
+    pub use crate::objective::Objective;
+    pub use crate::optimizer::{Optimizer, OptimizerConfig, TrainedProtocol};
+    pub use crate::scenario::{
+        BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec,
+        SenderClassSpec, TopologySpec,
+    };
+}

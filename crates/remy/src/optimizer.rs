@@ -1,0 +1,383 @@
+//! The Remy protocol-design loop (§3.3 of the paper, following the
+//! treatment of Winstein & Balakrishnan, *TCP ex Machina*, SIGCOMM 2013).
+//!
+//! Starting from a single whisker prescribing a default action, the
+//! optimizer alternates two moves:
+//!
+//! 1. **Action improvement** — for each whisker (most-used first), hill
+//!    climb the action's three coordinates against the mean objective on
+//!    a fixed batch of sampled scenarios (common random numbers keep the
+//!    comparison fair), with step sizes sweeping coarse → fine.
+//! 2. **Structure refinement** — when no action improves, split the
+//!    most-used whisker at the mean observed memory point along its most
+//!    informative dimension, letting the mapping specialize.
+//!
+//! Fresh scenario draws between rounds keep the protocol from overfitting
+//! one batch. [`Optimizer::co_optimize`] alternates optimization across
+//! several tree slots for the sender-diversity experiment (§4.6).
+
+use crate::eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalResult};
+use crate::scenario::ScenarioSpec;
+use protocols::whisker::{LeafId, SIGNAL_MAX};
+use protocols::{SignalMask, WhiskerTree, NUM_SIGNALS};
+use serde::{Deserialize, Serialize};
+
+/// Minimum utility gain for a candidate to be adopted.
+const IMPROVEMENT_EPS: f64 = 1e-4;
+
+/// Training budget and knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Scenario draws per spec per evaluation batch.
+    pub draws_per_eval: usize,
+    /// Simulated seconds per scenario.
+    pub sim_duration_s: f64,
+    /// Outer rounds (each = improve all whiskers, then maybe split).
+    pub rounds: usize,
+    /// Stop splitting once the tree has this many whiskers.
+    pub max_leaves: usize,
+    /// Hill-climb step scales, coarse to fine.
+    pub scales: Vec<f64>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    pub seed: u64,
+    /// Per-simulation event cap.
+    pub event_budget: u64,
+    /// Per-slot signal-knockout masks (§3.4); empty = all signals.
+    pub masks: Vec<SignalMask>,
+    /// Print progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            draws_per_eval: 8,
+            sim_duration_s: 12.0,
+            rounds: 12,
+            max_leaves: 16,
+            scales: vec![4.0, 1.0],
+            threads: 0,
+            seed: 0xC0FFEE,
+            event_budget: 30_000_000,
+            masks: Vec::new(),
+            verbose: false,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// A small budget for unit tests and smoke runs.
+    pub fn smoke() -> Self {
+        OptimizerConfig {
+            draws_per_eval: 3,
+            sim_duration_s: 4.0,
+            rounds: 2,
+            max_leaves: 2,
+            scales: vec![4.0],
+            event_budget: 3_000_000,
+            ..Default::default()
+        }
+    }
+
+    fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            sim_duration_s: self.sim_duration_s,
+            event_budget: self.event_budget,
+            threads: self.threads,
+            masks: self.masks.clone(),
+        }
+    }
+}
+
+/// A trained protocol, ready to save or execute.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainedProtocol {
+    pub name: String,
+    pub tree: WhiskerTree,
+    /// Mean training utility at the end of optimization.
+    pub score: f64,
+    /// Human-readable description of the training model.
+    pub description: String,
+}
+
+/// The protocol-design tool.
+pub struct Optimizer {
+    specs: Vec<ScenarioSpec>,
+    cfg: OptimizerConfig,
+}
+
+impl Optimizer {
+    pub fn new(specs: Vec<ScenarioSpec>, cfg: OptimizerConfig) -> Self {
+        assert!(!specs.is_empty(), "optimizer needs at least one training spec");
+        Optimizer { specs, cfg }
+    }
+
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.cfg
+    }
+
+    /// Design a protocol from scratch for these training scenarios.
+    pub fn optimize(&self, name: impl Into<String>) -> TrainedProtocol {
+        let tree = WhiskerTree::default_tree();
+        self.optimize_from(tree, name)
+    }
+
+    /// Continue optimizing an existing tree (warm start).
+    pub fn optimize_from(&self, tree: WhiskerTree, name: impl Into<String>) -> TrainedProtocol {
+        let mut trees = vec![tree];
+        let score = self.optimize_slot(&mut trees, 0);
+        TrainedProtocol {
+            name: name.into(),
+            tree: trees.pop().expect("one slot"),
+            score,
+            description: format!("{} training spec(s), cfg={:?}", self.specs.len(), self.cfg),
+        }
+    }
+
+    /// Co-optimize several protocols that will share networks (the
+    /// sender-diversity experiment): alternately optimize each slot with
+    /// the others frozen.
+    pub fn co_optimize(
+        &self,
+        mut trees: Vec<WhiskerTree>,
+        alternations: usize,
+        names: &[&str],
+    ) -> Vec<TrainedProtocol> {
+        assert_eq!(trees.len(), names.len());
+        let mut scores = vec![f64::NEG_INFINITY; trees.len()];
+        for alt in 0..alternations {
+            for slot in 0..trees.len() {
+                if self.cfg.verbose {
+                    eprintln!("[remy] co-optimize alternation {alt}, slot {slot}");
+                }
+                scores[slot] = self.optimize_slot(&mut trees, slot);
+            }
+        }
+        trees
+            .into_iter()
+            .zip(names)
+            .zip(scores)
+            .map(|((tree, name), score)| TrainedProtocol {
+                name: name.to_string(),
+                tree,
+                score,
+                description: format!(
+                    "co-optimized ({alternations} alternations), cfg={:?}",
+                    self.cfg
+                ),
+            })
+            .collect()
+    }
+
+    /// The core loop, improving `trees[slot]` in place. Returns the final
+    /// training score.
+    fn optimize_slot(&self, trees: &mut Vec<WhiskerTree>, slot: usize) -> f64 {
+        let cfg = self.cfg.eval_config();
+        let mut last_score = f64::NEG_INFINITY;
+        for round in 0..self.cfg.rounds {
+            // Fresh draws each round; candidates within the round share them.
+            let scenarios = draw_scenarios(
+                &self.specs,
+                self.cfg.draws_per_eval,
+                self.cfg.seed ^ ((round as u64 + 1) * 0x9E37),
+            );
+            let base: EvalResult = evaluate_scenarios(&scenarios, trees, &cfg);
+            let mut score = base.mean_utility;
+
+            // Whiskers ordered by usage, busiest first.
+            let mut order: Vec<(usize, u64)> = base.usage[slot]
+                .leaves()
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (i, w.use_count))
+                .collect();
+            order.sort_by_key(|&(_, uses)| std::cmp::Reverse(uses));
+
+            for (leaf_idx, uses) in order {
+                if uses == 0 {
+                    continue;
+                }
+                self.improve_leaf(trees, slot, LeafId(leaf_idx), &scenarios, &mut score, &cfg);
+            }
+
+            if self.cfg.verbose {
+                eprintln!(
+                    "[remy] round {round}: score {:.4} -> {:.4}, {} leaves",
+                    base.mean_utility,
+                    score,
+                    trees[slot].num_leaves()
+                );
+            }
+            last_score = score;
+
+            // Structure refinement at the end of every improvement round
+            // (Remy's improve-then-split cycle): split the busiest whisker
+            // so the mapping can specialize, until the leaf budget is
+            // spent. Fresh draws make round-over-round score deltas noisy,
+            // so gating the split on "no improvement" would starve the
+            // tree of structure.
+            if trees[slot].num_leaves() < self.cfg.max_leaves && round + 1 < self.cfg.rounds {
+                // Re-evaluate usage on the final actions of this round.
+                let usage = evaluate_scenarios(&scenarios, trees, &cfg).usage;
+                let Some(target) = usage[slot].most_used_leaf() else {
+                    continue;
+                };
+                let dim = split_dimension(&usage[slot], target);
+                let tree = &mut trees[slot];
+                // Copy observation stats into the live tree so the split
+                // lands at the observed mean.
+                tree.reset_counts();
+                tree.absorb_counts(&usage[slot]);
+                if !tree.split_leaf(target, dim) {
+                    continue;
+                }
+                tree.reset_counts();
+                if self.cfg.verbose {
+                    eprintln!(
+                        "[remy] split leaf {:?} on dim {dim}; now {} leaves",
+                        target,
+                        trees[slot].num_leaves()
+                    );
+                }
+            }
+        }
+        last_score
+    }
+
+    /// Greedy coordinate hill-climb of one whisker's action. Returns true
+    /// if the action changed.
+    fn improve_leaf(
+        &self,
+        trees: &mut [WhiskerTree],
+        slot: usize,
+        leaf: LeafId,
+        scenarios: &[crate::scenario::ConcreteScenario],
+        score: &mut f64,
+        cfg: &EvalConfig,
+    ) -> bool {
+        let mut changed = false;
+        for &scale in &self.cfg.scales {
+            loop {
+                let current = match trees[slot].leaf_by_id(leaf) {
+                    Some(w) => w.action,
+                    None => return changed,
+                };
+                let mut best = *score;
+                let mut best_action = None;
+                for cand in current.neighbors(scale) {
+                    trees[slot].set_leaf_action(leaf, cand);
+                    let r = evaluate_scenarios(scenarios, trees, cfg);
+                    if r.mean_utility > best + IMPROVEMENT_EPS {
+                        best = r.mean_utility;
+                        best_action = Some(cand);
+                    }
+                }
+                match best_action {
+                    Some(a) => {
+                        trees[slot].set_leaf_action(leaf, a);
+                        *score = best;
+                        changed = true;
+                    }
+                    None => {
+                        trees[slot].set_leaf_action(leaf, current);
+                        break;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Choose the dimension to split a whisker along: the enabled signal with
+/// the widest domain relative to its full scale (the memory axis where the
+/// whisker is least specialized).
+fn split_dimension(tree: &WhiskerTree, leaf: LeafId) -> usize {
+    let Some(w) = tree.leaf_by_id(leaf) else {
+        return 0;
+    };
+    let mut best_dim = 0;
+    let mut best_width = -1.0;
+    for d in 0..NUM_SIGNALS {
+        let rel = w.domain.width(d) / SIGNAL_MAX[d];
+        if rel > best_width {
+            best_width = rel;
+            best_dim = d;
+        }
+    }
+    best_dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::Action;
+
+    #[test]
+    fn smoke_optimization_improves_over_bad_start() {
+        // Start from a deliberately poor action; even a tiny budget must
+        // find something better on the calibration network.
+        let specs = vec![ScenarioSpec::calibration()];
+        let mut cfg = OptimizerConfig::smoke();
+        cfg.seed = 1;
+        let opt = Optimizer::new(specs.clone(), cfg.clone());
+
+        let bad = WhiskerTree::uniform(Action::new(1.0, 0.0, 500.0)); // ~3 pkt/s pacing
+        let trained = opt.optimize_from(bad.clone(), "smoke");
+
+        // Score the two trees on identical fresh scenarios.
+        let scenarios = draw_scenarios(&specs, 4, 999);
+        let ecfg = EvalConfig {
+            sim_duration_s: 4.0,
+            event_budget: 3_000_000,
+            ..Default::default()
+        };
+        let u_bad = evaluate_scenarios(&scenarios, std::slice::from_ref(&bad), &ecfg).mean_utility;
+        let u_trained =
+            evaluate_scenarios(&scenarios, std::slice::from_ref(&trained.tree), &ecfg).mean_utility;
+        assert!(
+            u_trained > u_bad,
+            "training must help: bad={u_bad:.3} trained={u_trained:.3}"
+        );
+    }
+
+    #[test]
+    fn optimization_is_deterministic() {
+        let specs = vec![ScenarioSpec::calibration()];
+        let mut cfg = OptimizerConfig::smoke();
+        cfg.threads = 2;
+        let a = Optimizer::new(specs.clone(), cfg.clone()).optimize("a");
+        let b = Optimizer::new(specs, cfg).optimize("b");
+        assert_eq!(a.tree, b.tree, "same seed and budget, same protocol");
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn split_dimension_prefers_widest_axis() {
+        let mut tree = WhiskerTree::default_tree();
+        // Shrink dim 0 by splitting on it; the next split should prefer
+        // another (still full-width) axis.
+        tree.split_leaf(LeafId(0), 0);
+        let d = split_dimension(&tree, LeafId(0));
+        assert_ne!(d, 0, "dim 0 is now half-width, pick a full-width axis");
+    }
+
+    #[test]
+    fn co_optimize_returns_one_protocol_per_slot() {
+        let specs = vec![ScenarioSpec::diversity()];
+        let mut cfg = OptimizerConfig::smoke();
+        cfg.rounds = 1;
+        cfg.draws_per_eval = 2;
+        let opt = Optimizer::new(specs, cfg);
+        let out = opt.co_optimize(
+            vec![WhiskerTree::default_tree(), WhiskerTree::default_tree()],
+            1,
+            &["tpt", "del"],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].name, "tpt");
+        assert_eq!(out[1].name, "del");
+        assert!(out.iter().all(|p| p.score.is_finite()));
+    }
+}

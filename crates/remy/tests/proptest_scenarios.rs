@@ -1,0 +1,95 @@
+//! Property-based tests of scenario sampling: every named training spec
+//! must produce valid, in-range, deterministic networks for any seed.
+
+use netsim::queue::QueueSpec;
+use proptest::prelude::*;
+use remy::{BufferSpec, ScenarioSpec};
+
+fn all_named_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        ("calibration", ScenarioSpec::calibration()),
+        ("link-2x", ScenarioSpec::link_speed_range(22.0, 44.0)),
+        ("link-1000x", ScenarioSpec::link_speed_range(1.0, 1000.0)),
+        ("mux-100", ScenarioSpec::multiplexing(100, BufferSpec::BdpMultiple(5.0))),
+        ("rtt-50-250", ScenarioSpec::rtt_range(50.0, 250.0)),
+        ("one-bottleneck", ScenarioSpec::one_bottleneck_model()),
+        ("two-bottleneck", ScenarioSpec::two_bottleneck_model()),
+        ("tcp-naive", ScenarioSpec::tcp_naive()),
+        ("tcp-aware", ScenarioSpec::tcp_aware()),
+        ("diversity", ScenarioSpec::diversity()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any seed yields a structurally valid network with matching
+    /// role/delta arity, and sampling is a pure function of the seed.
+    #[test]
+    fn sampled_scenarios_are_valid(seed in 0u64..u64::MAX) {
+        for (name, spec) in all_named_specs() {
+            let s = spec.sample(seed);
+            prop_assert!(s.net.validate().is_ok(), "{name}: invalid network");
+            prop_assert!(!s.roles.is_empty(), "{name}: no senders");
+            prop_assert_eq!(s.roles.len(), s.deltas.len(), "{}: arity mismatch", name);
+            prop_assert_eq!(s.roles.len(), s.net.flows.len(), "{}: flows mismatch", name);
+            // determinism
+            let s2 = spec.sample(seed);
+            prop_assert_eq!(&s.net, &s2.net, "{}: sampling not deterministic", name);
+            prop_assert_eq!(&s.roles, &s2.roles);
+            prop_assert_eq!(s.seed, s2.seed);
+        }
+    }
+
+    /// Link-speed draws honor their training range (Table 2a).
+    #[test]
+    fn link_speed_in_training_range(seed in 0u64..u64::MAX, lo in 1.0f64..50.0, span in 1.0f64..100.0) {
+        let hi = lo * span;
+        let spec = ScenarioSpec::link_speed_range(lo, hi);
+        let s = spec.sample(seed);
+        let mbps = s.net.links[0].rate_bps / 1e6;
+        prop_assert!(mbps >= lo * 0.999 && mbps <= hi * 1.001, "{mbps} outside [{lo},{hi}]");
+    }
+
+    /// RTT draws honor their training range (Table 4a).
+    #[test]
+    fn rtt_in_training_range(seed in 0u64..u64::MAX, lo in 1.0f64..200.0, width in 0.0f64..100.0) {
+        let hi = lo + width;
+        let spec = ScenarioSpec::rtt_range(lo, hi);
+        let s = spec.sample(seed);
+        let rtt_ms = s.net.min_rtt(0).as_millis_f64();
+        prop_assert!(rtt_ms >= lo - 0.01 && rtt_ms <= hi + 0.01, "{rtt_ms} outside [{lo},{hi}]");
+    }
+
+    /// Multiplexing draws stay within 1..=n and buffers match the spec.
+    #[test]
+    fn multiplexing_counts_in_range(seed in 0u64..u64::MAX, n in 1u32..100) {
+        let spec = ScenarioSpec::multiplexing(n, BufferSpec::Infinite);
+        let s = spec.sample(seed);
+        prop_assert!((1..=n as usize).contains(&s.roles.len()));
+        prop_assert_eq!(
+            &s.net.links[0].queue,
+            &QueueSpec::DropTail { capacity_bytes: None }
+        );
+    }
+
+    /// Buffer specs translate to the right queue capacities.
+    #[test]
+    fn buffer_spec_capacity(rate_mbps in 1.0f64..1000.0, rtt_ms in 10.0f64..300.0, mult in 1.0f64..10.0) {
+        let rate = rate_mbps * 1e6;
+        let rtt = rtt_ms / 1e3;
+        match BufferSpec::BdpMultiple(mult).to_queue(rate, rtt) {
+            QueueSpec::DropTail { capacity_bytes: Some(c) } => {
+                let expect = rate / 8.0 * rtt * mult;
+                // sized up to the 3 kB floor and rounded
+                prop_assert!(c as f64 >= expect.min(3000.0) - 1.0);
+                prop_assert!(c as f64 <= expect.max(3000.0) + 1.0);
+            }
+            other => prop_assert!(false, "unexpected queue {other:?}"),
+        }
+        match BufferSpec::Bytes(250_000).to_queue(rate, rtt) {
+            QueueSpec::DropTail { capacity_bytes: Some(c) } => prop_assert_eq!(c, 250_000),
+            other => prop_assert!(false, "unexpected queue {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # learnability — umbrella crate
+//!
+//! Reproduction of Sivaraman, Winstein, Thaker & Balakrishnan, *An
+//! Experimental Study of the Learnability of Congestion Control*
+//! (SIGCOMM 2014). Re-exports the four library crates:
+//!
+//! * [`netsim`] — deterministic packet-level network simulator.
+//! * [`protocols`] — Tao (RemyCC) executor, TCP NewReno, TCP Cubic.
+//! * [`remy`] — the automatic protocol-design tool (whisker-tree
+//!   optimizer).
+//! * [`lcc_core`] — the study itself: objectives, the omniscient
+//!   reference, and one experiment module per paper figure/table.
+//!
+//! See `examples/` for runnable walkthroughs and the `bench` crate for
+//! per-figure regeneration binaries.
+
+pub use lcc_core;
+pub use netsim;
+pub use protocols;
+pub use remy;
+
+/// Crate version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_compile() {
+        let _ = crate::VERSION;
+        let _ = netsim::time::SimDuration::from_millis(1);
+        let _ = protocols::Action::default();
+        let _ = remy::Objective::default();
+    }
+}
