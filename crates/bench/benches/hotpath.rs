@@ -1,0 +1,109 @@
+//! Benchmarks of the training hot path introduced by the compiled-tree +
+//! persistent-pool refactor: per-lookup cost of the flattened arena vs
+//! the recursive boxed tree, flat usage accounting, and end-to-end
+//! evaluation through a persistent [`EvalPool`].
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use protocols::whisker::MemoryRange;
+use protocols::{Action, CompiledTree, LeafId, UsageCounts, WhiskerTree};
+use remy::{draw_scenarios, EvalConfig, EvalPool, ScenarioSpec};
+
+/// A tree with `leaves` whiskers produced by round-robin splitting, with
+/// distinct per-leaf actions.
+fn tree_with_leaves(leaves: usize) -> WhiskerTree {
+    let mut tree = WhiskerTree::default_tree();
+    let mut i = 0usize;
+    while tree.num_leaves() < leaves {
+        let n = tree.num_leaves();
+        tree.split_leaf(LeafId(i % n), i % 4);
+        i += 1;
+    }
+    for l in 0..tree.num_leaves() {
+        tree.set_leaf_action(
+            LeafId(l),
+            Action::new(1.0, 1.0 + l as f64 * 0.5, 0.25 + l as f64 * 0.05),
+        );
+    }
+    tree
+}
+
+fn probe_points(n: usize) -> Vec<[f64; 4]> {
+    (0..n)
+        .map(|i| {
+            let f = i as f64;
+            [
+                (f * 37.0) % 4000.0,
+                (f * 101.0) % 4000.0,
+                (f * 13.0) % 4000.0,
+                (f * 7.0) % 64.0,
+            ]
+        })
+        .collect()
+}
+
+fn bench_tree_lookup(c: &mut Criterion) {
+    let probes = probe_points(1024);
+    for leaves in [4usize, 16, 64] {
+        let tree = tree_with_leaves(leaves);
+        let compiled = CompiledTree::compile(&tree);
+        let mut g = c.benchmark_group(format!("hotpath/lookup-{leaves}-leaves"));
+        g.sample_size(50);
+        g.throughput(Throughput::Elements(probes.len() as u64));
+        g.bench_function("recursive", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in &probes {
+                    acc += tree.action_for(black_box(p)).window_increment;
+                }
+                acc
+            });
+        });
+        g.bench_function("compiled", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in &probes {
+                    acc += compiled.action_for(black_box(p)).window_increment;
+                }
+                acc
+            });
+        });
+        g.bench_function("compiled-with-usage", |b| {
+            let mut usage = UsageCounts::new(compiled.num_leaves());
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in &probes {
+                    let clamped = MemoryRange::clamp_point(black_box(p));
+                    let leaf = compiled.lookup_clamped(&clamped);
+                    usage.record(leaf, &clamped);
+                    acc += compiled.action(leaf).window_increment;
+                }
+                acc
+            });
+        });
+        g.finish();
+    }
+}
+
+fn bench_pool_evaluation(c: &mut Criterion) {
+    let specs = [ScenarioSpec::calibration()];
+    let scenarios = draw_scenarios(&specs, 4, 7);
+    let tree = tree_with_leaves(8);
+    let cfg = EvalConfig {
+        sim_duration_s: 3.0,
+        event_budget: 4_000_000,
+        threads: 0,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("hotpath/pool-evaluate");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = EvalPool::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| pool.evaluate(&scenarios, std::slice::from_ref(&tree), &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_lookup, bench_pool_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Perf snapshot: measures the two numbers every optimization PR cares
+//! about and writes them to `BENCH_optimizer.json` so the repo keeps a
+//! perf trajectory across PRs.
+//!
+//! * `smoke_train_wall_s` — wall time of one `OptimizerConfig::smoke()`
+//!   training run on the calibration scenario (the Remy inner loop).
+//! * `sim_events_per_sec` — event throughput of a fixed 4-sender dumbbell
+//!   simulation (the netsim hot path), single-threaded.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin perf_snapshot            # print only
+//! cargo run --release -p bench --bin perf_snapshot -- --write # update BENCH_optimizer.json
+//! ```
+
+use netsim::prelude::*;
+use protocols::{Action, TaoCc, WhiskerTree};
+use remy::{Optimizer, OptimizerConfig, ScenarioSpec};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Repetitions of the smoke training run (median reported).
+const TRAIN_REPS: usize = 3;
+
+fn time_smoke_training() -> f64 {
+    let mut samples = Vec::with_capacity(TRAIN_REPS);
+    for _ in 0..TRAIN_REPS {
+        let mut cfg = OptimizerConfig::smoke();
+        cfg.seed = 7;
+        let opt = Optimizer::new(vec![ScenarioSpec::calibration()], cfg);
+        let start = Instant::now();
+        let trained = opt.optimize("perf-snapshot");
+        let dt = start.elapsed().as_secs_f64();
+        assert!(trained.score.is_finite(), "training degenerated");
+        samples.push(dt);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn sim_events_per_sec() -> f64 {
+    // Fixed dumbbell: 4 Tao senders with a mildly aggressive uniform
+    // action on a 40 Mbps / 100 ms RTT bottleneck — enough load to keep
+    // the queue busy and the ack clock dense.
+    let net = dumbbell(
+        4,
+        40e6,
+        0.100,
+        QueueSpec::drop_tail_bdp(40e6, 0.100, 5.0),
+        WorkloadSpec::AlwaysOn,
+    );
+    let tree = WhiskerTree::uniform(Action::new(1.0, 1.0, 0.2));
+    let protocols: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..4)
+        .map(|i| {
+            Box::new(TaoCc::new(tree.clone(), format!("tao{i}")))
+                as Box<dyn netsim::transport::CongestionControl>
+        })
+        .collect();
+    let mut sim = Simulation::new(&net, protocols, 42);
+    let start = Instant::now();
+    let out = sim.run(SimDuration::from_secs(30));
+    let dt = start.elapsed().as_secs_f64();
+    out.events_processed as f64 / dt
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_optimizer.json")
+        .to_string();
+
+    eprintln!("[perf] timing smoke training ({TRAIN_REPS} reps)...");
+    let train_s = time_smoke_training();
+    eprintln!("[perf] smoke training: {train_s:.3} s");
+
+    eprintln!("[perf] timing dumbbell simulation...");
+    let eps = sim_events_per_sec();
+    eprintln!("[perf] simulator: {eps:.0} events/s");
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Preserve a recorded baseline (pre-refactor numbers) if one exists.
+    let baseline = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        .and_then(|v| v.get("baseline").cloned());
+
+    let mut obj = vec![
+        ("smoke_train_wall_s".to_string(), Value::F64(train_s)),
+        ("sim_events_per_sec".to_string(), Value::F64(eps)),
+        ("threads".to_string(), Value::U64(threads as u64)),
+        (
+            "bench".to_string(),
+            Value::Str("perf_snapshot: OptimizerConfig::smoke() on calibration; 4-Tao dumbbell 30 s".to_string()),
+        ),
+    ];
+    if let Some(b) = baseline {
+        obj.push(("baseline".to_string(), b));
+    }
+    let doc = Value::Object(obj);
+    let json = serde_json::to_string_pretty(&doc).expect("snapshot serializes");
+    println!("{json}");
+    if write {
+        std::fs::write(&out_path, json + "\n").expect("write BENCH_optimizer.json");
+        eprintln!("[perf] wrote {out_path}");
+    }
+}

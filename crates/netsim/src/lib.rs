@@ -32,6 +32,31 @@
 //! let out = sim.run(SimDuration::from_secs(10));
 //! assert!(out.flows[0].throughput_bps > 1e6);
 //! ```
+//!
+//! # Performance architecture
+//!
+//! The simulator is the denominator of every experiment *and* of every
+//! candidate evaluation inside Remy training, so the per-event constant
+//! factor is engineered deliberately:
+//!
+//! * **No hashing or tree searches on the packet path.** Receiver
+//!   duplicate detection uses [`seqtrack::SeqTracker`], a sliding bitmap
+//!   over the near-sequential sequence space (O(1) insert, no per-
+//!   delivery re-hash). The reliability layer's in-flight maps are dense
+//!   sliding-window vectors keyed by sequence number / transmission
+//!   index rather than `BTreeMap`s, and the RTO's oldest-outstanding
+//!   query is an O(1) front lookup instead of a scan over the window.
+//! * **Copy-only events.** `Packet`/`Ack` are `Copy`; the event queue is
+//!   a binary heap of plain structs with FIFO tie-breaking, and the hot
+//!   handlers allocate nothing.
+//! * **Determinism is load-bearing.** All of the above preserve the
+//!   bit-for-bit `(config, protocols, seed) → outcome` contract that the
+//!   optimizer's common-random-number comparisons rest on.
+//!
+//! Measure with `cargo bench -p bench --bench simulator` (engine event
+//! throughput by protocol) and `cargo run --release -p bench --bin
+//! perf_snapshot` (events/sec of a fixed dumbbell, written to
+//! `BENCH_optimizer.json`).
 
 pub mod codel;
 pub mod event;
@@ -41,6 +66,7 @@ pub mod packet;
 pub mod queue;
 pub mod red;
 pub mod rng;
+pub mod seqtrack;
 pub mod sfq_codel;
 pub mod sim;
 pub mod time;

@@ -1,0 +1,151 @@
+//! Duplicate-delivery tracking for near-sequential sequence numbers.
+//!
+//! Receivers must deduplicate retransmissions when recording delivery
+//! stats. Sequences within one flow epoch start at 0 and arrive almost in
+//! order (reordering is bounded by the in-flight window), so a sliding
+//! bitmap beats a `HashSet<u64>`: no hashing per delivery, O(1) inserts,
+//! and memory bounded by the reordering span instead of the epoch length.
+//!
+//! The tracker keeps a `base` sequence below which *everything* has been
+//! seen, plus a word-granular bitmap for `[base, base + 64·words)`. Full
+//! leading words retire into `base`, so the window slides forward with
+//! the flow.
+
+use std::collections::VecDeque;
+
+const WORD_BITS: u64 = 64;
+
+/// Sliding-window set of seen sequence numbers.
+#[derive(Debug, Default, Clone)]
+pub struct SeqTracker {
+    /// All sequences `< base` have been seen.
+    base: u64,
+    /// Bitmap covering `[base, base + 64 * words.len())`.
+    words: VecDeque<u64>,
+}
+
+impl SeqTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget everything (new flow epoch; sequences restart at 0).
+    pub fn clear(&mut self) {
+        self.base = 0;
+        self.words.clear();
+    }
+
+    /// Mark `seq` seen. Returns `true` if it was **newly** seen.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.base {
+            return false; // retired region: everything below base was seen
+        }
+        let offset = seq - self.base;
+        let word = (offset / WORD_BITS) as usize;
+        let bit = offset % WORD_BITS;
+        if word >= self.words.len() {
+            // Grow to cover the new highest sequence (span is bounded by
+            // sender windows, so this stays small).
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let slot = &mut self.words[word];
+        if *slot & mask != 0 {
+            return false;
+        }
+        *slot |= mask;
+        // Retire full leading words: advance base so the deque stays at
+        // the size of the current reordering span.
+        while self.words.front() == Some(&u64::MAX) {
+            self.words.pop_front();
+            self.base += WORD_BITS;
+        }
+        true
+    }
+
+    /// Whether `seq` has been seen.
+    pub fn contains(&self, seq: u64) -> bool {
+        if seq < self.base {
+            return true;
+        }
+        let offset = seq - self.base;
+        let word = (offset / WORD_BITS) as usize;
+        match self.words.get(word) {
+            Some(w) => w & (1u64 << (offset % WORD_BITS)) != 0,
+            None => false,
+        }
+    }
+
+    /// Number of bitmap words currently held (diagnostics).
+    pub fn span_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_inserts_retire_words() {
+        let mut t = SeqTracker::new();
+        for seq in 0..1000 {
+            assert!(t.insert(seq), "seq {seq} should be new");
+            assert!(t.contains(seq));
+        }
+        // Everything except the partial trailing word has retired.
+        assert!(t.span_words() <= 1, "span {} words", t.span_words());
+        for seq in 0..1000 {
+            assert!(!t.insert(seq), "seq {seq} is a duplicate");
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_gaps() {
+        let mut t = SeqTracker::new();
+        assert!(t.insert(5));
+        assert!(t.insert(200));
+        assert!(t.insert(0));
+        assert!(!t.insert(5));
+        assert!(!t.insert(200));
+        assert!(t.insert(1));
+        assert!(!t.contains(2));
+        assert!(t.contains(200));
+        // the gap keeps words alive
+        assert!(t.span_words() >= 3);
+        // fill the gap; leading words retire
+        for seq in 0..=199 {
+            t.insert(seq);
+        }
+        assert!(t.span_words() <= 1);
+        assert!(!t.insert(137), "inside retired region");
+    }
+
+    #[test]
+    fn clear_restarts_epoch() {
+        let mut t = SeqTracker::new();
+        for seq in 0..500 {
+            t.insert(seq);
+        }
+        t.clear();
+        assert!(!t.contains(0));
+        assert!(t.insert(0), "fresh epoch sees seq 0 as new");
+        assert_eq!(t.span_words(), 1);
+    }
+
+    #[test]
+    fn matches_hashset_reference() {
+        // Pseudo-random insert pattern with bounded reordering, checked
+        // against a HashSet oracle.
+        let mut t = SeqTracker::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 0x12345678u64;
+        for step in 0u64..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // window of 256 around the advancing head, plus occasional dups
+            let head = step / 2;
+            let seq = head.saturating_sub(x % 256);
+            assert_eq!(t.insert(seq), seen.insert(seq), "divergence at seq {seq}");
+        }
+    }
+}

@@ -15,8 +15,8 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NetworkConfig;
 use crate::trace::{QueueSample, Trace};
+use crate::seqtrack::SeqTracker;
 use crate::transport::{CongestionControl, Transport};
-use std::collections::HashSet;
 
 struct SenderSlot {
     cc: Box<dyn CongestionControl>,
@@ -37,11 +37,12 @@ struct SenderSlot {
 }
 
 /// Per-flow receiver state: which sequences have been seen this epoch
-/// (deduplicates retransmissions in the delivery stats).
+/// (deduplicates retransmissions in the delivery stats). Sequences are
+/// near-sequential, so a sliding bitmap replaces the per-delivery hash.
 #[derive(Default)]
 struct ReceiverSlot {
     epoch: u32,
-    seen: HashSet<u64>,
+    seen: SeqTracker,
 }
 
 /// Aggregate outcome of a simulation run.

@@ -13,7 +13,129 @@
 
 use crate::packet::{Ack, FlowId, Packet, DATA_PACKET_BYTES};
 use crate::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Ordered map over near-dense, window-bounded integer keys (sequence
+/// numbers, transmission indices), backed by a sliding `VecDeque` of
+/// slots instead of a search tree. All hot operations — insert at the
+/// frontier, remove by key, first-key lookup — are O(1) amortized; this
+/// runs several times per packet, where `BTreeMap` paid a tree descent
+/// and node allocations.
+#[derive(Debug, Default)]
+struct WindowMap<T> {
+    /// Key of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<T>>,
+    len: usize,
+}
+
+impl<T> WindowMap<T> {
+    fn new() -> Self {
+        WindowMap {
+            base: 0,
+            slots: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+        self.base = 0;
+    }
+
+    fn insert(&mut self, key: u64, value: T) {
+        if self.slots.is_empty() {
+            self.base = key;
+        } else if key < self.base {
+            // Retransmissions can reuse a sequence below the trimmed
+            // front; re-expand (bounded by the reordering window).
+            for _ in key..self.base {
+                self.slots.push_front(None);
+            }
+            self.base = key;
+        }
+        let idx = (key - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.slots[idx].is_none(), "duplicate key {key}");
+        self.slots[idx] = Some(value);
+        self.len += 1;
+    }
+
+    fn get(&self, key: u64) -> Option<&T> {
+        if key < self.base {
+            return None;
+        }
+        self.slots
+            .get((key - self.base) as usize)
+            .and_then(|s| s.as_ref())
+    }
+
+    fn remove(&mut self, key: u64) -> Option<T> {
+        if key < self.base {
+            return None;
+        }
+        let idx = (key - self.base) as usize;
+        let taken = self.slots.get_mut(idx)?.take();
+        if taken.is_some() {
+            self.len -= 1;
+            self.trim_front();
+        }
+        taken
+    }
+
+    /// Drop leading empty slots so `first` stays O(1).
+    fn trim_front(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.slots.is_empty() {
+            self.base = 0;
+        }
+    }
+
+    /// Smallest key and its value.
+    fn first(&self) -> Option<(u64, &T)> {
+        // trim_front keeps slot 0 occupied whenever the map is nonempty.
+        self.slots
+            .front()
+            .and_then(|s| s.as_ref())
+            .map(|v| (self.base, v))
+    }
+
+    /// Remove and return all entries with `key <= cutoff`, ascending.
+    fn drain_upto(&mut self, cutoff: u64) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        while let Some(front) = self.slots.front_mut() {
+            if self.base > cutoff {
+                break;
+            }
+            if let Some(v) = front.take() {
+                self.len -= 1;
+                out.push((self.base, v));
+            }
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        self.trim_front();
+        out
+    }
+
+    /// Iterate entries in ascending key order.
+    fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|v| (self.base + i as u64, v)))
+    }
+}
 
 /// Packets sent after a given packet that must be acked before that packet
 /// is declared lost (the classic dupack threshold).
@@ -94,9 +216,9 @@ pub struct Transport {
     next_seq: u64,
     next_tx_index: u64,
     /// In-flight packets keyed by sequence number.
-    outstanding: BTreeMap<u64, Outstanding>,
+    outstanding: WindowMap<Outstanding>,
     /// In-flight packets keyed by transmission index (loss detector order).
-    by_tx_index: BTreeMap<u64, u64>,
+    by_tx_index: WindowMap<u64>,
     /// Sequences awaiting retransmission.
     retx_queue: VecDeque<u64>,
     highest_acked_tx_index: Option<u64>,
@@ -128,8 +250,8 @@ impl Transport {
             epoch: 0,
             next_seq: 0,
             next_tx_index: 0,
-            outstanding: BTreeMap::new(),
-            by_tx_index: BTreeMap::new(),
+            outstanding: WindowMap::new(),
+            by_tx_index: WindowMap::new(),
             retx_queue: VecDeque::new(),
             highest_acked_tx_index: None,
             srtt: None,
@@ -232,7 +354,7 @@ impl Transport {
                 newly_lost: Vec::new(),
             };
         }
-        let Some(out) = self.outstanding.remove(&ack.seq) else {
+        let Some(out) = self.outstanding.remove(ack.seq) else {
             // Duplicate or ack of an already-retransmitted packet.
             return AckOutcome {
                 valid: false,
@@ -240,7 +362,7 @@ impl Transport {
                 newly_lost: Vec::new(),
             };
         };
-        self.by_tx_index.remove(&out.tx_index);
+        self.by_tx_index.remove(out.tx_index);
         self.backoff = 0;
 
         // Karn's rule: only un-ambiguous samples update the estimators.
@@ -264,14 +386,8 @@ impl Transport {
         if let Some(h) = self.highest_acked_tx_index {
             if h >= REORDER_THRESHOLD {
                 let cutoff = h - REORDER_THRESHOLD;
-                let lost_tx: Vec<u64> = self
-                    .by_tx_index
-                    .range(..=cutoff)
-                    .map(|(&tx, _)| tx)
-                    .collect();
-                for tx in lost_tx {
-                    let seq = self.by_tx_index.remove(&tx).expect("indexed");
-                    self.outstanding.remove(&seq);
+                for (_tx, seq) in self.by_tx_index.drain_upto(cutoff) {
+                    self.outstanding.remove(seq);
                     self.retx_queue.push_back(seq);
                     newly_lost.push(seq);
                 }
@@ -332,12 +448,11 @@ impl Transport {
     pub fn on_timeout(&mut self) -> usize {
         let n = self.outstanding.len();
         // Re-queue in sequence order for in-order recovery.
-        let seqs: Vec<u64> = self.outstanding.keys().copied().collect();
-        for seq in seqs {
-            let out = self.outstanding.remove(&seq).expect("present");
-            self.by_tx_index.remove(&out.tx_index);
+        for (seq, _) in self.outstanding.iter() {
             self.retx_queue.push_back(seq);
         }
+        self.outstanding.clear();
+        self.by_tx_index.clear();
         self.backoff = (self.backoff + 1).min(16);
         self.rto_gen += 1;
         n
@@ -351,8 +466,14 @@ impl Transport {
 
     /// Oldest outstanding transmission time (None when idle); the RTO
     /// deadline is measured from here.
+    ///
+    /// `sent_at` is monotone in `tx_index` (packets transmit in index
+    /// order at non-decreasing times), so the minimum is the entry with
+    /// the smallest tx_index — an O(1) front lookup rather than a full
+    /// scan. This runs on every ack via `reschedule_rto`.
     pub fn oldest_outstanding_at(&self) -> Option<SimTime> {
-        self.outstanding.values().map(|o| o.sent_at).min()
+        let (_, &seq) = self.by_tx_index.first()?;
+        Some(self.outstanding.get(seq).expect("indexed").sent_at)
     }
 }
 

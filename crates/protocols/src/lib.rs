@@ -19,6 +19,7 @@
 //! plug into the simulator's reliability layer.
 
 pub mod action;
+pub mod compiled;
 pub mod const_window;
 pub mod cubic;
 pub mod memory;
@@ -28,6 +29,7 @@ pub mod vegas;
 pub mod whisker;
 
 pub use action::Action;
+pub use compiled::{CompiledLeaf, CompiledTree, UsageCounts};
 pub use const_window::ConstWindow;
 pub use cubic::Cubic;
 pub use memory::{Memory, MemoryPoint, Signal, SignalMask, NUM_SIGNALS};

@@ -5,19 +5,29 @@
 //! congestion [`Memory`]; on every acknowledgment it updates the memory,
 //! looks up the whisker covering the current memory point, and applies the
 //! whisker's action: `cwnd ← m·cwnd + b`, pacing floor τ (§3.5).
+//!
+//! The executor walks a [`CompiledTree`] — the whisker tree flattened
+//! into a contiguous arena — and records per-whisker usage in a flat
+//! [`UsageCounts`] buffer. The compiled tree is immutable and shared
+//! (`Arc`) so many senders in one simulation, and many simulations in one
+//! evaluation batch, reuse a single compilation instead of cloning the
+//! recursive tree per sender.
 
+use crate::compiled::{CompiledTree, UsageCounts};
 use crate::memory::{Memory, SignalMask};
-use crate::whisker::WhiskerTree;
+use crate::whisker::{MemoryRange, WhiskerTree};
 use netsim::packet::Ack;
 use netsim::time::{SimDuration, SimTime};
 use netsim::transport::{AckInfo, CongestionControl};
+use std::sync::Arc;
 
 /// Initial congestion window at flow (re)start, packets.
 pub const INITIAL_WINDOW: f64 = 2.0;
 
 /// Runtime executor for a Tao protocol.
 pub struct TaoCc {
-    tree: WhiskerTree,
+    tree: Arc<CompiledTree>,
+    usage: UsageCounts,
     memory: Memory,
     cwnd: f64,
     intersend: SimDuration,
@@ -31,8 +41,21 @@ impl TaoCc {
 
     /// Executor with a §3.4 signal-knockout mask.
     pub fn with_mask(tree: WhiskerTree, mask: SignalMask, name: impl Into<String>) -> Self {
+        Self::from_compiled(CompiledTree::compile_shared(&tree), mask, name)
+    }
+
+    /// Executor over a pre-compiled (and possibly shared) tree — the
+    /// evaluation hot path compiles each candidate once and hands the same
+    /// `Arc` to every sender in every scenario.
+    pub fn from_compiled(
+        tree: Arc<CompiledTree>,
+        mask: SignalMask,
+        name: impl Into<String>,
+    ) -> Self {
+        let usage = UsageCounts::new(tree.num_leaves());
         let mut cc = TaoCc {
             tree,
+            usage,
             memory: Memory::new(mask),
             cwnd: INITIAL_WINDOW,
             intersend: SimDuration::ZERO,
@@ -49,9 +72,20 @@ impl TaoCc {
         self.intersend = SimDuration::from_millis_f64(a.intersend_ms);
     }
 
-    /// Usage statistics collected by the embedded tree (the optimizer
-    /// reads these after an evaluation run).
-    pub fn tree(&self) -> &WhiskerTree {
+    /// Usage statistics collected during execution (the optimizer reads
+    /// these after an evaluation run). Index-aligned with the tree's
+    /// in-order leaves.
+    pub fn usage(&self) -> &UsageCounts {
+        &self.usage
+    }
+
+    /// Total whisker lookups recorded so far.
+    pub fn total_uses(&self) -> u64 {
+        self.usage.total_uses()
+    }
+
+    /// The compiled tree this executor runs.
+    pub fn compiled_tree(&self) -> &Arc<CompiledTree> {
         &self.tree
     }
 
@@ -69,7 +103,10 @@ impl CongestionControl for TaoCc {
 
     fn on_ack(&mut self, now: SimTime, ack: &Ack, _info: &AckInfo) {
         self.memory.on_ack(now, ack);
-        let action = self.tree.use_action_for(&self.memory.point());
+        let p = MemoryRange::clamp_point(&self.memory.point());
+        let leaf = self.tree.lookup_clamped(&p);
+        self.usage.record(leaf, &p);
+        let action = self.tree.action(leaf);
         self.cwnd = action.apply_to_window(self.cwnd);
         self.intersend = SimDuration::from_millis_f64(action.intersend_ms);
     }
@@ -207,12 +244,32 @@ mod tests {
     }
 
     #[test]
-    fn usage_counts_accumulate_in_tree() {
+    fn usage_counts_accumulate_per_executor() {
         let tree = WhiskerTree::default_tree();
         let mut cc = TaoCc::new(tree, "tao-test");
         for i in 0..7 {
             cc.on_ack(t(100 + i * 10), &ack_at(i * 10, i), &info());
         }
-        assert_eq!(cc.tree().total_uses(), 7);
+        assert_eq!(cc.total_uses(), 7);
+    }
+
+    #[test]
+    fn shared_compiled_tree_keeps_counts_separate() {
+        let mut tree = WhiskerTree::default_tree();
+        tree.split_leaf(LeafId(0), 3);
+        let compiled = CompiledTree::compile_shared(&tree);
+        let mut a = TaoCc::from_compiled(compiled.clone(), SignalMask::all(), "a");
+        let mut b = TaoCc::from_compiled(compiled, SignalMask::all(), "b");
+        a.on_ack(t(100), &ack_at(0, 0), &info());
+        a.on_ack(t(110), &ack_at(5, 1), &info());
+        b.on_ack(t(100), &ack_at(0, 0), &info());
+        assert_eq!(a.total_uses(), 2);
+        assert_eq!(b.total_uses(), 1);
+        // counts fold back into the editing tree
+        let mut merged = tree.clone();
+        merged.reset_counts();
+        merged.absorb_usage(a.usage());
+        merged.absorb_usage(b.usage());
+        assert_eq!(merged.total_uses(), 3);
     }
 }

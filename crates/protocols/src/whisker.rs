@@ -287,6 +287,47 @@ impl WhiskerTree {
         }
     }
 
+    /// Fold flat per-leaf usage counters (as accumulated by executors
+    /// against a [`crate::compiled::CompiledTree`]) into this tree's
+    /// whiskers. Counter index i maps to the i-th in-order leaf — the
+    /// same order `leaves()` and [`LeafId`] use.
+    pub fn absorb_usage(&mut self, usage: &crate::compiled::UsageCounts) {
+        fn walk(t: &mut WhiskerTree, idx: &mut usize, usage: &crate::compiled::UsageCounts) {
+            match t {
+                WhiskerTree::Leaf(w) => {
+                    let id = LeafId(*idx);
+                    *idx += 1;
+                    w.use_count += usage.use_count(id);
+                    let obs = usage.obs_sum(id);
+                    for i in 0..NUM_SIGNALS {
+                        w.obs_sum[i] += obs[i];
+                    }
+                }
+                WhiskerTree::Node { below, above, .. } => {
+                    walk(below, idx, usage);
+                    walk(above, idx, usage);
+                }
+            }
+        }
+        assert_eq!(
+            usage.len(),
+            self.num_leaves(),
+            "usage counters do not match tree shape"
+        );
+        let mut idx = 0;
+        walk(self, &mut idx, usage);
+    }
+
+    /// Snapshot this tree's per-leaf usage into a flat counter set (the
+    /// inverse of [`absorb_usage`](Self::absorb_usage)).
+    pub fn usage_snapshot(&self) -> crate::compiled::UsageCounts {
+        let mut usage = crate::compiled::UsageCounts::new(self.num_leaves());
+        for (i, w) in self.leaves().iter().enumerate() {
+            usage.add_raw(LeafId(i), w.use_count, &w.obs_sum);
+        }
+        usage
+    }
+
     /// Split a leaf along `dim`. The split point is the mean observed
     /// value in that dimension (falling back to the box midpoint), clamped
     /// strictly inside the box. Both children inherit the parent action.

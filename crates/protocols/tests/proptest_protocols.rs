@@ -6,7 +6,28 @@ use netsim::packet::{Ack, FlowId};
 use netsim::time::{SimDuration, SimTime};
 use netsim::transport::{AckInfo, CongestionControl};
 use proptest::prelude::*;
-use protocols::{Action, Cubic, Memory, NewReno, SignalMask, WhiskerTree};
+use protocols::whisker::MemoryRange;
+use protocols::{
+    Action, CompiledTree, Cubic, LeafId, Memory, NewReno, SignalMask, UsageCounts, WhiskerTree,
+};
+
+/// Build a whisker tree from an arbitrary split script and give every
+/// leaf a distinct action derived from `(m, b, tau)`.
+fn build_random_tree(splits: &[(usize, usize)], m: f64, b: f64, tau: f64) -> WhiskerTree {
+    let mut tree = WhiskerTree::default_tree();
+    for (leaf, dim) in splits {
+        let n = tree.num_leaves();
+        tree.split_leaf(LeafId(leaf % n), *dim);
+    }
+    for i in 0..tree.num_leaves() {
+        let f = i as f64;
+        tree.set_leaf_action(
+            LeafId(i),
+            Action::new(m + f * 0.01, b + f, tau + f * 0.1),
+        );
+    }
+    tree
+}
 
 fn ack_at(sent_ms: u64, seq: u64) -> Ack {
     Ack {
@@ -157,5 +178,84 @@ proptest! {
         for probe in [[0.0, 0.0, 0.0, 0.0], [100.0, 5.0, 30.0, 1.5], [3999.0, 3999.0, 3999.0, 63.0]] {
             prop_assert_eq!(tree.action_for(&probe), back.action_for(&probe));
         }
+    }
+
+    /// The compiled arena is an exact functional copy of the recursive
+    /// tree: for any split script and any memory point, `CompiledTree`
+    /// resolves the same leaf (by in-order id) and the same action as the
+    /// recursive walk.
+    #[test]
+    fn compiled_tree_matches_recursive_walk(
+        splits in proptest::collection::vec((0usize..16, 0usize..4), 0..14),
+        m in 0.0f64..2.0,
+        b in -32.0f64..32.0,
+        tau in 0.01f64..100.0,
+        probes in proptest::collection::vec(
+            // includes out-of-range coordinates: both sides clamp first
+            (0.0f64..8000.0, 0.0f64..8000.0, 0.0f64..8000.0, 0.0f64..128.0),
+            1..32
+        ),
+    ) {
+        let tree = build_random_tree(&splits, m, b, tau);
+        let compiled = CompiledTree::compile(&tree);
+        prop_assert_eq!(compiled.num_leaves(), tree.num_leaves());
+        // leaf order is the in-order traversal on both sides
+        for (i, w) in tree.leaves().iter().enumerate() {
+            prop_assert_eq!(compiled.leaf(LeafId(i)).domain, w.domain);
+            prop_assert_eq!(compiled.leaf(LeafId(i)).action, w.action);
+        }
+        for (a, bb, c, d) in probes {
+            let p = [a, bb, c, d];
+            prop_assert_eq!(compiled.action_for(&p), tree.action_for(&p), "point {:?}", p);
+            let clamped = MemoryRange::clamp_point(&p);
+            let leaf = compiled.lookup_clamped(&clamped);
+            prop_assert!(compiled.leaf(leaf).domain.contains(&clamped));
+        }
+    }
+
+    /// Usage recorded against the compiled tree folds back into the
+    /// recursive tree exactly as executing the recursive tree would have:
+    /// `use_action_for` on a tree clone and `UsageCounts::record` +
+    /// `absorb_usage` agree leaf by leaf (counts and observation sums),
+    /// and flat counters round-trip through `usage_snapshot`.
+    #[test]
+    fn usage_counts_round_trip_absorb(
+        splits in proptest::collection::vec((0usize..16, 0usize..4), 0..10),
+        probes in proptest::collection::vec(
+            (0.0f64..8000.0, 0.0f64..4000.0, 0.0f64..4000.0, 0.0f64..100.0),
+            1..40
+        ),
+    ) {
+        let tree = build_random_tree(&splits, 1.0, 0.0, 1.0);
+        let compiled = CompiledTree::compile(&tree);
+
+        // Reference: execute against a recursive-tree clone.
+        let mut reference = tree.clone();
+        // Compiled path: flat counters.
+        let mut counts = UsageCounts::new(compiled.num_leaves());
+        for (a, b, c, d) in &probes {
+            let p = [*a, *b, *c, *d];
+            reference.use_action_for(&p);
+            let clamped = MemoryRange::clamp_point(&p);
+            counts.record(compiled.lookup_clamped(&clamped), &clamped);
+        }
+
+        let mut absorbed = tree.clone();
+        absorbed.reset_counts();
+        absorbed.absorb_usage(&counts);
+        prop_assert_eq!(&absorbed, &reference, "absorb_usage must equal direct execution");
+
+        // absorb_counts (tree-to-tree merge) agrees with flat merge.
+        let mut doubled_tree = absorbed.clone();
+        doubled_tree.absorb_counts(&reference);
+        let mut doubled_flat = counts.clone();
+        doubled_flat.merge(&counts);
+        let mut via_flat = tree.clone();
+        via_flat.reset_counts();
+        via_flat.absorb_usage(&doubled_flat);
+        prop_assert_eq!(&doubled_tree, &via_flat);
+
+        // snapshot is the exact inverse of absorb_usage
+        prop_assert_eq!(&absorbed.usage_snapshot(), &counts);
     }
 }

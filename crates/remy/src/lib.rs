@@ -25,6 +25,33 @@
 //! let trained = opt.optimize("tao-2x");
 //! println!("score {:.3}\n{}", trained.score, trained.tree);
 //! ```
+//!
+//! # Performance architecture
+//!
+//! Training cost = (candidate evaluations) × (scenario simulations per
+//! evaluation) × (per-simulation cost); `improve_leaf` multiplies the
+//! first factor into the thousands, so the evaluation path is built for
+//! throughput (see [`eval`] for the full design):
+//!
+//! * **Compiled whisker trees.** Each evaluation compiles the candidate
+//!   [`WhiskerTree`](protocols::WhiskerTree) once into an immutable
+//!   [`protocols::CompiledTree`] arena shared (`Arc`) by every sender in
+//!   every scenario; per-ack lookups walk contiguous nodes, and usage
+//!   statistics accumulate in flat per-executor
+//!   [`protocols::UsageCounts`] buffers instead of per-scenario tree
+//!   clones.
+//! * **Persistent evaluation pool.** An [`eval::EvalPool`] is created
+//!   once per [`Optimizer`] (and once per process for the free
+//!   [`evaluate_scenarios`] function); scenarios are claimed from a
+//!   work-stealing atomic cursor, so no threads are spawned per
+//!   candidate and skewed scenario costs don't idle cores.
+//!   `OptimizerConfig::threads` sizes the pool; results are
+//!   bit-identical for any thread count.
+//!
+//! Benchmarks: `cargo bench -p bench --bench optimizer` (evaluation
+//! scaling, spec costs) and `--bench hotpath` (lookup + pool paths);
+//! `cargo run --release -p bench --bin perf_snapshot -- --write` records
+//! the training wall-time trajectory in `BENCH_optimizer.json`.
 
 pub mod eval;
 pub mod objective;
@@ -33,7 +60,7 @@ pub mod scenario;
 pub mod serialize;
 pub mod verifier;
 
-pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalResult};
+pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalPool, EvalResult};
 pub use objective::Objective;
 pub use optimizer::{Optimizer, OptimizerConfig, TrainedProtocol};
 pub use scenario::{

@@ -16,7 +16,7 @@
 //! one batch. [`Optimizer::co_optimize`] alternates optimization across
 //! several tree slots for the sender-diversity experiment (§4.6).
 
-use crate::eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalResult};
+use crate::eval::{draw_scenarios, EvalConfig, EvalPool, EvalResult};
 use crate::scenario::ScenarioSpec;
 use protocols::whisker::{LeafId, SIGNAL_MAX};
 use protocols::{SignalMask, WhiskerTree, NUM_SIGNALS};
@@ -105,16 +105,27 @@ pub struct TrainedProtocol {
 pub struct Optimizer {
     specs: Vec<ScenarioSpec>,
     cfg: OptimizerConfig,
+    /// Persistent evaluation workers, created once per optimizer and
+    /// reused by every candidate evaluation (`improve_leaf` runs
+    /// thousands of them per training run).
+    pool: EvalPool,
 }
 
 impl Optimizer {
     pub fn new(specs: Vec<ScenarioSpec>, cfg: OptimizerConfig) -> Self {
         assert!(!specs.is_empty(), "optimizer needs at least one training spec");
-        Optimizer { specs, cfg }
+        let pool = EvalPool::new(cfg.threads);
+        Optimizer { specs, cfg, pool }
     }
 
     pub fn config(&self) -> &OptimizerConfig {
         &self.cfg
+    }
+
+    /// The evaluation pool this optimizer feeds (sized from
+    /// `OptimizerConfig::threads`).
+    pub fn pool(&self) -> &EvalPool {
+        &self.pool
     }
 
     /// Design a protocol from scratch for these training scenarios.
@@ -176,13 +187,15 @@ impl Optimizer {
         let cfg = self.cfg.eval_config();
         let mut last_score = f64::NEG_INFINITY;
         for round in 0..self.cfg.rounds {
-            // Fresh draws each round; candidates within the round share them.
-            let scenarios = draw_scenarios(
+            // Fresh draws each round; candidates within the round share
+            // them (as an Arc, so pooled evaluations never copy the batch).
+            let scenarios: std::sync::Arc<[crate::scenario::ConcreteScenario]> = draw_scenarios(
                 &self.specs,
                 self.cfg.draws_per_eval,
                 self.cfg.seed ^ ((round as u64 + 1) * 0x9E37),
-            );
-            let base: EvalResult = evaluate_scenarios(&scenarios, trees, &cfg);
+            )
+            .into();
+            let base: EvalResult = self.pool.evaluate_shared(&scenarios, trees, &cfg);
             let mut score = base.mean_utility;
 
             // Whiskers ordered by usage, busiest first.
@@ -219,7 +232,7 @@ impl Optimizer {
             // tree of structure.
             if trees[slot].num_leaves() < self.cfg.max_leaves && round + 1 < self.cfg.rounds {
                 // Re-evaluate usage on the final actions of this round.
-                let usage = evaluate_scenarios(&scenarios, trees, &cfg).usage;
+                let usage = self.pool.evaluate_shared(&scenarios, trees, &cfg).usage;
                 let Some(target) = usage[slot].most_used_leaf() else {
                     continue;
                 };
@@ -252,7 +265,7 @@ impl Optimizer {
         trees: &mut [WhiskerTree],
         slot: usize,
         leaf: LeafId,
-        scenarios: &[crate::scenario::ConcreteScenario],
+        scenarios: &std::sync::Arc<[crate::scenario::ConcreteScenario]>,
         score: &mut f64,
         cfg: &EvalConfig,
     ) -> bool {
@@ -267,7 +280,7 @@ impl Optimizer {
                 let mut best_action = None;
                 for cand in current.neighbors(scale) {
                     trees[slot].set_leaf_action(leaf, cand);
-                    let r = evaluate_scenarios(scenarios, trees, cfg);
+                    let r = self.pool.evaluate_shared(scenarios, trees, cfg);
                     if r.mean_utility > best + IMPROVEMENT_EPS {
                         best = r.mean_utility;
                         best_action = Some(cand);
@@ -312,6 +325,7 @@ fn split_dimension(tree: &WhiskerTree, leaf: LeafId) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate_scenarios;
     use protocols::Action;
 
     #[test]
@@ -351,6 +365,28 @@ mod tests {
         let b = Optimizer::new(specs, cfg).optimize("b");
         assert_eq!(a.tree, b.tree, "same seed and budget, same protocol");
         assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn threads_knob_is_honored_and_equivalent() {
+        // Regression for the dead-knob bug: `OptimizerConfig::threads`
+        // must size the optimizer's persistent pool, and training with
+        // threads: 1 vs threads: N must produce bit-identical protocols.
+        let specs = vec![ScenarioSpec::calibration()];
+        let mut cfg = OptimizerConfig::smoke();
+        cfg.seed = 5;
+        cfg.threads = 1;
+        let serial_opt = Optimizer::new(specs.clone(), cfg.clone());
+        assert_eq!(serial_opt.pool().size(), 1);
+        let serial = serial_opt.optimize("serial");
+
+        cfg.threads = 4;
+        let parallel_opt = Optimizer::new(specs, cfg);
+        assert_eq!(parallel_opt.pool().size(), 4);
+        let parallel = parallel_opt.optimize("parallel");
+
+        assert_eq!(serial.tree, parallel.tree, "thread count changed the protocol");
+        assert_eq!(serial.score, parallel.score);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Vendored mini rand_distr: just the exponential distribution the
+//! simulator's workload model draws from.
+
+use rand::RngCore;
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpError {
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be positive")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+        let u = rand::unit_f64(rng.next_u64());
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let exp = Exp::new(0.5).unwrap(); // mean 2.0
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+}

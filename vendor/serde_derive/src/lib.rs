@@ -1,0 +1,411 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small serde-compatible surface instead of the real crates. This derive
+//! supports exactly the shapes the repo uses, mirroring serde's externally
+//! tagged JSON representation:
+//!
+//! * named-field structs        → JSON object
+//! * newtype structs            → the inner value
+//! * tuple structs (n ≥ 2)      → JSON array
+//! * unit enum variants         → `"Variant"`
+//! * newtype enum variants      → `{"Variant": value}`
+//! * tuple enum variants        → `{"Variant": [..]}`
+//! * struct enum variants       → `{"Variant": {..}}`
+//! * `#[serde(default)]` fields → `Default::default()` when the key is absent
+//!
+//! Generics, lifetimes, and other serde attributes are unsupported and
+//! rejected at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Skip a run of outer attributes (`#[...]`), returning whether any of them
+/// was `#[serde(default)]`.
+fn skip_attrs(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let text = g.stream().to_string();
+                        if text.contains("serde") && text.contains("default") {
+                            has_default = true;
+                        }
+                    }
+                    other => panic!("expected attribute body, got {other:?}"),
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn skip_visibility(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parse `name: Type,` fields from the token stream of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let default = skip_attrs(&mut it);
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count comma-separated entries at top level of a paren group (tuple
+/// struct / tuple variant fields).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    count += 1;
+                    saw_token = false;
+                    continue;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                }
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an explicit discriminant (`= expr`) and the trailing comma
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    it.next();
+                    break;
+                }
+                None => break,
+                _ => {
+                    it.next();
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("mini-serde derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        kw => panic!("expected `struct` or `enum`, got `{kw}`"),
+    };
+    (name, shape)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(obj)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(x0))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{it}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            it = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{p}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            p = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+fn gen_named_field_reads(fields: &[Field], obj_expr: &str, type_label: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.default {
+            out.push_str(&format!(
+                "{n}: match ::serde::value_get({obj}, \"{n}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => Default::default() }},\n",
+                n = f.name,
+                obj = obj_expr
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: match ::serde::value_get({obj}, \"{n}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => return Err(::serde::DeError::new(\"missing field `{n}` in {ty}\")) }},\n",
+                n = f.name,
+                obj = obj_expr,
+                ty = type_label
+            ));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let reads = gen_named_field_reads(fields, "obj", &name);
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\nOk({name} {{\n{reads}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\nif arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}\")); }}\nOk({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let arr = inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{v}\"))?; if arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}::{v}\")); }} return Ok({name}::{v}({items})); }}\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let label = format!("{name}::{}", v.name);
+                        let reads = gen_named_field_reads(fields, "obj", &label);
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let obj = inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {label}\"))?; return Ok({name}::{v} {{\n{reads}}}); }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}_ => {{}} }},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                   let (tag, inner) = &o[0];\n\
+                   match tag.as_str() {{\n{tagged_arms}_ => {{}} }}\n\
+                 }}\n\
+                 _ => {{}}\n\
+                 }}\n\
+                 Err(::serde::DeError::new(\"no matching variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
