@@ -102,7 +102,10 @@ fn bench_fig6_topology(c: &mut Criterion) {
     let net = topology::test_network(30.0, 100.0);
     let mut g = c.benchmark_group("fig6");
     g.sample_size(10);
-    for (label, tao) in [("one-bottleneck-model", &one), ("two-bottleneck-model", &two)] {
+    for (label, tao) in [
+        ("one-bottleneck-model", &one),
+        ("two-bottleneck-model", &two),
+    ] {
         let s = Scheme::tao(tao.tree.clone(), label);
         g.bench_function(format!("{label}-on-parking-lot"), |b| {
             b.iter(|| run_homogeneous(&net, &s, 1, BENCH_SECS));

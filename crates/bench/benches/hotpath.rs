@@ -4,6 +4,10 @@
 //! evaluation through a persistent [`EvalPool`].
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::calendar::CalendarQueue;
+use netsim::event::{BinaryHeapScheduler, Event, Scheduler};
+use netsim::packet::FlowId;
+use netsim::time::{SimDuration, SimTime};
 use protocols::whisker::MemoryRange;
 use protocols::{Action, CompiledTree, LeafId, UsageCounts, WhiskerTree};
 use remy::{draw_scenarios, EvalConfig, EvalPool, ScenarioSpec};
@@ -105,5 +109,70 @@ fn bench_pool_evaluation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tree_lookup, bench_pool_evaluation);
+/// Hold-and-churn scheduler workload shaped like the simulator's: a
+/// standing population of `held` events, each pop followed by a push a
+/// pseudo-exponential gap ahead, with every 64th push a far-future
+/// RTO-style timer. Returns a checksum so the work can't be elided.
+fn churn<S: Scheduler>(q: &mut S, held: usize, ops: usize) -> u64 {
+    let mut seq = 0u64;
+    let mut x = 0x9E3779B97F4A7C15u64; // splitmix-ish LCG stream
+    let mut next_time = |now: u64, seq: u64| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if seq % 64 == 63 {
+            now + 1_000_000_000 + x % 3_000_000_000 // RTO-style timer
+        } else {
+            now + 1 + (x % 600_000) // ~0.3 ms mean event spacing
+        }
+    };
+    for _ in 0..held {
+        q.insert(SimTime::from_nanos(next_time(0, seq)), seq, wake(seq));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let e = q.pop().expect("standing population");
+        let now = e.at.as_nanos();
+        acc = acc.wrapping_add(now).wrapping_add(e.seq);
+        q.insert(SimTime::from_nanos(next_time(now, seq)), seq, wake(seq));
+        seq += 1;
+    }
+    acc
+}
+
+fn wake(seq: u64) -> Event {
+    Event::SenderWake {
+        flow: FlowId(seq as u32),
+    }
+}
+
+fn bench_scheduler_churn(c: &mut Criterion) {
+    let ops = 100_000usize;
+    for held in [64usize, 1024, 16_384] {
+        let mut g = c.benchmark_group(format!("hotpath/scheduler-{held}-held"));
+        g.sample_size(20);
+        g.throughput(Throughput::Elements(ops as u64));
+        g.bench_function("heap", |b| {
+            b.iter(|| {
+                let mut q = BinaryHeapScheduler::new();
+                black_box(churn(&mut q, held, ops))
+            });
+        });
+        g.bench_function("calendar", |b| {
+            b.iter(|| {
+                let mut q = CalendarQueue::with_width_hint(SimDuration::from_micros(300));
+                black_box(churn(&mut q, held, ops))
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_tree_lookup,
+    bench_pool_evaluation,
+    bench_scheduler_churn
+);
 criterion_main!(benches);

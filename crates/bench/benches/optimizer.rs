@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use protocols::WhiskerTree;
-use remy::{draw_scenarios, evaluate_scenarios, EvalConfig, Optimizer, OptimizerConfig, ScenarioSpec};
+use remy::{
+    draw_scenarios, evaluate_scenarios, EvalConfig, Optimizer, OptimizerConfig, ScenarioSpec,
+};
 
 fn eval_cfg(threads: usize) -> EvalConfig {
     EvalConfig {
@@ -36,7 +38,10 @@ fn bench_evaluation_by_spec(c: &mut Criterion) {
     g.sample_size(10);
     for (label, spec) in [
         ("calibration", ScenarioSpec::calibration()),
-        ("mux-100", ScenarioSpec::multiplexing(100, remy::BufferSpec::BdpMultiple(5.0))),
+        (
+            "mux-100",
+            ScenarioSpec::multiplexing(100, remy::BufferSpec::BdpMultiple(5.0)),
+        ),
         ("parking-lot", ScenarioSpec::two_bottleneck_model()),
     ] {
         let scenarios = draw_scenarios(std::slice::from_ref(&spec), 4, 7);
@@ -68,6 +73,7 @@ fn bench_hill_climb_scales(c: &mut Criterion) {
                     seed: 9,
                     event_budget: 2_000_000,
                     masks: Vec::new(),
+                    scheduler: Default::default(),
                     verbose: false,
                 };
                 Optimizer::new(vec![ScenarioSpec::calibration()], cfg).optimize("bench")

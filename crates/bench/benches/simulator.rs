@@ -47,6 +47,37 @@ fn bench_engine_by_protocol(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_by_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/scheduler");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("heap", SchedulerKind::Heap),
+        ("calendar", SchedulerKind::Calendar),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            // Same fixed dumbbell perf_snapshot tracks, shortened.
+            let net = dumbbell(
+                4,
+                40e6,
+                0.100,
+                QueueSpec::drop_tail_bdp(40e6, 0.100, 5.0),
+                WorkloadSpec::AlwaysOn,
+            );
+            b.iter(|| {
+                let tree = WhiskerTree::uniform(Action::new(1.0, 1.0, 0.2));
+                let ccs: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..4)
+                    .map(|_| -> Box<dyn netsim::transport::CongestionControl> {
+                        Box::new(TaoCc::new(tree.clone(), "tao"))
+                    })
+                    .collect();
+                let mut sim = Simulation::with_scheduler(&net, ccs, 42, kind);
+                sim.run(SimDuration::from_secs(3))
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_engine_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/senders");
     g.sample_size(10);
@@ -164,6 +195,7 @@ fn bench_whisker_lookup(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine_by_protocol,
+    bench_engine_by_scheduler,
     bench_engine_scaling,
     bench_queues,
     bench_whisker_lookup

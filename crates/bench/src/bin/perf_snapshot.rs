@@ -5,7 +5,11 @@
 //! * `smoke_train_wall_s` — wall time of one `OptimizerConfig::smoke()`
 //!   training run on the calibration scenario (the Remy inner loop).
 //! * `sim_events_per_sec` — event throughput of a fixed 4-sender dumbbell
-//!   simulation (the netsim hot path), single-threaded.
+//!   simulation (the netsim hot path), single-threaded, on the default
+//!   scheduler backend (the bucketed calendar queue). The same dumbbell
+//!   is also timed on the `BinaryHeap` reference backend and reported as
+//!   `sim_events_per_sec_heap`, keeping the backend gap visible in the
+//!   perf trajectory.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin perf_snapshot            # print only
@@ -37,7 +41,7 @@ fn time_smoke_training() -> f64 {
     samples[samples.len() / 2]
 }
 
-fn sim_events_per_sec() -> f64 {
+fn sim_events_per_sec(scheduler: SchedulerKind) -> f64 {
     // Fixed dumbbell: 4 Tao senders with a mildly aggressive uniform
     // action on a 40 Mbps / 100 ms RTT bottleneck — enough load to keep
     // the queue busy and the ack clock dense.
@@ -55,7 +59,7 @@ fn sim_events_per_sec() -> f64 {
                 as Box<dyn netsim::transport::CongestionControl>
         })
         .collect();
-    let mut sim = Simulation::new(&net, protocols, 42);
+    let mut sim = Simulation::with_scheduler(&net, protocols, 42, scheduler);
     let start = Instant::now();
     let out = sim.run(SimDuration::from_secs(30));
     let dt = start.elapsed().as_secs_f64();
@@ -77,9 +81,13 @@ fn main() {
     let train_s = time_smoke_training();
     eprintln!("[perf] smoke training: {train_s:.3} s");
 
-    eprintln!("[perf] timing dumbbell simulation...");
-    let eps = sim_events_per_sec();
-    eprintln!("[perf] simulator: {eps:.0} events/s");
+    eprintln!("[perf] timing dumbbell simulation (calendar backend)...");
+    let eps = sim_events_per_sec(SchedulerKind::Calendar);
+    eprintln!("[perf] simulator/calendar: {eps:.0} events/s");
+
+    eprintln!("[perf] timing dumbbell simulation (heap backend)...");
+    let eps_heap = sim_events_per_sec(SchedulerKind::Heap);
+    eprintln!("[perf] simulator/heap: {eps_heap:.0} events/s");
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -94,10 +102,16 @@ fn main() {
     let mut obj = vec![
         ("smoke_train_wall_s".to_string(), Value::F64(train_s)),
         ("sim_events_per_sec".to_string(), Value::F64(eps)),
+        ("sim_events_per_sec_heap".to_string(), Value::F64(eps_heap)),
+        ("scheduler".to_string(), Value::Str("calendar".to_string())),
         ("threads".to_string(), Value::U64(threads as u64)),
         (
             "bench".to_string(),
-            Value::Str("perf_snapshot: OptimizerConfig::smoke() on calibration; 4-Tao dumbbell 30 s".to_string()),
+            Value::Str(
+                "perf_snapshot: OptimizerConfig::smoke() on calibration; 4-Tao dumbbell 30 s \
+                 (sim_events_per_sec = default calendar scheduler, _heap = BinaryHeap reference)"
+                    .to_string(),
+            ),
         ),
     ];
     if let Some(b) = baseline {

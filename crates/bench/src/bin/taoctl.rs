@@ -51,11 +51,10 @@ fn main() {
         }
         Some("show") => {
             let name = args.get(1).unwrap_or_else(|| usage());
-            let p = remy::serialize::load(&remy::serialize::asset_path(name))
-                .unwrap_or_else(|e| {
-                    eprintln!("cannot load {name}: {e}");
-                    std::process::exit(1);
-                });
+            let p = remy::serialize::load(&remy::serialize::asset_path(name)).unwrap_or_else(|e| {
+                eprintln!("cannot load {name}: {e}");
+                std::process::exit(1);
+            });
             println!("name:  {}", p.name);
             println!("score: {:.4}", p.score);
             println!("model: {}", p.description);
@@ -72,11 +71,10 @@ fn main() {
                 args[4].parse().unwrap_or_else(|_| usage()),
                 args[5].parse().unwrap_or_else(|_| usage()),
             ];
-            let p = remy::serialize::load(&remy::serialize::asset_path(name))
-                .unwrap_or_else(|e| {
-                    eprintln!("cannot load {name}: {e}");
-                    std::process::exit(1);
-                });
+            let p = remy::serialize::load(&remy::serialize::asset_path(name)).unwrap_or_else(|e| {
+                eprintln!("cannot load {name}: {e}");
+                std::process::exit(1);
+            });
             let a = p.tree.action_for(&point);
             println!(
                 "memory (rec={}, slow={}, send={}, rttr={}) -> {a}",

@@ -32,7 +32,10 @@ fn main() {
         };
         let report = verify(&proto.tree, &proto.name, &cfg);
         if report.passed() {
-            println!("PASS {:<22} ({} probes)", report.protocol, report.probes_run);
+            println!(
+                "PASS {:<22} ({} probes)",
+                report.protocol, report.probes_run
+            );
         } else {
             failed += 1;
             println!(

@@ -92,7 +92,11 @@ pub fn test_network() -> NetworkConfig {
 
 /// Train (or load) the calibration Tao.
 pub fn trained_tao() -> remy::TrainedProtocol {
-    tao_asset(ASSET, vec![ScenarioSpec::calibration()], train_cfg(TrainCost::Normal))
+    tao_asset(
+        ASSET,
+        vec![ScenarioSpec::calibration()],
+        train_cfg(TrainCost::Normal),
+    )
 }
 
 /// Run the calibration experiment.

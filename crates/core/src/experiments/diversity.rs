@@ -124,8 +124,13 @@ pub struct DiversityResult {
 }
 
 impl DiversityResult {
-    pub fn point<'a>(rows: &'a [DiversityPoint], config: &str, sender: &str) -> Option<&'a DiversityPoint> {
-        rows.iter().find(|p| p.config == config && p.sender == sender)
+    pub fn point<'a>(
+        rows: &'a [DiversityPoint],
+        config: &str,
+        sender: &str,
+    ) -> Option<&'a DiversityPoint> {
+        rows.iter()
+            .find(|p| p.config == config && p.sender == sender)
     }
 
     /// In the co-optimized mix, the delay-sensitive sender should see less
@@ -140,10 +145,19 @@ impl DiversityResult {
 impl fmt::Display for DiversityResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (title, rows) in [
-            ("Fig 9a — homogeneous (each pair by itself)", &self.homogeneous),
-            ("Fig 9b — mixed network (1 tpt-sender + 1 del-sender)", &self.mixed),
+            (
+                "Fig 9a — homogeneous (each pair by itself)",
+                &self.homogeneous,
+            ),
+            (
+                "Fig 9b — mixed network (1 tpt-sender + 1 del-sender)",
+                &self.mixed,
+            ),
         ] {
-            let mut t = Table::new(title, &["configuration", "sender", "throughput", "queueing delay"]);
+            let mut t = Table::new(
+                title,
+                &["configuration", "sender", "throughput", "queueing delay"],
+            );
             for p in rows {
                 t.row(vec![
                     p.config.clone(),
@@ -227,14 +241,20 @@ pub fn run(fidelity: Fidelity) -> DiversityResult {
     let mut mixed = Vec::new();
     mixed.extend(measure_pair(
         "naive mix",
-        &[s(&tpt_naive, ASSET_TPT_NAIVE), s(&del_naive, ASSET_DEL_NAIVE)],
+        &[
+            s(&tpt_naive, ASSET_TPT_NAIVE),
+            s(&del_naive, ASSET_DEL_NAIVE),
+        ],
         &[ASSET_TPT_NAIVE, ASSET_DEL_NAIVE],
         seeds.clone(),
         dur,
     ));
     mixed.extend(measure_pair(
         "co-optimized mix",
-        &[s(&tpt_coopt, ASSET_TPT_COOPT), s(&del_coopt, ASSET_DEL_COOPT)],
+        &[
+            s(&tpt_coopt, ASSET_TPT_COOPT),
+            s(&del_coopt, ASSET_DEL_COOPT),
+        ],
         &[ASSET_TPT_COOPT, ASSET_DEL_COOPT],
         seeds,
         dur,

@@ -7,9 +7,7 @@
 //! normalized objective (omniscient = 0). The paper finds only a weak
 //! tradeoff between operating range and performance.
 
-use super::{
-    log_grid, mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost,
-};
+use super::{log_grid, mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost};
 use crate::omniscient;
 use crate::report::{format_series, Series};
 use crate::runner::{run_seeds, with_sfq_codel, Scheme};
@@ -86,7 +84,11 @@ pub fn trained_taos() -> Vec<TrainedProtocol> {
             } else {
                 TrainCost::Normal
             };
-            tao_asset(name, vec![ScenarioSpec::link_speed_range(lo, hi)], train_cfg(cost))
+            tao_asset(
+                name,
+                vec![ScenarioSpec::link_speed_range(lo, hi)],
+                train_cfg(cost),
+            )
         })
         .collect()
 }
@@ -122,7 +124,11 @@ pub fn run(fidelity: Fidelity) -> LinkSpeedResult {
     for &speed in &speeds {
         let net = test_network(speed);
         let sfq_net = with_sfq_codel(&net);
-        let dur = if speed > 300.0 { base_dur.min(20.0) } else { base_dur };
+        let dur = if speed > 300.0 {
+            base_dur.min(20.0)
+        } else {
+            base_dur
+        };
 
         // Omniscient reference for normalization at this speed.
         let omn = omniscient::omniscient(&net);
@@ -135,9 +141,20 @@ pub fn run(fidelity: Fidelity) -> LinkSpeedResult {
             series[si].push(speed, mean_normalized_objective(&outs, fair, base_delay));
         }
         let cubic_outs = run_seeds(&net, &[Scheme::Cubic, Scheme::Cubic], seeds.clone(), dur);
-        series[4].push(speed, mean_normalized_objective(&cubic_outs, fair, base_delay));
-        let sfq_outs = run_seeds(&sfq_net, &[Scheme::Cubic, Scheme::Cubic], seeds.clone(), dur);
-        series[5].push(speed, mean_normalized_objective(&sfq_outs, fair, base_delay));
+        series[4].push(
+            speed,
+            mean_normalized_objective(&cubic_outs, fair, base_delay),
+        );
+        let sfq_outs = run_seeds(
+            &sfq_net,
+            &[Scheme::Cubic, Scheme::Cubic],
+            seeds.clone(),
+            dur,
+        );
+        series[5].push(
+            speed,
+            mean_normalized_objective(&sfq_outs, fair, base_delay),
+        );
     }
 
     LinkSpeedResult {

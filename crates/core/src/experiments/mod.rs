@@ -89,6 +89,7 @@ pub fn train_cfg(cost: TrainCost) -> OptimizerConfig {
         seed: 0x51C0_2014,
         event_budget: 8_000_000,
         masks: Vec::new(),
+        scheduler: Default::default(),
         verbose: std::env::var("LEARNABILITY_VERBOSE").is_ok(),
     };
     if cost == TrainCost::Heavy {
@@ -236,7 +237,10 @@ mod tests {
         };
         let v = normalized_objective(&f, 5e6, 0.075, 1.0).unwrap();
         assert!(v.abs() < 1e-12);
-        let never_on = FlowOutcome { on_time_s: 0.0, ..f };
+        let never_on = FlowOutcome {
+            on_time_s: 0.0,
+            ..f
+        };
         assert!(normalized_objective(&never_on, 5e6, 0.075, 1.0).is_none());
     }
 }

@@ -8,9 +8,7 @@
 //! protocols trained for few senders collapse at 100 (large queues or
 //! repeated drops).
 
-use super::{
-    mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost,
-};
+use super::{mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost};
 use crate::omniscient;
 use crate::report::{format_series, Series};
 use crate::runner::{run_seeds, with_sfq_codel, Scheme};
@@ -99,7 +97,11 @@ pub fn trained_taos() -> Vec<TrainedProtocol> {
     RANGES
         .iter()
         .map(|&(name, n)| {
-            let cost = if n >= 50 { TrainCost::Heavy } else { TrainCost::Normal };
+            let cost = if n >= 50 {
+                TrainCost::Heavy
+            } else {
+                TrainCost::Normal
+            };
             tao_asset(
                 name,
                 vec![ScenarioSpec::multiplexing(n, BufferSpec::BdpMultiple(5.0))],
@@ -195,7 +197,9 @@ mod tests {
         let infinite = test_network(3, true);
         assert_eq!(
             infinite.links[0].queue,
-            QueueSpec::DropTail { capacity_bytes: None }
+            QueueSpec::DropTail {
+                capacity_bytes: None
+            }
         );
     }
 }

@@ -50,10 +50,7 @@ impl fmt::Display for RttResult {
             )
         )?;
         // Headline: a little training diversity ≈ a lot.
-        let mean_of = |name: &str| {
-            self.series_named(name)
-                .and_then(|s| s.mean_in(1.0, 300.0))
-        };
+        let mean_of = |name: &str| self.series_named(name).and_then(|s| s.mean_in(1.0, 300.0));
         if let (Some(exact), Some(pm5), Some(broad)) = (
             mean_of("tao-rtt-150"),
             mean_of("tao-rtt-145-155"),
@@ -134,7 +131,10 @@ pub fn run(fidelity: Fidelity) -> RttResult {
         series[5].push(rtt, mean_normalized_objective(&sfq, fair, base_delay));
     }
 
-    RttResult { series, rtts_ms: rtts }
+    RttResult {
+        series,
+        rtts_ms: rtts,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn ranges_match_table_4a() {
-        assert_eq!(RANGES[0].1, RANGES[0].2, "first protocol trains one exact RTT");
+        assert_eq!(
+            RANGES[0].1, RANGES[0].2,
+            "first protocol trains one exact RTT"
+        );
         assert_eq!(RANGES[3], ("tao-rtt-50-250", 50.0, 250.0));
     }
 
@@ -155,7 +158,9 @@ mod tests {
         assert_eq!(n300.min_rtt(0), netsim::time::SimDuration::from_millis(300));
         // buffer scales with BDP
         let cap = |n: &NetworkConfig| match n.links[0].queue {
-            QueueSpec::DropTail { capacity_bytes: Some(c) } => c,
+            QueueSpec::DropTail {
+                capacity_bytes: Some(c),
+            } => c,
             _ => unreachable!(),
         };
         assert!(cap(&n300) > cap(&n1) * 100);

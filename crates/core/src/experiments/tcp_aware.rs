@@ -58,7 +58,10 @@ impl TcpAwareResult {
         rows.iter().find(|r| r.config == config)
     }
 
-    fn side<'a>(row: &'a ContentionRow, label: &str) -> Option<&'a (String, SummaryStat, SummaryStat)> {
+    fn side<'a>(
+        row: &'a ContentionRow,
+        label: &str,
+    ) -> Option<&'a (String, SummaryStat, SummaryStat)> {
         row.sides.iter().find(|(l, _, _)| l == label)
     }
 
@@ -88,7 +91,10 @@ impl fmt::Display for TcpAwareResult {
             ("Fig 7 (left) — homogeneous network", &self.homogeneous),
             ("Fig 7 (right) — mixed network", &self.mixed),
         ] {
-            let mut t = Table::new(title, &["configuration", "side", "throughput", "queueing delay"]);
+            let mut t = Table::new(
+                title,
+                &["configuration", "side", "throughput", "queueing delay"],
+            );
             for row in rows {
                 for (label, tpt, qd) in &row.sides {
                     t.row(vec![
@@ -256,7 +262,10 @@ impl fmt::Display for TimeDomainResult {
         writeln!(
             f,
             "Fig 8 — {}: mean queue (pkts) alone={:.1}, with TCP={:.1}, after={:.1}; drops={}",
-            self.label, self.phase_means[0], self.phase_means[1], self.phase_means[2],
+            self.label,
+            self.phase_means[0],
+            self.phase_means[1],
+            self.phase_means[2],
             self.drops.len()
         )?;
         // coarse sparkline, one char per 500 ms
@@ -291,7 +300,10 @@ pub fn time_domain(tree: &protocols::WhiskerTree, label: &str, seed: u64) -> Tim
     let trace: Trace = sim.take_trace().expect("trace enabled");
     let series = trace.series_for(LinkId(0)).expect("traced link");
 
-    let queue: Vec<(f64, usize)> = series.iter().map(|s| (s.at.as_secs_f64(), s.packets)).collect();
+    let queue: Vec<(f64, usize)> = series
+        .iter()
+        .map(|s| (s.at.as_secs_f64(), s.packets))
+        .collect();
     let t = |s: f64| netsim::time::SimTime::from_secs_f64(s);
     let phase_means = [
         trace.mean_packets_in(LinkId(0), t(1.0), t(5.0)),
@@ -339,7 +351,10 @@ mod tests {
         assert!(!r.queue.is_empty());
         // NewReno against a 250 kB buffer must overflow it eventually.
         assert!(!r.drops.is_empty(), "TCP pulse should cause drops");
-        assert!(r.drops.iter().all(|&d| (5.0..10.5).contains(&d)),
-            "drops happen while TCP active: {:?}", &r.drops[..r.drops.len().min(5)]);
+        assert!(
+            r.drops.iter().all(|&d| (5.0..10.5).contains(&d)),
+            "drops happen while TCP active: {:?}",
+            &r.drops[..r.drops.len().min(5)]
+        );
     }
 }

@@ -10,9 +10,7 @@
 //! testing sweep against Cubic and the specialist protocol for that
 //! sweep.
 
-use super::{
-    mean_normalized_objective, tao_asset, Fidelity, TrainCost,
-};
+use super::{mean_normalized_objective, tao_asset, Fidelity, TrainCost};
 use crate::omniscient;
 use crate::report::Table;
 use crate::runner::{run_seeds, Scheme};

@@ -20,9 +20,9 @@ pub mod report;
 pub mod runner;
 
 pub use experiments::Fidelity;
-pub use omniscient::{omniscient, proportional_fair, OmniscientFlow};
 #[doc(hidden)]
 pub use omniscient as omniscient_mod;
+pub use omniscient::{omniscient, proportional_fair, OmniscientFlow};
 pub use report::{Series, Table};
 pub use runner::{
     flow_points, run_homogeneous, run_mix, run_seeds, summarize, with_sfq_codel, Scheme,

@@ -101,7 +101,11 @@ pub struct OmniscientFlow {
 pub fn omniscient(net: &NetworkConfig) -> Vec<OmniscientFlow> {
     let n = net.flows.len();
     let caps: Vec<f64> = net.links.iter().map(|l| l.rate_bps).collect();
-    let p_on: Vec<f64> = net.flows.iter().map(|f| on_probability(&f.workload)).collect();
+    let p_on: Vec<f64> = net
+        .flows
+        .iter()
+        .map(|f| on_probability(&f.workload))
+        .collect();
 
     let single_link = net.links.len() == 1;
     let mut out = Vec::with_capacity(n);
@@ -242,7 +246,13 @@ mod tests {
 
     #[test]
     fn omniscient_dumbbell_always_on() {
-        let net = dumbbell(2, 32e6, 0.150, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            2,
+            32e6,
+            0.150,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let o = omniscient(&net);
         assert_eq!(o.len(), 2);
         for f in &o {
@@ -255,15 +265,31 @@ mod tests {
     fn omniscient_dumbbell_onoff_expectation() {
         // 2 senders, p=1/2 each. Given i on: other on w.p. 1/2.
         // E[x] = 1/2·C + 1/2·C/2 = 3C/4.
-        let net = dumbbell(2, 32e6, 0.150, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let net = dumbbell(
+            2,
+            32e6,
+            0.150,
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
         let o = omniscient(&net);
-        assert!((o[0].throughput_bps - 24e6).abs() / 24e6 < 1e-9, "{}", o[0].throughput_bps);
+        assert!(
+            (o[0].throughput_bps - 24e6).abs() / 24e6 < 1e-9,
+            "{}",
+            o[0].throughput_bps
+        );
     }
 
     #[test]
     fn omniscient_many_senders_binomial() {
         let n = 100;
-        let net = dumbbell(n, 15e6, 0.150, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let net = dumbbell(
+            n,
+            15e6,
+            0.150,
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
         let o = omniscient(&net);
         // E[C/(K+1)], K~Bin(99, 1/2): dominated by K≈49.5 -> about C/50.5,
         // slightly above due to convexity.

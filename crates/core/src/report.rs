@@ -203,7 +203,10 @@ mod tests {
         let out = format_series("fig", "x", &[a, b]);
         assert!(out.contains("fig"));
         // x=1 row has '-' for series b
-        let row1: Vec<&str> = out.lines().filter(|l| l.trim_start().starts_with("1.000")).collect();
+        let row1: Vec<&str> = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with("1.000"))
+            .collect();
         assert_eq!(row1.len(), 1);
         assert!(row1[0].contains('-'));
     }

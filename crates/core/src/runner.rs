@@ -67,7 +67,9 @@ pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
                 capacity_bytes: None,
             } => {
                 // sfqCoDel needs a finite shared buffer; give it 5 BDP.
-                (link.rate_bps / 8.0 * link.delay_s * 5.0).ceil().max(30_000.0) as u64
+                (link.rate_bps / 8.0 * link.delay_s * 5.0)
+                    .ceil()
+                    .max(30_000.0) as u64
             }
             QueueSpec::SfqCodel { capacity_bytes, .. } => capacity_bytes,
             QueueSpec::Red { capacity_bytes, .. } => capacity_bytes,
@@ -83,12 +85,7 @@ pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
 }
 
 /// Run one mix of schemes (one per flow) on a network.
-pub fn run_mix(
-    net: &NetworkConfig,
-    schemes: &[Scheme],
-    seed: u64,
-    duration_s: f64,
-) -> RunOutcome {
+pub fn run_mix(net: &NetworkConfig, schemes: &[Scheme], seed: u64, duration_s: f64) -> RunOutcome {
     assert_eq!(schemes.len(), net.flows.len(), "one scheme per flow");
     let protocols: Vec<Box<dyn CongestionControl>> = schemes.iter().map(|s| s.build()).collect();
     let mut sim = Simulation::new(net, protocols, seed);
@@ -157,10 +154,7 @@ pub fn summarize(xs: &[f64]) -> SummaryStat {
 
 /// Per-flow (throughput Mbps, queueing delay ms) pairs from a set of runs,
 /// restricted to flows selected by `keep`.
-pub fn flow_points(
-    outcomes: &[RunOutcome],
-    keep: impl Fn(usize) -> bool,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn flow_points(outcomes: &[RunOutcome], keep: impl Fn(usize) -> bool) -> (Vec<f64>, Vec<f64>) {
     let mut tpt = Vec::new();
     let mut qd = Vec::new();
     for run in outcomes {
@@ -211,8 +205,18 @@ mod tests {
         let sfq = with_sfq_codel(&fifo);
         let out_fifo = run_homogeneous(&fifo, &Scheme::Cubic, 7, 30.0);
         let out_sfq = run_homogeneous(&sfq, &Scheme::Cubic, 7, 30.0);
-        let qd_fifo: f64 = out_fifo.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / 2.0;
-        let qd_sfq: f64 = out_sfq.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / 2.0;
+        let qd_fifo: f64 = out_fifo
+            .flows
+            .iter()
+            .map(|f| f.avg_queueing_delay_s)
+            .sum::<f64>()
+            / 2.0;
+        let qd_sfq: f64 = out_sfq
+            .flows
+            .iter()
+            .map(|f| f.avg_queueing_delay_s)
+            .sum::<f64>()
+            / 2.0;
         assert!(
             qd_sfq < qd_fifo * 0.5,
             "CoDel should slash standing queues: fifo={qd_fifo:.4}s sfq={qd_sfq:.4}s"
@@ -222,10 +226,7 @@ mod tests {
     #[test]
     fn mixed_schemes_per_flow() {
         let schemes = [
-            Scheme::tao(
-                WhiskerTree::uniform(Action::new(1.0, 1.0, 1.0)),
-                "tao-demo",
-            ),
+            Scheme::tao(WhiskerTree::uniform(Action::new(1.0, 1.0, 1.0)), "tao-demo"),
             Scheme::NewReno,
         ];
         let out = run_mix(&net(), &schemes, 5, 20.0);

@@ -1,0 +1,493 @@
+//! Bucketed calendar queue: the default event-scheduler backend.
+//!
+//! A calendar queue (R. Brown, *Calendar Queues: A Fast O(1) Priority
+//! Queue Implementation for the Simulation Event Set Problem*, CACM 1988)
+//! hashes each event by time into an array of buckets — "days" of a
+//! circular "year" — and pops by walking days in order, so both insert
+//! and pop are O(1) amortized when the bucket width matches the typical
+//! inter-event spacing. Discrete-event network simulation is the ideal
+//! case: most pending events (serializations, propagations, acks) sit
+//! within an RTT of now, with a thin far-future tail of RTO and workload
+//! timers.
+//!
+//! This implementation preserves the exact `(time, insertion-seq)` total
+//! order of the [`crate::event::BinaryHeapScheduler`] reference — ties at
+//! the same instant pop FIFO — so the two backends are interchangeable
+//! without disturbing bit-for-bit determinism (property-tested in
+//! `netsim/tests/proptest_scheduler.rs`).
+//!
+//! # Tuning knobs (all self-adjusting)
+//!
+//! * **Bucket width** is a power of two nanoseconds (`1 << shift`), so
+//!   the time→bucket hash is a shift-and-mask, not a division. It is
+//!   seeded from [`CalendarQueue::with_width_hint`] (the simulation
+//!   engine passes the bottleneck serialization time) and re-estimated
+//!   on every resize as three times the mean gap among the earliest
+//!   pending events — head-local density, deliberately blind to the
+//!   far-future timer tail (see [`estimate_shift`](self)).
+//! * **Bucket count** is a power of two kept within a factor of two of
+//!   the population: the array doubles when `len > 2 × buckets` and
+//!   halves when `len < buckets / 4` (never below [`MIN_BUCKETS`]).
+//! * **Degeneracy recovery:** pops that scan a long bucket (width too
+//!   wide) or fall through a whole year to the direct-search path (width
+//!   too narrow) increment a counter; [`RETUNE_AFTER`] such pops force a
+//!   same-size rebuild with a fresh width estimate. A mis-seeded queue
+//!   therefore converges instead of staying degenerate.
+//!
+//! Far-future timers cost nothing extra: an event beyond the current
+//! year waits in its bucket and is skipped by the day scan until its
+//! year comes around; if the queue goes sparse, the pop path jumps
+//! straight to the global minimum instead of walking empty days.
+
+use crate::event::{Entry, Event, Scheduler};
+use crate::time::{SimDuration, SimTime};
+
+/// Smallest bucket-array size (power of two).
+pub const MIN_BUCKETS: usize = 16;
+
+/// Default bucket width when no hint is given: 2^13 ns ≈ 8.2 µs.
+const DEFAULT_SHIFT: u32 = 13;
+
+/// Widest representable bucket: 2^42 ns ≈ 73 min. Wider buckets than any
+/// plausible event horizon only degrade back to per-bucket linear scans.
+const MAX_SHIFT: u32 = 42;
+
+/// Entries scanned in one bucket before a pop counts as degenerate
+/// (bucket width too coarse — everything hashed into one day).
+const WIDE_SCAN: usize = 64;
+
+/// Buckets walked in one pop before it counts as degenerate (bucket
+/// width too fine — the day walk marches over empty days).
+const LONG_WALK: usize = 64;
+
+/// Degenerate pops tolerated before a same-size rebuild re-estimates the
+/// bucket width.
+const RETUNE_AFTER: u32 = 16;
+
+/// Head-of-queue entries measured for a width estimate.
+const WIDTH_SAMPLE: usize = 64;
+
+/// Bucketed calendar queue ordered by `(time, seq)`.
+///
+/// See the module docs for the algorithm; see [`Scheduler`] for the
+/// ordering contract.
+pub struct CalendarQueue {
+    buckets: Vec<Vec<Entry>>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// Bucket width is `1 << shift` nanoseconds.
+    shift: u32,
+    /// Start of the current day (multiple of the bucket width). No stored
+    /// entry is earlier than this (inserts into the past rewind it).
+    day_start: u64,
+    /// Bucket index holding the current day.
+    cursor: usize,
+    len: usize,
+    /// Consecutive-ish degenerate pops since the last retune.
+    degenerate_pops: u32,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    pub fn new() -> Self {
+        Self::with_shift(DEFAULT_SHIFT)
+    }
+
+    /// A queue whose initial bucket width approximates `expected_gap`
+    /// (the typical spacing between pending events — the simulation
+    /// engine passes the bottleneck link's per-packet serialization
+    /// time). The width self-tunes afterwards; the hint only avoids
+    /// early rebuild churn.
+    pub fn with_width_hint(expected_gap: SimDuration) -> Self {
+        Self::with_shift(shift_for_width(expected_gap.as_nanos().saturating_mul(3)))
+    }
+
+    fn with_shift(shift: u32) -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            shift,
+            day_start: 0,
+            cursor: 0,
+            len: 0,
+            degenerate_pops: 0,
+        }
+    }
+
+    /// Current bucket width (test/diagnostic surface).
+    pub fn bucket_width(&self) -> SimDuration {
+        SimDuration::from_nanos(1u64 << self.shift)
+    }
+
+    /// Current bucket count (test/diagnostic surface).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, nanos: u64) -> usize {
+        ((nanos >> self.shift) as usize) & self.mask
+    }
+
+    #[inline]
+    fn day_of(&self, nanos: u64) -> u64 {
+        nanos & !((1u64 << self.shift) - 1)
+    }
+
+    /// Point the day walk at the day containing `nanos`.
+    fn seek_to(&mut self, nanos: u64) {
+        self.day_start = self.day_of(nanos);
+        self.cursor = self.bucket_of(nanos);
+    }
+
+    /// Rebuild with `nbuckets` buckets, re-estimating the bucket width
+    /// from the live population.
+    fn rebuild(&mut self, nbuckets: usize) {
+        debug_assert!(nbuckets.is_power_of_two());
+        let mut entries: Vec<Entry> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        if let Some(shift) = estimate_shift(&entries) {
+            self.shift = shift;
+        }
+        if nbuckets != self.buckets.len() {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+            self.mask = nbuckets - 1;
+        }
+        match entries.iter().map(|e| e.at.as_nanos()).min() {
+            Some(min) => self.seek_to(min),
+            None => self.seek_to(0),
+        }
+        for e in entries {
+            let idx = self.bucket_of(e.at.as_nanos());
+            self.buckets[idx].push(e);
+        }
+        self.degenerate_pops = 0;
+    }
+
+    fn note_degenerate_pop(&mut self) {
+        self.degenerate_pops += 1;
+        if self.degenerate_pops >= RETUNE_AFTER {
+            self.rebuild(self.buckets.len());
+        }
+    }
+
+    /// Locate the entry with the global minimum `(at, seq)`. O(n +
+    /// buckets); only used when the day walk comes up dry (sparse queue
+    /// or a time horizon saturating u64 nanoseconds).
+    fn find_global_min(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, u64, u64)> = None;
+        for (bi, b) in self.buckets.iter().enumerate() {
+            for (i, e) in b.iter().enumerate() {
+                let key = (e.at.as_nanos(), e.seq);
+                if best.is_none_or(|(_, _, at, seq)| key < (at, seq)) {
+                    best = Some((bi, i, key.0, key.1));
+                }
+            }
+        }
+        best.map(|(bi, i, _, _)| (bi, i))
+    }
+}
+
+impl Scheduler for CalendarQueue {
+    fn insert(&mut self, at: SimTime, seq: u64, event: Event) {
+        if self.len + 1 > self.buckets.len() * 2 {
+            self.rebuild(self.buckets.len() * 2);
+        }
+        let nanos = at.as_nanos();
+        // Keep the no-entry-before-day_start invariant: inserts into the
+        // past (or into an empty queue whose walk position is stale)
+        // rewind the day walk to the new entry.
+        if self.len == 0 || nanos < self.day_start {
+            self.seek_to(nanos);
+        }
+        let idx = self.bucket_of(nanos);
+        self.buckets[idx].push(Entry { at, seq, event });
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        let width = 1u64 << self.shift;
+        for walked in 0..self.buckets.len() {
+            let day_last = self.day_start.saturating_add(width - 1);
+            if day_last == u64::MAX {
+                // The day span saturates u64: day arithmetic can no longer
+                // distinguish years, so fall through to the direct search.
+                break;
+            }
+            let bucket = &mut self.buckets[self.cursor];
+            if !bucket.is_empty() {
+                // The whole current day lives in this one bucket, and no
+                // entry predates the current day, so the bucket-local
+                // minimum within the day is the global minimum.
+                let mut best: Option<(usize, u64, u64)> = None;
+                for (i, e) in bucket.iter().enumerate() {
+                    let at = e.at.as_nanos();
+                    if at <= day_last && best.is_none_or(|(_, bat, bseq)| (at, e.seq) < (bat, bseq))
+                    {
+                        best = Some((i, at, e.seq));
+                    }
+                }
+                if let Some((i, _, _)) = best {
+                    let scanned = bucket.len();
+                    let entry = bucket.swap_remove(i);
+                    self.len -= 1;
+                    // Either degeneracy triggers a retune: a long scan of
+                    // one bucket (width too coarse) or a long march over
+                    // empty days (width too fine).
+                    if scanned > WIDE_SCAN || walked > LONG_WALK {
+                        self.note_degenerate_pop();
+                    }
+                    return Some(entry);
+                }
+            }
+            self.cursor = (self.cursor + 1) & self.mask;
+            self.day_start = self.day_start.saturating_add(width);
+        }
+        // A full year of days held nothing due: the queue is sparse
+        // relative to its width. Jump straight to the global minimum.
+        let (bi, i) = self.find_global_min().expect("len > 0 entries exist");
+        let entry = self.buckets[bi].swap_remove(i);
+        self.len -= 1;
+        self.seek_to(entry.at.as_nanos());
+        self.note_degenerate_pop();
+        Some(entry)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        let width = 1u64 << self.shift;
+        let mut day_start = self.day_start;
+        let mut cursor = self.cursor;
+        for _ in 0..self.buckets.len() {
+            let day_last = day_start.saturating_add(width - 1);
+            if day_last == u64::MAX {
+                break;
+            }
+            if let Some(at) = self.buckets[cursor]
+                .iter()
+                .map(|e| e.at.as_nanos())
+                .filter(|&at| at <= day_last)
+                .min()
+            {
+                return Some(SimTime::from_nanos(at));
+            }
+            cursor = (cursor + 1) & self.mask;
+            day_start = day_start.saturating_add(width);
+        }
+        let (bi, i) = self.find_global_min()?;
+        Some(self.buckets[bi][i].at)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Shift for the smallest power-of-two width ≥ `width_nanos`, clamped.
+fn shift_for_width(width_nanos: u64) -> u32 {
+    let w = width_nanos.clamp(1, 1 << MAX_SHIFT);
+    w.next_power_of_two().trailing_zeros().min(MAX_SHIFT)
+}
+
+/// Width heuristic: three times the mean gap among the [`WIDTH_SAMPLE`]
+/// *earliest* pending events. Pop cost is governed by event density at
+/// the head of the queue — the far-future timer tail must not influence
+/// the estimate (a global mean would let one 60 s RTO timer widen the
+/// buckets that the microsecond-scale packet events live in). The head
+/// is found with an O(n) partial selection, not a full sort. Returns
+/// `None` when the head is a single instant (ties pop FIFO from one
+/// bucket regardless of width, so any width serves).
+fn estimate_shift(entries: &[Entry]) -> Option<u32> {
+    let n = entries.len();
+    if n < 2 {
+        return None;
+    }
+    let mut times: Vec<u64> = entries.iter().map(|e| e.at.as_nanos()).collect();
+    let k = WIDTH_SAMPLE.min(n - 1);
+    times.select_nth_unstable(k);
+    let head = &times[..=k];
+    let min = *head.iter().min().expect("head is nonempty");
+    let kth = head[k];
+    if kth == min {
+        return None;
+    }
+    let mean_gap = (kth - min) / k as u64;
+    Some(shift_for_width(mean_gap.saturating_mul(3).max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn wake(flow: u32) -> Event {
+        Event::SenderWake { flow: FlowId(flow) }
+    }
+
+    fn t(nanos: u64) -> SimTime {
+        SimTime::from_nanos(nanos)
+    }
+
+    /// Drain the queue, asserting (time, seq) never goes backwards.
+    fn drain_sorted(q: &mut CalendarQueue) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.at.as_nanos(), e.seq));
+        }
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "pop order broke");
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        // Deterministic pseudo-random times with duplicates.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut expect = Vec::new();
+        for seq in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = x % 50_000_000; // 50 ms horizon
+            q.insert(t(at), seq, wake(0));
+            expect.push((at, seq));
+        }
+        expect.sort_unstable();
+        assert_eq!(drain_sorted(&mut q), expect);
+    }
+
+    #[test]
+    fn same_instant_pops_fifo() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..100 {
+            q.insert(t(1_000_000), seq, wake(seq as u32));
+        }
+        for seq in 0..100 {
+            let e = q.pop().unwrap();
+            assert_eq!(e.seq, seq);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn grows_and_shrinks_with_population() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..10_000u64 {
+            q.insert(t(seq * 1_000), seq, wake(0));
+        }
+        assert!(q.num_buckets() >= 4096, "array grew: {}", q.num_buckets());
+        for _ in 0..9_990 {
+            q.pop().unwrap();
+        }
+        assert!(
+            q.num_buckets() <= 64,
+            "array shrank back: {}",
+            q.num_buckets()
+        );
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn far_future_timers_coexist_with_dense_near_events() {
+        let mut q = CalendarQueue::new();
+        let mut seq = 0;
+        let mut expect = Vec::new();
+        // Dense near events every ~300 µs, far RTO-like timers at 1-60 s.
+        for i in 0..500u64 {
+            let at = i * 300_000;
+            q.insert(t(at), seq, wake(0));
+            expect.push((at, seq));
+            seq += 1;
+        }
+        for i in 0..20u64 {
+            let at = 1_000_000_000 + i * 3_000_000_000;
+            q.insert(t(at), seq, wake(1));
+            expect.push((at, seq));
+            seq += 1;
+        }
+        expect.sort_unstable();
+        assert_eq!(drain_sorted(&mut q), expect);
+    }
+
+    #[test]
+    fn insert_earlier_than_current_day_rewinds() {
+        let mut q = CalendarQueue::new();
+        q.insert(t(10_000_000), 0, wake(0));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        // The walk now sits at ~10 ms; push something at 1 ms.
+        q.insert(t(1_000_000), 1, wake(1));
+        q.insert(t(20_000_000), 2, wake(2));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn saturated_horizon_still_pops_in_order() {
+        let mut q = CalendarQueue::new();
+        q.insert(SimTime::MAX, 0, wake(0));
+        q.insert(t(5), 1, wake(1));
+        q.insert(SimTime::from_nanos(u64::MAX - 1), 2, wake(2));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn mis_seeded_width_recovers() {
+        // Seed with an absurdly wide hint; dense sub-microsecond traffic
+        // must trigger retuning rather than degrade to linear scans.
+        let mut q = CalendarQueue::with_width_hint(SimDuration::from_secs(3600));
+        let wide = q.bucket_width();
+        for seq in 0..4096u64 {
+            q.insert(t(seq * 500), seq, wake(0));
+        }
+        for seq in 0..4096u64 {
+            assert_eq!(q.pop().unwrap().seq, seq);
+        }
+        assert!(
+            q.bucket_width() < wide,
+            "width re-estimated: {:?} -> {:?}",
+            wide,
+            q.bucket_width()
+        );
+    }
+
+    #[test]
+    fn peek_never_disturbs_order() {
+        let mut q = CalendarQueue::new();
+        let times = [7u64, 3, 3, 900_000_000_000, 12, 5];
+        for (seq, &at) in times.iter().enumerate() {
+            q.insert(t(at), seq as u64, wake(0));
+        }
+        while let Some(peeked) = q.peek_time() {
+            let popped = q.pop().unwrap();
+            assert_eq!(peeked, popped.at);
+        }
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn width_hint_seeds_bucket_width() {
+        let q = CalendarQueue::with_width_hint(SimDuration::from_micros(300));
+        // 3 × 300 µs rounded up to a power of two = 2^20 ns ≈ 1.05 ms.
+        assert_eq!(q.bucket_width(), SimDuration::from_nanos(1 << 20));
+        let q = CalendarQueue::with_width_hint(SimDuration::ZERO);
+        assert_eq!(q.bucket_width(), SimDuration::from_nanos(1));
+    }
+}

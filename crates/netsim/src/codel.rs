@@ -6,7 +6,7 @@
 //! a full `interval`, it enters a dropping state, dropping packets at
 //! intervals shrinking with the inverse square root of the drop count.
 
-use crate::queue::{QueuedPacket, QueueStats};
+use crate::queue::{QueueStats, QueuedPacket};
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -85,7 +85,10 @@ impl Codel {
 
     /// `interval / sqrt(count)`: the CoDel control law.
     fn control_law(&self, t: SimTime) -> SimTime {
-        t + self.params.interval.mul_f64(1.0 / (self.count.max(1) as f64).sqrt())
+        t + self
+            .params
+            .interval
+            .mul_f64(1.0 / (self.count.max(1) as f64).sqrt())
     }
 
     fn pop_front(&mut self) -> Option<QueuedPacket> {
@@ -153,8 +156,7 @@ impl Codel {
             // Control-law warm start: if we recently dropped, resume near
             // the prior drop rate rather than restarting from 1.
             let delta = self.count.saturating_sub(self.last_count);
-            self.count = if delta > 1 && now - self.drop_next < self.params.interval.mul_f64(16.0)
-            {
+            self.count = if delta > 1 && now - self.drop_next < self.params.interval.mul_f64(16.0) {
                 delta
             } else {
                 1
@@ -234,8 +236,15 @@ mod tests {
                 drops_before = c.stats().dropped;
             }
         }
-        assert!(c.stats().dropped > drops_before, "drop count grows during episode");
-        assert!(c.stats().dropped >= 2, "entered dropping state: {:?}", c.stats());
+        assert!(
+            c.stats().dropped > drops_before,
+            "drop count grows during episode"
+        );
+        assert!(
+            c.stats().dropped >= 2,
+            "entered dropping state: {:?}",
+            c.stats()
+        );
         assert!(dequeues > 0);
     }
 
@@ -248,7 +257,7 @@ mod tests {
         // force a dropping episode
         let mut now = t(150);
         for _ in 0..150 {
-            now = now + SimDuration::from_millis(2);
+            now += SimDuration::from_millis(2);
             c.dequeue(now);
             if c.len_packets() == 0 {
                 break;

@@ -1,12 +1,29 @@
-//! The discrete-event core: a time-ordered queue of simulation events.
+//! The discrete-event core: a time-ordered queue of simulation events
+//! behind a pluggable [`Scheduler`] abstraction.
 //!
 //! Ties at the same instant are broken by insertion order (a monotonically
 //! increasing sequence number), which makes runs deterministic — a property
 //! the whole study rests on, since the optimizer compares candidate
 //! protocols by replaying identical scenario draws.
+//!
+//! Two backends implement the same `(time, insertion-seq)` total order:
+//!
+//! * [`BinaryHeapScheduler`] — a `BinaryHeap<Reverse<Entry>>`, O(log n)
+//!   per operation. Simple, and the reference for order-equivalence tests.
+//! * [`crate::calendar::CalendarQueue`] — a bucketed calendar queue,
+//!   O(1) amortized insert/pop with self-resizing bucket width. The
+//!   default: the event queue is the largest remaining per-event cost in
+//!   the simulator, and training throughput is bounded by it.
+//!
+//! The backend is chosen at runtime via [`SchedulerKind`] (see
+//! [`EventQueue::with_kind`]); both are provably order-equivalent (see
+//! `netsim/tests/proptest_scheduler.rs`), so fixed-seed simulations are
+//! bit-identical whichever backend runs them.
 
+use crate::calendar::CalendarQueue;
 use crate::packet::{Ack, FlowId, LinkId, Packet};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -36,11 +53,27 @@ pub enum Event {
     TraceSample,
 }
 
+/// FNV-1a offset basis: the seed for the run's determinism digests.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Fold one 64-bit word into an FNV-1a digest. One shared definition
+/// serves both determinism probes (the engine's dispatch digest and the
+/// transport's ack digest) so the two can never drift apart.
+#[inline]
+pub(crate) fn fnv(mut digest: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        digest ^= byte as u64;
+        digest = digest.wrapping_mul(0x100000001b3);
+    }
+    digest
+}
+
+/// A scheduled event with its firing time and tie-breaking sequence.
 #[derive(Debug)]
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    event: Event,
+pub struct Entry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub event: Event,
 }
 
 impl PartialEq for Entry {
@@ -60,41 +93,219 @@ impl Ord for Entry {
     }
 }
 
-/// Deterministic time-ordered event queue.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
-    next_seq: u64,
+/// A pending-event set ordered by `(time, seq)`.
+///
+/// The engine assigns `seq` (strictly increasing per queue), so backends
+/// never see duplicate keys; `pop` must return the entry with the
+/// smallest `(at, seq)` — FIFO among same-instant events. Implementations
+/// must be deterministic: the same insert/pop sequence produces the same
+/// pops, bit for bit, on every platform.
+pub trait Scheduler {
+    /// Insert an entry. `at` may be earlier than previously popped times
+    /// (the engine never does this, but order-equivalence tests do).
+    fn insert(&mut self, at: SimTime, seq: u64, event: Event);
+
+    /// Remove and return the entry with the smallest `(at, seq)`.
+    fn pop(&mut self) -> Option<Entry>;
+
+    /// Time of the next entry without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
-impl EventQueue {
+/// The reference backend: a binary min-heap on `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct BinaryHeapScheduler {
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl BinaryHeapScheduler {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Schedule `event` to fire at `at`.
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+impl Scheduler for BinaryHeapScheduler {
+    fn insert(&mut self, at: SimTime, seq: u64, event: Event) {
         self.heap.push(Reverse(Entry { at, seq, event }));
     }
 
+    fn pop(&mut self) -> Option<Entry> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Which event-queue backend a simulation runs on.
+///
+/// Both backends produce bit-identical simulations; they differ only in
+/// per-event cost. `Calendar` is the default (O(1) amortized vs the
+/// heap's O(log n)); `Heap` remains selectable as the reference
+/// implementation and for order-equivalence regression tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Binary min-heap (`BinaryHeap<Reverse<Entry>>`).
+    Heap,
+    /// Bucketed calendar queue ([`crate::calendar::CalendarQueue`]).
+    #[default]
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Parse a backend name (`"heap"` / `"calendar"`), for CLI flags and
+    /// the `NETSIM_SCHEDULER` environment override.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "heap" | "binary-heap" | "binaryheap" => Some(SchedulerKind::Heap),
+            "calendar" | "calendar-queue" | "calendarqueue" => Some(SchedulerKind::Calendar),
+            _ => None,
+        }
+    }
+
+    /// The default backend, overridable via `NETSIM_SCHEDULER=heap|calendar`
+    /// (useful for A/B-ing backends without recompiling callers).
+    pub fn from_env() -> SchedulerKind {
+        std::env::var("NETSIM_SCHEDULER")
+            .ok()
+            .and_then(|v| SchedulerKind::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// [`from_env`](Self::from_env), read once per process. This is what
+    /// [`crate::sim::Simulation::new`] uses, so simulations are built by
+    /// the thousand without re-parsing the environment. Order
+    /// equivalence makes the override observationally safe: it can only
+    /// change speed, never a result.
+    pub fn env_default() -> SchedulerKind {
+        static CACHE: std::sync::OnceLock<SchedulerKind> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(SchedulerKind::from_env)
+    }
+}
+
+enum Backend {
+    Heap(BinaryHeapScheduler),
+    Calendar(CalendarQueue),
+    /// An externally supplied [`Scheduler`] implementation.
+    Custom(Box<dyn Scheduler>),
+}
+
+/// Deterministic time-ordered event queue over a pluggable backend.
+///
+/// Owns the tie-breaking sequence counter and dispatches to the selected
+/// [`Scheduler`]. The two built-in backends are enum-dispatched (no
+/// virtual call on the hot path); arbitrary backends plug in through
+/// [`EventQueue::custom`].
+pub struct EventQueue {
+    backend: Backend,
+    next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// An event queue on the default backend ([`SchedulerKind::Calendar`]).
+    pub fn new() -> Self {
+        Self::with_kind(SchedulerKind::default())
+    }
+
+    /// An event queue on the chosen backend.
+    pub fn with_kind(kind: SchedulerKind) -> Self {
+        Self::with_kind_and_hint(kind, None)
+    }
+
+    /// An event queue on the chosen backend, with an expected inter-event
+    /// spacing hint (the calendar queue seeds its bucket width from it;
+    /// the heap ignores it). The queue self-tunes either way — the hint
+    /// only avoids early resize churn.
+    pub fn with_kind_and_hint(kind: SchedulerKind, spacing_hint: Option<SimDuration>) -> Self {
+        let backend = match kind {
+            SchedulerKind::Heap => Backend::Heap(BinaryHeapScheduler::new()),
+            SchedulerKind::Calendar => Backend::Calendar(match spacing_hint {
+                Some(h) => CalendarQueue::with_width_hint(h),
+                None => CalendarQueue::new(),
+            }),
+        };
+        EventQueue {
+            backend,
+            next_seq: 0,
+        }
+    }
+
+    /// An event queue over an externally supplied backend.
+    pub fn custom(scheduler: Box<dyn Scheduler>) -> Self {
+        EventQueue {
+            backend: Backend::Custom(scheduler),
+            next_seq: 0,
+        }
+    }
+
+    /// Which built-in backend this queue runs on (`None` for custom).
+    pub fn kind(&self) -> Option<SchedulerKind> {
+        match &self.backend {
+            Backend::Heap(_) => Some(SchedulerKind::Heap),
+            Backend::Calendar(_) => Some(SchedulerKind::Calendar),
+            Backend::Custom(_) => None,
+        }
+    }
+
+    /// Schedule `event` to fire at `at`.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &mut self.backend {
+            Backend::Heap(s) => s.insert(at, seq, event),
+            Backend::Calendar(s) => s.insert(at, seq, event),
+            Backend::Custom(s) => s.insert(at, seq, event),
+        }
+    }
+
     /// Pop the earliest event (FIFO among same-instant events).
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        let e = match &mut self.backend {
+            Backend::Heap(s) => s.pop(),
+            Backend::Calendar(s) => s.pop(),
+            Backend::Custom(s) => s.pop(),
+        };
+        e.map(|e| (e.at, e.event))
     }
 
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        match &self.backend {
+            Backend::Heap(s) => s.peek_time(),
+            Backend::Calendar(s) => s.peek_time(),
+            Backend::Custom(s) => s.peek_time(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(s) => s.len(),
+            Backend::Calendar(s) => s.len(),
+            Backend::Custom(s) => s.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -104,65 +315,91 @@ mod tests {
     use crate::time::SimDuration;
 
     fn wake(flow: u32) -> Event {
-        Event::SenderWake {
-            flow: FlowId(flow),
-        }
+        Event::SenderWake { flow: FlowId(flow) }
+    }
+
+    fn queues_under_test() -> Vec<EventQueue> {
+        vec![
+            EventQueue::with_kind(SchedulerKind::Heap),
+            EventQueue::with_kind(SchedulerKind::Calendar),
+            EventQueue::custom(Box::new(BinaryHeapScheduler::new())),
+        ]
     }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        let t = |s| SimTime::from_secs_f64(s);
-        q.schedule(t(3.0), wake(3));
-        q.schedule(t(1.0), wake(1));
-        q.schedule(t(2.0), wake(2));
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
-            .map(|(at, _)| at.as_secs_f64())
-            .collect();
-        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        for mut q in queues_under_test() {
+            let t = |s| SimTime::from_secs_f64(s);
+            q.schedule(t(3.0), wake(3));
+            q.schedule(t(1.0), wake(1));
+            q.schedule(t(2.0), wake(2));
+            let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+                .map(|(at, _)| at.as_secs_f64())
+                .collect();
+            assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        }
     }
 
     #[test]
     fn same_instant_is_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs_f64(1.0);
-        for i in 0..10 {
-            q.schedule(t, wake(i));
-        }
-        for i in 0..10 {
-            match q.pop().unwrap().1 {
-                Event::SenderWake { flow } => assert_eq!(flow, FlowId(i)),
-                other => panic!("unexpected event {other:?}"),
+        for mut q in queues_under_test() {
+            let t = SimTime::from_secs_f64(1.0);
+            for i in 0..10 {
+                q.schedule(t, wake(i));
+            }
+            for i in 0..10 {
+                match q.pop().unwrap().1 {
+                    Event::SenderWake { flow } => assert_eq!(flow, FlowId(i)),
+                    other => panic!("unexpected event {other:?}"),
+                }
             }
         }
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.schedule(SimTime::from_secs_f64(5.0), wake(0));
-        q.schedule(SimTime::from_secs_f64(4.0), wake(1));
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(4.0)));
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(5.0)));
+        for mut q in queues_under_test() {
+            assert_eq!(q.peek_time(), None);
+            q.schedule(SimTime::from_secs_f64(5.0), wake(0));
+            q.schedule(SimTime::from_secs_f64(4.0), wake(1));
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(4.0)));
+            assert_eq!(q.len(), 2);
+            q.pop();
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(5.0)));
+        }
     }
 
     #[test]
     fn interleaved_schedule_and_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        let t = |s| SimTime::ZERO + SimDuration::from_millis(s);
-        q.schedule(t(10), wake(0));
-        q.schedule(t(30), wake(1));
-        let (at, _) = q.pop().unwrap();
-        assert_eq!(at, t(10));
-        // schedule something earlier than the remaining event
-        q.schedule(t(20), wake(2));
-        let (at, _) = q.pop().unwrap();
-        assert_eq!(at, t(20));
-        let (at, _) = q.pop().unwrap();
-        assert_eq!(at, t(30));
-        assert!(q.is_empty());
+        for mut q in queues_under_test() {
+            let t = |s| SimTime::ZERO + SimDuration::from_millis(s);
+            q.schedule(t(10), wake(0));
+            q.schedule(t(30), wake(1));
+            let (at, _) = q.pop().unwrap();
+            assert_eq!(at, t(10));
+            // schedule something earlier than the remaining event
+            q.schedule(t(20), wake(2));
+            let (at, _) = q.pop().unwrap();
+            assert_eq!(at, t(20));
+            let (at, _) = q.pop().unwrap();
+            assert_eq!(at, t(30));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn kind_parsing_and_default() {
+        assert_eq!(SchedulerKind::parse("heap"), Some(SchedulerKind::Heap));
+        assert_eq!(
+            SchedulerKind::parse(" Calendar "),
+            Some(SchedulerKind::Calendar)
+        );
+        assert_eq!(SchedulerKind::parse("fibonacci"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Calendar);
+        assert_eq!(
+            EventQueue::new().kind(),
+            Some(SchedulerKind::Calendar),
+            "default queue runs on the calendar backend"
+        );
     }
 }

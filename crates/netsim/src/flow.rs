@@ -177,6 +177,9 @@ mod tests {
         assert_eq!(t.finish(SimTime::from_secs_f64(9.0)), SimDuration::ZERO);
         // dangling interval closed by finish
         t.turn_on(SimTime::from_secs_f64(5.0));
-        assert_eq!(t.finish(SimTime::from_secs_f64(6.0)), SimDuration::from_secs(1));
+        assert_eq!(
+            t.finish(SimTime::from_secs_f64(6.0)),
+            SimDuration::from_secs(1)
+        );
     }
 }

@@ -46,18 +46,32 @@
 //!   sliding-window vectors keyed by sequence number / transmission
 //!   index rather than `BTreeMap`s, and the RTO's oldest-outstanding
 //!   query is an O(1) front lookup instead of a scan over the window.
-//! * **Copy-only events.** `Packet`/`Ack` are `Copy`; the event queue is
-//!   a binary heap of plain structs with FIFO tie-breaking, and the hot
-//!   handlers allocate nothing.
+//! * **Copy-only events.** `Packet`/`Ack` are `Copy`; the event queue
+//!   holds plain structs with FIFO tie-breaking, and the hot handlers
+//!   allocate nothing.
+//! * **O(1) amortized event dispatch.** The engine schedules through a
+//!   pluggable [`event::Scheduler`]; the default backend is a bucketed
+//!   calendar queue ([`calendar::CalendarQueue`]) whose bucket width is a
+//!   power-of-two nanosecond span seeded from the bottleneck
+//!   serialization time and re-estimated from the live event population
+//!   on every resize (see the `calendar` module docs for the tuning
+//!   knobs). The previous `BinaryHeap` backend stays selectable at
+//!   runtime ([`event::SchedulerKind::Heap`], or `NETSIM_SCHEDULER=heap`)
+//!   as the O(log n) reference.
 //! * **Determinism is load-bearing.** All of the above preserve the
 //!   bit-for-bit `(config, protocols, seed) → outcome` contract that the
-//!   optimizer's common-random-number comparisons rest on.
+//!   optimizer's common-random-number comparisons rest on. Both scheduler
+//!   backends realize the same `(time, insertion-seq)` total order, so
+//!   even the backend choice never perturbs an outcome (property- and
+//!   end-to-end-tested in `tests/proptest_scheduler.rs` and
+//!   `tests/scheduler_determinism.rs`).
 //!
 //! Measure with `cargo bench -p bench --bench simulator` (engine event
-//! throughput by protocol) and `cargo run --release -p bench --bin
-//! perf_snapshot` (events/sec of a fixed dumbbell, written to
-//! `BENCH_optimizer.json`).
+//! throughput by protocol and by scheduler backend) and `cargo run
+//! --release -p bench --bin perf_snapshot` (events/sec of a fixed
+//! dumbbell under both backends, written to `BENCH_optimizer.json`).
 
+pub mod calendar;
 pub mod codel;
 pub mod event;
 pub mod flow;
@@ -77,6 +91,7 @@ pub mod workload;
 
 /// Common imports for simulator users.
 pub mod prelude {
+    pub use crate::event::SchedulerKind;
     pub use crate::flow::{FlowOutcome, FlowStats};
     pub use crate::packet::{Ack, FlowId, LinkId, Packet, ACK_BYTES, DATA_PACKET_BYTES};
     pub use crate::queue::QueueSpec;

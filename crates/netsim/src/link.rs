@@ -59,6 +59,14 @@ impl Link {
         SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
     }
 
+    /// Typical spacing between the per-packet events this link generates
+    /// while busy: one full data packet's serialization time. The engine
+    /// takes the minimum over all links to seed the calendar scheduler's
+    /// bucket width (see [`crate::calendar::CalendarQueue`]).
+    pub fn event_spacing_hint(&self) -> SimDuration {
+        self.tx_time(crate::packet::DATA_PACKET_BYTES)
+    }
+
     /// A packet arrives at the link ingress.
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> Offer {
         if !self.busy {
@@ -80,7 +88,11 @@ impl Link {
     /// The current packet finished serializing. Returns the next packet to
     /// transmit (engine schedules its completion) or `None` if the link
     /// goes idle.
-    pub fn tx_complete(&mut self, finished: &Packet, now: SimTime) -> Option<(Packet, SimDuration)> {
+    pub fn tx_complete(
+        &mut self,
+        finished: &Packet,
+        now: SimTime,
+    ) -> Option<(Packet, SimDuration)> {
         debug_assert!(self.busy, "tx_complete on idle link");
         self.bytes_transmitted += finished.size as u64;
         match self.queue.dequeue(now) {
@@ -161,7 +173,10 @@ mod tests {
     #[test]
     fn busy_link_queues_then_drops() {
         let mut l = link_10mbps();
-        assert!(matches!(l.offer(pkt(0, 1500), SimTime::ZERO), Offer::StartTx(_)));
+        assert!(matches!(
+            l.offer(pkt(0, 1500), SimTime::ZERO),
+            Offer::StartTx(_)
+        ));
         // capacity 6000 bytes = 4 queued packets
         for i in 1..=4 {
             assert_eq!(l.offer(pkt(i, 1500), SimTime::ZERO), Offer::Queued);

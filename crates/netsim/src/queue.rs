@@ -142,7 +142,9 @@ impl QueueSpec {
 
     /// RED sized to the buffer's packet capacity.
     pub fn red_default(rate_bps: f64, min_rtt_s: f64, bdp_multiple: f64) -> QueueSpec {
-        let cap_bytes = (rate_bps / 8.0 * min_rtt_s * bdp_multiple).ceil().max(3000.0) as u64;
+        let cap_bytes = (rate_bps / 8.0 * min_rtt_s * bdp_multiple)
+            .ceil()
+            .max(3000.0) as u64;
         let params = crate::red::RedParams::for_capacity((cap_bytes / 1500) as usize);
         QueueSpec::Red {
             capacity_bytes: cap_bytes,
@@ -281,7 +283,10 @@ mod tests {
         assert!(q.enqueue(qp(0, 2, 1500), SimTime::ZERO));
         assert_eq!(q.len_bytes(), 3040);
         assert!(!q.enqueue(qp(0, 3, 1500), SimTime::ZERO));
-        assert!(q.enqueue(qp(0, 4, 40), SimTime::ZERO), "small packet still fits");
+        assert!(
+            q.enqueue(qp(0, 4, 40), SimTime::ZERO),
+            "small packet still fits"
+        );
     }
 
     #[test]

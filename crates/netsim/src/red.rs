@@ -113,8 +113,7 @@ impl QueueDiscipline for Red {
     fn enqueue(&mut self, qp: QueuedPacket, _now: SimTime) -> bool {
         // Update the average on every arrival (idle-time correction
         // omitted: the study's bottlenecks are persistently busy).
-        self.avg = (1.0 - self.params.weight) * self.avg
-            + self.params.weight * self.q.len() as f64;
+        self.avg = (1.0 - self.params.weight) * self.avg + self.params.weight * self.q.len() as f64;
 
         if self.bytes + qp.pkt.size as u64 > self.capacity_bytes || self.early_drop() {
             self.stats.dropped += 1;
@@ -205,7 +204,14 @@ mod tests {
 
     #[test]
     fn hard_capacity_backstop() {
-        let mut red = Red::new(15_000, RedParams { weight: 0.0001, ..Default::default() }, 3);
+        let mut red = Red::new(
+            15_000,
+            RedParams {
+                weight: 0.0001,
+                ..Default::default()
+            },
+            3,
+        );
         // with a nearly frozen avg, early drops are rare; the byte cap
         // must still bound the queue
         for i in 0..100 {

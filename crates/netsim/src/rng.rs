@@ -143,7 +143,10 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
         let avg = total / n as f64;
-        assert!((avg - 1.0).abs() < 0.05, "sample mean {avg} too far from 1.0");
+        assert!(
+            (avg - 1.0).abs() < 0.05,
+            "sample mean {avg} too far from 1.0"
+        );
     }
 
     #[test]

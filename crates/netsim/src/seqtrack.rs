@@ -141,7 +141,9 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let mut x = 0x12345678u64;
         for step in 0u64..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // window of 256 around the advancing head, plus occasional dups
             let head = step / 2;
             let seq = head.saturating_sub(x % 256);

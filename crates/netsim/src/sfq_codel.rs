@@ -234,7 +234,7 @@ mod tests {
         let mut now = t(200);
         let mut forwarded = 0;
         while q.len_packets() > 0 {
-            now = now + SimDuration::from_millis(2);
+            now += SimDuration::from_millis(2);
             if q.dequeue(now).is_some() {
                 forwarded += 1;
             }

@@ -6,16 +6,16 @@
 //! [`crate::workload::Workload`] processes gate offered load. A run is a pure function of
 //! `(NetworkConfig, protocols, seed)`.
 
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::flow::{FlowOutcome, FlowStats, OnTimeTracker};
 use crate::link::{Link, Offer};
 use crate::packet::{Ack, FlowId, LinkId, Packet, ACK_BYTES};
 use crate::queue::QueueStats;
 use crate::rng::SimRng;
+use crate::seqtrack::SeqTracker;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NetworkConfig;
 use crate::trace::{QueueSample, Trace};
-use crate::seqtrack::SeqTracker;
 use crate::transport::{CongestionControl, Transport};
 
 struct SenderSlot {
@@ -55,6 +55,11 @@ pub struct RunOutcome {
     /// Bytes each link transmitted (utilization = bytes*8 / rate / T).
     pub link_bytes: Vec<u64>,
     pub events_processed: u64,
+    /// Order-sensitive FNV-1a digest of every dispatched event, when
+    /// enabled via [`Simulation::enable_event_digest`] (`None` otherwise).
+    /// Two runs with equal digests dispatched the identical event
+    /// sequence — the strongest cross-backend determinism check.
+    pub event_digest: Option<u64>,
 }
 
 impl RunOutcome {
@@ -78,15 +83,32 @@ pub struct Simulation {
     /// Hard cap on events to guard against pathological protocol settings
     /// (e.g. a candidate action with near-zero pacing during optimization).
     event_budget: u64,
+    scheduler: SchedulerKind,
+    /// Running FNV-1a digest over dispatched events (None = disabled).
+    event_digest: Option<u64>,
 }
 
 impl Simulation {
-    /// Build a simulation. `protocols[i]` drives `config.flows[i]`; the
-    /// whole run is deterministic in `seed`.
+    /// Build a simulation on the default scheduler backend (the calendar
+    /// queue, unless overridden via `NETSIM_SCHEDULER=heap|calendar`).
+    /// `protocols[i]` drives `config.flows[i]`; the whole run is
+    /// deterministic in `seed`.
     pub fn new(
         config: &NetworkConfig,
         protocols: Vec<Box<dyn CongestionControl>>,
         seed: u64,
+    ) -> Self {
+        Self::with_scheduler(config, protocols, seed, SchedulerKind::env_default())
+    }
+
+    /// Build a simulation on an explicit scheduler backend. Backends are
+    /// order-equivalent, so the outcome is bit-identical whichever is
+    /// chosen — this knob exists for benchmarking and regression tests.
+    pub fn with_scheduler(
+        config: &NetworkConfig,
+        protocols: Vec<Box<dyn CongestionControl>>,
+        seed: u64,
+        scheduler: SchedulerKind,
     ) -> Self {
         config.validate().expect("invalid network config");
         assert_eq!(
@@ -123,9 +145,13 @@ impl Simulation {
             })
             .collect();
         let n = senders.len();
+        // Seed the calendar queue's bucket width with the tightest
+        // per-packet event spacing in the topology (the fastest link's
+        // serialization time); the queue self-tunes from there.
+        let spacing_hint = links.iter().map(Link::event_spacing_hint).min();
         Simulation {
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_kind_and_hint(scheduler, spacing_hint),
             links,
             senders,
             receivers: (0..n).map(|_| ReceiverSlot::default()).collect(),
@@ -134,12 +160,30 @@ impl Simulation {
             trace: None,
             events_processed: 0,
             event_budget: u64::MAX,
+            scheduler,
+            event_digest: None,
         }
+    }
+
+    /// The scheduler backend this simulation dispatches through.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler
     }
 
     /// Record queue occupancy of `links` every `period` (Fig 8).
     pub fn enable_trace(&mut self, links: Vec<LinkId>, period: SimDuration) {
         self.trace = Some(Trace::new(links, period));
+    }
+
+    /// Fold every dispatched event into an order-sensitive digest,
+    /// reported in [`RunOutcome::event_digest`]. Off by default (it costs
+    /// a few ns per event); determinism tests turn it on to prove two
+    /// runs dispatched the identical event sequence.
+    pub fn enable_event_digest(&mut self) {
+        self.event_digest = Some(crate::event::FNV_OFFSET);
+        for s in &mut self.senders {
+            s.transport.enable_ack_digest();
+        }
     }
 
     /// Cap the number of processed events (optimizer safety valve).
@@ -187,6 +231,9 @@ impl Simulation {
             if self.events_processed > self.event_budget {
                 break;
             }
+            if let Some(digest) = &mut self.event_digest {
+                *digest = fold_event(*digest, at, &ev);
+            }
             self.dispatch(ev, end);
         }
         self.now = end;
@@ -207,7 +254,20 @@ impl Simulation {
             link_queues: self.links.iter().map(|l| l.queue_stats()).collect(),
             link_bytes: self.links.iter().map(|l| l.bytes_transmitted()).collect(),
             events_processed: self.events_processed,
+            event_digest: self.event_digest,
         }
+    }
+
+    /// Per-flow running digests of every acknowledgment the reliability
+    /// layer processed (see [`Transport::ack_digest`]); the determinism
+    /// tests compare these across scheduler backends. `None` per flow
+    /// unless [`enable_event_digest`](Self::enable_event_digest) was
+    /// called before the run.
+    pub fn ack_digests(&self) -> Vec<Option<u64>> {
+        self.senders
+            .iter()
+            .map(|s| s.transport.ack_digest())
+            .collect()
     }
 
     /// Take the recorded trace (after `run`).
@@ -241,7 +301,9 @@ impl Simulation {
     fn handle_arrive(&mut self, link: LinkId, pkt: Packet) {
         let l = link.0 as usize;
         match self.links[l].offer(pkt, self.now) {
-            Offer::StartTx(d) => self.events.schedule(self.now + d, Event::TxComplete { link, pkt }),
+            Offer::StartTx(d) => self
+                .events
+                .schedule(self.now + d, Event::TxComplete { link, pkt }),
             Offer::Queued => {}
             Offer::Dropped => {
                 self.stats[pkt.flow.0 as usize].forward_drops += 1;
@@ -276,8 +338,13 @@ impl Simulation {
             let mut fwd = pkt;
             fwd.hop = next_hop as u8;
             let next_link = LinkId(route[next_hop] as u32);
-            self.events
-                .schedule(self.now, Event::Arrive { link: next_link, pkt: fwd });
+            self.events.schedule(
+                self.now,
+                Event::Arrive {
+                    link: next_link,
+                    pkt: fwd,
+                },
+            );
             return;
         }
         debug_assert_eq!(route[pkt.hop as usize], link.0 as usize);
@@ -302,8 +369,8 @@ impl Simulation {
             recv_at: self.now,
             was_retx: pkt.is_retx,
         };
-        let ack_delay = self.senders[flow].ack_delay
-            + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9); // negligible serialization
+        let ack_delay =
+            self.senders[flow].ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9); // negligible serialization
         self.events.schedule(
             self.now + ack_delay,
             Event::AckArrive {
@@ -365,8 +432,7 @@ impl Simulation {
         };
         if let Some(t) = next {
             let gen = self.senders[i].toggle_gen;
-            self.events
-                .schedule(t, Event::WorkloadToggle { flow, gen });
+            self.events.schedule(t, Event::WorkloadToggle { flow, gen });
         }
         if on && !self.senders[i].on {
             self.turn_on(i);
@@ -415,7 +481,7 @@ impl Simulation {
             if let (Some(last), false) = (s.last_send, intersend.is_zero()) {
                 let allowed = last + intersend;
                 if allowed > self.now {
-                    if s.pending_wake.map_or(true, |w| allowed < w) {
+                    if s.pending_wake.is_none_or(|w| allowed < w) {
                         s.pending_wake = Some(allowed);
                         self.events.schedule(
                             allowed,
@@ -489,6 +555,36 @@ impl Simulation {
     }
 }
 
+use crate::event::fnv;
+
+/// Fold one dispatched event into the order-sensitive run digest: firing
+/// time, event kind, and the identifying payload (flow/link/seq/gen).
+fn fold_event(digest: u64, at: SimTime, ev: &Event) -> u64 {
+    let digest = fnv(digest, at.as_nanos());
+    match ev {
+        Event::Arrive { link, pkt } => fnv(
+            fnv(fnv(digest, 1), link.0 as u64),
+            pkt.seq ^ ((pkt.flow.0 as u64) << 48),
+        ),
+        Event::TxComplete { link, pkt } => fnv(
+            fnv(fnv(digest, 2), link.0 as u64),
+            pkt.seq ^ ((pkt.flow.0 as u64) << 48),
+        ),
+        Event::Propagated { link, pkt } => fnv(
+            fnv(fnv(digest, 3), link.0 as u64),
+            pkt.seq ^ ((pkt.flow.0 as u64) << 48),
+        ),
+        Event::AckArrive { flow, ack } => fnv(
+            fnv(fnv(digest, 4), flow.0 as u64),
+            ack.seq ^ ack.echo_tx_index.rotate_left(32),
+        ),
+        Event::SenderWake { flow } => fnv(fnv(digest, 5), flow.0 as u64),
+        Event::RtoCheck { flow, gen } => fnv(fnv(fnv(digest, 6), flow.0 as u64), *gen),
+        Event::WorkloadToggle { flow, gen } => fnv(fnv(fnv(digest, 7), flow.0 as u64), *gen),
+        Event::TraceSample => fnv(digest, 8),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,7 +625,13 @@ mod tests {
     #[test]
     fn single_flow_saturates_link_with_big_window() {
         // 10 Mbps, 100 ms RTT, BDP ~ 83 packets; window 200 saturates.
-        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let mut sim = Simulation::new(&net, vec![fixed(200.0)], 1);
         let out = sim.run(SimDuration::from_secs(20));
         let f = &out.flows[0];
@@ -546,7 +648,13 @@ mod tests {
     #[test]
     fn small_window_is_rtt_limited() {
         // window 10 over 100 ms RTT = ~100 pkt/s = 1.2 Mbps
-        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let mut sim = Simulation::new(&net, vec![fixed(10.0)], 1);
         let out = sim.run(SimDuration::from_secs(20));
         let f = &out.flows[0];
@@ -563,7 +671,13 @@ mod tests {
 
     #[test]
     fn two_flows_share_bottleneck() {
-        let net = dumbbell(2, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            2,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let mut sim = Simulation::new(&net, vec![fixed(100.0), fixed(100.0)], 7);
         let out = sim.run(SimDuration::from_secs(30));
         let t0 = out.flows[0].throughput_bps;
@@ -598,7 +712,13 @@ mod tests {
     #[test]
     fn pacing_limits_rate() {
         // Pacing of 10 ms/packet = 1.2 Mbps regardless of window.
-        let net = dumbbell(1, 100e6, 0.050, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            1,
+            100e6,
+            0.050,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let mut sim = Simulation::new(
             &net,
             vec![Box::new(FixedWindow {
@@ -618,7 +738,13 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let net = dumbbell(2, 5e6, 0.080, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let net = dumbbell(
+            2,
+            5e6,
+            0.080,
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
         let run = |seed| {
             let mut sim = Simulation::new(&net, vec![fixed(50.0), fixed(50.0)], seed);
             let out = sim.run(SimDuration::from_secs(15));
@@ -634,7 +760,13 @@ mod tests {
 
     #[test]
     fn on_off_workload_reduces_on_time() {
-        let net = dumbbell(1, 10e6, 0.050, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let net = dumbbell(
+            1,
+            10e6,
+            0.050,
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
         let mut sim = Simulation::new(&net, vec![fixed(40.0)], 11);
         let out = sim.run(SimDuration::from_secs(60));
         let on = out.flows[0].on_time_s;
@@ -670,13 +802,23 @@ mod tests {
         sim.run(SimDuration::from_secs(5));
         let tr = sim.take_trace().unwrap();
         let series = tr.series_for(LinkId(0)).unwrap();
-        assert!(series.len() >= 40, "expect ~50 samples, got {}", series.len());
+        assert!(
+            series.len() >= 40,
+            "expect ~50 samples, got {}",
+            series.len()
+        );
         assert!(tr.peak_packets(LinkId(0)) > 50, "standing queue builds");
     }
 
     #[test]
     fn event_budget_stops_runaway() {
-        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let mut sim = Simulation::new(&net, vec![fixed(1000.0)], 1);
         sim.set_event_budget(10_000);
         let out = sim.run(SimDuration::from_secs(1_000));
@@ -685,7 +827,13 @@ mod tests {
 
     #[test]
     fn zero_window_sends_nothing() {
-        let net = dumbbell(1, 10e6, 0.100, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
         let mut sim = Simulation::new(&net, vec![fixed(0.0)], 1);
         let out = sim.run(SimDuration::from_secs(5));
         assert_eq!(out.flows[0].bytes_delivered, 0);

@@ -81,7 +81,10 @@ impl SimDuration {
     }
 
     pub fn from_secs_f64(secs: f64) -> Self {
-        debug_assert!(secs >= 0.0 && secs.is_finite(), "invalid SimDuration: {secs}");
+        debug_assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "invalid SimDuration: {secs}"
+        );
         SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
     }
 

@@ -98,7 +98,7 @@ impl NetworkConfig {
             }
         }
         for (i, l) in self.links.iter().enumerate() {
-            if !(l.rate_bps > 0.0) {
+            if l.rate_bps.is_nan() || l.rate_bps <= 0.0 {
                 return Err(format!("link {i} has non-positive rate"));
             }
             if l.delay_s < 0.0 {
@@ -198,7 +198,7 @@ pub fn parking_lot(
             },
             FlowSpec {
                 route: vec![1],
-                workload: workload,
+                workload,
             },
         ],
     }
@@ -210,7 +210,13 @@ mod tests {
 
     #[test]
     fn dumbbell_rtts() {
-        let net = dumbbell(2, 32e6, 0.150, QueueSpec::infinite(), WorkloadSpec::on_off_1s());
+        let net = dumbbell(
+            2,
+            32e6,
+            0.150,
+            QueueSpec::infinite(),
+            WorkloadSpec::on_off_1s(),
+        );
         assert_eq!(net.links.len(), 1);
         assert_eq!(net.flows.len(), 2);
         assert_eq!(net.min_rtt(0), SimDuration::from_millis(150));
@@ -259,7 +265,13 @@ mod tests {
 
     #[test]
     fn config_serializes() {
-        let net = dumbbell(2, 15e6, 0.150, QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0), WorkloadSpec::on_off_1s());
+        let net = dumbbell(
+            2,
+            15e6,
+            0.150,
+            QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
+            WorkloadSpec::on_off_1s(),
+        );
         let json = serde_json::to_string(&net).unwrap();
         let back: NetworkConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(net, back);

@@ -230,6 +230,14 @@ pub struct Transport {
     backoff: u32,
     /// Generation counter invalidating stale RTO events.
     rto_gen: u64,
+    /// Order-sensitive FNV-1a digest of every ack processed (valid or
+    /// not), `None` until [`enable_ack_digest`](Self::enable_ack_digest).
+    /// Opt-in like the engine's event digest: it is a test-only probe,
+    /// and `on_ack` runs millions of times per training run.
+    /// Cross-scheduler determinism tests compare this per flow: two
+    /// runs with equal digests fed this transport the identical ack
+    /// sequence.
+    ack_digest: Option<u64>,
 }
 
 /// Result of processing one acknowledgment.
@@ -259,6 +267,7 @@ impl Transport {
             min_rtt: None,
             backoff: 0,
             rto_gen: 0,
+            ack_digest: None,
         }
     }
 
@@ -280,6 +289,17 @@ impl Transport {
 
     pub fn rto_gen(&self) -> u64 {
         self.rto_gen
+    }
+
+    /// Start digesting processed acks (determinism tests only).
+    pub fn enable_ack_digest(&mut self) {
+        self.ack_digest.get_or_insert(crate::event::FNV_OFFSET);
+    }
+
+    /// Running digest of the ack sequence this transport has processed
+    /// (`None` unless [`enable_ack_digest`](Self::enable_ack_digest)).
+    pub fn ack_digest(&self) -> Option<u64> {
+        self.ack_digest
     }
 
     /// Begin a new epoch (workload turned ON): abandon all in-flight state.
@@ -347,6 +367,15 @@ impl Transport {
     /// Process an acknowledgment: RTT estimation, removal from the
     /// in-flight set, and reordering-based loss detection.
     pub fn on_ack(&mut self, now: SimTime, ack: &Ack) -> AckOutcome {
+        if let Some(digest) = &mut self.ack_digest {
+            for word in [
+                now.as_nanos(),
+                ack.seq ^ ((ack.epoch as u64) << 48),
+                ack.echo_tx_index ^ ((ack.was_retx as u64) << 63),
+            ] {
+                *digest = crate::event::fnv(*digest, word);
+            }
+        }
         if ack.epoch != self.epoch {
             return AckOutcome {
                 valid: false,
@@ -547,8 +576,14 @@ mod tests {
         let pkts: Vec<Packet> = (0..6).map(|_| tr.produce(t(0), 10).unwrap()).collect();
         // Packet 0 is "lost": ack packets 1..=3. After ack of tx_index 3,
         // packet 0 (tx_index 0) has 3 later acks -> lost.
-        assert!(tr.on_ack(t(150), &ack_for(&pkts[1], t(75))).newly_lost.is_empty());
-        assert!(tr.on_ack(t(151), &ack_for(&pkts[2], t(75))).newly_lost.is_empty());
+        assert!(tr
+            .on_ack(t(150), &ack_for(&pkts[1], t(75)))
+            .newly_lost
+            .is_empty());
+        assert!(tr
+            .on_ack(t(151), &ack_for(&pkts[2], t(75)))
+            .newly_lost
+            .is_empty());
         let out = tr.on_ack(t(152), &ack_for(&pkts[3], t(75)));
         assert_eq!(out.newly_lost, vec![0], "seq 0 declared lost");
         assert!(tr.has_retx_pending());
@@ -601,7 +636,10 @@ mod tests {
         // feed a stream of 100 ms RTT samples
         for _ in 0..20 {
             let p = tr.produce(t(0), 100).unwrap();
-            tr.on_ack(p.sent_at + SimDuration::from_millis(100), &ack_for(&p, t(50)));
+            tr.on_ack(
+                p.sent_at + SimDuration::from_millis(100),
+                &ack_for(&p, t(50)),
+            );
         }
         let rto = tr.rto();
         // srtt -> 100 ms, rttvar -> small; RTO clamps at MIN_RTO = 200 ms.
@@ -632,6 +670,10 @@ mod tests {
         assert_eq!(tr.min_rtt(), Some(SimDuration::from_millis(150)));
         let p3 = tr.produce(t(500), 10).unwrap();
         tr.on_ack(t(800), &ack_for(&p3, t(700)));
-        assert_eq!(tr.min_rtt(), Some(SimDuration::from_millis(150)), "does not increase");
+        assert_eq!(
+            tr.min_rtt(),
+            Some(SimDuration::from_millis(150)),
+            "does not increase"
+        );
     }
 }

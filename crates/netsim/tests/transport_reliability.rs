@@ -40,7 +40,11 @@ fn recovery_through_a_tiny_buffer() {
     let mut sim = Simulation::new(&net, vec![Box::new(Stubborn(60.0))], 3);
     let out = sim.run(SimDuration::from_secs(20));
     let f = &out.flows[0];
-    assert!(f.forward_drops > 500, "tiny buffer must shed heavily: {}", f.forward_drops);
+    assert!(
+        f.forward_drops > 500,
+        "tiny buffer must shed heavily: {}",
+        f.forward_drops
+    );
     // Despite the loss storm the connection makes forward progress at
     // roughly line rate (goodput bounded by capacity, not collapsed).
     assert!(
@@ -79,7 +83,10 @@ fn rto_fires_when_whole_window_is_lost() {
     let out = sim.run(SimDuration::from_secs(60));
     let victim = &out.flows[1];
     assert!(victim.forward_drops > 0, "victim must see drops");
-    assert!(victim.timeouts > 0, "expected RTO-driven recovery for the victim");
+    assert!(
+        victim.timeouts > 0,
+        "expected RTO-driven recovery for the victim"
+    );
     assert!(victim.bytes_delivered > 0, "sender must not wedge");
 }
 
@@ -104,11 +111,19 @@ fn rapid_workload_churn_does_not_leak_state() {
     );
     let out = sim.run(SimDuration::from_secs(30));
     for f in &out.flows {
-        assert!(f.on_time_s > 5.0 && f.on_time_s < 25.0, "duty ~50%: {}", f.on_time_s);
+        assert!(
+            f.on_time_s > 5.0 && f.on_time_s < 25.0,
+            "duty ~50%: {}",
+            f.on_time_s
+        );
         assert!(f.transmissions >= f.packets_delivered);
         // per-packet delay cannot be below one-way propagation
         if f.packets_delivered > 0 {
-            assert!(f.avg_delay_s >= 0.0199, "delay {} below propagation", f.avg_delay_s);
+            assert!(
+                f.avg_delay_s >= 0.0199,
+                "delay {} below propagation",
+                f.avg_delay_s
+            );
         }
     }
 }

@@ -210,8 +210,8 @@ impl UsageCounts {
     pub fn record(&mut self, leaf: LeafId, p: &MemoryPoint) {
         let slot = &mut self.counts[leaf.0];
         slot.0 += 1;
-        for i in 0..NUM_SIGNALS {
-            slot.1[i] += p[i];
+        for (acc, v) in slot.1.iter_mut().zip(p) {
+            *acc += v;
         }
     }
 
@@ -219,8 +219,8 @@ impl UsageCounts {
     pub fn add_raw(&mut self, leaf: LeafId, count: u64, obs_sum: &MemoryPoint) {
         let slot = &mut self.counts[leaf.0];
         slot.0 += count;
-        for i in 0..NUM_SIGNALS {
-            slot.1[i] += obs_sum[i];
+        for (acc, v) in slot.1.iter_mut().zip(obs_sum) {
+            *acc += v;
         }
     }
 

@@ -85,9 +85,9 @@ impl SignalMask {
     }
 
     pub fn apply(&self, mut point: MemoryPoint) -> MemoryPoint {
-        for i in 0..NUM_SIGNALS {
-            if !self.enabled[i] {
-                point[i] = 0.0;
+        for (v, &on) in point.iter_mut().zip(&self.enabled) {
+            if !on {
+                *v = 0.0;
             }
         }
         point

@@ -181,7 +181,7 @@ mod tests {
         let mut cc = Vegas::new();
         cc.reset(t(0));
         cc.ssthresh = 2.0; // force congestion avoidance
-        // constant RTT = base RTT: zero backlog -> grow 1/RTT
+                           // constant RTT = base RTT: zero backlog -> grow 1/RTT
         let w0 = cc.window();
         let mut now = 0;
         for _ in 0..10 {
@@ -198,7 +198,7 @@ mod tests {
         cc.ssthresh = 2.0;
         cc.cwnd = 40.0;
         cc.on_ack(t(10), &ack(), &info(100)); // base RTT = 100 ms
-        // now RTT inflates 30%: backlog = 40*(1-100/130) = 9.2 > beta
+                                              // now RTT inflates 30%: backlog = 40*(1-100/130) = 9.2 > beta
         let mut now = 10;
         for _ in 0..5 {
             now += 150;

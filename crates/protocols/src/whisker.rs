@@ -83,8 +83,8 @@ impl Whisker {
 
     fn observe(&mut self, p: &MemoryPoint) {
         self.use_count += 1;
-        for i in 0..NUM_SIGNALS {
-            self.obs_sum[i] += p[i];
+        for (acc, v) in self.obs_sum.iter_mut().zip(p) {
+            *acc += v;
         }
     }
 
@@ -204,7 +204,11 @@ impl WhiskerTree {
     }
 
     fn leaf_mut_by_id(&mut self, id: LeafId) -> Option<&mut Whisker> {
-        fn walk<'a>(t: &'a mut WhiskerTree, id: usize, counter: &mut usize) -> Option<&'a mut Whisker> {
+        fn walk<'a>(
+            t: &'a mut WhiskerTree,
+            id: usize,
+            counter: &mut usize,
+        ) -> Option<&'a mut Whisker> {
             match t {
                 WhiskerTree::Leaf(w) => {
                     let mine = *counter;
@@ -231,10 +235,7 @@ impl WhiskerTree {
     /// The most heavily used leaf, if any use was recorded.
     pub fn most_used_leaf(&self) -> Option<LeafId> {
         let leaves = self.leaves();
-        let (idx, best) = leaves
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, w)| w.use_count)?;
+        let (idx, best) = leaves.iter().enumerate().max_by_key(|(_, w)| w.use_count)?;
         if best.use_count == 0 {
             None
         } else {
@@ -277,8 +278,16 @@ impl WhiskerTree {
                 }
             }
             (
-                WhiskerTree::Node { below: b1, above: a1, .. },
-                WhiskerTree::Node { below: b2, above: a2, .. },
+                WhiskerTree::Node {
+                    below: b1,
+                    above: a1,
+                    ..
+                },
+                WhiskerTree::Node {
+                    below: b2,
+                    above: a2,
+                    ..
+                },
             ) => {
                 b1.absorb_counts(b2);
                 a1.absorb_counts(a2);
@@ -299,8 +308,8 @@ impl WhiskerTree {
                     *idx += 1;
                     w.use_count += usage.use_count(id);
                     let obs = usage.obs_sum(id);
-                    for i in 0..NUM_SIGNALS {
-                        w.obs_sum[i] += obs[i];
+                    for (acc, v) in w.obs_sum.iter_mut().zip(obs) {
+                        *acc += v;
                     }
                 }
                 WhiskerTree::Node { below, above, .. } => {
@@ -447,7 +456,10 @@ mod tests {
         match &t {
             WhiskerTree::Node { dim, split_at, .. } => {
                 assert_eq!(*dim, 0);
-                assert!((*split_at - 100.0).abs() < 1e-6, "split at mean, got {split_at}");
+                assert!(
+                    (*split_at - 100.0).abs() < 1e-6,
+                    "split at mean, got {split_at}"
+                );
             }
             _ => panic!("expected node"),
         }
@@ -504,8 +516,8 @@ mod tests {
         // to itself
         for (i, w) in t.leaves().iter().enumerate() {
             let mut mid = [0.0; NUM_SIGNALS];
-            for d in 0..NUM_SIGNALS {
-                mid[d] = w.domain.midpoint(d);
+            for (d, m) in mid.iter_mut().enumerate() {
+                *m = w.domain.midpoint(d);
             }
             assert!(w.domain.contains(&mid));
             let found = t.leaf_for(&mid);
@@ -529,8 +541,8 @@ mod tests {
         t.split_leaf(LeafId(0), 0);
         t.split_leaf(LeafId(1), 1);
         let leaves = t.leaves();
-        for i in 0..leaves.len() {
-            assert_eq!(t.leaf_by_id(LeafId(i)).unwrap().domain, leaves[i].domain);
+        for (i, leaf) in leaves.iter().enumerate() {
+            assert_eq!(t.leaf_by_id(LeafId(i)).unwrap().domain, leaf.domain);
         }
         assert!(t.leaf_by_id(LeafId(99)).is_none());
     }

@@ -21,10 +21,7 @@ fn build_random_tree(splits: &[(usize, usize)], m: f64, b: f64, tau: f64) -> Whi
     }
     for i in 0..tree.num_leaves() {
         let f = i as f64;
-        tree.set_leaf_action(
-            LeafId(i),
-            Action::new(m + f * 0.01, b + f, tau + f * 0.1),
-        );
+        tree.set_leaf_action(LeafId(i), Action::new(m + f * 0.01, b + f, tau + f * 0.1));
     }
     tree
 }
@@ -59,7 +56,7 @@ proptest! {
         let mut sent = 0u64;
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for (i, &g) in gaps.iter().enumerate() {
-            now = now + SimDuration::from_millis(g);
+            now += SimDuration::from_millis(g);
             sent += g; // echo stream advances by the same gaps
             m.on_ack(now, &ack_at(sent, i as u64));
             if i >= 1 {
@@ -78,7 +75,7 @@ proptest! {
         let mut m = Memory::new(SignalMask::all());
         let mut now = SimTime::from_secs_f64(100.0);
         for (i, &rtt) in rtts.iter().enumerate() {
-            now = now + SimDuration::from_millis(17);
+            now += SimDuration::from_millis(17);
             let sent = now.checked_sub(SimDuration::from_millis(rtt)).unwrap();
             let ack = Ack {
                 flow: FlowId(0),
@@ -106,7 +103,7 @@ proptest! {
         let mut acks = 0u64;
         let mut now = SimTime::ZERO;
         for e in events {
-            now = now + SimDuration::from_millis(200); // outside recovery
+            now += SimDuration::from_millis(200); // outside recovery
             match e {
                 0 => {
                     cc.on_ack(now, &ack_at(0, acks), &info(100));
@@ -142,7 +139,7 @@ proptest! {
         cc.reset(SimTime::ZERO);
         let mut now = SimTime::ZERO;
         for e in events {
-            now = now + SimDuration::from_millis(rtt_ms);
+            now += SimDuration::from_millis(rtt_ms);
             match e {
                 0 => cc.on_ack(now, &ack_at(0, 0), &info(rtt_ms)),
                 1 => {

@@ -51,6 +51,10 @@ pub struct EvalConfig {
     /// Per-slot signal-knockout masks (§3.4). Empty = all signals enabled
     /// for every slot.
     pub masks: Vec<SignalMask>,
+    /// Event-scheduler backend for every simulation in the batch. Both
+    /// backends are order-equivalent, so this never changes results —
+    /// only per-event cost (calendar is the fast default).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for EvalConfig {
@@ -60,6 +64,7 @@ impl Default for EvalConfig {
             event_budget: 40_000_000,
             threads: 0,
             masks: Vec::new(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -132,7 +137,8 @@ pub fn run_scenario_compiled(
     cfg: &EvalConfig,
 ) -> (f64, Vec<UsageCounts>) {
     let protocols = build_protocols(scenario, trees, &cfg.masks);
-    let mut sim = Simulation::new(&scenario.net, protocols, scenario.seed);
+    let mut sim =
+        Simulation::with_scheduler(&scenario.net, protocols, scenario.seed, cfg.scheduler);
     sim.set_event_budget(cfg.event_budget);
     let outcome = sim.run(SimDuration::from_secs_f64(cfg.sim_duration_s));
 
@@ -182,8 +188,7 @@ pub fn run_scenario(
     trees: &[WhiskerTree],
     cfg: &EvalConfig,
 ) -> (f64, Vec<WhiskerTree>) {
-    let compiled: Vec<Arc<CompiledTree>> =
-        trees.iter().map(CompiledTree::compile_shared).collect();
+    let compiled: Vec<Arc<CompiledTree>> = trees.iter().map(CompiledTree::compile_shared).collect();
     let (utility, counts) = run_scenario_compiled(scenario, &compiled, cfg);
     let usage = trees
         .iter()
@@ -198,6 +203,9 @@ pub fn run_scenario(
     (utility, usage)
 }
 
+/// Utility and per-slot usage counters from one scenario run.
+type ScenarioOutput = (f64, Vec<UsageCounts>);
+
 /// One evaluation batch shared with pool workers.
 struct JobState {
     scenarios: Arc<[ConcreteScenario]>,
@@ -206,7 +214,7 @@ struct JobState {
     /// Work-stealing cursor: next unclaimed scenario index.
     next: AtomicUsize,
     /// Per-scenario result slots (index-aligned with `scenarios`).
-    results: Vec<Mutex<Option<(f64, Vec<UsageCounts>)>>>,
+    results: Vec<Mutex<Option<ScenarioOutput>>>,
     /// Count of scenarios still running, with completion signaling.
     remaining: Mutex<usize>,
     done: Condvar,
@@ -239,7 +247,10 @@ impl JobState {
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "scenario evaluation panicked".to_string());
-                    self.panic.lock().expect("panic slot poisoned").get_or_insert(msg);
+                    self.panic
+                        .lock()
+                        .expect("panic slot poisoned")
+                        .get_or_insert(msg);
                 }
             }
             let mut rem = self.remaining.lock().expect("remaining poisoned");
@@ -562,7 +573,10 @@ mod tests {
             let pool = EvalPool::new(pool_threads);
             assert_eq!(pool.size(), pool_threads, "pool honors its sizing");
             let r = pool.evaluate(&scenarios, std::slice::from_ref(&tree), &cfg);
-            assert_eq!(r.per_scenario, shared.per_scenario, "pool size {pool_threads}");
+            assert_eq!(
+                r.per_scenario, shared.per_scenario,
+                "pool size {pool_threads}"
+            );
             assert_eq!(r.usage, shared.usage);
         }
     }

@@ -64,8 +64,8 @@ pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalPool, EvalRes
 pub use objective::Objective;
 pub use optimizer::{Optimizer, OptimizerConfig, TrainedProtocol};
 pub use scenario::{
-    BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec,
-    SenderClassSpec, TopologySpec,
+    BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec, SenderClassSpec,
+    TopologySpec,
 };
 pub use verifier::{verify, VerifyConfig, VerifyReport};
 

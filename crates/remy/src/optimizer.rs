@@ -19,7 +19,7 @@
 use crate::eval::{draw_scenarios, EvalConfig, EvalPool, EvalResult};
 use crate::scenario::ScenarioSpec;
 use protocols::whisker::{LeafId, SIGNAL_MAX};
-use protocols::{SignalMask, WhiskerTree, NUM_SIGNALS};
+use protocols::{SignalMask, WhiskerTree};
 use serde::{Deserialize, Serialize};
 
 /// Minimum utility gain for a candidate to be adopted.
@@ -45,6 +45,10 @@ pub struct OptimizerConfig {
     pub event_budget: u64,
     /// Per-slot signal-knockout masks (§3.4); empty = all signals.
     pub masks: Vec<SignalMask>,
+    /// Event-scheduler backend for evaluation simulations (never changes
+    /// results; see [`EvalConfig::scheduler`]).
+    #[serde(default)]
+    pub scheduler: netsim::event::SchedulerKind,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -61,6 +65,7 @@ impl Default for OptimizerConfig {
             seed: 0xC0FFEE,
             event_budget: 30_000_000,
             masks: Vec::new(),
+            scheduler: netsim::event::SchedulerKind::default(),
             verbose: false,
         }
     }
@@ -86,6 +91,7 @@ impl OptimizerConfig {
             event_budget: self.event_budget,
             threads: self.threads,
             masks: self.masks.clone(),
+            scheduler: self.scheduler,
         }
     }
 }
@@ -113,7 +119,10 @@ pub struct Optimizer {
 
 impl Optimizer {
     pub fn new(specs: Vec<ScenarioSpec>, cfg: OptimizerConfig) -> Self {
-        assert!(!specs.is_empty(), "optimizer needs at least one training spec");
+        assert!(
+            !specs.is_empty(),
+            "optimizer needs at least one training spec"
+        );
         let pool = EvalPool::new(cfg.threads);
         Optimizer { specs, cfg, pool }
     }
@@ -158,11 +167,11 @@ impl Optimizer {
         assert_eq!(trees.len(), names.len());
         let mut scores = vec![f64::NEG_INFINITY; trees.len()];
         for alt in 0..alternations {
-            for slot in 0..trees.len() {
+            for (slot, score) in scores.iter_mut().enumerate() {
                 if self.cfg.verbose {
                     eprintln!("[remy] co-optimize alternation {alt}, slot {slot}");
                 }
-                scores[slot] = self.optimize_slot(&mut trees, slot);
+                *score = self.optimize_slot(&mut trees, slot);
             }
         }
         trees
@@ -183,7 +192,7 @@ impl Optimizer {
 
     /// The core loop, improving `trees[slot]` in place. Returns the final
     /// training score.
-    fn optimize_slot(&self, trees: &mut Vec<WhiskerTree>, slot: usize) -> f64 {
+    fn optimize_slot(&self, trees: &mut [WhiskerTree], slot: usize) -> f64 {
         let cfg = self.cfg.eval_config();
         let mut last_score = f64::NEG_INFINITY;
         for round in 0..self.cfg.rounds {
@@ -312,8 +321,8 @@ fn split_dimension(tree: &WhiskerTree, leaf: LeafId) -> usize {
     };
     let mut best_dim = 0;
     let mut best_width = -1.0;
-    for d in 0..NUM_SIGNALS {
-        let rel = w.domain.width(d) / SIGNAL_MAX[d];
+    for (d, &max) in SIGNAL_MAX.iter().enumerate() {
+        let rel = w.domain.width(d) / max;
         if rel > best_width {
             best_width = rel;
             best_dim = d;
@@ -385,7 +394,10 @@ mod tests {
         assert_eq!(parallel_opt.pool().size(), 4);
         let parallel = parallel_opt.optimize("parallel");
 
-        assert_eq!(serial.tree, parallel.tree, "thread count changed the protocol");
+        assert_eq!(
+            serial.tree, parallel.tree,
+            "thread count changed the protocol"
+        );
         assert_eq!(serial.score, parallel.score);
     }
 

@@ -21,9 +21,15 @@ use serde::{Deserialize, Serialize};
 pub enum Sample {
     Fixed(f64),
     /// Uniform in `[lo, hi]`.
-    Uniform { lo: f64, hi: f64 },
+    Uniform {
+        lo: f64,
+        hi: f64,
+    },
     /// Log-uniform in `[lo, hi]` — how the paper samples link speeds.
-    LogUniform { lo: f64, hi: f64 },
+    LogUniform {
+        lo: f64,
+        hi: f64,
+    },
 }
 
 impl Sample {
@@ -51,7 +57,10 @@ impl Sample {
 pub enum CountSpec {
     Fixed(u32),
     /// Uniform integer in `[lo, hi]`.
-    UniformInt { lo: u32, hi: u32 },
+    UniformInt {
+        lo: u32,
+        hi: u32,
+    },
 }
 
 impl CountSpec {
@@ -139,10 +148,7 @@ impl BufferSpec {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TopologySpec {
     /// Single bottleneck shared by all senders.
-    Dumbbell {
-        link_mbps: Sample,
-        rtt_ms: Sample,
-    },
+    Dumbbell { link_mbps: Sample, rtt_ms: Sample },
     /// The two-bottleneck parking lot of Fig 5; sender classes are laid
     /// out per [`netsim::topology::parking_lot`]: the first sender crosses
     /// both links, the second contends on link 1, the third on link 2.
@@ -199,7 +205,10 @@ impl ScenarioSpec {
             },
             classes: vec![SenderClassSpec::tao(
                 0,
-                CountSpec::UniformInt { lo: 1, hi: n_senders.max(1) },
+                CountSpec::UniformInt {
+                    lo: 1,
+                    hi: n_senders.max(1),
+                },
             )],
             buffer,
         }
@@ -210,7 +219,10 @@ impl ScenarioSpec {
         let rtt = if (hi_ms - lo_ms).abs() < 1e-9 {
             Sample::Fixed(lo_ms)
         } else {
-            Sample::Uniform { lo: lo_ms, hi: hi_ms }
+            Sample::Uniform {
+                lo: lo_ms,
+                hi: hi_ms,
+            }
         };
         ScenarioSpec {
             topology: TopologySpec::Dumbbell {
@@ -227,7 +239,10 @@ impl ScenarioSpec {
     pub fn one_bottleneck_model() -> Self {
         ScenarioSpec {
             topology: TopologySpec::Dumbbell {
-                link_mbps: Sample::LogUniform { lo: 10.0, hi: 100.0 },
+                link_mbps: Sample::LogUniform {
+                    lo: 10.0,
+                    hi: 100.0,
+                },
                 rtt_ms: Sample::Fixed(150.0),
             },
             classes: vec![SenderClassSpec::tao(0, CountSpec::Fixed(2))],
@@ -239,8 +254,14 @@ impl ScenarioSpec {
     pub fn two_bottleneck_model() -> Self {
         ScenarioSpec {
             topology: TopologySpec::ParkingLot {
-                link1_mbps: Sample::LogUniform { lo: 10.0, hi: 100.0 },
-                link2_mbps: Sample::LogUniform { lo: 10.0, hi: 100.0 },
+                link1_mbps: Sample::LogUniform {
+                    lo: 10.0,
+                    hi: 100.0,
+                },
+                link2_mbps: Sample::LogUniform {
+                    lo: 10.0,
+                    hi: 100.0,
+                },
                 per_link_delay_ms: 75.0,
             },
             classes: vec![SenderClassSpec {
@@ -409,14 +430,8 @@ impl ScenarioSpec {
                     self.buffer.to_queue(r1, 2.0 * delay_s),
                     self.buffer.to_queue(r2, 2.0 * delay_s),
                 );
-                let net = netsim::topology::parking_lot(
-                    r1,
-                    r2,
-                    delay_s,
-                    q1,
-                    q2,
-                    class.workload.clone(),
-                );
+                let net =
+                    netsim::topology::parking_lot(r1, r2, delay_s, q1, q2, class.workload.clone());
                 let role = match class.role {
                     RoleSpec::Tao { slot } | RoleSpec::TaoOrAimd { slot, .. } => Role::Tao { slot },
                     RoleSpec::Aimd => Role::Aimd,
@@ -477,7 +492,10 @@ mod tests {
     fn calibration_matches_table_1() {
         let s = ScenarioSpec::calibration().sample(1);
         assert_eq!(s.net.links[0].rate_bps, 32e6);
-        assert_eq!(s.net.min_rtt(0), netsim::time::SimDuration::from_millis(150));
+        assert_eq!(
+            s.net.min_rtt(0),
+            netsim::time::SimDuration::from_millis(150)
+        );
         assert_eq!(s.roles.len(), 2);
         // 5 BDP buffer = 3 MB
         match &s.net.links[0].queue {
@@ -534,7 +552,10 @@ mod tests {
         assert_eq!(s.net.links.len(), 2);
         assert_eq!(s.roles, vec![Role::Tao { slot: 0 }; 3]);
         // flow 0 sees 150 ms RTT
-        assert_eq!(s.net.min_rtt(0), netsim::time::SimDuration::from_millis(150));
+        assert_eq!(
+            s.net.min_rtt(0),
+            netsim::time::SimDuration::from_millis(150)
+        );
     }
 
     #[test]
@@ -550,7 +571,11 @@ mod tests {
     fn sample_center() {
         assert_eq!(Sample::Fixed(5.0).center(), 5.0);
         assert_eq!(Sample::Uniform { lo: 2.0, hi: 4.0 }.center(), 3.0);
-        let c = Sample::LogUniform { lo: 1.0, hi: 1000.0 }.center();
+        let c = Sample::LogUniform {
+            lo: 1.0,
+            hi: 1000.0,
+        }
+        .center();
         assert!((c - 31.6227766).abs() < 1e-6);
     }
 

@@ -64,7 +64,10 @@ pub fn load_or_train(name: &str, train: impl FnOnce() -> TrainedProtocol) -> Tra
     }
     let p = train();
     if let Err(e) = save(&p, &path) {
-        eprintln!("[remy] warning: could not save asset {}: {e}", path.display());
+        eprintln!(
+            "[remy] warning: could not save asset {}: {e}",
+            path.display()
+        );
     }
     p
 }

@@ -94,7 +94,12 @@ impl VerifyReport {
 pub fn adversarial_probes() -> Vec<(String, ScenarioSpec)> {
     let mut probes = Vec::new();
     for &(label, mbps, senders, buffer) in &[
-        ("slow-link-tiny-buffer", 0.5, 2u32, BufferSpec::BdpMultiple(0.5)),
+        (
+            "slow-link-tiny-buffer",
+            0.5,
+            2u32,
+            BufferSpec::BdpMultiple(0.5),
+        ),
         ("fast-link", 500.0, 2, BufferSpec::BdpMultiple(1.0)),
         ("heavy-mux-finite", 15.0, 64, BufferSpec::BdpMultiple(1.0)),
         ("heavy-mux-nodrop", 15.0, 64, BufferSpec::Infinite),
@@ -121,10 +126,14 @@ pub fn adversarial_probes() -> Vec<(String, ScenarioSpec)> {
 }
 
 fn is_no_drop(s: &ConcreteScenario) -> bool {
-    s.net
-        .links
-        .iter()
-        .all(|l| matches!(l.queue, netsim::queue::QueueSpec::DropTail { capacity_bytes: None }))
+    s.net.links.iter().all(|l| {
+        matches!(
+            l.queue,
+            netsim::queue::QueueSpec::DropTail {
+                capacity_bytes: None
+            }
+        )
+    })
 }
 
 /// Verify one trained tree against the probe grid.

@@ -10,7 +10,10 @@ fn all_named_specs() -> Vec<(&'static str, ScenarioSpec)> {
         ("calibration", ScenarioSpec::calibration()),
         ("link-2x", ScenarioSpec::link_speed_range(22.0, 44.0)),
         ("link-1000x", ScenarioSpec::link_speed_range(1.0, 1000.0)),
-        ("mux-100", ScenarioSpec::multiplexing(100, BufferSpec::BdpMultiple(5.0))),
+        (
+            "mux-100",
+            ScenarioSpec::multiplexing(100, BufferSpec::BdpMultiple(5.0)),
+        ),
         ("rtt-50-250", ScenarioSpec::rtt_range(50.0, 250.0)),
         ("one-bottleneck", ScenarioSpec::one_bottleneck_model()),
         ("two-bottleneck", ScenarioSpec::two_bottleneck_model()),

@@ -33,7 +33,12 @@ fn main() {
     for scheme in [Scheme::tao(tao_tree, "tao-demo"), Scheme::Cubic] {
         let out = run_homogeneous(&net, &scheme, /* seed */ 1, /* seconds */ 30.0);
         let tpt: f64 = out.flows.iter().map(|f| f.throughput_bps).sum();
-        let qd: f64 = out.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / 2.0;
+        let qd: f64 = out
+            .flows
+            .iter()
+            .map(|f| f.avg_queueing_delay_s)
+            .sum::<f64>()
+            / 2.0;
         println!(
             "  {:<10} total {:>6.2} Mbps, mean queueing delay {:>7.2} ms, utilization {:>5.1}%",
             scheme.label(),

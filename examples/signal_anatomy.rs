@@ -23,12 +23,14 @@ fn main() {
     // saturate at t = 0 (which would fake a tiny min-RTT).
     let mut now = SimTime::from_secs_f64(1.0);
     for i in 0..40u64 {
-        now = now + SimDuration::from_millis(12);
+        now += SimDuration::from_millis(12);
         let ack = Ack {
             flow: FlowId(0),
             seq: i,
             epoch: 0,
-            echo_sent_at: now.checked_sub(SimDuration::from_millis(100)).unwrap_or(SimTime::ZERO),
+            echo_sent_at: now
+                .checked_sub(SimDuration::from_millis(100))
+                .unwrap_or(SimTime::ZERO),
             echo_tx_index: i,
             recv_at: now,
             was_retx: false,
@@ -43,12 +45,14 @@ fn main() {
 
     println!("phase 2 — congestion: ack spacing doubles, RTT inflates to 250 ms");
     for i in 40..80u64 {
-        now = now + SimDuration::from_millis(24);
+        now += SimDuration::from_millis(24);
         let ack = Ack {
             flow: FlowId(0),
             seq: i,
             epoch: 0,
-            echo_sent_at: now.checked_sub(SimDuration::from_millis(250)).unwrap_or(SimTime::ZERO),
+            echo_sent_at: now
+                .checked_sub(SimDuration::from_millis(250))
+                .unwrap_or(SimTime::ZERO),
             echo_tx_index: i,
             recv_at: now,
             was_retx: false,

@@ -49,13 +49,25 @@ fn main() {
     };
 
     let alone = run_mix(&net(2), &[gentle(), gentle()], 3, 40.0);
-    report("two delay-minded senders, no TCP:", &["gentle-1", "gentle-2"], &alone);
+    report(
+        "two delay-minded senders, no TCP:",
+        &["gentle-1", "gentle-2"],
+        &alone,
+    );
 
     let tcp_only = run_mix(&net(2), &[Scheme::NewReno, Scheme::NewReno], 3, 40.0);
-    report("two NewReno senders:", &["newreno-1", "newreno-2"], &tcp_only);
+    report(
+        "two NewReno senders:",
+        &["newreno-1", "newreno-2"],
+        &tcp_only,
+    );
 
     let mixed = run_mix(&net(2), &[gentle(), Scheme::NewReno], 3, 40.0);
-    report("delay-minded sender vs NewReno:", &["gentle", "newreno"], &mixed);
+    report(
+        "delay-minded sender vs NewReno:",
+        &["gentle", "newreno"],
+        &mixed,
+    );
 
     let fair = 5.0;
     let got = mixed.flows[0].throughput_bps / 1e6;

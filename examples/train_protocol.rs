@@ -55,7 +55,11 @@ fn main() {
     for (name, out) in [("tao-example", &tao), ("cubic", &cubic)] {
         let tpt: f64 =
             out.flows.iter().map(|f| f.throughput_bps).sum::<f64>() / out.flows.len() as f64;
-        let qd: f64 = out.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>()
+        let qd: f64 = out
+            .flows
+            .iter()
+            .map(|f| f.avg_queueing_delay_s)
+            .sum::<f64>()
             / out.flows.len() as f64;
         println!(
             "  {:<12} mean throughput {:>5.2} Mbps, mean queueing delay {:>7.2} ms",

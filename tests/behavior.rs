@@ -92,8 +92,12 @@ fn aggressive_protocol_floods_infinite_buffer() {
         "aggressive",
     );
     let out = run_homogeneous(&net, &aggressive, 3, 20.0);
-    let mean_qd: f64 =
-        out.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / out.flows.len() as f64;
+    let mean_qd: f64 = out
+        .flows
+        .iter()
+        .map(|f| f.avg_queueing_delay_s)
+        .sum::<f64>()
+        / out.flows.len() as f64;
     assert!(
         mean_qd > 0.5,
         "10 aggressive senders on a no-drop link must build seconds of queue, got {mean_qd}"
@@ -123,8 +127,14 @@ fn aggressive_protocol_drops_on_finite_buffer() {
     let out = run_homogeneous(&net, &aggressive, 3, 20.0);
     let drops: u64 = out.flows.iter().map(|f| f.forward_drops).sum();
     let retx: u64 = out.flows.iter().map(|f| f.retransmissions).sum();
-    assert!(drops > 100, "finite buffer under flood must drop (got {drops})");
-    assert!(retx > 100, "drops must trigger retransmissions (got {retx})");
+    assert!(
+        drops > 100,
+        "finite buffer under flood must drop (got {drops})"
+    );
+    assert!(
+        retx > 100,
+        "drops must trigger retransmissions (got {retx})"
+    );
 }
 
 /// NewReno against NewReno shares a bottleneck roughly fairly.
@@ -140,7 +150,10 @@ fn newreno_intra_protocol_fairness() {
     let out = run_homogeneous(&net, &Scheme::NewReno, 17, 60.0);
     let (a, b) = (out.flows[0].throughput_bps, out.flows[1].throughput_bps);
     let jain = (a + b).powi(2) / (2.0 * (a * a + b * b));
-    assert!(jain > 0.75, "Jain index {jain:.3} too unfair ({a:.0} vs {b:.0})");
+    assert!(
+        jain > 0.75,
+        "Jain index {jain:.3} too unfair ({a:.0} vs {b:.0})"
+    );
 }
 
 /// The omniscient allocation dominates what any simulated protocol
@@ -193,9 +206,20 @@ fn vegas_good_alone_squeezed_by_newreno() {
         sim.run(netsim::time::SimDuration::from_secs(30))
     };
     let homo_total: f64 = homo.flows.iter().map(|f| f.throughput_bps).sum();
-    let homo_qd: f64 = homo.flows.iter().map(|f| f.avg_queueing_delay_s).sum::<f64>() / 2.0;
-    assert!(homo_total > 8.5e6, "Vegas pair should fill the link: {homo_total}");
-    assert!(homo_qd < 0.050, "Vegas pair should keep queues short: {homo_qd}");
+    let homo_qd: f64 = homo
+        .flows
+        .iter()
+        .map(|f| f.avg_queueing_delay_s)
+        .sum::<f64>()
+        / 2.0;
+    assert!(
+        homo_total > 8.5e6,
+        "Vegas pair should fill the link: {homo_total}"
+    );
+    assert!(
+        homo_qd < 0.050,
+        "Vegas pair should keep queues short: {homo_qd}"
+    );
 
     // Mixed: Vegas vs NewReno — Vegas backs off as NewReno fills the
     // buffer, losing well over half the fair share.

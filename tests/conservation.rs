@@ -10,8 +10,14 @@ fn schemes_under_test() -> Vec<Scheme> {
     vec![
         Scheme::Cubic,
         Scheme::NewReno,
-        Scheme::tao(WhiskerTree::uniform(Action::new(1.0, 1.0, 0.25)), "tao-grow"),
-        Scheme::tao(WhiskerTree::uniform(Action::new(0.6, 2.0, 2.0)), "tao-paced"),
+        Scheme::tao(
+            WhiskerTree::uniform(Action::new(1.0, 1.0, 0.25)),
+            "tao-grow",
+        ),
+        Scheme::tao(
+            WhiskerTree::uniform(Action::new(0.6, 2.0, 2.0)),
+            "tao-paced",
+        ),
     ]
 }
 

@@ -18,6 +18,7 @@ fn tiny_cfg() -> OptimizerConfig {
         seed: 77,
         event_budget: 1_500_000,
         masks: Vec::new(),
+        scheduler: Default::default(),
         verbose: false,
     }
 }
@@ -43,7 +44,10 @@ fn train_save_load_run() {
     );
     let out = run_homogeneous(&net, &Scheme::tao(loaded.tree, "e2e"), 5, 12.0);
     let delivered: u64 = out.flows.iter().map(|f| f.bytes_delivered).sum();
-    assert!(delivered > 100_000, "trained protocol delivered {delivered} bytes");
+    assert!(
+        delivered > 100_000,
+        "trained protocol delivered {delivered} bytes"
+    );
 }
 
 #[test]

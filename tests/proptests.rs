@@ -9,8 +9,7 @@ use learnability::protocols::{Action, WhiskerTree, NUM_SIGNALS};
 use proptest::prelude::*;
 
 fn arb_action() -> impl Strategy<Value = Action> {
-    (0.0f64..2.0, -32.0f64..32.0, 0.01f64..50.0)
-        .prop_map(|(m, b, tau)| Action::new(m, b, tau))
+    (0.0f64..2.0, -32.0f64..32.0, 0.01f64..50.0).prop_map(|(m, b, tau)| Action::new(m, b, tau))
 }
 
 proptest! {

@@ -139,7 +139,13 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, F));
+impl_tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     type Value = T;

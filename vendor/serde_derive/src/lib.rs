@@ -133,21 +133,18 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     let mut saw_token = false;
     let mut angle_depth = 0i32;
     for tt in stream {
-        match &tt {
-            TokenTree::Punct(p) => {
-                let c = p.as_char();
-                if c == ',' && angle_depth == 0 {
-                    count += 1;
-                    saw_token = false;
-                    continue;
-                }
-                if c == '<' {
-                    angle_depth += 1;
-                } else if c == '>' {
-                    angle_depth -= 1;
-                }
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == ',' && angle_depth == 0 {
+                count += 1;
+                saw_token = false;
+                continue;
             }
-            _ => {}
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' {
+                angle_depth -= 1;
+            }
         }
         saw_token = true;
     }

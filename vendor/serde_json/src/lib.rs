@@ -338,12 +338,7 @@ impl<'a> Parser<'a> {
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        c => {
-                            return Err(Error::new(format!(
-                                "unknown escape `\\{}`",
-                                c as char
-                            )))
-                        }
+                        c => return Err(Error::new(format!("unknown escape `\\{}`", c as char))),
                     }
                 }
                 _ => {
@@ -366,7 +361,10 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
         {
             self.pos += 1;
         }
