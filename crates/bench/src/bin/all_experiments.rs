@@ -1,35 +1,5 @@
-//! Run every experiment in sequence (the whole evaluation section).
-//!
-//! `cargo run --release --bin all_experiments` — quick fidelity by
-//! default; set `LEARNABILITY_FULL=1` for the full sweeps.
-
-use lcc_core::experiments::{
-    calibration, diversity, link_speed, multiplexing, rtt, signals, tcp_aware, topology, Fidelity,
-};
-use std::time::Instant;
+//! Deprecated shim (one release): forwards to `learnability run all`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    let t0 = Instant::now();
-    macro_rules! run {
-        ($name:literal, $e:expr) => {{
-            let s = Instant::now();
-            println!("{}", $e);
-            eprintln!("[{}] done in {:.1}s", $name, s.elapsed().as_secs_f64());
-        }};
-    }
-    run!("fig1", calibration::run(fidelity));
-    run!("fig2", link_speed::run(fidelity));
-    run!("fig3", multiplexing::run(fidelity));
-    run!("fig4", rtt::run(fidelity));
-    run!("fig6", topology::run(fidelity));
-    run!("fig7", tcp_aware::run(fidelity));
-    {
-        let (naive, aware) = tcp_aware::trained_taos();
-        println!("{}", tcp_aware::time_domain(&aware.tree, "TCP-aware", 1));
-        println!("{}", tcp_aware::time_domain(&naive.tree, "TCP-naive", 1));
-    }
-    run!("fig9", diversity::run(fidelity));
-    run!("sig", signals::run(fidelity));
-    eprintln!("all experiments in {:.1}s", t0.elapsed().as_secs_f64());
+    lcc_core::cli::forward(&["run", "all"]);
 }

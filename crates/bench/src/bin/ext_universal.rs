@@ -1,10 +1,5 @@
-//! Extension experiment: one Tao protocol trained on the union of the
-//! paper's network models, tested across every sweep (the conclusion's
-//! open question).
-
-use lcc_core::experiments::{universal, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run universal`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", universal::run(fidelity));
+    lcc_core::cli::forward(&["run", "universal"]);
 }

@@ -1,11 +1,5 @@
-//! Regenerate Fig 1 / Table 1: the calibration experiment.
-//!
-//! `cargo run --release --bin fig1` (set `LEARNABILITY_FULL=1` for the
-//! full-fidelity sweep).
-
-use lcc_core::experiments::{calibration, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run calibration`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", calibration::run(fidelity));
+    lcc_core::cli::forward(&["run", "calibration"]);
 }

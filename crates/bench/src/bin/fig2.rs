@@ -1,8 +1,5 @@
-//! Regenerate Fig 2 / Table 2: operating range in link speed.
-
-use lcc_core::experiments::{link_speed, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run link_speed`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", link_speed::run(fidelity));
+    lcc_core::cli::forward(&["run", "link_speed"]);
 }

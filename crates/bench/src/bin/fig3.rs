@@ -1,8 +1,5 @@
-//! Regenerate Fig 3 / Table 3: degree of multiplexing.
-
-use lcc_core::experiments::{multiplexing, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run multiplexing`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", multiplexing::run(fidelity));
+    lcc_core::cli::forward(&["run", "multiplexing"]);
 }

@@ -1,8 +1,5 @@
-//! Regenerate Fig 4 / Table 4: knowledge of propagation delay.
-
-use lcc_core::experiments::{rtt, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run rtt`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", rtt::run(fidelity));
+    lcc_core::cli::forward(&["run", "rtt"]);
 }

@@ -1,8 +1,5 @@
-//! Regenerate Figs 5-6 / Table 5: structural knowledge (parking lot).
-
-use lcc_core::experiments::{topology, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run topology`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", topology::run(fidelity));
+    lcc_core::cli::forward(&["run", "topology"]);
 }

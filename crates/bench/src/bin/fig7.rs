@@ -1,8 +1,5 @@
-//! Regenerate Fig 7 / Table 6: knowledge about incumbent endpoints.
-
-use lcc_core::experiments::{tcp_aware, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run tcp_aware`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", tcp_aware::run(fidelity));
+    lcc_core::cli::forward(&["run", "tcp_aware"]);
 }

@@ -1,12 +1,5 @@
-//! Regenerate Fig 8: time-domain queue dynamics against a TCP pulse
-//! (TCP cross-traffic on exactly t in [5, 10) seconds).
-
-use lcc_core::experiments::tcp_aware;
+//! Deprecated shim (one release): forwards to `learnability run tcp_aware`.
 
 fn main() {
-    let (naive, aware) = tcp_aware::trained_taos();
-    for (p, label) in [(&aware, "TCP-aware"), (&naive, "TCP-naive")] {
-        println!("{}", tcp_aware::time_domain(&p.tree, label, 1));
-    }
-    println!("(paper: the aware protocol queues more in isolation but less against TCP)");
+    lcc_core::cli::forward(&["run", "tcp_aware"]);
 }

@@ -1,8 +1,5 @@
-//! Regenerate Fig 9 / Table 7: the price of sender diversity.
-
-use lcc_core::experiments::{diversity, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run diversity`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", diversity::run(fidelity));
+    lcc_core::cli::forward(&["run", "diversity"]);
 }

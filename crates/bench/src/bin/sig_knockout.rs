@@ -1,8 +1,5 @@
-//! Regenerate the §3.4 signal-knockout study.
-
-use lcc_core::experiments::{signals, Fidelity};
+//! Deprecated shim (one release): forwards to `learnability run signals`.
 
 fn main() {
-    let fidelity = Fidelity::from_env();
-    println!("{}", signals::run(fidelity));
+    lcc_core::cli::forward(&["run", "signals"]);
 }

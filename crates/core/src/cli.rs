@@ -1,0 +1,317 @@
+//! The `learnability` command-line interface.
+//!
+//! One binary drives the whole evaluation section:
+//!
+//! ```sh
+//! learnability list                 # every experiment and its assets
+//! learnability run calibration      # run one experiment (quick fidelity)
+//! learnability run all --fidelity full --seeds 8 --json out/
+//! learnability train link_speed --force   # retrain an experiment's protocols
+//! ```
+//!
+//! `run` executes the experiment's sweep on the shared work-stealing
+//! engine (all cores by default; results are bit-identical for any
+//! `--threads` value), prints the rendered tables, and emits one
+//! [`FigureData`](crate::report::FigureData) JSON artifact per experiment
+//! under `assets/figures/` (or `--json DIR`).
+//!
+//! The old per-figure binaries (`fig1` … `fig9`, `all_experiments`,
+//! `sig_knockout`, `ext_universal`) are deprecated shims over this CLI and
+//! will be removed after one release.
+
+use crate::experiments::{self, Experiment, Fidelity, RunOptions};
+use crate::report::{render_figure, Table};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: learnability <command> [options]
+
+commands:
+  list                          list every experiment
+  run <id|all> [options]        run experiment(s), print tables, emit JSON
+  train <id|all> [--force]      train missing protocol assets
+                                (--force discards cached assets first)
+
+run options:
+  --fidelity quick|full         compute budget (default: quick, or
+                                LEARNABILITY_FULL=1 for full)
+  --seeds N                     override seeds per sweep cell (trace cells
+                                keep their pinned seeds)
+  --threads N                   sweep worker threads (default: all cores;
+                                results are identical for any value)
+  --json DIR                    write FigureData JSON here
+                                (default: assets/figures/)
+  --no-json                     skip the JSON artifacts
+";
+
+/// Entry point for the `learnability` binary.
+pub fn main() -> ! {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    std::process::exit(run(&refs))
+}
+
+/// Entry point for the deprecated per-figure shim binaries: announce the
+/// replacement, then forward to the CLI.
+pub fn forward(args: &[&str]) -> ! {
+    eprintln!(
+        "[learnability] this binary is a deprecated shim; use \
+         `cargo run --release -p bench --bin learnability -- {}`",
+        args.join(" ")
+    );
+    std::process::exit(run(args))
+}
+
+/// Run the CLI on pre-parsed arguments; returns the process exit code.
+pub fn run(args: &[&str]) -> i32 {
+    match args.first() {
+        Some(&"list") => {
+            print!("{}", list_table());
+            0
+        }
+        Some(&"run") => match parse_run(&args[1..]) {
+            Ok((exps, opts, json_dir)) => cmd_run(&exps, &opts, json_dir.as_deref()),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                2
+            }
+        },
+        Some(&"train") => {
+            let force = args.get(2) == Some(&"--force");
+            let parsed = match args.get(if force { 3 } else { 2 }) {
+                Some(extra) => Err(format!("unexpected train argument '{extra}'")),
+                None => select(args.get(1).copied()),
+            };
+            match parsed {
+                Ok(exps) => cmd_train(&exps, force),
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    2
+                }
+            }
+        }
+        Some(&"--help") | Some(&"-h") | Some(&"help") => {
+            print!("{USAGE}");
+            0
+        }
+        other => {
+            match other {
+                Some(cmd) => eprintln!("error: unknown command '{cmd}'\n\n{USAGE}"),
+                None => eprint!("{USAGE}"),
+            }
+            2
+        }
+    }
+}
+
+/// The `learnability list` table.
+pub fn list_table() -> String {
+    let mut t = Table::new(
+        "learnability experiments",
+        &["id", "paper artifact", "protocol assets"],
+    );
+    for e in experiments::registry() {
+        let assets: Vec<String> = e
+            .train_specs()
+            .iter()
+            .flat_map(|j| j.assets.clone())
+            .collect();
+        t.row(vec![
+            e.id().to_string(),
+            e.paper_artifact().to_string(),
+            assets.join(", "),
+        ]);
+    }
+    t.to_string()
+}
+
+fn select(id: Option<&str>) -> Result<Vec<&'static dyn Experiment>, String> {
+    match id {
+        None => Err("missing experiment id (or 'all')".into()),
+        Some("all") => Ok(experiments::registry().to_vec()),
+        Some(id) => experiments::find(id).map(|e| vec![e]).ok_or_else(|| {
+            let known: Vec<&str> = experiments::registry().iter().map(|e| e.id()).collect();
+            format!(
+                "unknown experiment '{id}' (known: {}, all)",
+                known.join(", ")
+            )
+        }),
+    }
+}
+
+type RunArgs = (Vec<&'static dyn Experiment>, RunOptions, Option<PathBuf>);
+
+fn parse_run(args: &[&str]) -> Result<RunArgs, String> {
+    let exps = select(args.first().copied())?;
+    let mut opts = RunOptions::new(Fidelity::from_env());
+    let mut json_dir = Some(default_json_dir());
+    let mut it = args[1..].iter();
+    while let Some(&flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .copied()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--fidelity" => opts.fidelity = Fidelity::from_flag(value()?)?,
+            "--seeds" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| "--seeds needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                opts.seeds = Some(n);
+            }
+            "--threads" => {
+                opts.threads = value()?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--json" => json_dir = Some(PathBuf::from(value()?)),
+            "--no-json" => json_dir = None,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok((exps, opts, json_dir))
+}
+
+/// Default JSON artifact directory: `assets/figures/` next to the protocol
+/// assets (honors `REMY_ASSETS_DIR`).
+pub fn default_json_dir() -> PathBuf {
+    remy::serialize::assets_dir().join("figures")
+}
+
+fn cmd_run(exps: &[&'static dyn Experiment], opts: &RunOptions, json_dir: Option<&Path>) -> i32 {
+    let t0 = Instant::now();
+    for e in exps {
+        let s = Instant::now();
+        let fig = experiments::run_experiment(*e, opts);
+        print!("{}", render_figure(&fig));
+        if let Some(dir) = json_dir {
+            let path = dir.join(format!("{}.json", e.id()));
+            if let Err(err) = write_json(&fig, &path) {
+                eprintln!("error: could not write {}: {err}", path.display());
+                return 1;
+            }
+            eprintln!("[{}] figure data -> {}", e.id(), path.display());
+        }
+        eprintln!("[{}] done in {:.1}s", e.id(), s.elapsed().as_secs_f64());
+    }
+    if exps.len() > 1 {
+        eprintln!("all experiments in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    0
+}
+
+fn write_json(fig: &crate::report::FigureData, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut json = fig.to_json();
+    json.push('\n');
+    std::fs::write(path, json)
+}
+
+fn cmd_train(exps: &[&'static dyn Experiment], force: bool) -> i32 {
+    let t0 = Instant::now();
+    for e in exps {
+        let s = Instant::now();
+        for job in e.train_specs() {
+            if force {
+                // Discard cached assets so run_train_job actually retrains.
+                for name in &job.assets {
+                    let path = remy::serialize::asset_path(name);
+                    if std::fs::remove_file(&path).is_ok() {
+                        eprintln!("[learnability] discarded cached {}", path.display());
+                    }
+                }
+            }
+            let protos = experiments::run_train_job(&job);
+            for p in &protos {
+                eprintln!(
+                    "[{:>7.1}s] {} ready ({} whiskers, score {:.3})",
+                    t0.elapsed().as_secs_f64(),
+                    p.name,
+                    p.tree.num_leaves(),
+                    p.score
+                );
+            }
+        }
+        eprintln!(
+            "[{}] assets ready (+{:.1}s)",
+            e.id(),
+            s.elapsed().as_secs_f64()
+        );
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_covers_every_registered_experiment() {
+        let out = list_table();
+        for e in experiments::registry() {
+            assert!(out.contains(e.id()), "list must show {}", e.id());
+        }
+        assert!(out.contains("tao-calibration"));
+    }
+
+    #[test]
+    fn run_arg_parsing() {
+        let (exps, opts, json) = parse_run(&[
+            "all",
+            "--fidelity",
+            "full",
+            "--seeds",
+            "5",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(exps.len(), experiments::registry().len());
+        assert_eq!(opts.fidelity, Fidelity::Full);
+        assert_eq!(opts.seeds, Some(5));
+        assert_eq!(opts.threads, 2);
+        assert!(json.is_some(), "json emission is on by default");
+
+        let (exps, _, json) = parse_run(&["calibration", "--no-json"]).unwrap();
+        assert_eq!(exps[0].id(), "calibration");
+        assert!(json.is_none());
+
+        let (_, _, json) = parse_run(&["rtt", "--json", "/tmp/figs"]).unwrap();
+        assert_eq!(json.unwrap(), PathBuf::from("/tmp/figs"));
+
+        assert!(parse_run(&[]).is_err(), "id required");
+        assert!(parse_run(&["bogus"]).is_err(), "unknown id rejected");
+        assert!(parse_run(&["rtt", "--seeds", "0"]).is_err());
+        assert!(parse_run(&["rtt", "--wat"]).is_err());
+        assert!(parse_run(&["rtt", "--fidelity"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert_eq!(run(&["frobnicate"]), 2);
+        assert_eq!(run(&[]), 2);
+    }
+
+    #[test]
+    fn train_rejects_stray_options() {
+        assert_eq!(run(&["train"]), 2, "id required");
+        assert_eq!(run(&["train", "bogus"]), 2, "unknown id");
+        assert_eq!(
+            run(&["train", "calibration", "--fidelity", "full"]),
+            2,
+            "train only accepts --force"
+        );
+        assert_eq!(
+            run(&["train", "calibration", "--force", "--wat"]),
+            2,
+            "trailing junk after --force rejected"
+        );
+    }
+}

@@ -6,78 +6,17 @@
 //! The paper finds the Tao within 5% of omniscient throughput and 10% on
 //! delay, and considerably ahead of both human-designed baselines.
 
-use super::{fmt_stat, tao_asset, train_cfg, Fidelity, TrainCost};
+use super::{fmt_stat, run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob};
 use crate::omniscient;
-use crate::report::Table;
-use crate::runner::{flow_points, run_seeds, summarize, with_sfq_codel, Scheme, SummaryStat};
+use crate::report::{FigureData, Table, TableData};
+use crate::runner::{summarize, with_sfq_codel, PointOutcome, Scheme, SweepPoint};
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::topology::dumbbell;
 use netsim::workload::WorkloadSpec;
 use remy::ScenarioSpec;
-use std::fmt;
 
 pub const ASSET: &str = "tao-calibration";
-
-/// Per-scheme throughput/queueing-delay summary.
-#[derive(Clone, Debug)]
-pub struct SchemeStats {
-    pub label: String,
-    /// Mbps across flows × seeds.
-    pub throughput: SummaryStat,
-    /// Milliseconds across flows × seeds.
-    pub queueing_delay: SummaryStat,
-}
-
-/// Results for Fig 1.
-#[derive(Clone, Debug)]
-pub struct CalibrationResult {
-    pub schemes: Vec<SchemeStats>,
-    /// Omniscient operating point: (throughput Mbps, queueing delay ms).
-    pub omniscient: (f64, f64),
-}
-
-impl CalibrationResult {
-    pub fn scheme(&self, label: &str) -> Option<&SchemeStats> {
-        self.schemes.iter().find(|s| s.label == label)
-    }
-
-    /// Tao throughput as a fraction of omniscient (the paper reports ~0.95).
-    pub fn tao_fraction_of_omniscient(&self) -> Option<f64> {
-        self.scheme("tao")
-            .map(|s| s.throughput.median / self.omniscient.0)
-    }
-}
-
-impl fmt::Display for CalibrationResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new(
-            "Fig 1 — calibration: 32 Mbps, 150 ms RTT, 2 senders, 5 BDP",
-            &["scheme", "throughput", "queueing delay"],
-        );
-        for s in &self.schemes {
-            t.row(vec![
-                s.label.clone(),
-                fmt_stat(&s.throughput, " Mbps"),
-                fmt_stat(&s.queueing_delay, " ms"),
-            ]);
-        }
-        t.row(vec![
-            "omniscient".into(),
-            format!("{:.2} Mbps", self.omniscient.0),
-            format!("{:.2} ms", self.omniscient.1),
-        ]);
-        write!(f, "{t}")?;
-        if let Some(frac) = self.tao_fraction_of_omniscient() {
-            writeln!(
-                f,
-                "tao throughput = {:.1}% of omniscient (paper: within 5%)",
-                frac * 100.0
-            )?;
-        }
-        Ok(())
-    }
-}
 
 /// The testing network of Table 1.
 pub fn test_network() -> NetworkConfig {
@@ -92,41 +31,94 @@ pub fn test_network() -> NetworkConfig {
 
 /// Train (or load) the calibration Tao.
 pub fn trained_tao() -> remy::TrainedProtocol {
-    tao_asset(
-        ASSET,
-        vec![ScenarioSpec::calibration()],
-        train_cfg(TrainCost::Normal),
-    )
+    run_train_job(&Calibration.train_specs().remove(0))
+        .pop()
+        .expect("one protocol")
 }
 
-/// Run the calibration experiment.
-pub fn run(fidelity: Fidelity) -> CalibrationResult {
-    let tao = trained_tao();
-    let net = test_network();
-    let sfq_net = with_sfq_codel(&net);
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
+/// The calibration experiment (`learnability run calibration`).
+pub struct Calibration;
 
-    let mut schemes = Vec::new();
-    for (label, scheme, net) in [
-        ("tao", Scheme::tao(tao.tree.clone(), "tao"), &net),
-        ("cubic", Scheme::Cubic, &net),
-        ("cubic-sfqcodel", Scheme::Cubic, &sfq_net),
-    ] {
-        let mix = vec![scheme.clone(); net.flows.len()];
-        let outs = run_seeds(net, &mix, seeds.clone(), dur);
-        let (tpt, qd) = flow_points(&outs, |_| true);
-        schemes.push(SchemeStats {
-            label: label.into(),
-            throughput: summarize(&tpt),
-            queueing_delay: summarize(&qd),
-        });
+impl Experiment for Calibration {
+    fn id(&self) -> &'static str {
+        "calibration"
     }
 
-    let omn = omniscient::omniscient(&net);
-    CalibrationResult {
-        schemes,
-        omniscient: (omn[0].throughput_bps / 1e6, 0.0),
+    fn paper_artifact(&self) -> &'static str {
+        "Fig 1 / Table 1 — Tao vs Cubic vs Cubic-over-sfqCoDel vs omniscient"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        vec![TrainJob::single(
+            ASSET,
+            vec![ScenarioSpec::calibration()],
+            train_cfg(TrainCost::Normal),
+        )]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let tao = trained_tao();
+        let net = test_network();
+        let sfq_net = with_sfq_codel(&net);
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        vec![
+            SweepPoint::homogeneous(
+                "tao",
+                0.0,
+                net.clone(),
+                Scheme::tao(tao.tree.clone(), "tao"),
+                seeds.clone(),
+                dur,
+            ),
+            SweepPoint::homogeneous("cubic", 0.0, net, Scheme::Cubic, seeds.clone(), dur),
+            SweepPoint::homogeneous("cubic-sfqcodel", 0.0, sfq_net, Scheme::Cubic, seeds, dur),
+        ]
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let mut t = Table::new(
+            "Fig 1 — calibration: 32 Mbps, 150 ms RTT, 2 senders, 5 BDP",
+            &["scheme", "throughput", "queueing delay"],
+        );
+        let mut tao_median_tpt = None;
+        for p in points {
+            let (tpt, qd) = crate::runner::flow_points(&p.runs, |_| true);
+            let tpt = summarize(&tpt);
+            let qd = summarize(&qd);
+            if p.key() == "tao" {
+                tao_median_tpt = Some(tpt.median);
+            }
+            t.row(vec![
+                p.key().to_string(),
+                fmt_stat(&tpt, " Mbps"),
+                fmt_stat(&qd, " ms"),
+            ]);
+            fig.push_summary(format!("{}_tpt_mbps_median", p.key()), tpt.median);
+            fig.push_summary(format!("{}_qdelay_ms_median", p.key()), qd.median);
+        }
+
+        // Omniscient operating point (closed form, no simulation).
+        let omn = omniscient::omniscient(&test_network());
+        let omn_tpt = omn[0].throughput_bps / 1e6;
+        t.row(vec![
+            "omniscient".into(),
+            format!("{omn_tpt:.2} Mbps"),
+            "0.00 ms".into(),
+        ]);
+        fig.push_summary("omniscient_tpt_mbps", omn_tpt);
+        fig.tables.push(TableData::from_table(&t));
+
+        if let Some(tao_tpt) = tao_median_tpt {
+            let frac = tao_tpt / omn_tpt;
+            fig.push_summary("tao_fraction_of_omniscient", frac);
+            fig.notes.push(format!(
+                "tao throughput = {:.1}% of omniscient (paper: within 5%)",
+                frac * 100.0
+            ));
+        }
+        fig
     }
 }
 
@@ -148,5 +140,13 @@ mod tests {
         assert_eq!(net.flows.len(), 2);
         assert_eq!(net.links[0].rate_bps, 32e6);
         assert_eq!(net.min_rtt(0), netsim::time::SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn train_specs_describe_the_calibration_asset() {
+        let jobs = Calibration.train_specs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].assets, vec![ASSET.to_string()]);
+        assert!(jobs[0].co_alternations.is_none());
     }
 }

@@ -10,9 +10,9 @@
 //! the delay-sensitive sender keep low delay in the mix, paid for by the
 //! throughput-sensitive sender's "niceness".
 
-use super::{fmt_stat, train_cfg, Fidelity, TrainCost};
-use crate::report::Table;
-use crate::runner::{flow_points, run_seeds, summarize, Scheme, SummaryStat};
+use super::{fmt_stat, run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob};
+use crate::report::{FigureData, Table, TableData};
+use crate::runner::{summarize, PointOutcome, Scheme, SweepPoint};
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::topology::dumbbell;
@@ -21,7 +21,6 @@ use remy::{
     BufferSpec, CountSpec, Objective, RoleSpec, Sample, ScenarioSpec, SenderClassSpec,
     TopologySpec, TrainedProtocol,
 };
-use std::fmt;
 
 pub const ASSET_TPT_NAIVE: &str = "tao-tpt-naive";
 pub const ASSET_DEL_NAIVE: &str = "tao-del-naive";
@@ -47,52 +46,17 @@ fn naive_spec(delta: f64) -> ScenarioSpec {
 }
 
 /// Train (or load) all four protocols: naive and co-optimized variants of
-/// the throughput- and delay-sensitive senders.
+/// the throughput- and delay-sensitive senders, in
+/// `[tpt-naive, del-naive, tpt-coopt, del-coopt]` order.
 pub fn trained_taos() -> [TrainedProtocol; 4] {
-    let tpt_naive = super::tao_asset(
-        ASSET_TPT_NAIVE,
-        vec![naive_spec(Objective::throughput_sensitive().delta)],
-        train_cfg(TrainCost::Normal),
-    );
-    let del_naive = super::tao_asset(
-        ASSET_DEL_NAIVE,
-        vec![naive_spec(Objective::delay_sensitive().delta)],
-        train_cfg(TrainCost::Normal),
-    );
-
-    // Co-optimization trains both slots together on the diversity spec;
-    // cache the pair as two assets produced by one run.
-    let coopt_pair = || {
-        let specs = vec![ScenarioSpec::diversity()];
-        let cfg = train_cfg(TrainCost::Normal);
-        let opt = remy::Optimizer::new(specs, cfg);
-        opt.co_optimize(
-            vec![
-                protocols::WhiskerTree::default_tree(),
-                protocols::WhiskerTree::default_tree(),
-            ],
-            2,
-            &[ASSET_TPT_COOPT, ASSET_DEL_COOPT],
-        )
-    };
-    let tpt_path = remy::serialize::asset_path(ASSET_TPT_COOPT);
-    let del_path = remy::serialize::asset_path(ASSET_DEL_COOPT);
-    let (tpt_coopt, del_coopt) = match (
-        remy::serialize::load(&tpt_path),
-        remy::serialize::load(&del_path),
-    ) {
-        (Ok(a), Ok(b)) => (a, b),
-        _ => {
-            eprintln!("[learnability] co-optimizing diversity pair (no committed assets)...");
-            let mut pair = coopt_pair();
-            let b = pair.pop().expect("two protocols");
-            let a = pair.pop().expect("two protocols");
-            remy::serialize::save(&a, &tpt_path).ok();
-            remy::serialize::save(&b, &del_path).ok();
-            (a, b)
-        }
-    };
-    [tpt_naive, del_naive, tpt_coopt, del_coopt]
+    let protos: Vec<TrainedProtocol> = Diversity
+        .train_specs()
+        .iter()
+        .flat_map(run_train_job)
+        .collect();
+    protos
+        .try_into()
+        .unwrap_or_else(|v: Vec<TrainedProtocol>| panic!("expected 4 protocols, got {}", v.len()))
 }
 
 /// Table 7b's network: 10 Mbps, 100 ms, no-drop buffer, 1 s ON/OFF.
@@ -106,161 +70,153 @@ pub fn test_network(n_senders: usize) -> NetworkConfig {
     )
 }
 
-/// Measured operating point of one sender class in one configuration.
-#[derive(Clone, Debug)]
-pub struct DiversityPoint {
-    pub config: String,
-    pub sender: String,
-    pub throughput: SummaryStat,
-    pub queueing_delay: SummaryStat,
-}
+/// The sweep rows: (group, config, [flow labels]).
+const ROWS: [(&str, &str, [&str; 2]); 6] = [
+    (
+        "homogeneous",
+        "2x tpt-naive",
+        [ASSET_TPT_NAIVE, ASSET_TPT_NAIVE],
+    ),
+    (
+        "homogeneous",
+        "2x del-naive",
+        [ASSET_DEL_NAIVE, ASSET_DEL_NAIVE],
+    ),
+    (
+        "homogeneous",
+        "2x tpt-coopt",
+        [ASSET_TPT_COOPT, ASSET_TPT_COOPT],
+    ),
+    (
+        "homogeneous",
+        "2x del-coopt",
+        [ASSET_DEL_COOPT, ASSET_DEL_COOPT],
+    ),
+    ("mixed", "naive mix", [ASSET_TPT_NAIVE, ASSET_DEL_NAIVE]),
+    (
+        "mixed",
+        "co-optimized mix",
+        [ASSET_TPT_COOPT, ASSET_DEL_COOPT],
+    ),
+];
 
-#[derive(Clone, Debug)]
-pub struct DiversityResult {
-    /// Fig 9a: each pair running homogeneously (2 senders of one type).
-    pub homogeneous: Vec<DiversityPoint>,
-    /// Fig 9b: mixed network (1 throughput-sensitive + 1 delay-sensitive).
-    pub mixed: Vec<DiversityPoint>,
-}
+/// The sender-diversity experiment (`learnability run diversity`).
+pub struct Diversity;
 
-impl DiversityResult {
-    pub fn point<'a>(
-        rows: &'a [DiversityPoint],
-        config: &str,
-        sender: &str,
-    ) -> Option<&'a DiversityPoint> {
-        rows.iter()
-            .find(|p| p.config == config && p.sender == sender)
+impl Experiment for Diversity {
+    fn id(&self) -> &'static str {
+        "diversity"
     }
 
-    /// In the co-optimized mix, the delay-sensitive sender should see less
-    /// queueing delay than the throughput-sensitive one.
-    pub fn mixed_coopt_delay_gap(&self) -> Option<f64> {
-        let tpt = Self::point(&self.mixed, "co-optimized mix", ASSET_TPT_COOPT)?;
-        let del = Self::point(&self.mixed, "co-optimized mix", ASSET_DEL_COOPT)?;
-        Some(tpt.queueing_delay.median - del.queueing_delay.median)
+    fn paper_artifact(&self) -> &'static str {
+        "Fig 9 / Table 7 — the price of sender diversity"
     }
-}
 
-impl fmt::Display for DiversityResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (title, rows) in [
-            (
-                "Fig 9a — homogeneous (each pair by itself)",
-                &self.homogeneous,
+    fn train_specs(&self) -> Vec<TrainJob> {
+        vec![
+            TrainJob::single(
+                ASSET_TPT_NAIVE,
+                vec![naive_spec(Objective::throughput_sensitive().delta)],
+                train_cfg(TrainCost::Normal),
             ),
+            TrainJob::single(
+                ASSET_DEL_NAIVE,
+                vec![naive_spec(Objective::delay_sensitive().delta)],
+                train_cfg(TrainCost::Normal),
+            ),
+            // Co-optimization trains both slots together on the diversity
+            // spec, producing the pair as two assets of one run.
+            TrainJob::co_optimized(
+                &[ASSET_TPT_COOPT, ASSET_DEL_COOPT],
+                vec![ScenarioSpec::diversity()],
+                train_cfg(TrainCost::Normal),
+                2,
+            ),
+        ]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let [tpt_naive, del_naive, tpt_coopt, del_coopt] = trained_taos();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let tree_of = |label: &str| match label {
+            ASSET_TPT_NAIVE => &tpt_naive.tree,
+            ASSET_DEL_NAIVE => &del_naive.tree,
+            ASSET_TPT_COOPT => &tpt_coopt.tree,
+            _ => &del_coopt.tree,
+        };
+        ROWS.iter()
+            .map(|&(group, config, labels)| {
+                let schemes: Vec<Scheme> = labels
+                    .iter()
+                    .map(|&l| Scheme::tao(tree_of(l).clone(), l))
+                    .collect();
+                SweepPoint::mix(
+                    format!("{group}|{config}"),
+                    0.0,
+                    test_network(schemes.len()),
+                    schemes,
+                    seeds.clone(),
+                    dur,
+                )
+            })
+            .collect()
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let mut medians: Vec<(String, String, f64, f64)> = Vec::new();
+        for (group, title) in [
+            ("homogeneous", "Fig 9a — homogeneous (each pair by itself)"),
             (
+                "mixed",
                 "Fig 9b — mixed network (1 tpt-sender + 1 del-sender)",
-                &self.mixed,
             ),
         ] {
             let mut t = Table::new(
                 title,
                 &["configuration", "sender", "throughput", "queueing delay"],
             );
-            for p in rows {
-                t.row(vec![
-                    p.config.clone(),
-                    p.sender.clone(),
-                    fmt_stat(&p.throughput, " Mbps"),
-                    fmt_stat(&p.queueing_delay, " ms"),
-                ]);
+            for p in points {
+                let Some(config) = p.key().strip_prefix(&format!("{group}|")) else {
+                    continue;
+                };
+                for label in p.unique_labels() {
+                    let (tpt, qd) = p.flow_points_labeled(&label);
+                    let (tpt, qd) = (summarize(&tpt), summarize(&qd));
+                    t.row(vec![
+                        config.to_string(),
+                        label.clone(),
+                        fmt_stat(&tpt, " Mbps"),
+                        fmt_stat(&qd, " ms"),
+                    ]);
+                    medians.push((config.to_string(), label, tpt.median, qd.median));
+                }
             }
-            write!(f, "{t}")?;
+            fig.tables.push(TableData::from_table(&t));
         }
-        if let Some(gap) = self.mixed_coopt_delay_gap() {
-            writeln!(
-                f,
-                "co-optimized mix: delay-sensitive sender sees {:.2} ms less queueing delay \
-                 than the throughput-sensitive sender (paper: lower delay for Del. sender)",
-                gap
-            )?;
-        }
-        Ok(())
-    }
-}
 
-fn measure_pair(
-    config: &str,
-    schemes: &[Scheme],
-    labels: &[&str],
-    seeds: std::ops::Range<u64>,
-    dur: f64,
-) -> Vec<DiversityPoint> {
-    let net = test_network(schemes.len());
-    let outs = run_seeds(&net, schemes, seeds, dur);
-    let mut uniq: Vec<&str> = Vec::new();
-    for &l in labels {
-        if !uniq.contains(&l) {
-            uniq.push(l);
-        }
-    }
-    uniq.into_iter()
-        .map(|l| {
-            let keep: Vec<usize> = labels
+        // In the co-optimized mix, the delay-sensitive sender should see
+        // less queueing delay than the throughput-sensitive one.
+        let qd_of = |config: &str, label: &str| {
+            medians
                 .iter()
-                .enumerate()
-                .filter(|(_, &x)| x == l)
-                .map(|(i, _)| i)
-                .collect();
-            let (tpt, qd) = flow_points(&outs, |fl| keep.contains(&fl));
-            DiversityPoint {
-                config: config.into(),
-                sender: l.into(),
-                throughput: summarize(&tpt),
-                queueing_delay: summarize(&qd),
-            }
-        })
-        .collect()
-}
-
-/// Run the Fig 9 experiment.
-pub fn run(fidelity: Fidelity) -> DiversityResult {
-    let [tpt_naive, del_naive, tpt_coopt, del_coopt] = trained_taos();
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
-
-    let s = |p: &TrainedProtocol, label: &str| Scheme::tao(p.tree.clone(), label);
-
-    let mut homogeneous = Vec::new();
-    for (config, proto, label) in [
-        ("2x tpt-naive", &tpt_naive, ASSET_TPT_NAIVE),
-        ("2x del-naive", &del_naive, ASSET_DEL_NAIVE),
-        ("2x tpt-coopt", &tpt_coopt, ASSET_TPT_COOPT),
-        ("2x del-coopt", &del_coopt, ASSET_DEL_COOPT),
-    ] {
-        homogeneous.extend(measure_pair(
-            config,
-            &[s(proto, label), s(proto, label)],
-            &[label, label],
-            seeds.clone(),
-            dur,
-        ));
+                .find(|(c, l, _, _)| c == config && l == label)
+                .map(|&(_, _, _, qd)| qd)
+        };
+        if let (Some(tpt_qd), Some(del_qd)) = (
+            qd_of("co-optimized mix", ASSET_TPT_COOPT),
+            qd_of("co-optimized mix", ASSET_DEL_COOPT),
+        ) {
+            let gap = tpt_qd - del_qd;
+            fig.push_summary("mixed_coopt_delay_gap_ms", gap);
+            fig.notes.push(format!(
+                "co-optimized mix: delay-sensitive sender sees {gap:.2} ms less queueing delay \
+                 than the throughput-sensitive sender (paper: lower delay for Del. sender)"
+            ));
+        }
+        fig
     }
-
-    let mut mixed = Vec::new();
-    mixed.extend(measure_pair(
-        "naive mix",
-        &[
-            s(&tpt_naive, ASSET_TPT_NAIVE),
-            s(&del_naive, ASSET_DEL_NAIVE),
-        ],
-        &[ASSET_TPT_NAIVE, ASSET_DEL_NAIVE],
-        seeds.clone(),
-        dur,
-    ));
-    mixed.extend(measure_pair(
-        "co-optimized mix",
-        &[
-            s(&tpt_coopt, ASSET_TPT_COOPT),
-            s(&del_coopt, ASSET_DEL_COOPT),
-        ],
-        &[ASSET_TPT_COOPT, ASSET_DEL_COOPT],
-        seeds,
-        dur,
-    ));
-
-    DiversityResult { homogeneous, mixed }
 }
 
 #[cfg(test)]
@@ -282,5 +238,25 @@ mod tests {
         let net = test_network(2);
         assert_eq!(net.links[0].queue, QueueSpec::infinite());
         assert_eq!(net.links[0].rate_bps, 10e6);
+    }
+
+    #[test]
+    fn train_specs_include_the_co_optimized_pair() {
+        let jobs = Diversity.train_specs();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[2].co_alternations, Some(2));
+        assert_eq!(
+            jobs[2].assets,
+            vec![ASSET_TPT_COOPT.to_string(), ASSET_DEL_COOPT.to_string()]
+        );
+        let all: Vec<String> = jobs.iter().flat_map(|j| j.assets.clone()).collect();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn rows_pair_the_right_senders() {
+        assert_eq!(ROWS.iter().filter(|(g, _, _)| *g == "mixed").count(), 2);
+        let coopt = ROWS.last().unwrap();
+        assert_eq!(coopt.2, [ASSET_TPT_COOPT, ASSET_DEL_COOPT]);
     }
 }

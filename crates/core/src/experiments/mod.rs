@@ -1,21 +1,27 @@
-//! The study's experiments: one module per paper figure/table.
+//! The study's experiments: one module per paper figure/table, all behind
+//! the declarative [`Experiment`] trait and runnable through the
+//! `learnability` CLI (`learnability list`, `learnability run <id>`).
 //!
-//! | module | paper artifact |
-//! |---|---|
-//! | [`calibration`] | Fig 1 / Table 1 — Tao vs Cubic vs Cubic-over-sfqCoDel vs omniscient |
-//! | [`link_speed`] | Fig 2 / Table 2 — operating range in link speed |
-//! | [`multiplexing`] | Fig 3 / Table 3 — degree of multiplexing |
-//! | [`rtt`] | Fig 4 / Table 4 — propagation delay |
-//! | [`topology`] | Figs 5–6 / Table 5 — one- vs two-bottleneck knowledge |
-//! | [`tcp_aware`] | Figs 7–8 / Table 6 — knowledge about incumbent endpoints |
-//! | [`diversity`] | Fig 9 / Table 7 — the price of sender diversity |
-//! | [`signals`] | §3.4 — value of the congestion signals (knockout study) |
-//! | [`universal`] | extension — the conclusion's "one protocol for everything" question |
+//! | id | module | paper artifact |
+//! |---|---|---|
+//! | `calibration` | [`calibration`] | Fig 1 / Table 1 — Tao vs Cubic vs Cubic-over-sfqCoDel vs omniscient |
+//! | `link_speed` | [`link_speed`] | Fig 2 / Table 2 — operating range in link speed |
+//! | `multiplexing` | [`multiplexing`] | Fig 3 / Table 3 — degree of multiplexing |
+//! | `rtt` | [`rtt`] | Fig 4 / Table 4 — propagation delay |
+//! | `topology` | [`topology`] | Figs 5–6 / Table 5 — one- vs two-bottleneck knowledge |
+//! | `tcp_aware` | [`tcp_aware`] | Figs 7–8 / Table 6 — knowledge about incumbent endpoints |
+//! | `diversity` | [`diversity`] | Fig 9 / Table 7 — the price of sender diversity |
+//! | `signals` | [`signals`] | §3.4 — value of the congestion signals (knockout study) |
+//! | `universal` | [`universal`] | extension — the conclusion's "one protocol for everything" question |
 //!
-//! Every experiment separates *training* (producing Tao protocols with the
-//! Remy optimizer, cached as JSON assets like the protocols the paper
-//! published) from *testing* (sweeping the testing scenarios and printing
-//! the figure's series/rows).
+//! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
+//! Tao protocols it needs (trained once, cached as JSON assets like the
+//! protocols the paper published), [`Experiment::sweep`] expands the
+//! testing side into [`SweepPoint`] cells the shared engine executes in
+//! parallel ([`crate::runner::execute_sweep`]), and
+//! [`Experiment::summarize`] folds the outcomes into a serializable
+//! [`FigureData`] from which both the JSON artifacts and the printed
+//! tables are rendered.
 
 pub mod calibration;
 pub mod diversity;
@@ -27,9 +33,12 @@ pub mod tcp_aware;
 pub mod topology;
 pub mod universal;
 
-use crate::runner::SummaryStat;
+use crate::report::{FigureData, RunMeta};
+use crate::runner::{PointOutcome, SummaryStat, SweepPoint};
 use netsim::flow::FlowOutcome;
+use protocols::WhiskerTree;
 use remy::{Objective, OptimizerConfig, ScenarioSpec, TrainedProtocol};
+use std::sync::OnceLock;
 
 /// How much compute to spend. `Quick` regenerates every figure's *shape*
 /// in minutes; `Full` uses longer simulations, more seeds and finer sweeps.
@@ -40,11 +49,36 @@ pub enum Fidelity {
 }
 
 impl Fidelity {
-    /// `LEARNABILITY_FULL=1` selects full fidelity.
-    pub fn from_env() -> Self {
-        match std::env::var("LEARNABILITY_FULL") {
-            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Fidelity::Full,
+    /// Pure parse of a `LEARNABILITY_FULL`-style value: `"1"` or `"true"`
+    /// (any case) selects full fidelity, anything else — including absence
+    /// — selects quick. Pure so it is testable without touching the
+    /// process environment (env mutation races parallel tests).
+    pub fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v == "1" || v.eq_ignore_ascii_case("true") => Fidelity::Full,
             _ => Fidelity::Quick,
+        }
+    }
+
+    /// `LEARNABILITY_FULL=1` selects full fidelity. Thin wrapper over
+    /// [`Fidelity::parse`].
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("LEARNABILITY_FULL").ok().as_deref())
+    }
+
+    /// Parse a `--fidelity` CLI flag value.
+    pub fn from_flag(value: &str) -> Result<Self, String> {
+        match value {
+            "quick" => Ok(Fidelity::Quick),
+            "full" => Ok(Fidelity::Full),
+            other => Err(format!("unknown fidelity '{other}' (quick|full)")),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Quick => "quick",
+            Fidelity::Full => "full",
         }
     }
 
@@ -64,6 +98,213 @@ impl Fidelity {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The Experiment trait and registry.
+// ---------------------------------------------------------------------------
+
+/// One protocol-design run an experiment depends on: the asset name(s) it
+/// produces, the training scenario model, and the optimizer budget.
+/// Describing a job is free — nothing trains until [`run_train_job`].
+#[derive(Clone, Debug)]
+pub struct TrainJob {
+    /// Asset names this job produces (one, or several for co-optimized
+    /// protocol sets — Table 7a trains a pair jointly).
+    pub assets: Vec<String>,
+    pub specs: Vec<ScenarioSpec>,
+    pub cfg: OptimizerConfig,
+    /// `Some(alternations)`: co-optimize `assets.len()` slots jointly.
+    pub co_alternations: Option<usize>,
+}
+
+impl TrainJob {
+    pub fn single(name: impl Into<String>, specs: Vec<ScenarioSpec>, cfg: OptimizerConfig) -> Self {
+        TrainJob {
+            assets: vec![name.into()],
+            specs,
+            cfg,
+            co_alternations: None,
+        }
+    }
+
+    pub fn co_optimized(
+        names: &[&str],
+        specs: Vec<ScenarioSpec>,
+        cfg: OptimizerConfig,
+        alternations: usize,
+    ) -> Self {
+        TrainJob {
+            assets: names.iter().map(|n| n.to_string()).collect(),
+            specs,
+            cfg,
+            co_alternations: Some(alternations),
+        }
+    }
+}
+
+/// A paper experiment as declarative data: what to train, what to sweep,
+/// and how to fold sweep outcomes into a figure.
+pub trait Experiment: Sync {
+    /// Stable CLI id (`learnability run <id>`).
+    fn id(&self) -> &'static str;
+
+    /// Which paper figure/table this reproduces.
+    fn paper_artifact(&self) -> &'static str;
+
+    /// The Tao protocols this experiment needs (description only; training
+    /// happens lazily via [`run_train_job`] / `learnability train`).
+    fn train_specs(&self) -> Vec<TrainJob>;
+
+    /// The testing side as sweep cells. Loads (or trains) the protocol
+    /// assets it references.
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint>;
+
+    /// Fold executed sweep points (in `sweep` order) into the figure's
+    /// structured result. Must be a pure function of `points` so results
+    /// are identical for any thread count.
+    fn summarize(&self, fidelity: Fidelity, points: &[PointOutcome]) -> FigureData;
+}
+
+/// Every experiment of the study, in paper order.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 9] = [
+        &calibration::Calibration,
+        &link_speed::LinkSpeed,
+        &multiplexing::Multiplexing,
+        &rtt::Rtt,
+        &topology::Topology,
+        &tcp_aware::TcpAware,
+        &diversity::Diversity,
+        &signals::Signals,
+        &universal::Universal,
+    ];
+    &REGISTRY
+}
+
+/// Look up an experiment by CLI id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.id() == id)
+}
+
+/// Execution knobs for [`run_experiment`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    pub fidelity: Fidelity,
+    /// Override the per-cell seed count (`--seeds N` → seeds `0..N`).
+    /// Trace points (illustrative single runs) are exempt.
+    pub seeds: Option<u64>,
+    /// Worker threads for the sweep engine (0 = all cores).
+    pub threads: usize,
+}
+
+impl RunOptions {
+    pub fn new(fidelity: Fidelity) -> Self {
+        RunOptions {
+            fidelity,
+            seeds: None,
+            threads: 0,
+        }
+    }
+
+    /// The seed set non-trace cells run over.
+    pub fn seed_set(&self) -> Vec<u64> {
+        match self.seeds {
+            Some(n) => (0..n).collect(),
+            None => self.fidelity.seeds().collect(),
+        }
+    }
+}
+
+/// `git describe --always --dirty` of the working tree (memoized;
+/// `"unknown"` outside a git checkout).
+pub fn git_describe() -> &'static str {
+    static DESCRIBE: OnceLock<String> = OnceLock::new();
+    DESCRIBE.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into())
+    })
+}
+
+/// Run one experiment end to end on the shared sweep engine: expand its
+/// sweep, execute the cells in parallel, summarize, and stamp provenance
+/// metadata. The result is bit-identical for any `opts.threads`.
+pub fn run_experiment(exp: &dyn Experiment, opts: &RunOptions) -> FigureData {
+    let mut points = exp.sweep(opts.fidelity);
+    if let Some(n) = opts.seeds {
+        for p in &mut points {
+            if p.trace.is_none() {
+                p.seeds = 0..n;
+            }
+        }
+    }
+    let outcomes = crate::runner::execute_sweep(points, opts.threads);
+    let mut fig = exp.summarize(opts.fidelity, &outcomes);
+    fig.meta = RunMeta {
+        fidelity: opts.fidelity.name().into(),
+        seeds: opts.seed_set(),
+        git_describe: git_describe().into(),
+    };
+    fig
+}
+
+/// Execute a training job: load every produced asset if committed,
+/// otherwise train (plain optimization, or joint co-optimization when
+/// [`TrainJob::co_alternations`] is set) and cache the results.
+pub fn run_train_job(job: &TrainJob) -> Vec<TrainedProtocol> {
+    let loaded: Vec<Option<TrainedProtocol>> = job
+        .assets
+        .iter()
+        .map(|n| remy::serialize::load(&remy::serialize::asset_path(n)).ok())
+        .collect();
+    if loaded.iter().all(Option::is_some) {
+        return loaded.into_iter().flatten().collect();
+    }
+    match job.co_alternations {
+        None => job
+            .assets
+            .iter()
+            .map(|n| tao_asset(n, job.specs.clone(), job.cfg.clone()))
+            .collect(),
+        Some(alternations) => {
+            eprintln!(
+                "[learnability] co-optimizing {} (no committed assets found)...",
+                job.assets.join(" + ")
+            );
+            let names: Vec<&str> = job.assets.iter().map(String::as_str).collect();
+            let opt = remy::Optimizer::new(job.specs.clone(), job.cfg.clone());
+            let protos = opt.co_optimize(
+                vec![WhiskerTree::default_tree(); job.assets.len()],
+                alternations,
+                &names,
+            );
+            for p in &protos {
+                let path = remy::serialize::asset_path(&p.name);
+                if let Err(e) = remy::serialize::save(p, &path) {
+                    eprintln!("[learnability] warning: could not save {}: {e}", p.name);
+                }
+            }
+            protos
+        }
+    }
+}
+
+/// Load-or-train every protocol an experiment depends on, in
+/// [`Experiment::train_specs`] order.
+pub fn ensure_trained(exp: &dyn Experiment) -> Vec<TrainedProtocol> {
+    exp.train_specs().iter().flat_map(run_train_job).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared training budgets and metrics.
+// ---------------------------------------------------------------------------
 
 /// Cost class of a training spec: heavy specs (very fast links, 100-way
 /// multiplexing) get shorter simulations so training budgets stay sane.
@@ -205,9 +446,23 @@ mod tests {
     }
 
     #[test]
-    fn fidelity_env_default_quick() {
-        std::env::remove_var("LEARNABILITY_FULL");
-        assert_eq!(Fidelity::from_env(), Fidelity::Quick);
+    fn fidelity_parse_is_pure() {
+        assert_eq!(Fidelity::parse(None), Fidelity::Quick);
+        assert_eq!(Fidelity::parse(Some("")), Fidelity::Quick);
+        assert_eq!(Fidelity::parse(Some("0")), Fidelity::Quick);
+        assert_eq!(Fidelity::parse(Some("yes")), Fidelity::Quick);
+        assert_eq!(Fidelity::parse(Some("1")), Fidelity::Full);
+        assert_eq!(Fidelity::parse(Some("true")), Fidelity::Full);
+        assert_eq!(Fidelity::parse(Some("TRUE")), Fidelity::Full);
+    }
+
+    #[test]
+    fn fidelity_flag_parsing() {
+        assert_eq!(Fidelity::from_flag("quick"), Ok(Fidelity::Quick));
+        assert_eq!(Fidelity::from_flag("full"), Ok(Fidelity::Full));
+        assert!(Fidelity::from_flag("medium").is_err());
+        assert_eq!(Fidelity::Quick.name(), "quick");
+        assert_eq!(Fidelity::Full.name(), "full");
     }
 
     #[test]
@@ -242,5 +497,57 @@ mod tests {
             ..f
         };
         assert!(normalized_objective(&never_on, 5e6, 0.075, 1.0).is_none());
+    }
+
+    #[test]
+    fn registry_lists_all_nine_experiments() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "calibration",
+                "link_speed",
+                "multiplexing",
+                "rtt",
+                "topology",
+                "tcp_aware",
+                "diversity",
+                "signals",
+                "universal"
+            ]
+        );
+        assert!(find("calibration").is_some());
+        assert!(find("nope").is_none());
+        for e in registry() {
+            assert!(!e.paper_artifact().is_empty(), "{} has artifact", e.id());
+        }
+    }
+
+    #[test]
+    fn train_specs_are_descriptions_only() {
+        // Describing training must never touch assets or train anything —
+        // `learnability list` depends on this being cheap.
+        for e in registry() {
+            let jobs = e.train_specs();
+            assert!(!jobs.is_empty(), "{} declares its protocols", e.id());
+            for j in &jobs {
+                assert!(!j.assets.is_empty());
+                assert!(!j.specs.is_empty());
+                if let Some(alt) = j.co_alternations {
+                    assert!(alt > 0);
+                    assert!(j.assets.len() > 1, "co-optimization needs several slots");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_options_seed_set() {
+        let mut o = RunOptions::new(Fidelity::Quick);
+        assert_eq!(o.seed_set(), vec![0, 1, 2]);
+        o.seeds = Some(5);
+        assert_eq!(o.seed_set(), vec![0, 1, 2, 3, 4]);
+        let f = RunOptions::new(Fidelity::Full);
+        assert_eq!(f.seed_set().len(), 8);
     }
 }

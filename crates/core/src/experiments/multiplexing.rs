@@ -8,16 +8,17 @@
 //! protocols trained for few senders collapse at 100 (large queues or
 //! repeated drops).
 
-use super::{mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost};
+use super::{
+    mean_normalized_objective, run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob,
+};
 use crate::omniscient;
-use crate::report::{format_series, Series};
-use crate::runner::{run_seeds, with_sfq_codel, Scheme};
+use crate::report::{ChartData, FigureData, Series};
+use crate::runner::{with_sfq_codel, PointOutcome, Scheme, SweepPoint};
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::topology::dumbbell;
 use netsim::workload::WorkloadSpec;
 use remy::{BufferSpec, ScenarioSpec, TrainedProtocol};
-use std::fmt;
 
 /// Trained multiplexing ranges: (asset name, max senders in training).
 pub const RANGES: [(&str, u32); 5] = [
@@ -28,86 +29,15 @@ pub const RANGES: [(&str, u32); 5] = [
     ("tao-mux-100", 100),
 ];
 
-/// One panel of Fig 3 (a buffer model) as a set of series.
-#[derive(Clone, Debug)]
-pub struct MultiplexingPanel {
-    pub buffer_label: String,
-    pub series: Vec<Series>,
-}
-
-#[derive(Clone, Debug)]
-pub struct MultiplexingResult {
-    pub panels: Vec<MultiplexingPanel>,
-    pub sender_counts: Vec<usize>,
-}
-
-impl MultiplexingResult {
-    pub fn panel(&self, label: &str) -> Option<&MultiplexingPanel> {
-        self.panels.iter().find(|p| p.buffer_label == label)
-    }
-}
-
-impl fmt::Display for MultiplexingResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for p in &self.panels {
-            write!(
-                f,
-                "{}",
-                format_series(
-                    &format!(
-                        "Fig 3 ({}) — normalized objective vs number of senders",
-                        p.buffer_label
-                    ),
-                    "senders",
-                    &p.series
-                )
-            )?;
-        }
-        // Headline: the narrow protocol's collapse at the top of the range.
-        if let Some(panel) = self.panels.first() {
-            let at = |name: &str, x: f64| {
-                panel
-                    .series
-                    .iter()
-                    .find(|s| s.name == name)
-                    .and_then(|s| s.value_at(x))
-            };
-            if let (Some(narrow), Some(broad)) = (at("tao-mux-2", 100.0), at("tao-mux-100", 100.0))
-            {
-                writeln!(
-                    f,
-                    "at 100 senders: tao-mux-2 objective {narrow:.3} vs tao-mux-100 {broad:.3} \
-                     (paper: narrow training collapses at high multiplexing)"
-                )?;
-            }
-            if let (Some(narrow), Some(broad)) = (at("tao-mux-2", 1.0), at("tao-mux-100", 1.0)) {
-                writeln!(
-                    f,
-                    "at 1 sender:    tao-mux-2 objective {narrow:.3} vs tao-mux-100 {broad:.3} \
-                     (paper: broad training costs throughput at low multiplexing)"
-                )?;
-            }
-        }
-        Ok(())
-    }
-}
+/// The two buffer models of Fig 3's panels: (panel label, infinite?).
+const PANELS: [(&str, bool); 2] = [("buffer 5x BDP", false), ("no packet drops", true)];
 
 /// Train (or load) the five multiplexing protocols (Table 3a).
 pub fn trained_taos() -> Vec<TrainedProtocol> {
-    RANGES
+    Multiplexing
+        .train_specs()
         .iter()
-        .map(|&(name, n)| {
-            let cost = if n >= 50 {
-                TrainCost::Heavy
-            } else {
-                TrainCost::Normal
-            };
-            tao_asset(
-                name,
-                vec![ScenarioSpec::multiplexing(n, BufferSpec::BdpMultiple(5.0))],
-                train_cfg(cost),
-            )
-        })
+        .flat_map(run_train_job)
         .collect()
 }
 
@@ -127,49 +57,136 @@ fn fair_share(n: usize) -> f64 {
     omniscient::omniscient(&net)[0].throughput_bps
 }
 
-/// Run the Fig 3 sweep (both panels).
-pub fn run(fidelity: Fidelity) -> MultiplexingResult {
-    let taos = trained_taos();
-    let counts: Vec<usize> = match fidelity {
+fn sender_counts(fidelity: Fidelity) -> Vec<usize> {
+    match fidelity {
         Fidelity::Quick => vec![1, 2, 10, 50, 100],
         Fidelity::Full => vec![1, 2, 5, 10, 20, 35, 50, 75, 100],
-    };
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
+    }
+}
 
-    let mut panels = Vec::new();
-    for (buffer_label, infinite) in [("buffer 5x BDP", false), ("no packet drops", true)] {
-        let mut series: Vec<Series> = taos
-            .iter()
-            .map(|t| Series::new(t.name.clone()))
-            .chain([Series::new("cubic"), Series::new("cubic-sfqcodel")])
-            .collect();
-        for &n in &counts {
-            let net = test_network(n, infinite);
-            let fair = fair_share(n);
-            let base_delay = 0.075;
-            for (si, tao) in taos.iter().enumerate() {
-                let mix = vec![Scheme::tao(tao.tree.clone(), &tao.name); n];
-                let outs = run_seeds(&net, &mix, seeds.clone(), dur);
-                series[si].push(n as f64, mean_normalized_objective(&outs, fair, base_delay));
-            }
-            let cubic_mix = vec![Scheme::Cubic; n];
-            let outs = run_seeds(&net, &cubic_mix, seeds.clone(), dur);
-            series[taos.len()].push(n as f64, mean_normalized_objective(&outs, fair, base_delay));
-            let sfq_net = with_sfq_codel(&net);
-            let outs = run_seeds(&sfq_net, &cubic_mix, seeds.clone(), dur);
-            series[taos.len() + 1]
-                .push(n as f64, mean_normalized_objective(&outs, fair, base_delay));
-        }
-        panels.push(MultiplexingPanel {
-            buffer_label: buffer_label.into(),
-            series,
-        });
+fn series_names() -> Vec<String> {
+    RANGES
+        .iter()
+        .map(|&(n, _)| n.to_string())
+        .chain(["cubic".into(), "cubic-sfqcodel".into()])
+        .collect()
+}
+
+/// The degree-of-multiplexing experiment (`learnability run multiplexing`).
+pub struct Multiplexing;
+
+impl Experiment for Multiplexing {
+    fn id(&self) -> &'static str {
+        "multiplexing"
     }
 
-    MultiplexingResult {
-        panels,
-        sender_counts: counts,
+    fn paper_artifact(&self) -> &'static str {
+        "Fig 3 / Table 3 — degree of multiplexing"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        RANGES
+            .iter()
+            .map(|&(name, n)| {
+                let cost = if n >= 50 {
+                    TrainCost::Heavy
+                } else {
+                    TrainCost::Normal
+                };
+                TrainJob::single(
+                    name,
+                    vec![ScenarioSpec::multiplexing(n, BufferSpec::BdpMultiple(5.0))],
+                    train_cfg(cost),
+                )
+            })
+            .collect()
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let taos = trained_taos();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for (panel, infinite) in PANELS {
+            for &n in &sender_counts(fidelity) {
+                let net = test_network(n, infinite);
+                for tao in &taos {
+                    points.push(SweepPoint::homogeneous(
+                        format!("{panel}|{}", tao.name),
+                        n as f64,
+                        net.clone(),
+                        Scheme::tao(tao.tree.clone(), &tao.name),
+                        seeds.clone(),
+                        dur,
+                    ));
+                }
+                points.push(SweepPoint::homogeneous(
+                    format!("{panel}|cubic"),
+                    n as f64,
+                    net.clone(),
+                    Scheme::Cubic,
+                    seeds.clone(),
+                    dur,
+                ));
+                points.push(SweepPoint::homogeneous(
+                    format!("{panel}|cubic-sfqcodel"),
+                    n as f64,
+                    with_sfq_codel(&net),
+                    Scheme::Cubic,
+                    seeds.clone(),
+                    dur,
+                ));
+            }
+        }
+        points
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let names = series_names();
+        let base_delay = 0.075;
+        for (panel, _) in PANELS {
+            let mut series: Vec<Series> = names.iter().map(Series::new).collect();
+            for p in points {
+                let Some(name) = p.key().strip_prefix(&format!("{panel}|")) else {
+                    continue;
+                };
+                let n = p.x() as usize;
+                let obj = mean_normalized_objective(&p.runs, fair_share(n), base_delay);
+                let si = names.iter().position(|x| x == name).expect("known series");
+                series[si].push(p.x(), obj);
+            }
+            fig.charts.push(ChartData::from_series(
+                format!("Fig 3 ({panel}) — normalized objective vs number of senders"),
+                "senders",
+                &series,
+            ));
+        }
+
+        // Headline: the narrow protocol's collapse at the top of the range,
+        // measured on the first (finite-buffer) panel.
+        let at = |fig: &FigureData, name: &str, x: f64| {
+            fig.chart_series(0, name).and_then(|s| s.value_at(x))
+        };
+        if let (Some(narrow), Some(broad)) =
+            (at(&fig, "tao-mux-2", 100.0), at(&fig, "tao-mux-100", 100.0))
+        {
+            fig.push_summary("narrow_minus_broad_at_100_senders", narrow - broad);
+            fig.notes.push(format!(
+                "at 100 senders: tao-mux-2 objective {narrow:.3} vs tao-mux-100 {broad:.3} \
+                 (paper: narrow training collapses at high multiplexing)"
+            ));
+        }
+        if let (Some(narrow), Some(broad)) =
+            (at(&fig, "tao-mux-2", 1.0), at(&fig, "tao-mux-100", 1.0))
+        {
+            fig.push_summary("narrow_minus_broad_at_1_sender", narrow - broad);
+            fig.notes.push(format!(
+                "at 1 sender:    tao-mux-2 objective {narrow:.3} vs tao-mux-100 {broad:.3} \
+                 (paper: broad training costs throughput at low multiplexing)"
+            ));
+        }
+        fig
     }
 }
 
@@ -201,5 +218,23 @@ mod tests {
                 capacity_bytes: None
             }
         );
+    }
+
+    #[test]
+    fn train_specs_scale_cost_with_multiplexing() {
+        let jobs = Multiplexing.train_specs();
+        assert_eq!(jobs.len(), 5);
+        // heavy budgets for the 50- and 100-way protocols
+        assert!(jobs[3].cfg.sim_duration_s < jobs[0].cfg.sim_duration_s);
+        assert!(jobs[4].cfg.sim_duration_s < jobs[0].cfg.sim_duration_s);
+    }
+
+    #[test]
+    fn panel_keys_roundtrip() {
+        // summarize splits keys back into (panel, series); the names must
+        // cover both cubic baselines and all five taos.
+        assert_eq!(series_names().len(), 7);
+        assert_eq!(sender_counts(Fidelity::Quick).len(), 5);
+        assert_eq!(sender_counts(Fidelity::Full).len(), 9);
     }
 }

@@ -7,16 +7,17 @@
 //! training diversity yields performance commensurate with the 50–250 ms
 //! protocol over the whole sweep.
 
-use super::{mean_normalized_objective, tao_asset, train_cfg, Fidelity, TrainCost};
+use super::{
+    mean_normalized_objective, run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob,
+};
 use crate::omniscient;
-use crate::report::{format_series, Series};
-use crate::runner::{run_seeds, with_sfq_codel, Scheme};
+use crate::report::{ChartData, FigureData, Series};
+use crate::runner::{with_sfq_codel, PointOutcome, Scheme, SweepPoint};
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::topology::dumbbell;
 use netsim::workload::WorkloadSpec;
 use remy::{ScenarioSpec, TrainedProtocol};
-use std::fmt;
 
 /// Trained RTT ranges: (asset name, lo ms, hi ms).
 pub const RANGES: [(&str, f64, f64); 4] = [
@@ -26,58 +27,9 @@ pub const RANGES: [(&str, f64, f64); 4] = [
     ("tao-rtt-50-250", 50.0, 250.0),
 ];
 
-#[derive(Clone, Debug)]
-pub struct RttResult {
-    pub series: Vec<Series>,
-    pub rtts_ms: Vec<f64>,
-}
-
-impl RttResult {
-    pub fn series_named(&self, name: &str) -> Option<&Series> {
-        self.series.iter().find(|s| s.name == name)
-    }
-}
-
-impl fmt::Display for RttResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}",
-            format_series(
-                "Fig 4 — normalized objective vs minimum RTT (omniscient = 0)",
-                "RTT ms",
-                &self.series
-            )
-        )?;
-        // Headline: a little training diversity ≈ a lot.
-        let mean_of = |name: &str| self.series_named(name).and_then(|s| s.mean_in(1.0, 300.0));
-        if let (Some(exact), Some(pm5), Some(broad)) = (
-            mean_of("tao-rtt-150"),
-            mean_of("tao-rtt-145-155"),
-            mean_of("tao-rtt-50-250"),
-        ) {
-            writeln!(
-                f,
-                "mean objective over 1-300 ms: exact-150 {exact:.3}, 145-155 {pm5:.3}, \
-                 50-250 {broad:.3} (paper: ±5 ms of diversity ≈ the broad protocol)"
-            )?;
-        }
-        Ok(())
-    }
-}
-
 /// Train (or load) the four RTT-range protocols (Table 4a).
 pub fn trained_taos() -> Vec<TrainedProtocol> {
-    RANGES
-        .iter()
-        .map(|&(name, lo, hi)| {
-            tao_asset(
-                name,
-                vec![ScenarioSpec::rtt_range(lo, hi)],
-                train_cfg(TrainCost::Normal),
-            )
-        })
-        .collect()
+    Rtt.train_specs().iter().flat_map(run_train_job).collect()
 }
 
 fn test_network(rtt_ms: f64) -> NetworkConfig {
@@ -91,49 +43,122 @@ fn test_network(rtt_ms: f64) -> NetworkConfig {
     )
 }
 
-/// Run the Fig 4 sweep.
-pub fn run(fidelity: Fidelity) -> RttResult {
-    let taos = trained_taos();
-    let rtts: Vec<f64> = match fidelity {
+fn rtts(fidelity: Fidelity) -> Vec<f64> {
+    match fidelity {
         Fidelity::Quick => vec![1.0, 10.0, 50.0, 150.0, 300.0],
         Fidelity::Full => vec![
             1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0,
             275.0, 300.0,
         ],
-    };
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
+    }
+}
 
-    let mut series: Vec<Series> = taos
-        .iter()
-        .map(|t| Series::new(t.name.clone()))
-        .chain([Series::new("cubic"), Series::new("cubic-sfqcodel")])
-        .collect();
+/// The propagation-delay experiment (`learnability run rtt`).
+pub struct Rtt;
 
-    for &rtt in &rtts {
-        let net = test_network(rtt);
-        let omn = omniscient::omniscient(&net);
-        let fair = omn[0].throughput_bps;
-        let base_delay = omn[0].delay_s;
-        for (si, tao) in taos.iter().enumerate() {
-            let mix = vec![Scheme::tao(tao.tree.clone(), &tao.name); 2];
-            let outs = run_seeds(&net, &mix, seeds.clone(), dur);
-            series[si].push(rtt, mean_normalized_objective(&outs, fair, base_delay));
-        }
-        let cubic = run_seeds(&net, &[Scheme::Cubic, Scheme::Cubic], seeds.clone(), dur);
-        series[4].push(rtt, mean_normalized_objective(&cubic, fair, base_delay));
-        let sfq = run_seeds(
-            &with_sfq_codel(&net),
-            &[Scheme::Cubic, Scheme::Cubic],
-            seeds.clone(),
-            dur,
-        );
-        series[5].push(rtt, mean_normalized_objective(&sfq, fair, base_delay));
+impl Experiment for Rtt {
+    fn id(&self) -> &'static str {
+        "rtt"
     }
 
-    RttResult {
-        series,
-        rtts_ms: rtts,
+    fn paper_artifact(&self) -> &'static str {
+        "Fig 4 / Table 4 — knowledge of propagation delay"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        RANGES
+            .iter()
+            .map(|&(name, lo, hi)| {
+                TrainJob::single(
+                    name,
+                    vec![ScenarioSpec::rtt_range(lo, hi)],
+                    train_cfg(TrainCost::Normal),
+                )
+            })
+            .collect()
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let taos = trained_taos();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for &rtt in &rtts(fidelity) {
+            let net = test_network(rtt);
+            for tao in &taos {
+                points.push(SweepPoint::homogeneous(
+                    tao.name.clone(),
+                    rtt,
+                    net.clone(),
+                    Scheme::tao(tao.tree.clone(), &tao.name),
+                    seeds.clone(),
+                    dur,
+                ));
+            }
+            points.push(SweepPoint::homogeneous(
+                "cubic",
+                rtt,
+                net.clone(),
+                Scheme::Cubic,
+                seeds.clone(),
+                dur,
+            ));
+            points.push(SweepPoint::homogeneous(
+                "cubic-sfqcodel",
+                rtt,
+                with_sfq_codel(&net),
+                Scheme::Cubic,
+                seeds.clone(),
+                dur,
+            ));
+        }
+        points
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let names: Vec<String> = RANGES
+            .iter()
+            .map(|&(n, _, _)| n.to_string())
+            .chain(["cubic".into(), "cubic-sfqcodel".into()])
+            .collect();
+        let mut series: Vec<Series> = names.iter().map(Series::new).collect();
+        for p in points {
+            let omn = omniscient::omniscient(&test_network(p.x()));
+            let obj = mean_normalized_objective(&p.runs, omn[0].throughput_bps, omn[0].delay_s);
+            let si = names
+                .iter()
+                .position(|n| n == p.key())
+                .expect("known series");
+            series[si].push(p.x(), obj);
+        }
+        fig.charts.push(ChartData::from_series(
+            "Fig 4 — normalized objective vs minimum RTT (omniscient = 0)",
+            "RTT ms",
+            &series,
+        ));
+
+        // Headline: a little training diversity ≈ a lot.
+        let mean_of = |name: &str| {
+            series
+                .iter()
+                .find(|s| s.name == name)
+                .and_then(|s| s.mean_in(1.0, 300.0))
+        };
+        if let (Some(exact), Some(pm5), Some(broad)) = (
+            mean_of("tao-rtt-150"),
+            mean_of("tao-rtt-145-155"),
+            mean_of("tao-rtt-50-250"),
+        ) {
+            fig.push_summary("mean_obj_exact_150", exact);
+            fig.push_summary("mean_obj_145_155", pm5);
+            fig.push_summary("mean_obj_50_250", broad);
+            fig.notes.push(format!(
+                "mean objective over 1-300 ms: exact-150 {exact:.3}, 145-155 {pm5:.3}, \
+                 50-250 {broad:.3} (paper: ±5 ms of diversity ≈ the broad protocol)"
+            ));
+        }
+        fig
     }
 }
 
@@ -164,5 +189,22 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(cap(&n300) > cap(&n1) * 100);
+    }
+
+    #[test]
+    fn train_specs_cover_all_four_ranges() {
+        let jobs = Rtt.train_specs();
+        let names: Vec<&str> = jobs.iter().map(|j| j.assets[0].as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tao-rtt-150",
+                "tao-rtt-145-155",
+                "tao-rtt-140-160",
+                "tao-rtt-50-250"
+            ]
+        );
+        assert_eq!(rtts(Fidelity::Quick).len(), 5);
+        assert_eq!(rtts(Fidelity::Full).len(), 15);
     }
 }

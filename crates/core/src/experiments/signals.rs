@@ -7,12 +7,21 @@
 //! contributes. The paper found every signal carried independent value,
 //! with `rec_ewma` (short-term ack interarrivals) the most valuable.
 
-use super::{tao_asset, train_cfg, Fidelity, TrainCost};
-use crate::report::Table;
-use crate::runner::{run_seeds, Scheme};
+use super::{run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob};
+use crate::report::{FigureData, Table, TableData};
+use crate::runner::{PointOutcome, Scheme, SweepPoint};
 use protocols::{Signal, SignalMask};
 use remy::{Objective, ScenarioSpec, TrainedProtocol};
-use std::fmt;
+
+/// The knockout set, in table order: the full protocol, then one knockout
+/// per signal.
+pub const KNOCKOUTS: [Option<Signal>; 5] = [
+    None,
+    Some(Signal::RecEwma),
+    Some(Signal::SlowRecEwma),
+    Some(Signal::SendEwma),
+    Some(Signal::RttRatio),
+];
 
 /// Asset name for a knockout variant.
 pub fn asset_name(knocked_out: Option<Signal>) -> String {
@@ -22,132 +31,141 @@ pub fn asset_name(knocked_out: Option<Signal>) -> String {
     }
 }
 
-/// One knockout's outcome.
-#[derive(Clone, Debug)]
-pub struct KnockoutRow {
-    pub label: String,
-    pub knocked_out: Option<Signal>,
-    /// Mean objective (log2 units) on the calibration test network.
-    pub objective: f64,
-}
-
-#[derive(Clone, Debug)]
-pub struct SignalsResult {
-    pub rows: Vec<KnockoutRow>,
-}
-
-impl SignalsResult {
-    pub fn full(&self) -> &KnockoutRow {
-        self.rows
-            .iter()
-            .find(|r| r.knocked_out.is_none())
-            .expect("full protocol present")
-    }
-
-    /// Harm of each knockout: full objective − knockout objective,
-    /// descending (the first entry is the most valuable signal).
-    pub fn harms(&self) -> Vec<(Signal, f64)> {
-        let full = self.full().objective;
-        let mut harms: Vec<(Signal, f64)> = self
-            .rows
-            .iter()
-            .filter_map(|r| r.knocked_out.map(|s| (s, full - r.objective)))
-            .collect();
-        harms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        harms
-    }
-
-    pub fn most_valuable(&self) -> Signal {
-        self.harms()[0].0
-    }
-}
-
-impl fmt::Display for SignalsResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let full = self.full().objective;
-        let mut t = Table::new(
-            "§3.4 — signal knockout on the calibration network",
-            &["protocol", "objective", "harm vs full"],
-        );
-        for r in &self.rows {
-            t.row(vec![
-                r.label.clone(),
-                format!("{:.3}", r.objective),
-                if r.knocked_out.is_none() {
-                    "-".into()
-                } else {
-                    format!("{:+.3}", full - r.objective)
-                },
-            ]);
-        }
-        write!(f, "{t}")?;
-        writeln!(
-            f,
-            "most valuable signal: {} (paper: rec_ewma)",
-            self.most_valuable().name()
-        )
+fn mask_for(knocked_out: Option<Signal>) -> SignalMask {
+    match knocked_out {
+        None => SignalMask::all(),
+        Some(s) => SignalMask::without(s),
     }
 }
 
 /// Train (or load) the five protocols: full plus one per knockout.
 pub fn trained_taos() -> Vec<(Option<Signal>, TrainedProtocol)> {
-    let mut out = Vec::new();
-    for knocked in [
-        None,
-        Some(Signal::RecEwma),
-        Some(Signal::SlowRecEwma),
-        Some(Signal::SendEwma),
-        Some(Signal::RttRatio),
-    ] {
-        let mut cfg = train_cfg(TrainCost::Normal);
-        cfg.masks = vec![match knocked {
-            None => SignalMask::all(),
-            Some(s) => SignalMask::without(s),
-        }];
-        let name = asset_name(knocked);
-        let p = tao_asset(&name, vec![ScenarioSpec::calibration()], cfg);
-        out.push((knocked, p));
-    }
+    KNOCKOUTS
+        .iter()
+        .zip(Signals.train_specs().iter())
+        .map(|(&knocked, job)| (knocked, run_train_job(job).remove(0)))
+        .collect()
+}
+
+/// Harm of each knockout given `(knocked_out, objective)` rows: full
+/// objective − knockout objective, descending (the first entry is the most
+/// valuable signal).
+pub fn harms(rows: &[(Option<Signal>, f64)]) -> Vec<(Signal, f64)> {
+    let full = rows
+        .iter()
+        .find(|(k, _)| k.is_none())
+        .map(|&(_, o)| o)
+        .expect("full protocol present");
+    let mut out: Vec<(Signal, f64)> = rows
+        .iter()
+        .filter_map(|&(k, o)| k.map(|s| (s, full - o)))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     out
 }
 
-/// Run the knockout comparison on the calibration testing network.
-pub fn run(fidelity: Fidelity) -> SignalsResult {
-    let protos = trained_taos();
-    let net = super::calibration::test_network();
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
-    let obj = Objective::default();
+/// The signal-knockout experiment (`learnability run signals`).
+pub struct Signals;
 
-    let rows = protos
-        .into_iter()
-        .map(|(knocked, p)| {
-            let mask = match knocked {
-                None => SignalMask::all(),
-                Some(s) => SignalMask::without(s),
-            };
-            let scheme = Scheme::Tao {
-                tree: p.tree.clone(),
-                mask,
-                label: p.name.clone(),
-            };
-            let mix = vec![scheme; 2];
-            let outs = run_seeds(&net, &mix, seeds.clone(), dur);
-            let utilities: Vec<f64> = outs
-                .iter()
-                .flat_map(|o| o.flows.iter())
-                .filter_map(|fl| obj.flow_utility(fl))
-                .collect();
-            let objective = utilities.iter().sum::<f64>() / utilities.len().max(1) as f64;
-            KnockoutRow {
-                label: p.name,
-                knocked_out: knocked,
-                objective,
-            }
-        })
-        .collect();
+impl Experiment for Signals {
+    fn id(&self) -> &'static str {
+        "signals"
+    }
 
-    SignalsResult { rows }
+    fn paper_artifact(&self) -> &'static str {
+        "§3.4 — value of the congestion signals (knockout study)"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        KNOCKOUTS
+            .iter()
+            .map(|&knocked| {
+                let mut cfg = train_cfg(TrainCost::Normal);
+                cfg.masks = vec![mask_for(knocked)];
+                TrainJob::single(asset_name(knocked), vec![ScenarioSpec::calibration()], cfg)
+            })
+            .collect()
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let net = super::calibration::test_network();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        trained_taos()
+            .into_iter()
+            .map(|(knocked, p)| {
+                let scheme = Scheme::Tao {
+                    tree: p.tree.clone(),
+                    mask: mask_for(knocked),
+                    label: p.name.clone(),
+                };
+                SweepPoint::homogeneous(
+                    p.name.clone(),
+                    0.0,
+                    net.clone(),
+                    scheme,
+                    seeds.clone(),
+                    dur,
+                )
+            })
+            .collect()
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let obj = Objective::default();
+        // Mean objective (log2 units) on the calibration test network.
+        let rows: Vec<(Option<Signal>, f64)> = points
+            .iter()
+            .map(|p| {
+                let knocked = KNOCKOUTS
+                    .iter()
+                    .copied()
+                    .find(|&k| asset_name(k) == p.key())
+                    .expect("known knockout point");
+                let utilities: Vec<f64> = p
+                    .runs
+                    .iter()
+                    .flat_map(|o| o.flows.iter())
+                    .filter_map(|fl| obj.flow_utility(fl))
+                    .collect();
+                let objective = utilities.iter().sum::<f64>() / utilities.len().max(1) as f64;
+                (knocked, objective)
+            })
+            .collect();
+
+        let full = rows
+            .iter()
+            .find(|(k, _)| k.is_none())
+            .map(|&(_, o)| o)
+            .expect("full protocol present");
+        let mut t = Table::new(
+            "§3.4 — signal knockout on the calibration network",
+            &["protocol", "objective", "harm vs full"],
+        );
+        for &(knocked, objective) in &rows {
+            t.row(vec![
+                asset_name(knocked),
+                format!("{objective:.3}"),
+                match knocked {
+                    None => "-".into(),
+                    Some(_) => format!("{:+.3}", full - objective),
+                },
+            ]);
+            fig.push_summary(format!("objective_{}", asset_name(knocked)), objective);
+        }
+        fig.tables.push(TableData::from_table(&t));
+
+        let ranked = harms(&rows);
+        for &(s, h) in &ranked {
+            fig.push_summary(format!("harm_{}", s.name()), h);
+        }
+        fig.notes.push(format!(
+            "most valuable signal: {} (paper: rec_ewma)",
+            ranked[0].0.name()
+        ));
+        fig
+    }
 }
 
 #[cfg(test)]
@@ -167,26 +185,22 @@ mod tests {
     #[test]
     fn harms_ranking_math() {
         let rows = vec![
-            KnockoutRow {
-                label: "full".into(),
-                knocked_out: None,
-                objective: 10.0,
-            },
-            KnockoutRow {
-                label: "no-rec".into(),
-                knocked_out: Some(Signal::RecEwma),
-                objective: 7.0,
-            },
-            KnockoutRow {
-                label: "no-rtt".into(),
-                knocked_out: Some(Signal::RttRatio),
-                objective: 9.0,
-            },
+            (None, 10.0),
+            (Some(Signal::RecEwma), 7.0),
+            (Some(Signal::RttRatio), 9.0),
         ];
-        let r = SignalsResult { rows };
-        assert_eq!(r.most_valuable(), Signal::RecEwma);
-        let harms = r.harms();
-        assert_eq!(harms[0], (Signal::RecEwma, 3.0));
-        assert_eq!(harms[1], (Signal::RttRatio, 1.0));
+        let ranked = harms(&rows);
+        assert_eq!(ranked[0], (Signal::RecEwma, 3.0));
+        assert_eq!(ranked[1], (Signal::RttRatio, 1.0));
+    }
+
+    #[test]
+    fn train_specs_mask_exactly_one_signal() {
+        let jobs = Signals.train_specs();
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[0].cfg.masks, vec![SignalMask::all()]);
+        for (job, knocked) in jobs.iter().zip(KNOCKOUTS).skip(1) {
+            assert_eq!(job.cfg.masks, vec![SignalMask::without(knocked.unwrap())]);
+        }
     }
 }

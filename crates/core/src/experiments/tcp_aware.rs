@@ -8,9 +8,9 @@
 //! in the time domain against a contrived TCP pulse (ON exactly during
 //! t ∈ [5, 10) s).
 
-use super::{fmt_stat, tao_asset, train_cfg, Fidelity, TrainCost};
-use crate::report::Table;
-use crate::runner::{flow_points, run_seeds, summarize, Scheme, SummaryStat};
+use super::{fmt_stat, run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob};
+use crate::report::{FigureData, Table, TableData};
+use crate::runner::{summarize, PointOutcome, Scheme, SweepPoint};
 use netsim::packet::LinkId;
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
@@ -19,7 +19,7 @@ use netsim::trace::Trace;
 use netsim::transport::CongestionControl;
 use netsim::workload::WorkloadSpec;
 use protocols::TaoCc;
-use remy::{ScenarioSpec, TrainedProtocol};
+use remy::TrainedProtocol;
 use std::fmt;
 
 pub const ASSET_NAIVE: &str = "tao-tcp-naive";
@@ -38,212 +38,204 @@ pub fn test_network() -> NetworkConfig {
     )
 }
 
-/// One row of Fig 7: a (sender population) configuration and the measured
-/// per-side statistics.
-#[derive(Clone, Debug)]
-pub struct ContentionRow {
-    pub config: String,
-    /// Per participating side: (label, throughput Mbps, queueing delay ms).
-    pub sides: Vec<(String, SummaryStat, SummaryStat)>,
+/// Train (or load) both protocols of Table 6a.
+pub fn trained_taos() -> (TrainedProtocol, TrainedProtocol) {
+    let mut protos: Vec<TrainedProtocol> = TcpAware
+        .train_specs()
+        .iter()
+        .flat_map(run_train_job)
+        .collect();
+    let aware = protos.pop().expect("two protocols");
+    let naive = protos.pop().expect("two protocols");
+    (naive, aware)
 }
 
-#[derive(Clone, Debug)]
-pub struct TcpAwareResult {
-    pub homogeneous: Vec<ContentionRow>,
-    pub mixed: Vec<ContentionRow>,
-}
+/// The Fig 7 contention matrix: (group, row config) in table order.
+const ROWS: [(&str, &str); 5] = [
+    ("homogeneous", "2x tcp-naive"),
+    ("homogeneous", "2x tcp-aware"),
+    ("homogeneous", "2x newreno"),
+    ("mixed", "tcp-naive vs newreno"),
+    ("mixed", "tcp-aware vs newreno"),
+];
 
-impl TcpAwareResult {
-    pub fn find<'a>(rows: &'a [ContentionRow], config: &str) -> Option<&'a ContentionRow> {
-        rows.iter().find(|r| r.config == config)
-    }
-
-    fn side<'a>(
-        row: &'a ContentionRow,
-        label: &str,
-    ) -> Option<&'a (String, SummaryStat, SummaryStat)> {
-        row.sides.iter().find(|(l, _, _)| l == label)
-    }
-
-    /// Queueing-delay cost of TCP-awareness in the homogeneous setting
-    /// (paper: the naive protocol achieved 55% less queueing delay).
-    pub fn homogeneous_delay_ratio(&self) -> Option<f64> {
-        let naive = Self::find(&self.homogeneous, "2x tcp-naive")?;
-        let aware = Self::find(&self.homogeneous, "2x tcp-aware")?;
-        let naive_qd = Self::side(naive, ASSET_NAIVE)?.2.median;
-        let aware_qd = Self::side(aware, ASSET_AWARE)?.2.median;
-        Some(naive_qd / aware_qd)
-    }
-
-    /// Mixed-setting throughput advantage of awareness (paper: +36%).
-    pub fn mixed_throughput_gain(&self) -> Option<f64> {
-        let naive = Self::find(&self.mixed, "tcp-naive vs newreno")?;
-        let aware = Self::find(&self.mixed, "tcp-aware vs newreno")?;
-        let naive_tpt = Self::side(naive, ASSET_NAIVE)?.1.median;
-        let aware_tpt = Self::side(aware, ASSET_AWARE)?.1.median;
-        Some(aware_tpt / naive_tpt - 1.0)
+fn row_schemes(config: &str, naive: &TrainedProtocol, aware: &TrainedProtocol) -> Vec<Scheme> {
+    let naive_s = Scheme::tao(naive.tree.clone(), ASSET_NAIVE);
+    let aware_s = Scheme::tao(aware.tree.clone(), ASSET_AWARE);
+    match config {
+        "2x tcp-naive" => vec![naive_s.clone(), naive_s],
+        "2x tcp-aware" => vec![aware_s.clone(), aware_s],
+        "2x newreno" => vec![Scheme::NewReno, Scheme::NewReno],
+        "tcp-naive vs newreno" => vec![naive_s, Scheme::NewReno],
+        _ => vec![aware_s, Scheme::NewReno],
     }
 }
 
-impl fmt::Display for TcpAwareResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (title, rows) in [
-            ("Fig 7 (left) — homogeneous network", &self.homogeneous),
-            ("Fig 7 (right) — mixed network", &self.mixed),
+/// The incumbent-endpoint experiment (`learnability run tcp_aware`),
+/// covering both the Fig 7 contention matrix and the Fig 8 time-domain
+/// traces.
+pub struct TcpAware;
+
+impl Experiment for TcpAware {
+    fn id(&self) -> &'static str {
+        "tcp_aware"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Figs 7-8 / Table 6 — knowledge about incumbent endpoints"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        vec![
+            TrainJob::single(
+                ASSET_NAIVE,
+                vec![remy::ScenarioSpec::tcp_naive()],
+                train_cfg(TrainCost::Normal),
+            ),
+            TrainJob::single(
+                ASSET_AWARE,
+                vec![remy::ScenarioSpec::tcp_aware()],
+                train_cfg(TrainCost::Normal),
+            ),
+        ]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let (naive, aware) = trained_taos();
+        let net = test_network();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points: Vec<SweepPoint> = ROWS
+            .iter()
+            .map(|&(group, config)| {
+                SweepPoint::mix(
+                    format!("{group}|{config}"),
+                    0.0,
+                    net.clone(),
+                    row_schemes(config, &naive, &aware),
+                    seeds.clone(),
+                    dur,
+                )
+            })
+            .collect();
+        // Fig 8: illustrative single-seed traced runs (seed pinned at 1,
+        // exempt from --seeds overrides).
+        for (label, tao) in [("TCP-aware", &aware), ("TCP-naive", &naive)] {
+            points.push(
+                SweepPoint::mix(
+                    format!("fig8|{label}"),
+                    0.0,
+                    time_domain_network(),
+                    vec![Scheme::tao(tao.tree.clone(), label), Scheme::NewReno],
+                    1..2,
+                    15.0,
+                )
+                .with_trace(vec![0], 100.0),
+            );
+        }
+        points
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        // Fig 7: one table per group, sides split by per-flow scheme label.
+        let mut medians: Vec<(String, String, f64, f64)> = Vec::new();
+        for (group, title) in [
+            ("homogeneous", "Fig 7 (left) — homogeneous network"),
+            ("mixed", "Fig 7 (right) — mixed network"),
         ] {
             let mut t = Table::new(
                 title,
                 &["configuration", "side", "throughput", "queueing delay"],
             );
-            for row in rows {
-                for (label, tpt, qd) in &row.sides {
+            for p in points {
+                let Some(config) = p.key().strip_prefix(&format!("{group}|")) else {
+                    continue;
+                };
+                for label in p.unique_labels() {
+                    let (tpt, qd) = p.flow_points_labeled(&label);
+                    let (tpt, qd) = (summarize(&tpt), summarize(&qd));
                     t.row(vec![
-                        row.config.clone(),
+                        config.to_string(),
                         label.clone(),
-                        fmt_stat(tpt, " Mbps"),
-                        fmt_stat(qd, " ms"),
+                        fmt_stat(&tpt, " Mbps"),
+                        fmt_stat(&qd, " ms"),
                     ]);
+                    medians.push((config.to_string(), label, tpt.median, qd.median));
                 }
             }
-            write!(f, "{t}")?;
+            fig.tables.push(TableData::from_table(&t));
         }
-        if let Some(r) = self.homogeneous_delay_ratio() {
-            writeln!(
-                f,
-                "homogeneous: naive/aware queueing delay = {:.2} (paper: ~0.45, i.e. 55% less)",
-                r
-            )?;
+
+        let median_of = |config: &str, label: &str| {
+            medians
+                .iter()
+                .find(|(c, l, _, _)| c == config && l == label)
+                .map(|&(_, _, tpt, qd)| (tpt, qd))
+        };
+        // Queueing-delay cost of TCP-awareness in the homogeneous setting
+        // (paper: the naive protocol achieved 55% less queueing delay).
+        if let (Some((_, naive_qd)), Some((_, aware_qd))) = (
+            median_of("2x tcp-naive", ASSET_NAIVE),
+            median_of("2x tcp-aware", ASSET_AWARE),
+        ) {
+            let r = naive_qd / aware_qd;
+            fig.push_summary("homogeneous_delay_ratio", r);
+            fig.notes.push(format!(
+                "homogeneous: naive/aware queueing delay = {r:.2} (paper: ~0.45, i.e. 55% less)"
+            ));
         }
-        if let Some(g) = self.mixed_throughput_gain() {
-            writeln!(
-                f,
+        // Mixed-setting throughput advantage of awareness (paper: +36%).
+        if let (Some((naive_tpt, _)), Some((aware_tpt, _))) = (
+            median_of("tcp-naive vs newreno", ASSET_NAIVE),
+            median_of("tcp-aware vs newreno", ASSET_AWARE),
+        ) {
+            let g = aware_tpt / naive_tpt - 1.0;
+            fig.push_summary("mixed_throughput_gain", g);
+            fig.notes.push(format!(
                 "mixed vs TCP: awareness throughput gain = {:+.1}% (paper: +36%)",
                 g * 100.0
-            )?;
+            ));
         }
-        Ok(())
-    }
-}
 
-/// Train (or load) both protocols of Table 6a.
-pub fn trained_taos() -> (TrainedProtocol, TrainedProtocol) {
-    let naive = tao_asset(
-        ASSET_NAIVE,
-        vec![ScenarioSpec::tcp_naive()],
-        train_cfg(TrainCost::Normal),
-    );
-    let aware = tao_asset(
-        ASSET_AWARE,
-        vec![ScenarioSpec::tcp_aware()],
-        train_cfg(TrainCost::Normal),
-    );
-    (naive, aware)
-}
-
-fn measure(
-    net: &NetworkConfig,
-    schemes: &[Scheme],
-    labels: &[&str],
-    seeds: std::ops::Range<u64>,
-    dur: f64,
-) -> Vec<(String, SummaryStat, SummaryStat)> {
-    let outs = run_seeds(net, schemes, seeds, dur);
-    // group flows by label
-    let mut sides = Vec::new();
-    let uniq: Vec<&str> = {
-        let mut u = Vec::new();
-        for &l in labels {
-            if !u.contains(&l) {
-                u.push(l);
+        // Fig 8: phase means + sparkline per traced variant.
+        for p in points {
+            let Some(label) = p.key().strip_prefix("fig8|") else {
+                continue;
+            };
+            let Some(trace) = p.traces.first().and_then(|t| t.as_ref()) else {
+                continue;
+            };
+            let r = time_domain_from_trace(trace, label);
+            fig.push_summary(
+                format!("fig8_{label}_mean_queue_with_tcp"),
+                r.phase_means[1],
+            );
+            fig.push_summary(format!("fig8_{label}_drops"), r.drops.len() as f64);
+            for line in r.to_string().lines() {
+                fig.notes.push(line.to_string());
             }
         }
-        u
-    };
-    for l in uniq {
-        let keep: Vec<usize> = labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &x)| x == l)
-            .map(|(i, _)| i)
-            .collect();
-        let (tpt, qd) = flow_points(&outs, |f| keep.contains(&f));
-        sides.push((l.to_string(), summarize(&tpt), summarize(&qd)));
+        fig
     }
-    sides
-}
-
-/// Run the Fig 7 contention matrix.
-pub fn run(fidelity: Fidelity) -> TcpAwareResult {
-    let (naive, aware) = trained_taos();
-    let net = test_network();
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
-
-    let naive_s = Scheme::tao(naive.tree.clone(), ASSET_NAIVE);
-    let aware_s = Scheme::tao(aware.tree.clone(), ASSET_AWARE);
-
-    let homogeneous = vec![
-        ContentionRow {
-            config: "2x tcp-naive".into(),
-            sides: measure(
-                &net,
-                &[naive_s.clone(), naive_s.clone()],
-                &[ASSET_NAIVE, ASSET_NAIVE],
-                seeds.clone(),
-                dur,
-            ),
-        },
-        ContentionRow {
-            config: "2x tcp-aware".into(),
-            sides: measure(
-                &net,
-                &[aware_s.clone(), aware_s.clone()],
-                &[ASSET_AWARE, ASSET_AWARE],
-                seeds.clone(),
-                dur,
-            ),
-        },
-        ContentionRow {
-            config: "2x newreno".into(),
-            sides: measure(
-                &net,
-                &[Scheme::NewReno, Scheme::NewReno],
-                &["newreno", "newreno"],
-                seeds.clone(),
-                dur,
-            ),
-        },
-    ];
-
-    let mixed = vec![
-        ContentionRow {
-            config: "tcp-naive vs newreno".into(),
-            sides: measure(
-                &net,
-                &[naive_s.clone(), Scheme::NewReno],
-                &[ASSET_NAIVE, "newreno"],
-                seeds.clone(),
-                dur,
-            ),
-        },
-        ContentionRow {
-            config: "tcp-aware vs newreno".into(),
-            sides: measure(
-                &net,
-                &[aware_s.clone(), Scheme::NewReno],
-                &[ASSET_AWARE, "newreno"],
-                seeds.clone(),
-                dur,
-            ),
-        },
-    ];
-
-    TcpAwareResult { homogeneous, mixed }
 }
 
 // ---------------------------------------------------------------------------
 // Fig 8: time-domain queue dynamics against a contrived TCP pulse.
 // ---------------------------------------------------------------------------
+
+/// Fig 8's network: Tao sender always on; TCP cross-traffic on exactly
+/// [5, 10) s.
+fn time_domain_network() -> NetworkConfig {
+    dumbbell_mixed(
+        10e6,
+        0.100,
+        QueueSpec::DropTail {
+            capacity_bytes: Some(250_000),
+        },
+        vec![WorkloadSpec::AlwaysOn, WorkloadSpec::pulse(5.0, 10.0)],
+    )
+}
 
 /// Queue-occupancy trace of one Tao variant against pulsed TCP.
 #[derive(Debug)]
@@ -279,27 +271,9 @@ impl fmt::Display for TimeDomainResult {
     }
 }
 
-/// Run the Fig 8 time-domain experiment for one protocol tree.
-pub fn time_domain(tree: &protocols::WhiskerTree, label: &str, seed: u64) -> TimeDomainResult {
-    // Tao sender always on; TCP cross-traffic on exactly [5, 10) s.
-    let net = dumbbell_mixed(
-        10e6,
-        0.100,
-        QueueSpec::DropTail {
-            capacity_bytes: Some(250_000),
-        },
-        vec![WorkloadSpec::AlwaysOn, WorkloadSpec::pulse(5.0, 10.0)],
-    );
-    let protocols: Vec<Box<dyn CongestionControl>> = vec![
-        Box::new(TaoCc::new(tree.clone(), label.to_string())),
-        Box::new(protocols::NewReno::new()),
-    ];
-    let mut sim = Simulation::new(&net, protocols, seed);
-    sim.enable_trace(vec![LinkId(0)], SimDuration::from_millis(100));
-    sim.run(SimDuration::from_secs(15));
-    let trace: Trace = sim.take_trace().expect("trace enabled");
+/// Fold a bottleneck queue [`Trace`] into the Fig 8 summary.
+pub fn time_domain_from_trace(trace: &Trace, label: &str) -> TimeDomainResult {
     let series = trace.series_for(LinkId(0)).expect("traced link");
-
     let queue: Vec<(f64, usize)> = series
         .iter()
         .map(|s| (s.at.as_secs_f64(), s.packets))
@@ -316,6 +290,20 @@ pub fn time_domain(tree: &protocols::WhiskerTree, label: &str, seed: u64) -> Tim
         drops: trace.drop_times.iter().map(|d| d.as_secs_f64()).collect(),
         phase_means,
     }
+}
+
+/// Run the Fig 8 time-domain experiment for one protocol tree.
+pub fn time_domain(tree: &protocols::WhiskerTree, label: &str, seed: u64) -> TimeDomainResult {
+    let net = time_domain_network();
+    let protocols: Vec<Box<dyn CongestionControl>> = vec![
+        Box::new(TaoCc::new(tree.clone(), label.to_string())),
+        Box::new(protocols::NewReno::new()),
+    ];
+    let mut sim = Simulation::new(&net, protocols, seed);
+    sim.enable_trace(vec![LinkId(0)], SimDuration::from_millis(100));
+    sim.run(SimDuration::from_secs(15));
+    let trace: Trace = sim.take_trace().expect("trace enabled");
+    time_domain_from_trace(&trace, label)
 }
 
 #[cfg(test)]
@@ -356,5 +344,17 @@ mod tests {
             "drops happen while TCP active: {:?}",
             &r.drops[..r.drops.len().min(5)]
         );
+    }
+
+    #[test]
+    fn contention_rows_cover_both_settings() {
+        let homogeneous = ROWS.iter().filter(|(g, _)| *g == "homogeneous").count();
+        let mixed = ROWS.iter().filter(|(g, _)| *g == "mixed").count();
+        assert_eq!(homogeneous, 3);
+        assert_eq!(mixed, 2);
+        let jobs = TcpAware.train_specs();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].assets[0], ASSET_NAIVE);
+        assert_eq!(jobs[1].assets[0], ASSET_AWARE);
     }
 }

@@ -9,128 +9,40 @@
 //! the slower link's speed, for the diagonal (faster = slower) and the
 //! faster-link-pinned-at-100 edge of the locus.
 
-use super::{tao_asset, train_cfg, Fidelity, TrainCost};
+use super::{run_train_job, train_cfg, Experiment, Fidelity, TrainCost, TrainJob};
 use crate::omniscient;
-use crate::report::{format_series, Series};
-use crate::runner::{run_seeds, with_sfq_codel, Scheme};
+use crate::report::{ChartData, FigureData, Series};
+use crate::runner::{with_sfq_codel, PointOutcome, Scheme, SweepPoint};
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::topology::parking_lot;
 use netsim::workload::WorkloadSpec;
 use remy::{ScenarioSpec, TrainedProtocol};
-use std::fmt;
 
 pub const ASSET_ONE: &str = "tao-onebottleneck";
 pub const ASSET_TWO: &str = "tao-twobottleneck";
 
-/// One boundary of Fig 6's locus.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SweepEdge {
-    /// Both links at the same speed (lower boundary of the locus).
-    Diagonal,
-    /// Faster link pinned at 100 Mbps (upper boundary).
-    Faster100,
-}
-
-#[derive(Clone, Debug)]
-pub struct TopologyResult {
-    /// Flow-1 throughput (Mbps) vs slower-link speed, per scheme, for each
-    /// edge of the sweep.
-    pub diagonal: Vec<Series>,
-    pub faster100: Vec<Series>,
-    /// Mean throughput of each scheme across the whole sweep (both edges),
-    /// for the paper's ratio claims.
-    pub mean_tpt_mbps: Vec<(String, f64)>,
-}
-
-impl TopologyResult {
-    pub fn mean_of(&self, name: &str) -> Option<f64> {
-        self.mean_tpt_mbps
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
-    }
-
-    /// The penalty of the simplified model: 1 − simplified/full (paper: ~17%).
-    pub fn simplification_penalty(&self) -> Option<f64> {
-        let one = self.mean_of(ASSET_ONE)?;
-        let two = self.mean_of(ASSET_TWO)?;
-        Some(1.0 - one / two)
-    }
-}
-
-impl fmt::Display for TopologyResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}",
-            format_series(
-                "Fig 6 (diagonal: faster = slower) — Flow 1 throughput (Mbps)",
-                "slower Mbps",
-                &self.diagonal
-            )
-        )?;
-        write!(
-            f,
-            "{}",
-            format_series(
-                "Fig 6 (faster link = 100 Mbps) — Flow 1 throughput (Mbps)",
-                "slower Mbps",
-                &self.faster100
-            )
-        )?;
-        writeln!(f, "mean Flow-1 throughput across sweep:")?;
-        for (name, v) in &self.mean_tpt_mbps {
-            writeln!(f, "  {name:<18} {v:>7.2} Mbps")?;
-        }
-        if let Some(p) = self.simplification_penalty() {
-            if p >= 0.0 {
-                writeln!(
-                    f,
-                    "simplified one-bottleneck model underperforms the full model by {:.1}% \
-                     (paper: ~17%)",
-                    p * 100.0
-                )?;
-            } else {
-                writeln!(
-                    f,
-                    "simplified one-bottleneck model OUTPERFORMS the full model by {:.1}% \
-                     (paper saw a ~17% penalty; at small training budgets the joint \
-                     3-flow objective can under-serve the two-hop flow)",
-                    -p * 100.0
-                )?;
-            }
-        }
-        if let (Some(one), Some(cubic)) = (self.mean_of(ASSET_ONE), self.mean_of("cubic")) {
-            writeln!(
-                f,
-                "simplified Tao vs Cubic: {:.2}x (paper: ~7.2x)",
-                one / cubic
-            )?;
-        }
-        if let (Some(one), Some(sfq)) = (self.mean_of(ASSET_ONE), self.mean_of("cubic-sfqcodel")) {
-            writeln!(
-                f,
-                "simplified Tao vs Cubic-over-sfqCoDel: {:.2}x (paper: ~2.75x)",
-                one / sfq
-            )?;
-        }
-        Ok(())
-    }
-}
+/// The two edges of Fig 6's locus: (key prefix, chart title).
+const EDGES: [(&str, &str); 2] = [
+    (
+        "diagonal",
+        "Fig 6 (diagonal: faster = slower) — Flow 1 throughput (Mbps)",
+    ),
+    (
+        "faster100",
+        "Fig 6 (faster link = 100 Mbps) — Flow 1 throughput (Mbps)",
+    ),
+];
 
 /// Train (or load) both protocols of Table 5.
 pub fn trained_taos() -> (TrainedProtocol, TrainedProtocol) {
-    let one = tao_asset(
-        ASSET_ONE,
-        vec![ScenarioSpec::one_bottleneck_model()],
-        train_cfg(TrainCost::Normal),
-    );
-    let two = tao_asset(
-        ASSET_TWO,
-        vec![ScenarioSpec::two_bottleneck_model()],
-        train_cfg(TrainCost::Normal),
-    );
+    let mut protos: Vec<TrainedProtocol> = Topology
+        .train_specs()
+        .iter()
+        .flat_map(run_train_job)
+        .collect();
+    let two = protos.pop().expect("two protocols");
+    let one = protos.pop().expect("two protocols");
     (one, two)
 }
 
@@ -153,46 +65,97 @@ pub fn omniscient_flow1_mbps(link1_mbps: f64, link2_mbps: f64) -> f64 {
     omniscient::omniscient(&net)[0].throughput_bps / 1e6
 }
 
-/// Run the Fig 6 sweep.
-pub fn run(fidelity: Fidelity) -> TopologyResult {
-    let (one, two) = trained_taos();
-    let speeds: Vec<f64> = match fidelity {
+fn link_speeds(edge: &str, slower: f64) -> (f64, f64) {
+    match edge {
+        "diagonal" => (slower, slower),
+        _ => (slower, 100.0),
+    }
+}
+
+fn sweep_speeds(fidelity: Fidelity) -> Vec<f64> {
+    match fidelity {
         Fidelity::Quick => vec![10.0, 30.0, 100.0],
         Fidelity::Full => vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 75.0, 100.0],
-    };
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
+    }
+}
 
-    let schemes: Vec<(String, Option<&TrainedProtocol>)> = vec![
-        (ASSET_ONE.to_string(), Some(&one)),
-        (ASSET_TWO.to_string(), Some(&two)),
-        ("cubic".to_string(), None),
-        ("cubic-sfqcodel".to_string(), None),
-    ];
+fn scheme_names() -> [&'static str; 4] {
+    [ASSET_ONE, ASSET_TWO, "cubic", "cubic-sfqcodel"]
+}
 
-    let mut edges = Vec::new();
-    for edge in [SweepEdge::Diagonal, SweepEdge::Faster100] {
-        let mut all: Vec<Series> = schemes
-            .iter()
-            .map(|(n, _)| Series::new(n.clone()))
-            .chain([Series::new("omniscient")])
-            .collect();
-        for &slower in &speeds {
-            let (l1, l2) = match edge {
-                SweepEdge::Diagonal => (slower, slower),
-                SweepEdge::Faster100 => (slower, 100.0),
-            };
-            let net = test_network(l1, l2);
-            for (si, (name, tao)) in schemes.iter().enumerate() {
-                let (net_used, scheme) = match tao {
-                    Some(t) => (net.clone(), Scheme::tao(t.tree.clone(), name.clone())),
-                    None if name == "cubic" => (net.clone(), Scheme::Cubic),
-                    None => (with_sfq_codel(&net), Scheme::Cubic),
+/// The structural-knowledge experiment (`learnability run topology`).
+pub struct Topology;
+
+impl Experiment for Topology {
+    fn id(&self) -> &'static str {
+        "topology"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Figs 5-6 / Table 5 — one- vs two-bottleneck knowledge"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        vec![
+            TrainJob::single(
+                ASSET_ONE,
+                vec![ScenarioSpec::one_bottleneck_model()],
+                train_cfg(TrainCost::Normal),
+            ),
+            TrainJob::single(
+                ASSET_TWO,
+                vec![ScenarioSpec::two_bottleneck_model()],
+                train_cfg(TrainCost::Normal),
+            ),
+        ]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let (one, two) = trained_taos();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for (edge, _) in EDGES {
+            for &slower in &sweep_speeds(fidelity) {
+                let (l1, l2) = link_speeds(edge, slower);
+                let net = test_network(l1, l2);
+                for name in scheme_names() {
+                    let (net_used, scheme) = match name {
+                        ASSET_ONE => (net.clone(), Scheme::tao(one.tree.clone(), name)),
+                        ASSET_TWO => (net.clone(), Scheme::tao(two.tree.clone(), name)),
+                        "cubic" => (net.clone(), Scheme::Cubic),
+                        _ => (with_sfq_codel(&net), Scheme::Cubic),
+                    };
+                    points.push(SweepPoint::homogeneous(
+                        format!("{edge}|{name}"),
+                        slower,
+                        net_used,
+                        scheme,
+                        seeds.clone(),
+                        dur,
+                    ));
+                }
+            }
+        }
+        points
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let mut edge_series: Vec<Vec<Series>> = Vec::new();
+        for (edge, title) in EDGES {
+            let mut series: Vec<Series> = scheme_names()
+                .iter()
+                .map(|&n| Series::new(n))
+                .chain([Series::new("omniscient")])
+                .collect();
+            for p in points {
+                let Some(name) = p.key().strip_prefix(&format!("{edge}|")) else {
+                    continue;
                 };
-                let mix = vec![scheme; 3];
-                let outs = run_seeds(&net_used, &mix, seeds.clone(), dur);
                 // Flow 0 is the two-hop flow ("Flow 1" in the paper).
-                let tpts: Vec<f64> = outs
+                let tpts: Vec<f64> = p
+                    .runs
                     .iter()
                     .filter(|o| o.flows[0].on_time_s > 0.0)
                     .map(|o| o.flows[0].throughput_bps / 1e6)
@@ -202,33 +165,74 @@ pub fn run(fidelity: Fidelity) -> TopologyResult {
                 } else {
                     tpts.iter().sum::<f64>() / tpts.len() as f64
                 };
-                all[si].push(slower, mean);
+                let si = scheme_names()
+                    .iter()
+                    .position(|&n| n == name)
+                    .expect("known scheme");
+                series[si].push(p.x(), mean);
             }
-            all.last_mut()
-                .expect("omniscient series")
-                .push(slower, omniscient_flow1_mbps(l1, l2));
+            // Analytic omniscient reference per swept speed.
+            let xs: Vec<f64> = series[0].points.iter().map(|&(x, _)| x).collect();
+            for x in xs {
+                let (l1, l2) = link_speeds(edge, x);
+                series[4].push(x, omniscient_flow1_mbps(l1, l2));
+            }
+            fig.charts
+                .push(ChartData::from_series(title, "slower Mbps", &series));
+            edge_series.push(series);
         }
-        edges.push(all);
-    }
-    let faster100 = edges.pop().expect("two edges");
-    let diagonal = edges.pop().expect("two edges");
 
-    // Mean across both edges per scheme.
-    let mut mean_tpt = Vec::new();
-    for (i, (name, _)) in schemes.iter().enumerate() {
-        let ys: Vec<f64> = diagonal[i]
-            .points
-            .iter()
-            .chain(faster100[i].points.iter())
-            .map(|&(_, y)| y)
-            .collect();
-        mean_tpt.push((name.clone(), ys.iter().sum::<f64>() / ys.len() as f64));
-    }
+        // Mean across both edges per scheme.
+        let mut notes = vec!["mean Flow-1 throughput across sweep:".to_string()];
+        let mut means = Vec::new();
+        for (i, name) in scheme_names().iter().enumerate() {
+            let ys: Vec<f64> = edge_series
+                .iter()
+                .flat_map(|s| s[i].points.iter().map(|&(_, y)| y))
+                .collect();
+            let mean = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
+            notes.push(format!("  {name:<18} {mean:>7.2} Mbps"));
+            fig.push_summary(format!("mean_flow1_tpt_mbps_{name}"), mean);
+            means.push((*name, mean));
+        }
+        fig.notes.extend(notes);
 
-    TopologyResult {
-        diagonal,
-        faster100,
-        mean_tpt_mbps: mean_tpt,
+        let mean_of = |n: &str| means.iter().find(|(m, _)| *m == n).map(|&(_, v)| v);
+        if let (Some(one), Some(two)) = (mean_of(ASSET_ONE), mean_of(ASSET_TWO)) {
+            // The penalty of the simplified model: 1 − simplified/full
+            // (paper: ~17%).
+            let p = 1.0 - one / two;
+            fig.push_summary("simplification_penalty", p);
+            if p >= 0.0 {
+                fig.notes.push(format!(
+                    "simplified one-bottleneck model underperforms the full model by {:.1}% \
+                     (paper: ~17%)",
+                    p * 100.0
+                ));
+            } else {
+                fig.notes.push(format!(
+                    "simplified one-bottleneck model OUTPERFORMS the full model by {:.1}% \
+                     (paper saw a ~17% penalty; at small training budgets the joint \
+                     3-flow objective can under-serve the two-hop flow)",
+                    -p * 100.0
+                ));
+            }
+        }
+        if let (Some(one), Some(cubic)) = (mean_of(ASSET_ONE), mean_of("cubic")) {
+            fig.push_summary("simplified_vs_cubic_ratio", one / cubic);
+            fig.notes.push(format!(
+                "simplified Tao vs Cubic: {:.2}x (paper: ~7.2x)",
+                one / cubic
+            ));
+        }
+        if let (Some(one), Some(sfq)) = (mean_of(ASSET_ONE), mean_of("cubic-sfqcodel")) {
+            fig.push_summary("simplified_vs_cubic_sfqcodel_ratio", one / sfq);
+            fig.notes.push(format!(
+                "simplified Tao vs Cubic-over-sfqCoDel: {:.2}x (paper: ~2.75x)",
+                one / sfq
+            ));
+        }
+        fig
     }
 }
 
@@ -258,5 +262,21 @@ mod tests {
         assert_eq!(net.flows.len(), 3);
         assert_eq!(net.flows[0].route, vec![0, 1]);
         assert_eq!(net.min_rtt(0), netsim::time::SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn edges_pin_the_faster_link() {
+        assert_eq!(link_speeds("diagonal", 30.0), (30.0, 30.0));
+        assert_eq!(link_speeds("faster100", 30.0), (30.0, 100.0));
+        assert_eq!(sweep_speeds(Fidelity::Quick).len(), 3);
+        assert_eq!(sweep_speeds(Fidelity::Full).len(), 8);
+    }
+
+    #[test]
+    fn train_specs_cover_both_models() {
+        let jobs = Topology.train_specs();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].assets[0], ASSET_ONE);
+        assert_eq!(jobs[1].assets[0], ASSET_TWO);
     }
 }

@@ -10,16 +10,17 @@
 //! testing sweep against Cubic and the specialist protocol for that
 //! sweep.
 
-use super::{mean_normalized_objective, tao_asset, Fidelity, TrainCost};
+use super::{
+    mean_normalized_objective, run_train_job, tao_asset, Experiment, Fidelity, TrainCost, TrainJob,
+};
 use crate::omniscient;
-use crate::report::Table;
-use crate::runner::{run_seeds, Scheme};
+use crate::report::{FigureData, Table, TableData};
+use crate::runner::{PointOutcome, Scheme, SweepPoint};
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::topology::dumbbell;
 use netsim::workload::WorkloadSpec;
 use remy::{BufferSpec, OptimizerConfig, ScenarioSpec, TrainedProtocol};
-use std::fmt;
 
 pub const ASSET: &str = "tao-universal";
 
@@ -33,189 +34,190 @@ pub fn training_specs() -> Vec<ScenarioSpec> {
     ]
 }
 
-/// Train (or load) the universal protocol. The union model costs more
-/// per evaluation, so it gets the heavy budget.
-pub fn trained_tao() -> TrainedProtocol {
+/// The universal optimizer budget: the union model costs more per
+/// evaluation, so it gets the heavy budget — with one extra whisker of
+/// headroom, since the union model is more varied.
+fn universal_cfg() -> OptimizerConfig {
     let mut cfg = super::train_cfg(TrainCost::Heavy);
-    // one extra whisker of headroom: the union model is more varied
     cfg.max_leaves = 10;
-    train_with(cfg)
+    cfg
+}
+
+/// Train (or load) the universal protocol.
+pub fn trained_tao() -> TrainedProtocol {
+    run_train_job(&Universal.train_specs().remove(0))
+        .pop()
+        .expect("one protocol")
 }
 
 pub fn train_with(cfg: OptimizerConfig) -> TrainedProtocol {
     tao_asset(ASSET, training_specs(), cfg)
 }
 
-/// One row of the universal comparison: a probe network and the
-/// normalized objective of each contender.
-#[derive(Clone, Debug)]
-pub struct UniversalRow {
-    pub probe: String,
-    pub universal: f64,
-    pub specialist: f64,
-    pub cubic: f64,
-}
-
-#[derive(Clone, Debug)]
-pub struct UniversalResult {
-    pub rows: Vec<UniversalRow>,
-}
-
-impl UniversalResult {
-    /// Probes where the universal protocol beats Cubic.
-    pub fn wins_vs_cubic(&self) -> usize {
-        self.rows.iter().filter(|r| r.universal > r.cubic).count()
-    }
-
-    /// Mean shortfall against the per-sweep specialists (≥ 0 when the
-    /// specialists are better, as expected).
-    pub fn mean_gap_to_specialists(&self) -> f64 {
-        let n = self.rows.len().max(1) as f64;
-        self.rows
-            .iter()
-            .map(|r| r.specialist - r.universal)
-            .sum::<f64>()
-            / n
-    }
-}
-
-impl fmt::Display for UniversalResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new(
-            "Extension — one protocol for everything (normalized objective, omniscient = 0)",
-            &["probe network", "tao-universal", "specialist", "cubic"],
-        );
-        for r in &self.rows {
-            t.row(vec![
-                r.probe.clone(),
-                format!("{:.3}", r.universal),
-                format!("{:.3}", r.specialist),
-                format!("{:.3}", r.cubic),
-            ]);
-        }
-        write!(f, "{t}")?;
-        writeln!(
-            f,
-            "universal beats cubic on {}/{} probes; mean gap to specialists {:.3} \
-             (the conclusion conjectured such a protocol may be feasible)",
-            self.wins_vs_cubic(),
-            self.rows.len(),
-            self.mean_gap_to_specialists()
-        )
-    }
-}
-
 struct Probe {
     label: String,
     net: NetworkConfig,
     specialist: TrainedProtocol,
-    fair_tpt: f64,
-    base_delay: f64,
 }
 
-fn probes(fidelity: Fidelity) -> Vec<Probe> {
-    let _ = fidelity;
+fn probes() -> Vec<Probe> {
     let mut out = Vec::new();
 
     // Probe 1: mid link speed (the 2x specialist's home turf).
     let taos_speed = super::link_speed::trained_taos();
-    let net = dumbbell(
-        2,
-        32e6,
-        0.150,
-        QueueSpec::drop_tail_bdp(32e6, 0.150, 5.0),
-        WorkloadSpec::on_off_1s(),
-    );
-    let omn = omniscient::omniscient(&net);
     out.push(Probe {
         label: "32 Mbps / 150 ms / 2 senders".into(),
-        net,
+        net: dumbbell(
+            2,
+            32e6,
+            0.150,
+            QueueSpec::drop_tail_bdp(32e6, 0.150, 5.0),
+            WorkloadSpec::on_off_1s(),
+        ),
         specialist: taos_speed[3].clone(), // tao-2x
-        fair_tpt: omn[0].throughput_bps,
-        base_delay: omn[0].delay_s,
     });
 
     // Probe 2: extreme link speed (inside only the 1000x range).
-    let net = dumbbell(
-        2,
-        700e6,
-        0.150,
-        QueueSpec::drop_tail_bdp(700e6, 0.150, 5.0),
-        WorkloadSpec::on_off_1s(),
-    );
-    let omn = omniscient::omniscient(&net);
     out.push(Probe {
         label: "700 Mbps / 150 ms / 2 senders".into(),
-        net,
+        net: dumbbell(
+            2,
+            700e6,
+            0.150,
+            QueueSpec::drop_tail_bdp(700e6, 0.150, 5.0),
+            WorkloadSpec::on_off_1s(),
+        ),
         specialist: taos_speed[0].clone(), // tao-1000x
-        fair_tpt: omn[0].throughput_bps,
-        base_delay: omn[0].delay_s,
     });
 
     // Probe 3: short RTT (the rtt-50-250 specialist's range edge).
     let taos_rtt = super::rtt::trained_taos();
-    let net = dumbbell(
-        2,
-        33e6,
-        0.050,
-        QueueSpec::drop_tail_bdp(33e6, 0.050, 5.0),
-        WorkloadSpec::on_off_1s(),
-    );
-    let omn = omniscient::omniscient(&net);
     out.push(Probe {
         label: "33 Mbps / 50 ms / 2 senders".into(),
-        net,
+        net: dumbbell(
+            2,
+            33e6,
+            0.050,
+            QueueSpec::drop_tail_bdp(33e6, 0.050, 5.0),
+            WorkloadSpec::on_off_1s(),
+        ),
         specialist: taos_rtt[3].clone(), // tao-rtt-50-250
-        fair_tpt: omn[0].throughput_bps,
-        base_delay: omn[0].delay_s,
     });
 
     // Probe 4: heavy multiplexing.
     let taos_mux = super::multiplexing::trained_taos();
-    let net = dumbbell(
-        40,
-        15e6,
-        0.150,
-        QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
-        WorkloadSpec::on_off_1s(),
-    );
-    let omn = omniscient::omniscient(&net);
     out.push(Probe {
         label: "15 Mbps / 150 ms / 40 senders".into(),
-        net,
+        net: dumbbell(
+            40,
+            15e6,
+            0.150,
+            QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
+            WorkloadSpec::on_off_1s(),
+        ),
         specialist: taos_mux[3].clone(), // tao-mux-50
-        fair_tpt: omn[0].throughput_bps,
-        base_delay: omn[0].delay_s,
     });
 
     out
 }
 
-/// Run the universal-protocol comparison.
-pub fn run(fidelity: Fidelity) -> UniversalResult {
-    let universal = trained_tao();
-    let dur = fidelity.test_duration_s();
-    let seeds = fidelity.seeds();
+/// The contender columns of the universal comparison.
+const CONTENDERS: [&str; 3] = ["universal", "specialist", "cubic"];
 
-    let rows = probes(fidelity)
-        .into_iter()
-        .map(|p| {
-            let n = p.net.flows.len();
-            let score = |scheme: &Scheme| {
-                let mix = vec![scheme.clone(); n];
-                let outs = run_seeds(&p.net, &mix, seeds.clone(), dur);
-                mean_normalized_objective(&outs, p.fair_tpt, p.base_delay)
-            };
-            UniversalRow {
-                probe: p.label.clone(),
-                universal: score(&Scheme::tao(universal.tree.clone(), ASSET)),
-                specialist: score(&Scheme::tao(p.specialist.tree.clone(), &p.specialist.name)),
-                cubic: score(&Scheme::Cubic),
+/// The one-protocol-for-everything experiment
+/// (`learnability run universal`).
+pub struct Universal;
+
+impl Experiment for Universal {
+    fn id(&self) -> &'static str {
+        "universal"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "extension — the conclusion's \"one protocol for everything\" question"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        vec![TrainJob::single(ASSET, training_specs(), universal_cfg())]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let universal = trained_tao();
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for p in probes() {
+            for contender in CONTENDERS {
+                let scheme = match contender {
+                    "universal" => Scheme::tao(universal.tree.clone(), ASSET),
+                    "specialist" => Scheme::tao(p.specialist.tree.clone(), &p.specialist.name),
+                    _ => Scheme::Cubic,
+                };
+                points.push(SweepPoint::homogeneous(
+                    format!("{}|{contender}", p.label),
+                    0.0,
+                    p.net.clone(),
+                    scheme,
+                    seeds.clone(),
+                    dur,
+                ));
             }
-        })
-        .collect();
+        }
+        points
+    }
 
-    UniversalResult { rows }
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        // Probe labels in sweep order.
+        let mut probes: Vec<String> = Vec::new();
+        for p in points {
+            let label = p.key().rsplit_once('|').expect("probe|contender key").0;
+            if !probes.iter().any(|x| x == label) {
+                probes.push(label.to_string());
+            }
+        }
+
+        let mut t = Table::new(
+            "Extension — one protocol for everything (normalized objective, omniscient = 0)",
+            &["probe network", "tao-universal", "specialist", "cubic"],
+        );
+        let mut rows: Vec<(f64, f64, f64)> = Vec::new();
+        for probe in &probes {
+            let mut objs = [0.0f64; 3];
+            for (ci, contender) in CONTENDERS.iter().enumerate() {
+                let p = points
+                    .iter()
+                    .find(|p| p.key() == format!("{probe}|{contender}"))
+                    .expect("probe cell present");
+                // Omniscient reference of this probe's network.
+                let omn = omniscient::omniscient(&p.point.net);
+                objs[ci] =
+                    mean_normalized_objective(&p.runs, omn[0].throughput_bps, omn[0].delay_s);
+            }
+            t.row(vec![
+                probe.clone(),
+                format!("{:.3}", objs[0]),
+                format!("{:.3}", objs[1]),
+                format!("{:.3}", objs[2]),
+            ]);
+            rows.push((objs[0], objs[1], objs[2]));
+        }
+        fig.tables.push(TableData::from_table(&t));
+
+        let wins = rows.iter().filter(|r| r.0 > r.2).count();
+        let mean_gap = rows.iter().map(|r| r.1 - r.0).sum::<f64>() / rows.len().max(1) as f64;
+        fig.push_summary("wins_vs_cubic", wins as f64);
+        fig.push_summary("probes", rows.len() as f64);
+        fig.push_summary("mean_gap_to_specialists", mean_gap);
+        fig.notes.push(format!(
+            "universal beats cubic on {}/{} probes; mean gap to specialists {:.3} \
+             (the conclusion conjectured such a protocol may be feasible)",
+            wins,
+            rows.len(),
+            mean_gap
+        ));
+        fig
+    }
 }
 
 #[cfg(test)]
@@ -241,24 +243,12 @@ mod tests {
     }
 
     #[test]
-    fn result_summary_math() {
-        let r = UniversalResult {
-            rows: vec![
-                UniversalRow {
-                    probe: "a".into(),
-                    universal: -0.5,
-                    specialist: -0.3,
-                    cubic: -1.0,
-                },
-                UniversalRow {
-                    probe: "b".into(),
-                    universal: -2.0,
-                    specialist: -1.0,
-                    cubic: -1.5,
-                },
-            ],
-        };
-        assert_eq!(r.wins_vs_cubic(), 1);
-        assert!((r.mean_gap_to_specialists() - 0.6).abs() < 1e-12);
+    fn universal_budget_has_extra_headroom() {
+        let cfg = universal_cfg();
+        let heavy = super::super::train_cfg(TrainCost::Heavy);
+        assert_eq!(cfg.max_leaves, 10);
+        assert_eq!(cfg.sim_duration_s, heavy.sim_duration_s);
+        let jobs = Universal.train_specs();
+        assert_eq!(jobs[0].assets, vec![ASSET.to_string()]);
     }
 }

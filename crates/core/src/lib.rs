@@ -7,24 +7,30 @@
 //! * the [`remy`] protocol-design tool (training substrate),
 //! * the [`protocols`] zoo (Tao executor, Cubic, NewReno),
 //! * the analytic [`omniscient()`] reference protocol, and
-//! * one [`experiments`] module per paper figure/table.
+//! * one [`experiments`] module per paper figure/table, all behind the
+//!   declarative [`Experiment`] trait.
 //!
-//! Regeneration binaries live in the `bench` crate (`cargo run --bin
-//! fig1` … `fig9`, `sig_knockout`); each prints the same rows/series the
-//! paper reports. Training is cached as JSON assets under `assets/`,
-//! mirroring the paper's published Remy-produced protocols.
+//! Everything is driven by the `learnability` CLI (in the `bench` crate):
+//! `learnability list` enumerates the [`experiments::registry()`],
+//! `learnability run <id|all>` executes an experiment's sweep on the
+//! parallel engine ([`runner::execute_sweep`]) and emits a structured
+//! [`FigureData`] JSON artifact per figure under `assets/figures/`, and
+//! `learnability train <id|all>` builds any missing protocol assets under
+//! `assets/` (`--force` retrains from scratch), mirroring the paper's
+//! published Remy-produced protocols.
 
+pub mod cli;
 pub mod experiments;
 pub mod omniscient;
 pub mod report;
 pub mod runner;
 
-pub use experiments::Fidelity;
+pub use experiments::{run_experiment, run_train_job, Experiment, Fidelity, RunOptions, TrainJob};
 #[doc(hidden)]
 pub use omniscient as omniscient_mod;
 pub use omniscient::{omniscient, proportional_fair, OmniscientFlow};
-pub use report::{Series, Table};
+pub use report::{render_figure, FigureData, Series, Table};
 pub use runner::{
-    flow_points, run_homogeneous, run_mix, run_seeds, summarize, with_sfq_codel, Scheme,
-    SummaryStat,
+    execute_sweep, flow_points, run_homogeneous, run_mix, run_seeds, summarize, with_sfq_codel,
+    PointOutcome, Scheme, SummaryStat, SweepPoint,
 };

@@ -1,9 +1,41 @@
-//! Plain-text tables and series for experiment output.
+//! Structured experiment results and their human-readable rendering.
 //!
-//! Every figure and table regenerator prints its data through these types,
-//! so `cargo run --bin fig2` produces the rows/series the paper plots.
+//! Every experiment's [`summarize`](crate::experiments::Experiment::summarize)
+//! produces a [`FigureData`] — a serde-serializable description of the
+//! figure/table the paper reports. The JSON artifacts emitted by
+//! `learnability run … --json` (under `assets/figures/`) are exactly these
+//! structures, and the tables printed to stdout are rendered *from* them by
+//! [`render_figure`], so the machine-readable and human-readable outputs can
+//! never drift apart.
+//!
+//! # The `FigureData` schema (version [`FIGURE_SCHEMA_VERSION`])
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `schema_version` | u32 | bumped on any breaking schema change |
+//! | `id` | string | experiment id (the `learnability run <id>` key) |
+//! | `paper_artifact` | string | which paper figure/table this reproduces |
+//! | `charts` | [`ChartData`]\[\] | plotted series groups (one per figure panel) |
+//! | `tables` | [`TableData`]\[\] | row/column tables (one per paper table) |
+//! | `summary` | [`SummaryItem`]\[\] | headline scalars (ratios, gaps, penalties) |
+//! | `notes` | string\[\] | prose findings, printed after the data |
+//! | `meta` | [`RunMeta`] | provenance: fidelity, seed set, git describe |
+//!
+//! A [`ChartData`] holds named [`SeriesData`] whose [`PointData`] carry an
+//! `x`, a `y` and an optional 1-σ error `err` (the ellipses of Figs 1, 7
+//! and 9). A [`TableData`] is a title, headers and string rows. A
+//! [`SummaryItem`] is a stable machine-readable key plus an f64 — the
+//! numbers CI diffs across commits without parsing prose.
+//!
+//! [`RunMeta::threads`] is deliberately absent: results are bit-identical
+//! for any worker count, so thread count is not provenance.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Version of the [`FigureData`] JSON schema. Bump on breaking changes and
+/// regenerate `crates/core/tests/golden/figure_schema.json`.
+pub const FIGURE_SCHEMA_VERSION: u32 = 1;
 
 /// A column-aligned text table.
 #[derive(Clone, Debug)]
@@ -152,6 +184,204 @@ pub fn log2(x: f64) -> f64 {
     x.max(1e-12).log2()
 }
 
+// ---------------------------------------------------------------------------
+// The serializable result schema.
+// ---------------------------------------------------------------------------
+
+/// One (x, y) sample of a plotted series, with an optional 1-σ error bar.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointData {
+    pub x: f64,
+    pub y: f64,
+    pub err: Option<f64>,
+}
+
+/// A named series of [`PointData`] (one scheme on one panel).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesData {
+    pub name: String,
+    pub points: Vec<PointData>,
+}
+
+impl SeriesData {
+    /// View as a computational [`Series`] (drops error bars).
+    pub fn to_series(&self) -> Series {
+        Series {
+            name: self.name.clone(),
+            points: self.points.iter().map(|p| (p.x, p.y)).collect(),
+        }
+    }
+
+    /// Lift a computational [`Series`] into the schema (no error bars).
+    pub fn from_series(s: &Series) -> Self {
+        SeriesData {
+            name: s.name.clone(),
+            points: s
+                .points
+                .iter()
+                .map(|&(x, y)| PointData { x, y, err: None })
+                .collect(),
+        }
+    }
+}
+
+/// One figure panel: a titled group of series over a common x axis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChartData {
+    pub title: String,
+    pub x_label: String,
+    pub series: Vec<SeriesData>,
+}
+
+impl ChartData {
+    pub fn from_series(title: impl Into<String>, x_label: impl Into<String>, s: &[Series]) -> Self {
+        ChartData {
+            title: title.into(),
+            x_label: x_label.into(),
+            series: s.iter().map(SeriesData::from_series).collect(),
+        }
+    }
+}
+
+/// A paper table as structured rows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    pub fn to_table(&self) -> Table {
+        Table {
+            title: self.title.clone(),
+            headers: self.headers.clone(),
+            rows: self.rows.clone(),
+        }
+    }
+
+    pub fn from_table(t: &Table) -> Self {
+        TableData {
+            title: t.title.clone(),
+            headers: t.headers.clone(),
+            rows: t.rows.clone(),
+        }
+    }
+}
+
+/// A headline scalar with a stable machine-readable key, e.g.
+/// `("tao_fraction_of_omniscient", 0.94)`. CI diffs these without parsing
+/// prose notes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SummaryItem {
+    pub key: String,
+    pub value: f64,
+}
+
+/// Provenance of a figure regeneration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// `"quick"` or `"full"`.
+    pub fidelity: String,
+    /// The seed set each statistics cell was run over. Illustrative trace
+    /// cells (e.g. the Fig 8 time-domain runs) keep their pinned seeds
+    /// and are not covered by this set.
+    pub seeds: Vec<u64>,
+    /// `git describe --always --dirty` of the generating tree, or
+    /// `"unknown"` outside a git checkout.
+    pub git_describe: String,
+}
+
+impl RunMeta {
+    pub fn unknown() -> Self {
+        RunMeta {
+            fidelity: "unknown".into(),
+            seeds: Vec::new(),
+            git_describe: "unknown".into(),
+        }
+    }
+}
+
+/// The structured result of one experiment run — everything a figure of the
+/// paper needs, serialized as a JSON artifact under `assets/figures/`.
+/// See the module docs for the field-by-field schema.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    pub schema_version: u32,
+    pub id: String,
+    pub paper_artifact: String,
+    pub charts: Vec<ChartData>,
+    pub tables: Vec<TableData>,
+    pub summary: Vec<SummaryItem>,
+    pub notes: Vec<String>,
+    pub meta: RunMeta,
+}
+
+impl FigureData {
+    /// Empty result for an experiment; `summarize` fills the data fields,
+    /// the runner fills `meta`.
+    pub fn new(id: impl Into<String>, paper_artifact: impl Into<String>) -> Self {
+        FigureData {
+            schema_version: FIGURE_SCHEMA_VERSION,
+            id: id.into(),
+            paper_artifact: paper_artifact.into(),
+            charts: Vec::new(),
+            tables: Vec::new(),
+            summary: Vec::new(),
+            notes: Vec::new(),
+            meta: RunMeta::unknown(),
+        }
+    }
+
+    pub fn push_summary(&mut self, key: impl Into<String>, value: f64) {
+        self.summary.push(SummaryItem {
+            key: key.into(),
+            value,
+        });
+    }
+
+    pub fn summary_value(&self, key: &str) -> Option<f64> {
+        self.summary.iter().find(|s| s.key == key).map(|s| s.value)
+    }
+
+    pub fn chart_series(&self, chart: usize, name: &str) -> Option<Series> {
+        self.charts
+            .get(chart)?
+            .series
+            .iter()
+            .find(|s| s.name == name)
+            .map(SeriesData::to_series)
+    }
+
+    /// Serialize to the canonical pretty-JSON artifact form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigureData serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<FigureData, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Render a [`FigureData`] as the human-readable report: tables, then
+/// series panels, then notes. This is the *only* path from structured
+/// results to stdout — figure text and JSON artifacts cannot diverge.
+pub fn render_figure(fig: &FigureData) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for t in &fig.tables {
+        write!(out, "{}", t.to_table()).unwrap();
+    }
+    for c in &fig.charts {
+        let series: Vec<Series> = c.series.iter().map(SeriesData::to_series).collect();
+        write!(out, "{}", format_series(&c.title, &c.x_label, &series)).unwrap();
+    }
+    for n in &fig.notes {
+        writeln!(out, "{n}").unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +445,63 @@ mod tests {
     fn log2_is_safe_at_zero() {
         assert!(log2(0.0).is_finite());
         assert_eq!(log2(8.0), 3.0);
+    }
+
+    fn sample_figure() -> FigureData {
+        let mut fig = FigureData::new("demo", "Fig 0");
+        let mut s = Series::new("cubic");
+        s.push(1.0, -0.5);
+        s.push(10.0, -0.25);
+        fig.charts
+            .push(ChartData::from_series("demo chart", "Mbps", &[s]));
+        fig.tables.push(TableData {
+            title: "demo table".into(),
+            headers: vec!["scheme".into(), "tpt".into()],
+            rows: vec![vec!["cubic".into(), "9.41 Mbps".into()]],
+        });
+        fig.push_summary("gap", 0.25);
+        fig.notes.push("a finding".into());
+        fig.meta = RunMeta {
+            fidelity: "quick".into(),
+            seeds: vec![0, 1, 2],
+            git_describe: "v0-test".into(),
+        };
+        fig
+    }
+
+    #[test]
+    fn figure_data_roundtrips_through_json() {
+        let fig = sample_figure();
+        let json = fig.to_json();
+        let back = FigureData::from_json(&json).unwrap();
+        assert_eq!(fig, back);
+    }
+
+    #[test]
+    fn render_shows_tables_series_and_notes() {
+        let fig = sample_figure();
+        let text = render_figure(&fig);
+        assert!(text.contains("== demo table =="));
+        assert!(text.contains("== demo chart =="));
+        assert!(text.contains("cubic"));
+        assert!(text.contains("a finding"));
+    }
+
+    #[test]
+    fn series_conversions_are_lossless_on_xy() {
+        let mut s = Series::new("t");
+        s.push(1.0, 2.0);
+        let sd = SeriesData::from_series(&s);
+        assert_eq!(sd.points[0].err, None);
+        assert_eq!(sd.to_series(), s);
+    }
+
+    #[test]
+    fn summary_lookup() {
+        let fig = sample_figure();
+        assert_eq!(fig.summary_value("gap"), Some(0.25));
+        assert_eq!(fig.summary_value("absent"), None);
+        assert!(fig.chart_series(0, "cubic").is_some());
+        assert!(fig.chart_series(0, "nope").is_none());
     }
 }

@@ -1,14 +1,29 @@
-//! Test-side execution: run protocol mixes on concrete networks.
+//! Test-side execution: run protocol mixes on concrete networks, and the
+//! generic sweep engine every experiment executes on.
 //!
 //! The experiments (§4) evaluate each scheme on *testing scenarios* —
 //! concrete networks swept over a parameter — and summarize per-flow
 //! throughput and queueing delay across several seeded runs (the ellipses
 //! of Figs 1, 7 and 9 are 1-σ ranges over such runs).
+//!
+//! # The sweep engine
+//!
+//! An experiment's [`sweep`](crate::experiments::Experiment::sweep) is pure
+//! *data*: a list of [`SweepPoint`]s, each a `(network, scheme mix, seed
+//! range)` cell description. [`execute_sweep`] expands the points into
+//! `(point, seed)` cells and runs them on a work-stealing thread pool —
+//! the same claim-by-atomic-index pattern as remy's `EvalPool` (see
+//! [`parallel_map_indexed`]) — so test-side sweeps use every core the way
+//! training already does. Per-cell results land in index-ordered slots and
+//! are merged in input order, so the outcome is **bit-identical for any
+//! thread count**.
 
 use netsim::prelude::*;
-use netsim::queue::QueueSpec;
+use netsim::trace::Trace;
 use netsim::transport::CongestionControl;
 use protocols::{Cubic, NewReno, SignalMask, TaoCc, WhiskerTree};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A congestion-control scheme under test.
 #[derive(Clone)]
@@ -55,25 +70,12 @@ impl Scheme {
 
 /// Replace every finite drop-tail queue in a network with sfqCoDel of the
 /// same byte capacity (the "Cubic-over-sfqCoDel" configuration: sfqCoDel
-/// runs at the bottleneck gateways).
+/// runs at the bottleneck gateways). Infinite buffers get a finite 5-BDP
+/// stand-in — sfqCoDel needs a shared finite pool.
 pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
     let mut out = net.clone();
     for link in &mut out.links {
-        let cap = match link.queue {
-            QueueSpec::DropTail {
-                capacity_bytes: Some(c),
-            } => c,
-            QueueSpec::DropTail {
-                capacity_bytes: None,
-            } => {
-                // sfqCoDel needs a finite shared buffer; give it 5 BDP.
-                (link.rate_bps / 8.0 * link.delay_s * 5.0)
-                    .ceil()
-                    .max(30_000.0) as u64
-            }
-            QueueSpec::SfqCodel { capacity_bytes, .. } => capacity_bytes,
-            QueueSpec::Red { capacity_bytes, .. } => capacity_bytes,
-        };
+        let cap = link.queue_capacity_or_bdp(5.0);
         link.queue = QueueSpec::SfqCodel {
             capacity_bytes: cap,
             target_ms: 5.0,
@@ -84,12 +86,16 @@ pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
     out
 }
 
+/// Event cap for every test-side simulation (protects sweeps against
+/// degenerate protocol settings; training has its own budget knob).
+const TEST_EVENT_BUDGET: u64 = 200_000_000;
+
 /// Run one mix of schemes (one per flow) on a network.
 pub fn run_mix(net: &NetworkConfig, schemes: &[Scheme], seed: u64, duration_s: f64) -> RunOutcome {
     assert_eq!(schemes.len(), net.flows.len(), "one scheme per flow");
     let protocols: Vec<Box<dyn CongestionControl>> = schemes.iter().map(|s| s.build()).collect();
     let mut sim = Simulation::new(net, protocols, seed);
-    sim.set_event_budget(200_000_000);
+    sim.set_event_budget(TEST_EVENT_BUDGET);
     sim.run(SimDuration::from_secs_f64(duration_s))
 }
 
@@ -114,6 +120,237 @@ pub fn run_seeds(
     seeds
         .map(|seed| run_mix(net, schemes, seed, duration_s))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The declarative sweep engine.
+// ---------------------------------------------------------------------------
+
+/// Request queue-occupancy tracing for a cell (Fig 8-style time-domain
+/// points).
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Link indices to sample.
+    pub links: Vec<usize>,
+    /// Sampling period in milliseconds.
+    pub interval_ms: f64,
+}
+
+/// One point of an experiment's sweep: a concrete network, the scheme mix
+/// on its flows, and the seed range to run. Everything an experiment
+/// evaluates is a list of these — data the engine can enumerate,
+/// parallelize, and merge deterministically.
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// Experiment-specific routing key for `summarize` (e.g. the series
+    /// name, or `"panel|series"`).
+    pub key: String,
+    /// Position along the sweep axis (0.0 for table-style points).
+    pub x: f64,
+    /// Seeds this cell is repeated over.
+    pub seeds: std::ops::Range<u64>,
+    pub net: NetworkConfig,
+    /// One scheme per flow of `net`.
+    pub schemes: Vec<Scheme>,
+    /// Simulated seconds per run.
+    pub duration_s: f64,
+    /// Optional queue tracing (exempt from `--seeds` overrides: traces
+    /// are illustrative single runs, not statistics).
+    pub trace: Option<TraceSpec>,
+}
+
+impl SweepPoint {
+    /// Point running `scheme` on every flow of `net`.
+    pub fn homogeneous(
+        key: impl Into<String>,
+        x: f64,
+        net: NetworkConfig,
+        scheme: Scheme,
+        seeds: std::ops::Range<u64>,
+        duration_s: f64,
+    ) -> Self {
+        let schemes = vec![scheme; net.flows.len()];
+        SweepPoint {
+            key: key.into(),
+            x,
+            seeds,
+            net,
+            schemes,
+            duration_s,
+            trace: None,
+        }
+    }
+
+    /// Point running an explicit per-flow mix.
+    pub fn mix(
+        key: impl Into<String>,
+        x: f64,
+        net: NetworkConfig,
+        schemes: Vec<Scheme>,
+        seeds: std::ops::Range<u64>,
+        duration_s: f64,
+    ) -> Self {
+        SweepPoint {
+            key: key.into(),
+            x,
+            seeds,
+            net,
+            schemes,
+            duration_s,
+            trace: None,
+        }
+    }
+
+    /// Enable queue tracing on the given links.
+    pub fn with_trace(mut self, links: Vec<usize>, interval_ms: f64) -> Self {
+        self.trace = Some(TraceSpec { links, interval_ms });
+        self
+    }
+}
+
+/// All runs of one [`SweepPoint`], in seed order.
+pub struct PointOutcome {
+    pub point: SweepPoint,
+    /// One outcome per seed, in `point.seeds` order.
+    pub runs: Vec<RunOutcome>,
+    /// Queue traces per seed (populated only when `point.trace` is set).
+    pub traces: Vec<Option<Trace>>,
+}
+
+impl PointOutcome {
+    pub fn key(&self) -> &str {
+        &self.point.key
+    }
+
+    pub fn x(&self) -> f64 {
+        self.point.x
+    }
+
+    /// Per-flow scheme labels (flow `i` ran `schemes[i]`).
+    pub fn flow_labels(&self) -> Vec<String> {
+        self.point.schemes.iter().map(|s| s.label()).collect()
+    }
+
+    /// Distinct scheme labels in flow order (the "sides" of a mixed-
+    /// population table row).
+    pub fn unique_labels(&self) -> Vec<String> {
+        let mut uniq: Vec<String> = Vec::new();
+        for l in self.flow_labels() {
+            if !uniq.contains(&l) {
+                uniq.push(l);
+            }
+        }
+        uniq
+    }
+
+    /// Per-flow (throughput Mbps, queueing delay ms) of flows whose scheme
+    /// label equals `label`, across all seeds.
+    pub fn flow_points_labeled(&self, label: &str) -> (Vec<f64>, Vec<f64>) {
+        let labels = self.flow_labels();
+        flow_points(&self.runs, |f| {
+            labels.get(f).map(String::as_str) == Some(label)
+        })
+    }
+}
+
+fn run_cell(point: &SweepPoint, seed: u64) -> (RunOutcome, Option<Trace>) {
+    assert_eq!(
+        point.schemes.len(),
+        point.net.flows.len(),
+        "one scheme per flow (point '{}')",
+        point.key
+    );
+    let protocols: Vec<Box<dyn CongestionControl>> =
+        point.schemes.iter().map(|s| s.build()).collect();
+    let mut sim = Simulation::new(&point.net, protocols, seed);
+    sim.set_event_budget(TEST_EVENT_BUDGET);
+    if let Some(tr) = &point.trace {
+        sim.enable_trace(
+            tr.links.iter().map(|&l| LinkId(l as u32)).collect(),
+            SimDuration::from_millis_f64(tr.interval_ms),
+        );
+    }
+    let run = sim.run(SimDuration::from_secs_f64(point.duration_s));
+    let trace = sim.take_trace();
+    (run, trace)
+}
+
+/// Work-stealing indexed map — the claim-by-atomic-index pattern of remy's
+/// `EvalPool`, generalized: `workers` scoped threads (the calling thread
+/// participates, so `threads == 1` is pure serial execution) claim indices
+/// `0..n` from an atomic cursor, and results are returned **in index
+/// order** regardless of which worker computed what. Skewed per-index
+/// costs never idle a core, and the output is identical for any thread
+/// count.
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let workers = threads.min(n.max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            return;
+        }
+        *slots[i].lock().expect("result slot poisoned") = Some(f(i));
+    };
+    if workers <= 1 {
+        work();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(work);
+            }
+            work();
+        });
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index claimed")
+        })
+        .collect()
+}
+
+/// Execute a sweep: expand every point into `(point, seed)` cells, run
+/// them on the work-stealing pool (`threads == 0` uses all cores), and
+/// merge outcomes back per point in seed order. Deterministic: the merge
+/// is index-ordered, so results are bit-identical for any thread count.
+pub fn execute_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<PointOutcome> {
+    let cells: Vec<(usize, u64)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| p.seeds.clone().map(move |s| (pi, s)))
+        .collect();
+    let results = parallel_map_indexed(cells.len(), threads, |i| {
+        let (pi, seed) = cells[i];
+        run_cell(&points[pi], seed)
+    });
+    let mut out: Vec<PointOutcome> = points
+        .into_iter()
+        .map(|point| PointOutcome {
+            point,
+            runs: Vec::new(),
+            traces: Vec::new(),
+        })
+        .collect();
+    for ((pi, _seed), (run, trace)) in cells.into_iter().zip(results) {
+        out[pi].runs.push(run);
+        out[pi].traces.push(trace);
+    }
+    out
 }
 
 /// Mean / standard deviation / median of a sample.
@@ -263,5 +500,99 @@ mod tests {
             QueueSpec::SfqCodel { capacity_bytes, .. } => assert!(capacity_bytes > 0),
             _ => panic!("expected sfqCoDel"),
         }
+    }
+
+    #[test]
+    fn sfq_conversion_preserves_finite_capacity() {
+        let fifo = net();
+        let sfq = with_sfq_codel(&fifo);
+        assert_eq!(
+            sfq.links[0].queue.capacity_bytes(),
+            fifo.links[0].queue.capacity_bytes()
+        );
+    }
+
+    #[test]
+    fn parallel_map_is_index_ordered_for_any_thread_count() {
+        let serial = parallel_map_indexed(17, 1, |i| i * i);
+        for threads in [2usize, 4, 16] {
+            let par = parallel_map_indexed(17, threads, |i| i * i);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sweep_engine_is_thread_count_invariant() {
+        let points: Vec<SweepPoint> = [2.0, 6.0]
+            .iter()
+            .map(|&mbps| {
+                SweepPoint::homogeneous(
+                    format!("cubic@{mbps}"),
+                    mbps,
+                    dumbbell(
+                        2,
+                        mbps * 1e6,
+                        0.100,
+                        QueueSpec::drop_tail_bdp(mbps * 1e6, 0.100, 5.0),
+                        WorkloadSpec::AlwaysOn,
+                    ),
+                    Scheme::Cubic,
+                    0..3,
+                    8.0,
+                )
+            })
+            .collect();
+        let digest = |outs: &[PointOutcome]| -> Vec<(String, usize, Vec<u64>, Vec<u64>)> {
+            outs.iter()
+                .map(|p| {
+                    (
+                        p.key().to_string(),
+                        p.runs.len(),
+                        p.runs.iter().map(|r| r.events_processed).collect(),
+                        p.runs
+                            .iter()
+                            .flat_map(|r| r.flows.iter().map(|f| f.bytes_delivered))
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        let serial = digest(&execute_sweep(points.clone(), 1));
+        let parallel = digest(&execute_sweep(points.clone(), 4));
+        assert_eq!(serial, parallel, "merge must be index-ordered");
+        // sanity: runs are grouped per point in seed order
+        assert_eq!(serial[0].1, 3);
+    }
+
+    #[test]
+    fn sweep_traces_only_when_requested() {
+        let traced = SweepPoint::homogeneous("t", 0.0, net(), Scheme::Cubic, 0..1, 4.0)
+            .with_trace(vec![0], 100.0);
+        let plain = SweepPoint::homogeneous("p", 0.0, net(), Scheme::Cubic, 0..1, 4.0);
+        let outs = execute_sweep(vec![traced, plain], 2);
+        assert!(outs[0].traces[0].is_some(), "trace requested");
+        assert!(outs[1].traces[0].is_none(), "no trace requested");
+        let tr = outs[0].traces[0].as_ref().unwrap();
+        assert!(!tr.series[0].is_empty(), "samples recorded");
+    }
+
+    #[test]
+    fn point_outcome_label_filtering() {
+        let p = SweepPoint::mix(
+            "mix",
+            0.0,
+            net(),
+            vec![Scheme::Cubic, Scheme::NewReno],
+            0..2,
+            8.0,
+        );
+        let outs = execute_sweep(vec![p], 2);
+        assert_eq!(outs[0].unique_labels(), vec!["cubic", "newreno"]);
+        let (cubic_tpt, _) = outs[0].flow_points_labeled("cubic");
+        let (reno_tpt, _) = outs[0].flow_points_labeled("newreno");
+        assert_eq!(cubic_tpt.len(), 2, "one cubic flow x two seeds");
+        assert_eq!(reno_tpt.len(), 2);
+        assert!(outs[0].flow_points_labeled("absent").0.is_empty());
     }
 }

@@ -1,0 +1,162 @@
+//! FigureData schema guarantees: serde round-trips, the on-disk JSON form
+//! stays stable (golden file), and `learnability run calibration` produces
+//! identical JSON across repeated runs and across thread counts.
+
+use lcc_core::report::{
+    ChartData, FigureData, PointData, RunMeta, SeriesData, SummaryItem, TableData,
+    FIGURE_SCHEMA_VERSION,
+};
+use protocols::{Action, WhiskerTree};
+use std::path::{Path, PathBuf};
+
+/// A fixed figure exercising every schema field (error bars present and
+/// absent, multiple charts/tables/notes).
+fn reference_figure() -> FigureData {
+    FigureData {
+        schema_version: FIGURE_SCHEMA_VERSION,
+        id: "reference".into(),
+        paper_artifact: "Fig 0 / Table 0 — schema reference".into(),
+        charts: vec![ChartData {
+            title: "objective vs speed".into(),
+            x_label: "Mbps".into(),
+            series: vec![
+                SeriesData {
+                    name: "tao".into(),
+                    points: vec![
+                        PointData {
+                            x: 1.0,
+                            y: -0.25,
+                            err: Some(0.05),
+                        },
+                        PointData {
+                            x: 10.0,
+                            y: -0.5,
+                            err: None,
+                        },
+                    ],
+                },
+                SeriesData {
+                    name: "cubic".into(),
+                    points: vec![PointData {
+                        x: 1.0,
+                        y: -1.5,
+                        err: None,
+                    }],
+                },
+            ],
+        }],
+        tables: vec![TableData {
+            title: "operating points".into(),
+            headers: vec!["scheme".into(), "throughput".into()],
+            rows: vec![
+                vec!["tao".into(), "9.41 Mbps (±0.12)".into()],
+                vec!["cubic".into(), "9.02 Mbps (±0.40)".into()],
+            ],
+        }],
+        summary: vec![SummaryItem {
+            key: "tao_fraction_of_omniscient".into(),
+            value: 0.95,
+        }],
+        notes: vec!["tao throughput = 95.0% of omniscient".into()],
+        meta: RunMeta {
+            fidelity: "quick".into(),
+            seeds: vec![0, 1, 2],
+            git_describe: "schema-reference".into(),
+        },
+    }
+}
+
+#[test]
+fn reference_figure_roundtrips() {
+    let fig = reference_figure();
+    let back = FigureData::from_json(&fig.to_json()).expect("parse own output");
+    assert_eq!(fig, back);
+}
+
+/// Golden-file schema stability: the serialized form of the reference
+/// figure is committed; any serialization change (field rename, ordering,
+/// number formatting) fails here and requires a conscious
+/// `FIGURE_SCHEMA_VERSION` bump. Regenerate with `LEARNABILITY_BLESS=1`.
+#[test]
+fn figure_json_matches_golden_file() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("figure_schema.json");
+    let mut json = reference_figure().to_json();
+    json.push('\n');
+    if std::env::var("LEARNABILITY_BLESS").is_ok() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden_path.display()));
+    assert_eq!(
+        json, golden,
+        "FigureData JSON form changed — if intended, bump FIGURE_SCHEMA_VERSION \
+         and regenerate with LEARNABILITY_BLESS=1"
+    );
+}
+
+/// Scratch assets dir holding a pre-built (untrained) calibration protocol
+/// so the determinism test never pays for a Remy run.
+fn scratch_assets() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("learnability-figtest-{}", std::process::id()));
+    let proto = remy::TrainedProtocol {
+        name: "tao-calibration".into(),
+        tree: WhiskerTree::uniform(Action::new(1.0, 1.0, 1.0)),
+        score: 0.0,
+        description: "deterministic test fixture (not a trained protocol)".into(),
+    };
+    remy::serialize::save(&proto, &dir.join("tao-calibration.json")).expect("save fixture");
+    dir
+}
+
+fn cli_calibration_json(out_dir: &Path, threads: &str) -> String {
+    let json_dir = out_dir.join(format!("threads-{threads}"));
+    let code = lcc_core::cli::run(&[
+        "run",
+        "calibration",
+        "--fidelity",
+        "quick",
+        "--threads",
+        threads,
+        "--json",
+        json_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "learnability run calibration failed");
+    std::fs::read_to_string(json_dir.join("calibration.json")).expect("artifact written")
+}
+
+/// `learnability run calibration --fidelity quick` must produce identical
+/// JSON across two runs and across `--threads 1` vs `--threads N` — the
+/// sweep engine's index-ordered merge is the only thing between us and
+/// nondeterministic figures.
+#[test]
+fn calibration_quick_json_is_deterministic_across_runs_and_threads() {
+    let assets = scratch_assets();
+    // Point the asset loader at the fixture dir programmatically —
+    // std::env::set_var would race the other tests' getenv calls in this
+    // parallel test binary.
+    remy::serialize::set_assets_dir(Some(assets.clone()));
+
+    let serial = cli_calibration_json(&assets, "1");
+    let parallel = cli_calibration_json(&assets, "4");
+    let again = cli_calibration_json(&assets, "1");
+    assert_eq!(serial, again, "same flags, same JSON");
+    assert_eq!(serial, parallel, "thread count must not change results");
+
+    let fig = FigureData::from_json(&serial).expect("valid FigureData artifact");
+    assert_eq!(fig.id, "calibration");
+    assert_eq!(fig.schema_version, FIGURE_SCHEMA_VERSION);
+    assert_eq!(fig.meta.fidelity, "quick");
+    assert_eq!(fig.meta.seeds, vec![0, 1, 2]);
+    assert!(!fig.tables.is_empty(), "calibration renders a table");
+    assert!(
+        fig.summary_value("tao_fraction_of_omniscient").is_some(),
+        "headline stat present"
+    );
+
+    remy::serialize::set_assets_dir(None);
+    std::fs::remove_dir_all(&assets).ok();
+}

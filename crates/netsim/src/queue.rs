@@ -105,6 +105,21 @@ impl QueueSpec {
         }
     }
 
+    /// Buffer capacity of this queue in bytes; `None` means infinite (the
+    /// "no packet drops" buffer of Fig 3's right panel).
+    ///
+    /// This match is deliberately exhaustive — adding a `QueueSpec`
+    /// variant without deciding its capacity semantics is a compile error,
+    /// so capacity-dependent consumers (e.g. the sfqCoDel conversion in
+    /// `lcc-core`) can never silently mishandle a new discipline.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        match *self {
+            QueueSpec::DropTail { capacity_bytes } => capacity_bytes,
+            QueueSpec::SfqCodel { capacity_bytes, .. } => Some(capacity_bytes),
+            QueueSpec::Red { capacity_bytes, .. } => Some(capacity_bytes),
+        }
+    }
+
     pub fn build(&self, salt: u64) -> Box<dyn QueueDiscipline> {
         match *self {
             QueueSpec::DropTail { capacity_bytes } => Box::new(DropTail::new(capacity_bytes)),
@@ -286,6 +301,26 @@ mod tests {
         assert!(
             q.enqueue(qp(0, 4, 40), SimTime::ZERO),
             "small packet still fits"
+        );
+    }
+
+    #[test]
+    fn capacity_bytes_covers_every_variant() {
+        assert_eq!(QueueSpec::infinite().capacity_bytes(), None);
+        assert_eq!(
+            QueueSpec::DropTail {
+                capacity_bytes: Some(9000)
+            }
+            .capacity_bytes(),
+            Some(9000)
+        );
+        assert_eq!(
+            QueueSpec::sfq_codel_default(8e6, 0.1, 1.0).capacity_bytes(),
+            Some(100_000)
+        );
+        assert_eq!(
+            QueueSpec::red_default(8e6, 0.1, 1.0).capacity_bytes(),
+            Some(100_000)
         );
     }
 

@@ -110,7 +110,11 @@ impl Simulation {
         seed: u64,
         scheduler: SchedulerKind,
     ) -> Self {
-        config.validate().expect("invalid network config");
+        // Fail here with the validator's message rather than as an
+        // index-out-of-bounds somewhere deep in the event loop.
+        if let Err(msg) = config.validate() {
+            panic!("invalid network config: {msg}");
+        }
         assert_eq!(
             protocols.len(),
             config.flows.len(),
@@ -823,6 +827,20 @@ mod tests {
         sim.set_event_budget(10_000);
         let out = sim.run(SimDuration::from_secs(1_000));
         assert!(out.events_processed <= 10_001);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network config: flow 0 routes over unknown link 7")]
+    fn malformed_route_panics_with_validation_message() {
+        let mut net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        net.flows[0].route = vec![7];
+        let _ = Simulation::new(&net, vec![fixed(10.0)], 1);
     }
 
     #[test]

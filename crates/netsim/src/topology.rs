@@ -31,6 +31,19 @@ impl LinkSpec {
     pub fn one_way_delay(&self) -> SimDuration {
         SimDuration::from_secs_f64(self.delay_s / 2.0)
     }
+
+    /// Buffer capacity of this link's queue in bytes, substituting
+    /// `bdp_multiple` bandwidth-delay products (min 30 kB) when the queue
+    /// is infinite. The finite stand-in consumers need when converting to
+    /// a discipline that requires a real buffer (e.g. sfqCoDel, which
+    /// drops by sojourn time out of a shared finite pool).
+    pub fn queue_capacity_or_bdp(&self, bdp_multiple: f64) -> u64 {
+        self.queue.capacity_bytes().unwrap_or_else(|| {
+            (self.rate_bps / 8.0 * self.delay_s * bdp_multiple)
+                .ceil()
+                .max(30_000.0) as u64
+        })
+    }
 }
 
 /// A sender/receiver pair and its path.
@@ -261,6 +274,32 @@ mod tests {
         let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
         net.links[0].rate_bps = 0.0;
         assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn queue_capacity_or_bdp_substitutes_for_infinite() {
+        let finite = LinkSpec {
+            rate_bps: 8e6,
+            delay_s: 0.1,
+            queue: QueueSpec::DropTail {
+                capacity_bytes: Some(12345),
+            },
+        };
+        assert_eq!(finite.queue_capacity_or_bdp(5.0), 12345);
+        let infinite = LinkSpec {
+            rate_bps: 8e6,
+            delay_s: 0.1,
+            queue: QueueSpec::infinite(),
+        };
+        // 8 Mbps * 100 ms = 100 kB BDP; 5 BDP = 500 kB.
+        assert_eq!(infinite.queue_capacity_or_bdp(5.0), 500_000);
+        // tiny links hit the 30 kB floor
+        let tiny = LinkSpec {
+            rate_bps: 1e5,
+            delay_s: 0.01,
+            queue: QueueSpec::infinite(),
+        };
+        assert_eq!(tiny.queue_capacity_or_bdp(5.0), 30_000);
     }
 
     #[test]

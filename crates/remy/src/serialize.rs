@@ -35,9 +35,29 @@ pub fn load(path: &Path) -> io::Result<TrainedProtocol> {
     from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-/// The workspace `assets/` directory. Overridable with the
-/// `REMY_ASSETS_DIR` environment variable (useful for tests and CI).
+static ASSETS_DIR_OVERRIDE: std::sync::Mutex<Option<PathBuf>> = std::sync::Mutex::new(None);
+
+/// Programmatically override [`assets_dir`] for this process (`None`
+/// restores the default). Prefer this over mutating `REMY_ASSETS_DIR` in
+/// tests — concurrent `setenv`/`getenv` from parallel test threads is
+/// undefined behavior on glibc.
+pub fn set_assets_dir(dir: Option<PathBuf>) {
+    *ASSETS_DIR_OVERRIDE
+        .lock()
+        .expect("assets override poisoned") = dir;
+}
+
+/// The workspace `assets/` directory. Overridable programmatically with
+/// [`set_assets_dir`] or via the `REMY_ASSETS_DIR` environment variable
+/// (useful for CI).
 pub fn assets_dir() -> PathBuf {
+    if let Some(dir) = ASSETS_DIR_OVERRIDE
+        .lock()
+        .expect("assets override poisoned")
+        .clone()
+    {
+        return dir;
+    }
     if let Ok(dir) = std::env::var("REMY_ASSETS_DIR") {
         return PathBuf::from(dir);
     }
