@@ -13,6 +13,9 @@
 //! | `diversity` | [`diversity`] | Fig 9 / Table 7 — the price of sender diversity |
 //! | `signals` | [`signals`] | §3.4 — value of the congestion signals (knockout study) |
 //! | `universal` | [`universal`] | extension — the conclusion's "one protocol for everything" question |
+//! | `aqm` | [`aqm`] | extension — drop-tail-trained Tao across RED/CoDel/sfqCoDel gateways |
+//! | `asymmetry` | [`asymmetry`] | extension — asymmetric ACK paths (reverse rate 1× → 1/50×) |
+//! | `churn` | [`churn`] | extension — Poisson flow churn vs the static multiplexing baseline |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -23,7 +26,10 @@
 //! [`FigureData`] from which both the JSON artifacts and the printed
 //! tables are rendered.
 
+pub mod aqm;
+pub mod asymmetry;
 pub mod calibration;
+pub mod churn;
 pub mod diversity;
 pub mod link_speed;
 pub mod multiplexing;
@@ -165,9 +171,10 @@ pub trait Experiment: Sync {
     fn summarize(&self, fidelity: Fidelity, points: &[PointOutcome]) -> FigureData;
 }
 
-/// Every experiment of the study, in paper order.
+/// Every experiment of the study: the paper's nine in paper order, then
+/// the beyond-paper scenario axes (AQM, asymmetry, churn).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 9] = [
+    static REGISTRY: [&dyn Experiment; 12] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -177,6 +184,9 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &diversity::Diversity,
         &signals::Signals,
         &universal::Universal,
+        &aqm::Aqm,
+        &asymmetry::Asymmetry,
+        &churn::Churn,
     ];
     &REGISTRY
 }
@@ -500,7 +510,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_nine_experiments() {
+    fn registry_lists_all_twelve_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -513,7 +523,10 @@ mod tests {
                 "tcp_aware",
                 "diversity",
                 "signals",
-                "universal"
+                "universal",
+                "aqm",
+                "asymmetry",
+                "churn"
             ]
         );
         assert!(find("calibration").is_some());

@@ -79,6 +79,15 @@ pub fn on_probability(w: &WorkloadSpec) -> f64 {
             mean_on_s,
             mean_off_s,
         } => mean_on_s / (mean_on_s + mean_off_s),
+        // Blocked Poisson arrivals at λ with exp(d) service: the slot is a
+        // two-state renewal process with mean ON d and mean OFF 1/λ.
+        WorkloadSpec::Churn {
+            arrival_rate_hz,
+            mean_duration_s,
+        } => {
+            let load = arrival_rate_hz * mean_duration_s;
+            load / (1.0 + load)
+        }
         // For deterministic schedules the notion of a stationary ON
         // probability is ill-defined; callers handle pulses explicitly.
         WorkloadSpec::Schedule(_) => 1.0,

@@ -68,22 +68,85 @@ impl Scheme {
     }
 }
 
+/// A gateway queue discipline a sweep cell can select per network (the
+/// scenario-diversity AQM axis). Every variant maps onto a concrete
+/// [`QueueSpec`] of the same byte capacity via [`with_aqm`], so the same
+/// topology can be evaluated under each discipline with nothing else
+/// changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AqmKind {
+    /// FIFO drop-tail (the discipline every Tao is trained against).
+    DropTail,
+    /// Random Early Detection, gentle variant, thresholds scaled to the
+    /// buffer's packet capacity.
+    Red,
+    /// A single CoDel-managed FIFO (5 ms target / 100 ms interval).
+    Codel,
+    /// Stochastic fair queueing with per-bin CoDel (the paper's sfqCoDel).
+    SfqCodel,
+}
+
+impl AqmKind {
+    /// Every discipline, in table order.
+    pub const ALL: [AqmKind; 4] = [
+        AqmKind::DropTail,
+        AqmKind::Red,
+        AqmKind::Codel,
+        AqmKind::SfqCodel,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AqmKind::DropTail => "droptail",
+            AqmKind::Red => "red",
+            AqmKind::Codel => "codel",
+            AqmKind::SfqCodel => "sfqcodel",
+        }
+    }
+}
+
+/// Replace every queue in a network with the chosen AQM discipline at the
+/// same byte capacity. Infinite buffers get a finite 5-BDP stand-in (every
+/// AQM here needs a real buffer to manage; drop-tail keeps `None`).
+pub fn with_aqm(net: &NetworkConfig, kind: AqmKind) -> NetworkConfig {
+    let mut out = net.clone();
+    for link in &mut out.links {
+        let cap = link.queue_capacity_or_bdp(5.0);
+        link.queue = match kind {
+            AqmKind::DropTail => QueueSpec::DropTail {
+                capacity_bytes: link.queue.capacity_bytes(),
+            },
+            AqmKind::Red => {
+                let params = netsim::red::RedParams::for_capacity((cap / 1500) as usize);
+                QueueSpec::Red {
+                    capacity_bytes: cap,
+                    min_th: params.min_th,
+                    max_th: params.max_th,
+                    max_p: params.max_p,
+                }
+            }
+            AqmKind::Codel => QueueSpec::Codel {
+                capacity_bytes: cap,
+                target_ms: 5.0,
+                interval_ms: 100.0,
+            },
+            AqmKind::SfqCodel => QueueSpec::SfqCodel {
+                capacity_bytes: cap,
+                target_ms: 5.0,
+                interval_ms: 100.0,
+                bins: 1024,
+            },
+        };
+    }
+    out
+}
+
 /// Replace every finite drop-tail queue in a network with sfqCoDel of the
 /// same byte capacity (the "Cubic-over-sfqCoDel" configuration: sfqCoDel
 /// runs at the bottleneck gateways). Infinite buffers get a finite 5-BDP
 /// stand-in — sfqCoDel needs a shared finite pool.
 pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
-    let mut out = net.clone();
-    for link in &mut out.links {
-        let cap = link.queue_capacity_or_bdp(5.0);
-        link.queue = QueueSpec::SfqCodel {
-            capacity_bytes: cap,
-            target_ms: 5.0,
-            interval_ms: 100.0,
-            bins: 1024,
-        };
-    }
-    out
+    with_aqm(net, AqmKind::SfqCodel)
 }
 
 /// Event cap for every test-side simulation (protects sweeps against
@@ -510,6 +573,46 @@ mod tests {
             sfq.links[0].queue.capacity_bytes(),
             fifo.links[0].queue.capacity_bytes()
         );
+    }
+
+    #[test]
+    fn with_aqm_converts_every_discipline_at_same_capacity() {
+        let fifo = net();
+        let cap = fifo.links[0].queue.capacity_bytes();
+        for kind in AqmKind::ALL {
+            let converted = with_aqm(&fifo, kind);
+            converted.validate().unwrap();
+            assert_eq!(
+                converted.links[0].queue.capacity_bytes(),
+                cap,
+                "{} keeps the buffer size",
+                kind.name()
+            );
+        }
+        // AQMs give infinite buffers a finite stand-in; drop-tail keeps None
+        let inf = dumbbell(1, 8e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        assert_eq!(
+            with_aqm(&inf, AqmKind::DropTail).links[0]
+                .queue
+                .capacity_bytes(),
+            None
+        );
+        for kind in [AqmKind::Red, AqmKind::Codel, AqmKind::SfqCodel] {
+            assert!(with_aqm(&inf, kind).links[0]
+                .queue
+                .capacity_bytes()
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn aqm_disciplines_all_sustain_cubic() {
+        // Smoke: every discipline carries traffic on the standard dumbbell.
+        for kind in AqmKind::ALL {
+            let out = run_homogeneous(&with_aqm(&net(), kind), &Scheme::Cubic, 3, 20.0);
+            let total: f64 = out.flows.iter().map(|f| f.throughput_bps).sum();
+            assert!(total > 5e6, "{}: total {total}", kind.name());
+        }
     }
 
     #[test]

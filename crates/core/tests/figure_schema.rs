@@ -98,25 +98,28 @@ fn figure_json_matches_golden_file() {
     );
 }
 
-/// Scratch assets dir holding a pre-built (untrained) calibration protocol
-/// so the determinism test never pays for a Remy run.
+/// Scratch assets dir holding pre-built (untrained) protocol fixtures for
+/// every experiment the determinism test drives, so it never pays for a
+/// Remy run.
 fn scratch_assets() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("learnability-figtest-{}", std::process::id()));
-    let proto = remy::TrainedProtocol {
-        name: "tao-calibration".into(),
-        tree: WhiskerTree::uniform(Action::new(1.0, 1.0, 1.0)),
-        score: 0.0,
-        description: "deterministic test fixture (not a trained protocol)".into(),
-    };
-    remy::serialize::save(&proto, &dir.join("tao-calibration.json")).expect("save fixture");
+    for name in ["tao-calibration", "tao-mux-10"] {
+        let proto = remy::TrainedProtocol {
+            name: name.into(),
+            tree: WhiskerTree::uniform(Action::new(1.0, 1.0, 1.0)),
+            score: 0.0,
+            description: "deterministic test fixture (not a trained protocol)".into(),
+        };
+        remy::serialize::save(&proto, &dir.join(format!("{name}.json"))).expect("save fixture");
+    }
     dir
 }
 
-fn cli_calibration_json(out_dir: &Path, threads: &str) -> String {
-    let json_dir = out_dir.join(format!("threads-{threads}"));
+fn cli_run_json(id: &str, out_dir: &Path, threads: &str) -> String {
+    let json_dir = out_dir.join(format!("{id}-threads-{threads}"));
     let code = lcc_core::cli::run(&[
         "run",
-        "calibration",
+        id,
         "--fidelity",
         "quick",
         "--threads",
@@ -124,37 +127,67 @@ fn cli_calibration_json(out_dir: &Path, threads: &str) -> String {
         "--json",
         json_dir.to_str().unwrap(),
     ]);
-    assert_eq!(code, 0, "learnability run calibration failed");
-    std::fs::read_to_string(json_dir.join("calibration.json")).expect("artifact written")
+    assert_eq!(code, 0, "learnability run {id} failed");
+    std::fs::read_to_string(json_dir.join(format!("{id}.json"))).expect("artifact written")
 }
 
-/// `learnability run calibration --fidelity quick` must produce identical
-/// JSON across two runs and across `--threads 1` vs `--threads N` — the
-/// sweep engine's index-ordered merge is the only thing between us and
-/// nondeterministic figures.
+/// `learnability run <id> --fidelity quick` must produce identical JSON
+/// across two runs and across `--threads 1` vs `--threads N` — the sweep
+/// engine's index-ordered merge is the only thing between us and
+/// nondeterministic figures. Covers the original calibration experiment
+/// and the scenario-diversity extensions (AQM gateways, asymmetric ACK
+/// paths, flow churn — whose RED randomness and churn draws must also be
+/// pure functions of the seed).
 #[test]
-fn calibration_quick_json_is_deterministic_across_runs_and_threads() {
+fn quick_json_is_deterministic_across_runs_and_threads() {
     let assets = scratch_assets();
     // Point the asset loader at the fixture dir programmatically —
     // std::env::set_var would race the other tests' getenv calls in this
     // parallel test binary.
     remy::serialize::set_assets_dir(Some(assets.clone()));
 
-    let serial = cli_calibration_json(&assets, "1");
-    let parallel = cli_calibration_json(&assets, "4");
-    let again = cli_calibration_json(&assets, "1");
-    assert_eq!(serial, again, "same flags, same JSON");
-    assert_eq!(serial, parallel, "thread count must not change results");
+    let mut figs = std::collections::HashMap::new();
+    for id in ["calibration", "aqm", "asymmetry", "churn"] {
+        let serial = cli_run_json(id, &assets, "1");
+        let parallel = cli_run_json(id, &assets, "4");
+        let again = cli_run_json(id, &assets, "1");
+        assert_eq!(serial, again, "{id}: same flags, same JSON");
+        assert_eq!(
+            serial, parallel,
+            "{id}: thread count must not change results"
+        );
 
-    let fig = FigureData::from_json(&serial).expect("valid FigureData artifact");
-    assert_eq!(fig.id, "calibration");
-    assert_eq!(fig.schema_version, FIGURE_SCHEMA_VERSION);
-    assert_eq!(fig.meta.fidelity, "quick");
-    assert_eq!(fig.meta.seeds, vec![0, 1, 2]);
-    assert!(!fig.tables.is_empty(), "calibration renders a table");
+        let fig = FigureData::from_json(&serial).expect("valid FigureData artifact");
+        assert_eq!(fig.id, id);
+        assert_eq!(fig.schema_version, FIGURE_SCHEMA_VERSION);
+        assert_eq!(fig.meta.fidelity, "quick");
+        assert_eq!(fig.meta.seeds, vec![0, 1, 2]);
+        assert!(
+            !fig.tables.is_empty() || !fig.charts.is_empty(),
+            "{id} renders data"
+        );
+        figs.insert(id, fig);
+    }
+
+    // Spot-check experiment-specific headline stats on the figures the
+    // determinism loop already produced.
     assert!(
-        fig.summary_value("tao_fraction_of_omniscient").is_some(),
+        figs["calibration"]
+            .summary_value("tao_fraction_of_omniscient")
+            .is_some(),
         "headline stat present"
+    );
+    assert!(
+        figs["aqm"]
+            .summary_value("tao_droptail_minus_worst_aqm")
+            .is_some(),
+        "AQM generality gap present"
+    );
+    assert!(
+        figs["churn"]
+            .summary_value("tao_churn1hz_minus_static")
+            .is_some(),
+        "churn consistency anchor present"
     );
 
     remy::serialize::set_assets_dir(None);

@@ -174,10 +174,67 @@ impl Codel {
     }
 }
 
+/// A single CoDel-managed FIFO with a hard byte-capacity backstop,
+/// usable as a link discipline ([`QueueSpec::Codel`](crate::queue::QueueSpec)).
+/// This is the "plain CoDel gateway" of the AQM ablation: one shared
+/// sojourn-controlled queue, no per-flow isolation (contrast with
+/// [`crate::sfq_codel::SfqCodel`]).
+#[derive(Debug)]
+pub struct CodelQueue {
+    inner: Codel,
+    capacity_bytes: u64,
+    tail_drops: u64,
+}
+
+impl CodelQueue {
+    pub fn new(capacity_bytes: u64, params: CodelParams) -> Self {
+        assert!(capacity_bytes > 0, "CoDel needs a finite buffer");
+        CodelQueue {
+            inner: Codel::new(params),
+            capacity_bytes,
+            tail_drops: 0,
+        }
+    }
+}
+
+impl crate::queue::QueueDiscipline for CodelQueue {
+    fn enqueue(&mut self, qp: QueuedPacket, _now: SimTime) -> bool {
+        if self.inner.len_bytes() + qp.pkt.size as u64 > self.capacity_bytes {
+            self.tail_drops += 1;
+            return false;
+        }
+        self.inner.push(qp);
+        true
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
+        self.inner.dequeue(now)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn stats(&self) -> QueueStats {
+        let mut s = self.inner.stats();
+        s.dropped += self.tail_drops;
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        "codel"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::{FlowId, Packet};
+    use crate::queue::QueueDiscipline;
 
     fn qp(seq: u64, at: SimTime) -> QueuedPacket {
         QueuedPacket {
@@ -273,6 +330,21 @@ mod tests {
             c.dequeue(now + SimDuration::from_millis(1));
         }
         assert_eq!(c.stats().dropped, dropped_at_empty);
+    }
+
+    #[test]
+    fn codel_queue_tail_drops_at_capacity() {
+        let mut q = CodelQueue::new(4500, CodelParams::default());
+        assert!(q.enqueue(qp(0, t(0)), t(0)));
+        assert!(q.enqueue(qp(1, t(0)), t(0)));
+        assert!(q.enqueue(qp(2, t(0)), t(0)));
+        assert!(!q.enqueue(qp(3, t(0)), t(0)), "over capacity");
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.len_bytes(), 4500);
+        assert_eq!(q.name(), "codel");
+        // draining frees capacity again
+        assert!(q.dequeue(t(1)).is_some());
+        assert!(q.enqueue(qp(4, t(1)), t(1)));
     }
 
     #[test]

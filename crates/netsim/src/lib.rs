@@ -98,7 +98,9 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::sim::{RunOutcome, Simulation};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{dumbbell, dumbbell_mixed, parking_lot, NetworkConfig};
+    pub use crate::topology::{
+        dumbbell, dumbbell_mixed, parking_lot, LinkSpec, NetworkConfig, ReverseSpec,
+    };
     pub use crate::transport::{AckInfo, CongestionControl};
     pub use crate::workload::WorkloadSpec;
 }

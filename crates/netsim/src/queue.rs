@@ -76,6 +76,13 @@ pub enum QueueSpec {
         max_th: f64,
         max_p: f64,
     },
+    /// A single CoDel-managed FIFO with a byte-capacity backstop (the
+    /// plain-CoDel gateway of the AQM ablation; no per-flow isolation).
+    Codel {
+        capacity_bytes: u64,
+        target_ms: f64,
+        interval_ms: f64,
+    },
 }
 
 impl QueueSpec {
@@ -117,6 +124,7 @@ impl QueueSpec {
             QueueSpec::DropTail { capacity_bytes } => capacity_bytes,
             QueueSpec::SfqCodel { capacity_bytes, .. } => Some(capacity_bytes),
             QueueSpec::Red { capacity_bytes, .. } => Some(capacity_bytes),
+            QueueSpec::Codel { capacity_bytes, .. } => Some(capacity_bytes),
         }
     }
 
@@ -152,6 +160,28 @@ impl QueueSpec {
                 },
                 salt,
             )),
+            QueueSpec::Codel {
+                capacity_bytes,
+                target_ms,
+                interval_ms,
+            } => Box::new(crate::codel::CodelQueue::new(
+                capacity_bytes,
+                crate::codel::CodelParams {
+                    target: crate::time::SimDuration::from_millis_f64(target_ms),
+                    interval: crate::time::SimDuration::from_millis_f64(interval_ms),
+                },
+            )),
+        }
+    }
+
+    /// Plain CoDel with the reference parameters (5 ms target, 100 ms
+    /// interval) over a `bdp_multiple`-BDP buffer.
+    pub fn codel_default(rate_bps: f64, min_rtt_s: f64, bdp_multiple: f64) -> QueueSpec {
+        let bdp_bytes = rate_bps / 8.0 * min_rtt_s;
+        QueueSpec::Codel {
+            capacity_bytes: (bdp_bytes * bdp_multiple).ceil().max(3000.0) as u64,
+            target_ms: 5.0,
+            interval_ms: 100.0,
         }
     }
 
@@ -320,6 +350,10 @@ mod tests {
         );
         assert_eq!(
             QueueSpec::red_default(8e6, 0.1, 1.0).capacity_bytes(),
+            Some(100_000)
+        );
+        assert_eq!(
+            QueueSpec::codel_default(8e6, 0.1, 1.0).capacity_bytes(),
             Some(100_000)
         );
     }

@@ -24,6 +24,12 @@ struct SenderSlot {
     workload: crate::workload::Workload,
     route: Vec<usize>,
     ack_delay: SimDuration,
+    /// Reverse-path bottleneck rate (explicit asymmetric ACK path), or
+    /// `None` for the paper's uncongested reverse model.
+    reverse_rate_bps: Option<f64>,
+    /// When the asymmetric reverse channel finishes serializing the last
+    /// ACK it accepted (ACKs serialize one at a time at the reverse rate).
+    reverse_busy_until: SimTime,
     on: bool,
     on_tracker: OnTimeTracker,
     /// Time of the last transmission, for pacing.
@@ -139,6 +145,8 @@ impl Simulation {
                 workload: crate::workload::Workload::new(config.flows[i].workload.clone()),
                 route: config.flows[i].route.clone(),
                 ack_delay: config.ack_delay(i),
+                reverse_rate_bps: config.reverse_rate(i),
+                reverse_busy_until: SimTime::ZERO,
                 on: false,
                 on_tracker: OnTimeTracker::default(),
                 last_send: None,
@@ -373,10 +381,25 @@ impl Simulation {
             recv_at: self.now,
             was_retx: pkt.is_retx,
         };
-        let ack_delay =
-            self.senders[flow].ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9); // negligible serialization
+        let s = &mut self.senders[flow];
+        let arrive_at = match s.reverse_rate_bps {
+            // Paper model: uncongested reverse path, negligible (1 Gbps)
+            // ACK serialization.
+            None => {
+                self.now + s.ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9)
+            }
+            // Asymmetric reverse channel: ACKs serialize one at a time at
+            // the reverse bottleneck rate, so a slow uplink stretches and
+            // clumps the ACK clock the sender paces against.
+            Some(rate) => {
+                let start = self.now.max(s.reverse_busy_until);
+                let done = start + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / rate);
+                s.reverse_busy_until = done;
+                done + s.ack_delay
+            }
+        };
         self.events.schedule(
-            self.now + ack_delay,
+            arrive_at,
             Event::AckArrive {
                 flow: pkt.flow,
                 ack,
@@ -841,6 +864,81 @@ mod tests {
         );
         net.flows[0].route = vec![7];
         let _ = Simulation::new(&net, vec![fixed(10.0)], 1);
+    }
+
+    #[test]
+    fn slow_reverse_path_throttles_ack_clock() {
+        // 10 Mbps forward ≈ 833 pkt/s; a 100 kbps reverse path carries at
+        // most 312 ACKs/s, so with window-clocked sending the forward
+        // throughput must collapse to roughly the ACK rate.
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let mut asym = net.clone();
+        asym.links[0].reverse = Some(crate::topology::ReverseSpec {
+            rate_bps: 100e3,
+            delay_s: 0.050,
+        });
+        let run = |n: &crate::topology::NetworkConfig| {
+            let mut sim = Simulation::new(n, vec![fixed(60.0)], 9);
+            sim.run(SimDuration::from_secs(20)).flows[0].throughput_bps
+        };
+        let (sym_tpt, asym_tpt) = (run(&net), run(&asym));
+        assert!(sym_tpt > 6e6, "symmetric baseline healthy: {sym_tpt}");
+        let ack_rate_limit = 100e3 / (ACK_BYTES as f64 * 8.0) * 1500.0 * 8.0;
+        assert!(
+            asym_tpt < ack_rate_limit * 1.05,
+            "ACK-clocked throughput {asym_tpt} must respect the reverse \
+             bottleneck (~{ack_rate_limit})"
+        );
+        assert!(asym_tpt > 0.0, "flow still progresses");
+    }
+
+    #[test]
+    fn mild_asymmetry_leaves_throughput_intact() {
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let asym = net.with_reverse_slowdown(1.0);
+        let run = |n: &crate::topology::NetworkConfig| {
+            let mut sim = Simulation::new(n, vec![fixed(200.0)], 4);
+            sim.run(SimDuration::from_secs(20)).flows[0].throughput_bps
+        };
+        let (sym_tpt, asym_tpt) = (run(&net), run(&asym));
+        assert!(
+            (sym_tpt - asym_tpt).abs() / sym_tpt < 0.05,
+            "symmetric explicit reverse ~= implicit: {sym_tpt} vs {asym_tpt}"
+        );
+    }
+
+    #[test]
+    fn churn_workload_runs_and_idles() {
+        let net = dumbbell(
+            2,
+            10e6,
+            0.050,
+            QueueSpec::infinite(),
+            WorkloadSpec::churn(0.5, 1.0),
+        );
+        let mut sim = Simulation::new(&net, vec![fixed(40.0), fixed(40.0)], 13);
+        let out = sim.run(SimDuration::from_secs(60));
+        // duty cycle λd/(1+λd) = 1/3: on_time well inside (0, 60)
+        for f in &out.flows {
+            assert!(
+                f.on_time_s > 5.0 && f.on_time_s < 40.0,
+                "on={}",
+                f.on_time_s
+            );
+            assert!(f.bytes_delivered > 0);
+        }
     }
 
     #[test]

@@ -10,11 +10,28 @@
 //! ACK propagation `delay_s / 2`). So "one link, 150 ms delay" yields the
 //! paper's 150 ms minimum RTT, and the parking lot's "two links, 75 ms
 //! each" gives Flow 1 a 150 ms RTT.
+//!
+//! A link may additionally carry an explicit [`ReverseSpec`] describing an
+//! *asymmetric* ACK path: its own propagation delay and a finite reverse
+//! rate at which acknowledgments serialize one at a time (the classic
+//! ADSL/cable/satellite "slow uplink" regime the paper never tested).
+//! Without one, the reverse path stays the paper's model — uncongested
+//! pure delay of `delay_s / 2`.
 
 use crate::queue::QueueSpec;
 use crate::time::SimDuration;
 use crate::workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
+
+/// Explicit reverse-direction (ACK-path) characteristics of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReverseSpec {
+    /// Reverse line rate in bits per second; acknowledgments serialize one
+    /// at a time at this rate (the asymmetry bottleneck).
+    pub rate_bps: f64,
+    /// One-way reverse propagation delay in seconds.
+    pub delay_s: f64,
+}
 
 /// A unidirectional link description.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -25,11 +42,35 @@ pub struct LinkSpec {
     /// (one-way delay is half this value; see module docs).
     pub delay_s: f64,
     pub queue: QueueSpec,
+    /// Explicit asymmetric ACK path; `None` keeps the paper's symmetric
+    /// uncongested reverse model. `#[serde(default)]` so configs from
+    /// before this field existed still parse.
+    #[serde(default)]
+    pub reverse: Option<ReverseSpec>,
 }
 
 impl LinkSpec {
+    /// Symmetric link (no explicit reverse path).
+    pub fn symmetric(rate_bps: f64, delay_s: f64, queue: QueueSpec) -> Self {
+        LinkSpec {
+            rate_bps,
+            delay_s,
+            queue,
+            reverse: None,
+        }
+    }
+
     pub fn one_way_delay(&self) -> SimDuration {
         SimDuration::from_secs_f64(self.delay_s / 2.0)
+    }
+
+    /// Reverse (ACK-path) propagation delay of this link: the explicit
+    /// [`ReverseSpec`] delay when present, else the symmetric `delay_s / 2`.
+    pub fn reverse_delay(&self) -> SimDuration {
+        match &self.reverse {
+            Some(r) => SimDuration::from_secs_f64(r.delay_s),
+            None => self.one_way_delay(),
+        }
     }
 
     /// Buffer capacity of this link's queue in bytes, substituting
@@ -67,24 +108,63 @@ impl NetworkConfig {
     /// Minimum round-trip time of a flow: forward propagation plus reverse
     /// ACK-path propagation (no queueing, no serialization).
     pub fn min_rtt(&self, flow: usize) -> SimDuration {
-        let s: f64 = self.flows[flow]
-            .route
-            .iter()
-            .map(|&l| self.links[l].delay_s)
-            .sum();
-        SimDuration::from_secs_f64(s)
+        self.min_one_way(flow) + self.ack_delay(flow)
     }
 
     /// Minimum one-way (data-path) delay of a flow.
     pub fn min_one_way(&self, flow: usize) -> SimDuration {
-        self.min_rtt(flow).div_u64(2)
+        self.flows[flow]
+            .route
+            .iter()
+            .map(|&l| self.links[l].one_way_delay())
+            .fold(SimDuration::ZERO, |a, b| a + b)
     }
 
-    /// Reverse-path (ACK) propagation delay of a flow. The reverse path is
-    /// modeled as uncongested pure delay: the paper's topologies place all
-    /// contention on the forward direction.
+    /// Reverse-path (ACK) propagation delay of a flow. Links without an
+    /// explicit [`ReverseSpec`] keep the paper's model — uncongested pure
+    /// delay mirroring the forward direction; links with one contribute
+    /// their own reverse delay.
     pub fn ack_delay(&self, flow: usize) -> SimDuration {
-        self.min_rtt(flow).div_u64(2)
+        self.flows[flow]
+            .route
+            .iter()
+            .map(|&l| self.links[l].reverse_delay())
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Copy of this network with an explicit asymmetric ACK path on every
+    /// link: the reverse rate is the forward rate divided by `slowdown`
+    /// (so `slowdown = 50.0` models a 1/50× uplink) and the reverse
+    /// propagation delay mirrors the forward direction, leaving the
+    /// minimum RTT unchanged. `slowdown = 1.0` is the symmetric anchor of
+    /// an asymmetry sweep — same propagation, but ACKs now serialize at
+    /// the (finite) forward rate.
+    pub fn with_reverse_slowdown(&self, slowdown: f64) -> NetworkConfig {
+        assert!(
+            slowdown.is_finite() && slowdown > 0.0,
+            "reverse slowdown must be positive"
+        );
+        let mut out = self.clone();
+        for link in &mut out.links {
+            link.reverse = Some(ReverseSpec {
+                rate_bps: link.rate_bps / slowdown,
+                delay_s: link.delay_s / 2.0,
+            });
+        }
+        out
+    }
+
+    /// Reverse-path bottleneck rate of a flow: the slowest explicit
+    /// reverse rate along the route, or `None` when no link on the route
+    /// declares one (the reverse path is then effectively unconstrained).
+    pub fn reverse_rate(&self, flow: usize) -> Option<f64> {
+        self.flows[flow]
+            .route
+            .iter()
+            .filter_map(|&l| self.links[l].reverse.as_ref().map(|r| r.rate_bps))
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.min(r)))
+            })
     }
 
     /// The rate of the slowest link on the flow's path (its bottleneck).
@@ -117,8 +197,99 @@ impl NetworkConfig {
             if l.delay_s < 0.0 {
                 return Err(format!("link {i} has negative delay"));
             }
+            if let Some(r) = &l.reverse {
+                if !r.rate_bps.is_finite() || r.rate_bps <= 0.0 {
+                    return Err(format!(
+                        "link {i} reverse path has non-positive rate {} \
+                         (drop the reverse spec for an unconstrained ACK path)",
+                        r.rate_bps
+                    ));
+                }
+                if !r.delay_s.is_finite() || r.delay_s < 0.0 {
+                    return Err(format!(
+                        "link {i} reverse path has invalid delay {} s",
+                        r.delay_s
+                    ));
+                }
+            }
+            validate_queue(i, &l.queue)?;
         }
         Ok(())
+    }
+}
+
+/// AQM parameter validation shared by [`NetworkConfig::validate`]: every
+/// discipline's knobs are checked with actionable messages before a
+/// simulation is built (a `min_th >= max_th` RED would otherwise panic
+/// deep inside `QueueSpec::build`, a zero-capacity buffer would deadlock
+/// the link).
+fn validate_queue(link: usize, q: &QueueSpec) -> Result<(), String> {
+    let finite_capacity = |cap: u64, name: &str| {
+        if cap == 0 {
+            Err(format!(
+                "link {link} {name} queue has zero capacity (no packet ever fits)"
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    match *q {
+        QueueSpec::DropTail { capacity_bytes } => match capacity_bytes {
+            Some(cap) => finite_capacity(cap, "drop-tail"),
+            None => Ok(()),
+        },
+        QueueSpec::SfqCodel {
+            capacity_bytes,
+            target_ms,
+            interval_ms,
+            bins,
+        } => {
+            finite_capacity(capacity_bytes, "sfqCoDel")?;
+            if target_ms.is_nan() || target_ms <= 0.0 || interval_ms.is_nan() || interval_ms <= 0.0
+            {
+                return Err(format!(
+                    "link {link} sfqCoDel needs positive target/interval \
+                     (got target {target_ms} ms, interval {interval_ms} ms)"
+                ));
+            }
+            if bins == 0 {
+                return Err(format!("link {link} sfqCoDel needs at least one bin"));
+            }
+            Ok(())
+        }
+        QueueSpec::Red {
+            capacity_bytes,
+            min_th,
+            max_th,
+            max_p,
+        } => {
+            finite_capacity(capacity_bytes, "RED")?;
+            if min_th.is_nan() || max_th.is_nan() || min_th < 0.0 || max_th <= min_th {
+                return Err(format!(
+                    "link {link} RED thresholds invalid: need 0 <= min_th < max_th \
+                     (got min_th {min_th}, max_th {max_th})"
+                ));
+            }
+            if max_p.is_nan() || max_p <= 0.0 || max_p > 1.0 {
+                return Err(format!("link {link} RED max_p {max_p} outside (0, 1]"));
+            }
+            Ok(())
+        }
+        QueueSpec::Codel {
+            capacity_bytes,
+            target_ms,
+            interval_ms,
+        } => {
+            finite_capacity(capacity_bytes, "CoDel")?;
+            if target_ms.is_nan() || target_ms <= 0.0 || interval_ms.is_nan() || interval_ms <= 0.0
+            {
+                return Err(format!(
+                    "link {link} CoDel needs positive target/interval \
+                     (got target {target_ms} ms, interval {interval_ms} ms)"
+                ));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -140,6 +311,7 @@ pub fn dumbbell(
             rate_bps,
             delay_s: min_rtt_s,
             queue,
+            reverse: None,
         }],
         flows: (0..n_senders)
             .map(|_| FlowSpec {
@@ -163,6 +335,7 @@ pub fn dumbbell_mixed(
             rate_bps,
             delay_s: min_rtt_s,
             queue,
+            reverse: None,
         }],
         flows: workloads
             .into_iter()
@@ -193,11 +366,13 @@ pub fn parking_lot(
                 rate_bps: rate1_bps,
                 delay_s: per_link_delay_s,
                 queue: queue1,
+                reverse: None,
             },
             LinkSpec {
                 rate_bps: rate2_bps,
                 delay_s: per_link_delay_s,
                 queue: queue2,
+                reverse: None,
             },
         ],
         flows: vec![
@@ -284,12 +459,14 @@ mod tests {
             queue: QueueSpec::DropTail {
                 capacity_bytes: Some(12345),
             },
+            reverse: None,
         };
         assert_eq!(finite.queue_capacity_or_bdp(5.0), 12345);
         let infinite = LinkSpec {
             rate_bps: 8e6,
             delay_s: 0.1,
             queue: QueueSpec::infinite(),
+            reverse: None,
         };
         // 8 Mbps * 100 ms = 100 kB BDP; 5 BDP = 500 kB.
         assert_eq!(infinite.queue_capacity_or_bdp(5.0), 500_000);
@@ -298,8 +475,144 @@ mod tests {
             rate_bps: 1e5,
             delay_s: 0.01,
             queue: QueueSpec::infinite(),
+            reverse: None,
         };
         assert_eq!(tiny.queue_capacity_or_bdp(5.0), 30_000);
+    }
+
+    #[test]
+    fn asymmetric_reverse_path_changes_ack_delay_not_one_way() {
+        let sym = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        assert_eq!(sym.reverse_rate(0), None);
+        let mut asym = sym.clone();
+        asym.links[0].reverse = Some(ReverseSpec {
+            rate_bps: 0.2e6,
+            delay_s: 0.080,
+        });
+        asym.validate().unwrap();
+        assert_eq!(asym.min_one_way(0), SimDuration::from_millis(50));
+        assert_eq!(asym.ack_delay(0), SimDuration::from_millis(80));
+        assert_eq!(asym.min_rtt(0), SimDuration::from_millis(130));
+        assert_eq!(asym.reverse_rate(0), Some(0.2e6));
+    }
+
+    #[test]
+    fn reverse_slowdown_builder_preserves_rtt() {
+        let net = dumbbell(
+            2,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        )
+        .with_reverse_slowdown(50.0);
+        net.validate().unwrap();
+        assert_eq!(net.min_rtt(0), SimDuration::from_millis(100));
+        assert_eq!(net.reverse_rate(0), Some(0.2e6));
+        // a multi-hop flow sees the slowest reverse hop
+        let pl = parking_lot(
+            10e6,
+            100e6,
+            0.075,
+            QueueSpec::infinite(),
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        )
+        .with_reverse_slowdown(10.0);
+        assert_eq!(pl.reverse_rate(0), Some(1e6));
+        assert_eq!(pl.min_rtt(0), SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn validation_rejects_bad_reverse_specs() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.links[0].reverse = Some(ReverseSpec {
+            rate_bps: 0.0,
+            delay_s: 0.05,
+        });
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("reverse path has non-positive rate"),
+            "actionable message, got: {msg}"
+        );
+        net.links[0].reverse = Some(ReverseSpec {
+            rate_bps: 1e6,
+            delay_s: f64::NAN,
+        });
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("invalid delay"), "got: {msg}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_aqm_specs() {
+        let base = |q: QueueSpec| dumbbell(1, 1e6, 0.1, q, WorkloadSpec::AlwaysOn);
+        let msg = base(QueueSpec::Red {
+            capacity_bytes: 60_000,
+            min_th: 20.0,
+            max_th: 10.0,
+            max_p: 0.1,
+        })
+        .validate()
+        .unwrap_err();
+        assert!(msg.contains("min_th < max_th"), "got: {msg}");
+        let msg = base(QueueSpec::Red {
+            capacity_bytes: 60_000,
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 1.5,
+        })
+        .validate()
+        .unwrap_err();
+        assert!(msg.contains("max_p"), "got: {msg}");
+        let msg = base(QueueSpec::Codel {
+            capacity_bytes: 60_000,
+            target_ms: 0.0,
+            interval_ms: 100.0,
+        })
+        .validate()
+        .unwrap_err();
+        assert!(msg.contains("positive target/interval"), "got: {msg}");
+        let msg = base(QueueSpec::SfqCodel {
+            capacity_bytes: 60_000,
+            target_ms: 5.0,
+            interval_ms: 100.0,
+            bins: 0,
+        })
+        .validate()
+        .unwrap_err();
+        assert!(msg.contains("at least one bin"), "got: {msg}");
+        let msg = base(QueueSpec::DropTail {
+            capacity_bytes: Some(0),
+        })
+        .validate()
+        .unwrap_err();
+        assert!(msg.contains("zero capacity"), "got: {msg}");
+        // valid AQM specs still pass
+        base(QueueSpec::red_default(1e6, 0.1, 5.0))
+            .validate()
+            .unwrap();
+        base(QueueSpec::codel_default(1e6, 0.1, 5.0))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn pre_reverse_configs_still_parse() {
+        // JSON from before the `reverse` field existed (no such key).
+        let json = r#"{
+            "links": [{"rate_bps": 1e7, "delay_s": 0.1,
+                       "queue": {"DropTail": {"capacity_bytes": null}}}],
+            "flows": [{"route": [0], "workload": "AlwaysOn"}]
+        }"#;
+        let net: NetworkConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(net.links[0].reverse, None);
+        net.validate().unwrap();
     }
 
     #[test]

@@ -21,6 +21,19 @@ pub enum WorkloadSpec {
     /// Deterministic state switchpoints: `(time_s, on)` pairs, sorted by
     /// time. State before the first switchpoint is OFF.
     Schedule(Vec<(f64, bool)>),
+    /// Flow churn: this sender slot hosts a Poisson process of short-lived
+    /// flows. Flows arrive at `arrival_rate_hz` (arrivals while a flow is
+    /// in progress are blocked) and each transfers for an exponentially
+    /// distributed duration with mean `mean_duration_s`. By memorylessness
+    /// of the exponential, the slot behaves as an ON/OFF process with mean
+    /// ON `mean_duration_s` and mean OFF `1 / arrival_rate_hz` — the spec
+    /// is kept distinct so churn sweeps express the *arrival rate* as data
+    /// and summaries can reason about offered duty cycle
+    /// (`λ·d / (1 + λ·d)`).
+    Churn {
+        arrival_rate_hz: f64,
+        mean_duration_s: f64,
+    },
 }
 
 impl WorkloadSpec {
@@ -45,6 +58,35 @@ impl WorkloadSpec {
     pub fn pulse(on_s: f64, off_s: f64) -> Self {
         WorkloadSpec::Schedule(vec![(on_s, true), (off_s, false)])
     }
+
+    /// Flow churn with the given Poisson arrival rate and mean flow
+    /// duration (see [`WorkloadSpec::Churn`]).
+    pub fn churn(arrival_rate_hz: f64, mean_duration_s: f64) -> Self {
+        assert!(
+            arrival_rate_hz > 0.0 && mean_duration_s > 0.0,
+            "churn needs positive arrival rate and duration"
+        );
+        WorkloadSpec::Churn {
+            arrival_rate_hz,
+            mean_duration_s,
+        }
+    }
+
+    /// Mean dwell times of this spec as `(mean_on_s, mean_off_s)`, when the
+    /// spec is a stochastic alternating process.
+    fn dwell_means(&self) -> Option<(f64, f64)> {
+        match *self {
+            WorkloadSpec::OnOff {
+                mean_on_s,
+                mean_off_s,
+            } => Some((mean_on_s, mean_off_s)),
+            WorkloadSpec::Churn {
+                arrival_rate_hz,
+                mean_duration_s,
+            } => Some((mean_duration_s, 1.0 / arrival_rate_hz)),
+            _ => None,
+        }
+    }
 }
 
 /// Runtime state of a workload process.
@@ -61,7 +103,7 @@ impl Workload {
     pub fn new(spec: WorkloadSpec) -> Self {
         let (on, schedule) = match &spec {
             WorkloadSpec::AlwaysOn => (true, Vec::new()),
-            WorkloadSpec::OnOff { .. } => (false, Vec::new()),
+            WorkloadSpec::OnOff { .. } | WorkloadSpec::Churn { .. } => (false, Vec::new()),
             WorkloadSpec::Schedule(points) => {
                 let sched: Vec<(SimTime, bool)> = points
                     .iter()
@@ -90,8 +132,9 @@ impl Workload {
     pub fn first_toggle(&mut self, rng: &mut SimRng) -> Option<SimTime> {
         match &self.spec {
             WorkloadSpec::AlwaysOn => None,
-            WorkloadSpec::OnOff { mean_off_s, .. } => {
-                Some(SimTime::ZERO + rng.exp_duration(SimDuration::from_secs_f64(*mean_off_s)))
+            WorkloadSpec::OnOff { .. } | WorkloadSpec::Churn { .. } => {
+                let (_, mean_off_s) = self.spec.dwell_means().expect("stochastic spec");
+                Some(SimTime::ZERO + rng.exp_duration(SimDuration::from_secs_f64(mean_off_s)))
             }
             WorkloadSpec::Schedule(_) => self.schedule.first().map(|&(t, _)| t),
         }
@@ -102,15 +145,13 @@ impl Workload {
     pub fn toggle(&mut self, now: SimTime, rng: &mut SimRng) -> (bool, Option<SimTime>) {
         match &self.spec {
             WorkloadSpec::AlwaysOn => (true, None),
-            WorkloadSpec::OnOff {
-                mean_on_s,
-                mean_off_s,
-            } => {
+            WorkloadSpec::OnOff { .. } | WorkloadSpec::Churn { .. } => {
+                let (mean_on_s, mean_off_s) = self.spec.dwell_means().expect("stochastic spec");
                 self.on = !self.on;
                 let mean = if self.on {
-                    SimDuration::from_secs_f64(*mean_on_s)
+                    SimDuration::from_secs_f64(mean_on_s)
                 } else {
-                    SimDuration::from_secs_f64(*mean_off_s)
+                    SimDuration::from_secs_f64(mean_off_s)
                 };
                 let mut dwell = rng.exp_duration(mean);
                 // Zero-length dwell times would schedule a same-instant
@@ -179,6 +220,35 @@ mod tests {
         }
         let frac = on_time / last.as_secs_f64();
         assert!((frac - 0.5).abs() < 0.03, "duty cycle {frac} != 0.5");
+    }
+
+    #[test]
+    fn churn_duty_cycle_tracks_offered_load() {
+        // λ = 0.25 arrivals/s, mean duration 1 s: duty = λd/(1+λd) = 0.2.
+        let mut w = Workload::new(WorkloadSpec::churn(0.25, 1.0));
+        let mut rng = SimRng::from_seed(5);
+        assert!(!w.is_on(), "slot starts idle");
+        let mut now = w.first_toggle(&mut rng).unwrap();
+        let mut on_time = 0.0;
+        let mut last = now;
+        let mut state = false;
+        for _ in 0..20_000 {
+            let (on, next) = w.toggle(now, &mut rng);
+            if state {
+                on_time += (now - last).as_secs_f64();
+            }
+            last = now;
+            state = on;
+            now = next.unwrap();
+        }
+        let frac = on_time / last.as_secs_f64();
+        assert!((frac - 0.2).abs() < 0.02, "duty cycle {frac} != 0.2");
+    }
+
+    #[test]
+    #[should_panic(expected = "churn needs positive arrival rate")]
+    fn churn_rejects_zero_rate() {
+        WorkloadSpec::churn(0.0, 1.0);
     }
 
     #[test]
