@@ -115,6 +115,8 @@ fn mk_pkt(flow: u32, seq: u64) -> QueuedPacket {
             tx_index: seq,
             is_retx: false,
             hop: 0,
+            dir: netsim::packet::PacketDir::Data,
+            recv_at: SimTime::ZERO,
         },
         enqueued_at: SimTime::ZERO,
     }

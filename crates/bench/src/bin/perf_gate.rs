@@ -130,6 +130,7 @@ fn main() -> ExitCode {
     let mut failures = Vec::new();
     for (name, dir) in [
         ("sim_events_per_sec", Direction::HigherIsBetter),
+        ("sim_events_per_sec_dense", Direction::HigherIsBetter),
         ("smoke_train_wall_s", Direction::LowerIsBetter),
     ] {
         if let Err(e) = check(name, &baseline, &fresh, tolerance, dir) {

@@ -10,6 +10,11 @@
 //!   is also timed on the `BinaryHeap` reference backend and reported as
 //!   `sim_events_per_sec_heap`, keeping the backend gap visible in the
 //!   perf trajectory.
+//! * `sim_events_per_sec_dense` (+ `_dense_heap`) — the same measurement
+//!   on a 64-sender fat-pipe dumbbell holding several thousand standing
+//!   events, the regime where the calendar queue's bucket scans dominate:
+//!   this is the number the key/payload bucket split (keys scanned
+//!   densely, event payloads untouched) is accountable to.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin perf_snapshot            # print only
@@ -66,6 +71,47 @@ fn sim_events_per_sec(scheduler: SchedulerKind) -> f64 {
     out.events_processed as f64 / dt
 }
 
+/// Fixed-window protocol for the dense-population scenario (window-
+/// clocked, no pacing: every in-flight packet keeps events pending).
+struct FixedWindow(f64);
+
+impl netsim::transport::CongestionControl for FixedWindow {
+    fn reset(&mut self, _: SimTime) {}
+    fn on_ack(&mut self, _: SimTime, _: &Ack, _: &netsim::transport::AckInfo) {}
+    fn on_loss(&mut self, _: SimTime) {}
+    fn on_timeout(&mut self, _: SimTime) {}
+    fn window(&self) -> f64 {
+        self.0
+    }
+    fn intersend(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+}
+
+fn sim_events_per_sec_dense(scheduler: SchedulerKind) -> f64 {
+    // 64 windows of 256 packets over a 400 Mbps / 200 ms pipe: thousands
+    // of propagation and ack events stand in the queue at all times, so
+    // per-pop bucket-scan cost (not retune churn) dominates.
+    let net = dumbbell(
+        64,
+        400e6,
+        0.200,
+        QueueSpec::infinite(),
+        WorkloadSpec::AlwaysOn,
+    );
+    let protocols: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..64)
+        .map(|_| Box::new(FixedWindow(256.0)) as Box<dyn netsim::transport::CongestionControl>)
+        .collect();
+    let mut sim = Simulation::with_scheduler(&net, protocols, 42, scheduler);
+    let start = Instant::now();
+    let out = sim.run(SimDuration::from_secs(10));
+    let dt = start.elapsed().as_secs_f64();
+    out.events_processed as f64 / dt
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let write = args.iter().any(|a| a == "--write");
@@ -89,6 +135,14 @@ fn main() {
     let eps_heap = sim_events_per_sec(SchedulerKind::Heap);
     eprintln!("[perf] simulator/heap: {eps_heap:.0} events/s");
 
+    eprintln!("[perf] timing dense-population dumbbell (calendar backend)...");
+    let eps_dense = sim_events_per_sec_dense(SchedulerKind::Calendar);
+    eprintln!("[perf] simulator-dense/calendar: {eps_dense:.0} events/s");
+
+    eprintln!("[perf] timing dense-population dumbbell (heap backend)...");
+    let eps_dense_heap = sim_events_per_sec_dense(SchedulerKind::Heap);
+    eprintln!("[perf] simulator-dense/heap: {eps_dense_heap:.0} events/s");
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -103,13 +157,23 @@ fn main() {
         ("smoke_train_wall_s".to_string(), Value::F64(train_s)),
         ("sim_events_per_sec".to_string(), Value::F64(eps)),
         ("sim_events_per_sec_heap".to_string(), Value::F64(eps_heap)),
+        (
+            "sim_events_per_sec_dense".to_string(),
+            Value::F64(eps_dense),
+        ),
+        (
+            "sim_events_per_sec_dense_heap".to_string(),
+            Value::F64(eps_dense_heap),
+        ),
         ("scheduler".to_string(), Value::Str("calendar".to_string())),
         ("threads".to_string(), Value::U64(threads as u64)),
         (
             "bench".to_string(),
             Value::Str(
                 "perf_snapshot: OptimizerConfig::smoke() on calibration; 4-Tao dumbbell 30 s \
-                 (sim_events_per_sec = default calendar scheduler, _heap = BinaryHeap reference)"
+                 (sim_events_per_sec = default calendar scheduler, _heap = BinaryHeap \
+                 reference); _dense = 64x256-window fat-pipe dumbbell 10 s (standing \
+                 event population in the thousands)"
                     .to_string(),
             ),
         ),

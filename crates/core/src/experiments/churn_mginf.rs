@@ -1,0 +1,249 @@
+//! Extension — M/G/∞ flow churn: unblocked Poisson arrivals that overlap
+//! within each sender slot.
+//!
+//! The churn experiment's arrival process is *blocked*: a slot ignores
+//! arrivals while a transfer is in progress, so offered load saturates at
+//! duty `λd/(1+λd)` no matter how fast flows arrive. Real links don't
+//! block — new transfers start on top of old ones. This experiment runs
+//! the same ten-slot dumbbell with `Churn { unblocked: true }`: each slot
+//! is an M/G/∞ station whose busy periods are unions of overlapping
+//! transfers (per-slot flow multiplexing in the engine), ON with
+//! probability `1 − e^(−λd)`. At high arrival rates the unblocked slots
+//! stay almost always on — near-saturation with none of the cold-start
+//! churn the blocked variant shows — while at the λ = 1/s anchor both
+//! processes offer similar load and the comparison isolates the burst
+//! structure. Blocked points ride along as the in-sweep baseline.
+
+use super::{
+    fmt_stat, mean_normalized_objective, run_train_job, train_cfg, Experiment, Fidelity, TrainCost,
+    TrainJob,
+};
+use crate::experiments::multiplexing;
+use crate::omniscient;
+use crate::report::{ChartData, FigureData, Series, Table, TableData};
+use crate::runner::{summarize, PointOutcome, Scheme, SweepPoint};
+use netsim::prelude::*;
+use remy::{BufferSpec, ScenarioSpec};
+
+/// Asset shared with the multiplexing/churn experiments: the 1–10-way Tao.
+pub const ASSET: &str = "tao-mux-10";
+
+/// Scheme labels of the sweep, in series order.
+const SCHEMES: [&str; 3] = ["tao", "cubic", "newreno"];
+
+/// Arrival-process variants, in series order.
+const MODES: [&str; 2] = ["mginf", "blocked"];
+
+/// Sender slots on the dumbbell (the trained multiplexing range's top).
+const SLOTS: usize = 10;
+
+/// Mean flow duration (seconds); λ sweeps around the paper's 1/s point.
+const MEAN_DURATION_S: f64 = 1.0;
+
+fn arrival_rates(fidelity: Fidelity) -> Vec<f64> {
+    match fidelity {
+        Fidelity::Quick => vec![0.2, 1.0, 5.0],
+        Fidelity::Full => vec![0.1, 0.2, 0.5, 1.0, 2.0, 5.0],
+    }
+}
+
+/// The ten-slot dumbbell under either churn variant.
+fn churn_network(arrival_rate_hz: f64, unblocked: bool) -> NetworkConfig {
+    let workload = if unblocked {
+        WorkloadSpec::churn_mginf(arrival_rate_hz, MEAN_DURATION_S)
+    } else {
+        WorkloadSpec::churn(arrival_rate_hz, MEAN_DURATION_S)
+    };
+    dumbbell(
+        SLOTS,
+        15e6,
+        0.150,
+        QueueSpec::drop_tail_bdp(15e6, 0.150, 5.0),
+        workload,
+    )
+}
+
+fn fair_share(net: &NetworkConfig) -> f64 {
+    omniscient::omniscient(net)[0].throughput_bps
+}
+
+/// The M/G/∞ churn experiment (`learnability run churn_mginf`).
+pub struct ChurnMginf;
+
+impl Experiment for ChurnMginf {
+    fn id(&self) -> &'static str {
+        "churn_mginf"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "extension — M/G/inf churn: unblocked overlapping flow arrivals vs the \
+         blocked-arrival baseline"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        // Identical job to the multiplexing experiment's tao-mux-10 slot,
+        // so one committed asset serves all three churn-family sweeps.
+        vec![TrainJob::single(
+            ASSET,
+            vec![ScenarioSpec::multiplexing(
+                multiplexing::RANGES[1].1,
+                BufferSpec::BdpMultiple(5.0),
+            )],
+            train_cfg(TrainCost::Normal),
+        )]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let tao = run_train_job(&self.train_specs().remove(0))
+            .pop()
+            .expect("one protocol");
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for &rate in &arrival_rates(fidelity) {
+            for (mode, unblocked) in [("mginf", true), ("blocked", false)] {
+                let net = churn_network(rate, unblocked);
+                for (label, scheme) in [
+                    ("tao", Scheme::tao(tao.tree.clone(), "tao")),
+                    ("cubic", Scheme::Cubic),
+                    ("newreno", Scheme::NewReno),
+                ] {
+                    points.push(SweepPoint::homogeneous(
+                        format!("{mode}|{label}"),
+                        rate,
+                        net.clone(),
+                        scheme,
+                        seeds.clone(),
+                        dur,
+                    ));
+                }
+            }
+        }
+        points
+    }
+
+    fn summarize(&self, fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let base_delay = 0.075;
+
+        let mut series: Vec<Series> = MODES
+            .iter()
+            .flat_map(|m| SCHEMES.iter().map(move |s| Series::new(format!("{s}@{m}"))))
+            .collect();
+        let mut t = Table::new(
+            "M/G/inf vs blocked churn — 15 Mbps, 150 ms RTT, 10 slots, mean \
+             flow duration 1 s",
+            &[
+                "arrival rate",
+                "arrivals",
+                "scheme",
+                "throughput",
+                "queueing delay",
+            ],
+        );
+        for p in points {
+            let (mode, label) = p.key().split_once('|').expect("key is mode|scheme");
+            let obj = mean_normalized_objective(&p.runs, fair_share(&p.point.net), base_delay);
+            let name = format!("{label}@{mode}");
+            let si = series
+                .iter()
+                .position(|s| s.name == name)
+                .expect("known series");
+            series[si].push(p.x(), obj);
+            let (tpt, qd) = crate::runner::flow_points(&p.runs, |_| true);
+            t.row(vec![
+                format!("{:.1}/s", p.x()),
+                mode.to_string(),
+                label.to_string(),
+                fmt_stat(&summarize(&tpt), " Mbps"),
+                fmt_stat(&summarize(&qd), " ms"),
+            ]);
+        }
+        fig.charts.push(ChartData::from_series(
+            "normalized objective vs per-slot arrival rate (unblocked M/G/inf \
+             vs blocked arrivals)",
+            "arrivals per second",
+            &series,
+        ));
+        fig.tables.push(TableData::from_table(&t));
+
+        let max_rate = *arrival_rates(fidelity).last().unwrap();
+        for s in SCHEMES {
+            for m in MODES {
+                if let Some(sr) = fig.chart_series(0, &format!("{s}@{m}")) {
+                    if let Some(at_1) = sr.value_at(1.0) {
+                        fig.push_summary(format!("{s}_{m}_objective_at_1hz"), at_1);
+                    }
+                    if let Some(at_max) = sr.value_at(max_rate) {
+                        fig.push_summary(format!("{s}_{m}_objective_at_{max_rate:.0}hz"), at_max);
+                    }
+                }
+            }
+        }
+        if let (Some(mg), Some(bl)) = (
+            fig.summary_value(&format!("tao_mginf_objective_at_{max_rate:.0}hz")),
+            fig.summary_value(&format!("tao_blocked_objective_at_{max_rate:.0}hz")),
+        ) {
+            fig.notes.push(format!(
+                "tao at λ = {max_rate:.0}/s: objective {mg:.3} under M/G/inf arrivals \
+                 (slots ~always on, duty 1 - e^(-λd) ≈ {:.3}) vs {bl:.3} blocked \
+                 (duty λd/(1+λd) ≈ {:.3}) — the unblocked regime removes \
+                 cold-start churn but deepens sustained multiplexing",
+                1.0 - (-max_rate * MEAN_DURATION_S).exp(),
+                max_rate * MEAN_DURATION_S / (1.0 + max_rate * MEAN_DURATION_S),
+            ));
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_share_everything_but_blocking() {
+        let mg = churn_network(1.0, true);
+        let bl = churn_network(1.0, false);
+        assert_eq!(mg.links, bl.links);
+        assert_eq!(mg.flows.len(), bl.flows.len());
+        mg.validate().unwrap();
+        assert!(matches!(
+            mg.flows[0].workload,
+            WorkloadSpec::Churn {
+                unblocked: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mginf_offers_more_load_at_high_rates() {
+        // duty 1 − e^{−5} ≈ 0.993 vs blocked 5/6 ≈ 0.833
+        let mg = omniscient::on_probability(&churn_network(5.0, true).flows[0].workload);
+        let bl = omniscient::on_probability(&churn_network(5.0, false).flows[0].workload);
+        assert!((mg - 0.9933).abs() < 1e-3, "{mg}");
+        assert!((bl - 5.0 / 6.0).abs() < 1e-9, "{bl}");
+        assert!(mg > bl);
+    }
+
+    #[test]
+    fn train_job_matches_multiplexing_asset() {
+        let ours = ChurnMginf.train_specs().remove(0);
+        let theirs = multiplexing::Multiplexing
+            .train_specs()
+            .into_iter()
+            .find(|j| j.assets == vec![ASSET.to_string()])
+            .expect("multiplexing declares tao-mux-10");
+        assert_eq!(ours.specs, theirs.specs, "one asset must serve both");
+    }
+
+    #[test]
+    fn arrival_grids_bracket_the_anchor() {
+        for f in [Fidelity::Quick, Fidelity::Full] {
+            let g = arrival_rates(f);
+            assert!(g.contains(&1.0));
+            assert!(g.iter().any(|&r| r < 1.0) && g.iter().any(|&r| r > 1.0));
+        }
+    }
+}

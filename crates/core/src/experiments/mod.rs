@@ -16,6 +16,8 @@
 //! | `aqm` | [`aqm`] | extension — drop-tail-trained Tao across RED/CoDel/sfqCoDel gateways |
 //! | `asymmetry` | [`asymmetry`] | extension — asymmetric ACK paths (reverse rate 1× → 1/50×) |
 //! | `churn` | [`churn`] | extension — Poisson flow churn vs the static multiplexing baseline |
+//! | `shared_uplink` | [`shared_uplink`] | extension — all flows' ACKs through one shared reverse link, drop-tail vs CoDel ACK queue |
+//! | `churn_mginf` | [`churn_mginf`] | extension — unblocked M/G/∞ churn (overlapping flows per slot) vs blocked arrivals |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -30,10 +32,12 @@ pub mod aqm;
 pub mod asymmetry;
 pub mod calibration;
 pub mod churn;
+pub mod churn_mginf;
 pub mod diversity;
 pub mod link_speed;
 pub mod multiplexing;
 pub mod rtt;
+pub mod shared_uplink;
 pub mod signals;
 pub mod tcp_aware;
 pub mod topology;
@@ -172,9 +176,10 @@ pub trait Experiment: Sync {
 }
 
 /// Every experiment of the study: the paper's nine in paper order, then
-/// the beyond-paper scenario axes (AQM, asymmetry, churn).
+/// the beyond-paper scenario axes (AQM, asymmetry, churn, shared uplink,
+/// M/G/∞ churn).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 12] = [
+    static REGISTRY: [&dyn Experiment; 14] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -187,6 +192,8 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &aqm::Aqm,
         &asymmetry::Asymmetry,
         &churn::Churn,
+        &shared_uplink::SharedUplink,
+        &churn_mginf::ChurnMginf,
     ];
     &REGISTRY
 }
@@ -495,6 +502,7 @@ mod tests {
             packets_delivered: 1,
             on_time_s: 1.0,
             forward_drops: 0,
+            ack_drops: 0,
             timeouts: 0,
             losses: 0,
             transmissions: 0,
@@ -510,7 +518,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_twelve_experiments() {
+    fn registry_lists_all_fourteen_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -526,7 +534,9 @@ mod tests {
                 "universal",
                 "aqm",
                 "asymmetry",
-                "churn"
+                "churn",
+                "shared_uplink",
+                "churn_mginf"
             ]
         );
         assert!(find("calibration").is_some());

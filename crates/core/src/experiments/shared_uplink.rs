@@ -1,0 +1,229 @@
+//! Extension — shared uplink: every flow's ACKs through one reverse link.
+//!
+//! The asymmetry experiment starves each flow's *private* ACK channel;
+//! real households starve a *shared* one. Here four senders on the
+//! calibration bottleneck return all their acknowledgments through a
+//! single reverse link whose rate is swept from the forward rate down to
+//! 1/50× of it (`ReverseSpec { shared: true }`), so ACK compression,
+//! cross-flow ACK queueing and reverse-path drops come from genuine
+//! contention. The reverse queue discipline is part of the sweep:
+//! drop-tail (ACK bufferbloat — a standing ACK queue inflates every RTT
+//! sample the senders see) versus CoDel (sojourn-triggered ACK drops keep
+//! the reverse queue short at the price of ack-clock gaps). Neither
+//! regime exists in the training distribution; the question is which
+//! failure mode the learned protocol mishandles worse.
+
+use super::{fmt_stat, mean_normalized_objective, run_train_job, Experiment, Fidelity, TrainJob};
+use crate::experiments::calibration;
+use crate::omniscient;
+use crate::report::{ChartData, FigureData, Series, Table, TableData};
+use crate::runner::{summarize, PointOutcome, Scheme, SweepPoint};
+use netsim::prelude::*;
+
+/// Scheme labels of the sweep, in series order.
+const SCHEMES: [&str; 3] = ["tao", "cubic", "newreno"];
+
+/// Reverse queue disciplines swept, in series order.
+const QUEUES: [&str; 2] = ["droptail", "codel"];
+
+/// Senders sharing the uplink (the calibration dumbbell, doubled, so the
+/// shared reverse link sees real cross-flow interleaving).
+const SENDERS: usize = 4;
+
+/// Reverse-path slowdown factors swept (shared rate = forward / factor).
+fn slowdowns(fidelity: Fidelity) -> Vec<f64> {
+    match fidelity {
+        Fidelity::Quick => vec![1.0, 8.0, 50.0],
+        Fidelity::Full => vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 50.0],
+    }
+}
+
+/// The forward network: the calibration bottleneck with four senders.
+fn base_network() -> NetworkConfig {
+    dumbbell(
+        SENDERS,
+        32e6,
+        0.150,
+        QueueSpec::drop_tail_bdp(32e6, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    )
+}
+
+/// The swept network: shared reverse link at `forward / slowdown` under
+/// the chosen ACK queue discipline (5 reverse-BDP buffers either way).
+fn shared_network(slowdown: f64, queue: &str) -> NetworkConfig {
+    base_network().with_shared_reverse(slowdown, |rate, _| match queue {
+        "droptail" => QueueSpec::drop_tail_bdp(rate, 0.150, 5.0),
+        "codel" => QueueSpec::codel_default(rate, 0.150, 5.0),
+        other => panic!("unknown reverse queue '{other}'"),
+    })
+}
+
+/// The shared-uplink experiment (`learnability run shared_uplink`).
+pub struct SharedUplink;
+
+impl Experiment for SharedUplink {
+    fn id(&self) -> &'static str {
+        "shared_uplink"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "extension — shared uplink: all flows' ACKs through one reverse link \
+         (1x -> 1/50x), drop-tail vs CoDel ACK queue"
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        // The calibration Tao: trained with an uncongested private
+        // reverse path, evaluated where ACKs contend for a shared one.
+        calibration::Calibration.train_specs()
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let tao = run_train_job(&self.train_specs().remove(0))
+            .pop()
+            .expect("one protocol");
+        let dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for &factor in &slowdowns(fidelity) {
+            for queue in QUEUES {
+                let net = shared_network(factor, queue);
+                for (label, scheme) in [
+                    ("tao", Scheme::tao(tao.tree.clone(), "tao")),
+                    ("cubic", Scheme::Cubic),
+                    ("newreno", Scheme::NewReno),
+                ] {
+                    points.push(SweepPoint::homogeneous(
+                        format!("{queue}|{label}"),
+                        factor,
+                        net.clone(),
+                        scheme,
+                        seeds.clone(),
+                        dur,
+                    ));
+                }
+            }
+        }
+        points
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let omn = omniscient::omniscient(&base_network());
+        let (fair_tpt, base_delay) = (omn[0].throughput_bps, omn[0].delay_s);
+
+        let mut t = Table::new(
+            "shared uplink — 32 Mbps forward, 150 ms RTT, 4 senders, one \
+             reverse link for all ACKs",
+            &[
+                "reverse slowdown",
+                "ACK queue",
+                "scheme",
+                "throughput",
+                "queueing delay",
+                "ACK drops/run",
+            ],
+        );
+        let mut series: Vec<Series> = QUEUES
+            .iter()
+            .flat_map(|q| SCHEMES.iter().map(move |s| Series::new(format!("{s}@{q}"))))
+            .collect();
+        for p in points {
+            let (queue, label) = p.key().split_once('|').expect("key is queue|scheme");
+            let (tpt, qd) = crate::runner::flow_points(&p.runs, |_| true);
+            let obj = mean_normalized_objective(&p.runs, fair_tpt, base_delay);
+            let ack_drops: f64 = p
+                .runs
+                .iter()
+                .map(|r| r.flows.iter().map(|f| f.ack_drops).sum::<u64>() as f64)
+                .sum::<f64>()
+                / p.runs.len().max(1) as f64;
+            t.row(vec![
+                format!("1/{:.0}x", p.x()),
+                queue.to_string(),
+                label.to_string(),
+                fmt_stat(&summarize(&tpt), " Mbps"),
+                fmt_stat(&summarize(&qd), " ms"),
+                format!("{ack_drops:.0}"),
+            ]);
+            let name = format!("{label}@{queue}");
+            let si = series
+                .iter()
+                .position(|s| s.name == name)
+                .expect("known series");
+            series[si].push(p.x(), obj);
+        }
+        fig.tables.push(TableData::from_table(&t));
+        fig.charts.push(ChartData::from_series(
+            "normalized objective vs shared-uplink slowdown, by reverse ACK queue",
+            "slowdown (forward rate / shared reverse rate)",
+            &series,
+        ));
+
+        for q in QUEUES {
+            for s in SCHEMES {
+                if let Some(sr) = fig.chart_series(0, &format!("{s}@{q}")) {
+                    let at_1 = sr.value_at(1.0).unwrap_or(f64::NEG_INFINITY);
+                    let at_50 = sr.value_at(50.0).unwrap_or(f64::NEG_INFINITY);
+                    fig.push_summary(format!("{s}_{q}_objective_at_1x"), at_1);
+                    fig.push_summary(format!("{s}_{q}_objective_at_50x"), at_50);
+                    fig.push_summary(format!("{s}_{q}_degradation_1_to_50"), at_1 - at_50);
+                }
+            }
+        }
+        if let (Some(dt), Some(cd)) = (
+            fig.summary_value("tao_droptail_objective_at_50x"),
+            fig.summary_value("tao_codel_objective_at_50x"),
+        ) {
+            fig.notes.push(format!(
+                "tao at a 1/50x shared uplink: objective {dt:.3} behind a drop-tail \
+                 ACK queue vs {cd:.3} behind CoDel (positive difference = ACK \
+                 bufferbloat hurts the learned protocol more than ACK drops do)"
+            ));
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimDuration;
+
+    #[test]
+    fn swept_networks_share_one_reverse_link_per_bottleneck() {
+        for queue in QUEUES {
+            let net = shared_network(8.0, queue);
+            net.validate().unwrap();
+            let r = net.links[0].reverse.as_ref().expect("reverse spec");
+            assert!(r.shared, "contention requires a shared link");
+            assert_eq!(r.rate_bps, 32e6 / 8.0);
+            // reverse delay mirrors forward: min RTT unchanged
+            assert_eq!(net.min_rtt(0), SimDuration::from_millis(150));
+        }
+    }
+
+    #[test]
+    fn queue_disciplines_differ_only_in_spec() {
+        let dt = shared_network(50.0, "droptail");
+        let cd = shared_network(50.0, "codel");
+        assert!(matches!(
+            dt.links[0].reverse.as_ref().unwrap().queue,
+            QueueSpec::DropTail { .. }
+        ));
+        assert!(matches!(
+            cd.links[0].reverse.as_ref().unwrap().queue,
+            QueueSpec::Codel { .. }
+        ));
+        assert_eq!(dt.links[0].queue, cd.links[0].queue, "forward identical");
+    }
+
+    #[test]
+    fn slowdown_grids_anchor_both_ends() {
+        for f in [Fidelity::Quick, Fidelity::Full] {
+            let g = slowdowns(f);
+            assert_eq!(g[0], 1.0);
+            assert_eq!(*g.last().unwrap(), 50.0);
+        }
+    }
+}

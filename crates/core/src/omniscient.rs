@@ -79,14 +79,22 @@ pub fn on_probability(w: &WorkloadSpec) -> f64 {
             mean_on_s,
             mean_off_s,
         } => mean_on_s / (mean_on_s + mean_off_s),
-        // Blocked Poisson arrivals at λ with exp(d) service: the slot is a
-        // two-state renewal process with mean ON d and mean OFF 1/λ.
+        // Poisson arrivals at λ with exp(d) service. Blocked: a two-state
+        // renewal process with mean ON d and mean OFF 1/λ. Unblocked
+        // (M/G/∞): the slot is ON while the station is busy, and the
+        // stationary idle probability of an M/G/∞ station with offered
+        // load a = λ·d is P[N = 0] = e^(−a).
         WorkloadSpec::Churn {
             arrival_rate_hz,
             mean_duration_s,
+            unblocked,
         } => {
             let load = arrival_rate_hz * mean_duration_s;
-            load / (1.0 + load)
+            if *unblocked {
+                1.0 - (-load).exp()
+            } else {
+                load / (1.0 + load)
+            }
         }
         // For deterministic schedules the notion of a stationary ON
         // probability is ill-defined; callers handle pulses explicitly.

@@ -136,8 +136,9 @@ fn cli_run_json(id: &str, out_dir: &Path, threads: &str) -> String {
 /// engine's index-ordered merge is the only thing between us and
 /// nondeterministic figures. Covers the original calibration experiment
 /// and the scenario-diversity extensions (AQM gateways, asymmetric ACK
-/// paths, flow churn — whose RED randomness and churn draws must also be
-/// pure functions of the seed).
+/// paths, flow churn, the shared-reverse-link uplink, M/G/∞ churn —
+/// whose RED randomness, churn draws and reverse-queue drops must also
+/// be pure functions of the seed).
 #[test]
 fn quick_json_is_deterministic_across_runs_and_threads() {
     let assets = scratch_assets();
@@ -147,7 +148,14 @@ fn quick_json_is_deterministic_across_runs_and_threads() {
     remy::serialize::set_assets_dir(Some(assets.clone()));
 
     let mut figs = std::collections::HashMap::new();
-    for id in ["calibration", "aqm", "asymmetry", "churn"] {
+    for id in [
+        "calibration",
+        "aqm",
+        "asymmetry",
+        "churn",
+        "shared_uplink",
+        "churn_mginf",
+    ] {
         let serial = cli_run_json(id, &assets, "1");
         let parallel = cli_run_json(id, &assets, "4");
         let again = cli_run_json(id, &assets, "1");
@@ -188,6 +196,21 @@ fn quick_json_is_deterministic_across_runs_and_threads() {
             .summary_value("tao_churn1hz_minus_static")
             .is_some(),
         "churn consistency anchor present"
+    );
+    assert!(
+        figs["shared_uplink"]
+            .summary_value("tao_droptail_degradation_1_to_50")
+            .is_some()
+            && figs["shared_uplink"]
+                .summary_value("tao_codel_degradation_1_to_50")
+                .is_some(),
+        "shared-uplink per-queue degradation stats present"
+    );
+    assert!(
+        figs["churn_mginf"]
+            .summary_value("tao_mginf_objective_at_5hz")
+            .is_some(),
+        "M/G/inf headline stat present"
     );
 
     remy::serialize::set_assets_dir(None);

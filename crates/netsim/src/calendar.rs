@@ -67,12 +67,66 @@ const RETUNE_AFTER: u32 = 16;
 /// Head-of-queue entries measured for a width estimate.
 const WIDTH_SAMPLE: usize = 64;
 
+/// Floor on the degeneracy-retune cooldown, in pops. After a retune
+/// rebuild, degenerate pops are ignored for `max(len, this)` pops: a
+/// rebuild costs O(len), so spacing retunes at least `len` pops apart
+/// caps their amortized cost at O(1) per pop. Without the cooldown, a
+/// same-instant tie burst — which no bucket width can spread out — makes
+/// every pop in its day "degenerate" and triggers an O(len) rebuild
+/// every [`RETUNE_AFTER`] pops, turning one oversized day into a
+/// throughput collapse.
+const RETUNE_COOLDOWN_MIN: u64 = 1024;
+
+/// One calendar day: `(time-nanos, seq)` keys stored separately from the
+/// event payloads, index-aligned. Bucket scans (the minimum search in
+/// `pop`, the filter in `peek_time`, the global-minimum fallback) touch
+/// only the dense 16-byte key array — an `Event` carries a full `Packet`
+/// and is several cache lines of payload per entry that the scan never
+/// needs — so a day's worth of keys stays in cache even at high standing
+/// populations.
+#[derive(Default)]
+struct Bucket {
+    keys: Vec<(u64, u64)>,
+    payloads: Vec<Event>,
+}
+
+impl Bucket {
+    #[inline]
+    fn push(&mut self, at: u64, seq: u64, event: Event) {
+        self.keys.push((at, seq));
+        self.payloads.push(event);
+    }
+
+    /// Remove entry `i` in O(1), like `Vec::swap_remove`, keeping the key
+    /// and payload arrays aligned.
+    #[inline]
+    fn swap_remove(&mut self, i: usize) -> Entry {
+        let (at, seq) = self.keys.swap_remove(i);
+        let event = self.payloads.swap_remove(i);
+        Entry {
+            at: SimTime::from_nanos(at),
+            seq,
+            event,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
 /// Bucketed calendar queue ordered by `(time, seq)`.
 ///
 /// See the module docs for the algorithm; see [`Scheduler`] for the
 /// ordering contract.
 pub struct CalendarQueue {
-    buckets: Vec<Vec<Entry>>,
+    buckets: Vec<Bucket>,
     /// `buckets.len() - 1`; bucket count is always a power of two.
     mask: usize,
     /// Bucket width is `1 << shift` nanoseconds.
@@ -85,6 +139,38 @@ pub struct CalendarQueue {
     len: usize,
     /// Consecutive-ish degenerate pops since the last retune.
     degenerate_pops: u32,
+    /// Degenerate pops are ignored until `stat_pops` passes this mark
+    /// (see [`RETUNE_COOLDOWN_MIN`]).
+    cooldown_until: u64,
+    stat_pops: u64,
+    stat_scanned: u64,
+    stat_walked: u64,
+    stat_global_min: u64,
+    stat_rebuilds: u64,
+}
+
+/// `NETSIM_CAL_DEBUG=1` prints per-queue scan/retune counters on drop —
+/// the diagnostic surface that found the tie-burst retune thrash.
+fn debug_enabled() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| std::env::var_os("NETSIM_CAL_DEBUG").is_some())
+}
+
+impl Drop for CalendarQueue {
+    fn drop(&mut self) {
+        if debug_enabled() && self.stat_pops > 0 {
+            eprintln!(
+                "[cal] pops={} scanned/pop={:.2} walked/pop={:.2} global_min={} rebuilds={} shift={} buckets={}",
+                self.stat_pops,
+                self.stat_scanned as f64 / self.stat_pops as f64,
+                self.stat_walked as f64 / self.stat_pops as f64,
+                self.stat_global_min,
+                self.stat_rebuilds,
+                self.shift,
+                self.buckets.len(),
+            );
+        }
+    }
 }
 
 impl Default for CalendarQueue {
@@ -109,13 +195,19 @@ impl CalendarQueue {
 
     fn with_shift(shift: u32) -> Self {
         CalendarQueue {
-            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            buckets: (0..MIN_BUCKETS).map(|_| Bucket::default()).collect(),
             mask: MIN_BUCKETS - 1,
             shift,
             day_start: 0,
             cursor: 0,
             len: 0,
             degenerate_pops: 0,
+            cooldown_until: 0,
+            stat_pops: 0,
+            stat_scanned: 0,
+            stat_walked: 0,
+            stat_global_min: 0,
+            stat_rebuilds: 0,
         }
     }
 
@@ -149,29 +241,36 @@ impl CalendarQueue {
     /// from the live population.
     fn rebuild(&mut self, nbuckets: usize) {
         debug_assert!(nbuckets.is_power_of_two());
-        let mut entries: Vec<Entry> = Vec::with_capacity(self.len);
+        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(self.len);
+        let mut payloads: Vec<Event> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
-            entries.append(b);
+            keys.append(&mut b.keys);
+            payloads.append(&mut b.payloads);
         }
-        if let Some(shift) = estimate_shift(&entries) {
+        if let Some(shift) = estimate_shift(&keys) {
             self.shift = shift;
         }
         if nbuckets != self.buckets.len() {
-            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+            self.buckets = (0..nbuckets).map(|_| Bucket::default()).collect();
             self.mask = nbuckets - 1;
         }
-        match entries.iter().map(|e| e.at.as_nanos()).min() {
+        match keys.iter().map(|&(at, _)| at).min() {
             Some(min) => self.seek_to(min),
             None => self.seek_to(0),
         }
-        for e in entries {
-            let idx = self.bucket_of(e.at.as_nanos());
-            self.buckets[idx].push(e);
+        for ((at, seq), event) in keys.into_iter().zip(payloads) {
+            let idx = self.bucket_of(at);
+            self.buckets[idx].push(at, seq, event);
         }
         self.degenerate_pops = 0;
+        self.cooldown_until = self.stat_pops + (self.len as u64).max(RETUNE_COOLDOWN_MIN);
+        self.stat_rebuilds += 1;
     }
 
     fn note_degenerate_pop(&mut self) {
+        if self.stat_pops < self.cooldown_until {
+            return;
+        }
         self.degenerate_pops += 1;
         if self.degenerate_pops >= RETUNE_AFTER {
             self.rebuild(self.buckets.len());
@@ -184,10 +283,9 @@ impl CalendarQueue {
     fn find_global_min(&self) -> Option<(usize, usize)> {
         let mut best: Option<(usize, usize, u64, u64)> = None;
         for (bi, b) in self.buckets.iter().enumerate() {
-            for (i, e) in b.iter().enumerate() {
-                let key = (e.at.as_nanos(), e.seq);
-                if best.is_none_or(|(_, _, at, seq)| key < (at, seq)) {
-                    best = Some((bi, i, key.0, key.1));
+            for (i, &(at, seq)) in b.keys.iter().enumerate() {
+                if best.is_none_or(|(_, _, bat, bseq)| (at, seq) < (bat, bseq)) {
+                    best = Some((bi, i, at, seq));
                 }
             }
         }
@@ -208,7 +306,7 @@ impl Scheduler for CalendarQueue {
             self.seek_to(nanos);
         }
         let idx = self.bucket_of(nanos);
-        self.buckets[idx].push(Entry { at, seq, event });
+        self.buckets[idx].push(nanos, seq, event);
         self.len += 1;
     }
 
@@ -216,6 +314,7 @@ impl Scheduler for CalendarQueue {
         if self.len == 0 {
             return None;
         }
+        self.stat_pops += 1;
         if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
             self.rebuild(self.buckets.len() / 2);
         }
@@ -231,17 +330,18 @@ impl Scheduler for CalendarQueue {
             if !bucket.is_empty() {
                 // The whole current day lives in this one bucket, and no
                 // entry predates the current day, so the bucket-local
-                // minimum within the day is the global minimum.
+                // minimum within the day is the global minimum. Only the
+                // key array is scanned; payloads stay untouched.
                 let mut best: Option<(usize, u64, u64)> = None;
-                for (i, e) in bucket.iter().enumerate() {
-                    let at = e.at.as_nanos();
-                    if at <= day_last && best.is_none_or(|(_, bat, bseq)| (at, e.seq) < (bat, bseq))
-                    {
-                        best = Some((i, at, e.seq));
+                for (i, &(at, seq)) in bucket.keys.iter().enumerate() {
+                    if at <= day_last && best.is_none_or(|(_, bat, bseq)| (at, seq) < (bat, bseq)) {
+                        best = Some((i, at, seq));
                     }
                 }
                 if let Some((i, _, _)) = best {
                     let scanned = bucket.len();
+                    self.stat_scanned += scanned as u64;
+                    self.stat_walked += walked as u64;
                     let entry = bucket.swap_remove(i);
                     self.len -= 1;
                     // Either degeneracy triggers a retune: a long scan of
@@ -258,6 +358,7 @@ impl Scheduler for CalendarQueue {
         }
         // A full year of days held nothing due: the queue is sparse
         // relative to its width. Jump straight to the global minimum.
+        self.stat_global_min += 1;
         let (bi, i) = self.find_global_min().expect("len > 0 entries exist");
         let entry = self.buckets[bi].swap_remove(i);
         self.len -= 1;
@@ -279,8 +380,9 @@ impl Scheduler for CalendarQueue {
                 break;
             }
             if let Some(at) = self.buckets[cursor]
+                .keys
                 .iter()
-                .map(|e| e.at.as_nanos())
+                .map(|&(at, _)| at)
                 .filter(|&at| at <= day_last)
                 .min()
             {
@@ -290,7 +392,7 @@ impl Scheduler for CalendarQueue {
             day_start = day_start.saturating_add(width);
         }
         let (bi, i) = self.find_global_min()?;
-        Some(self.buckets[bi][i].at)
+        Some(SimTime::from_nanos(self.buckets[bi].keys[i].0))
     }
 
     fn len(&self) -> usize {
@@ -304,29 +406,49 @@ fn shift_for_width(width_nanos: u64) -> u32 {
     w.next_power_of_two().trailing_zeros().min(MAX_SHIFT)
 }
 
-/// Width heuristic: three times the mean gap among the [`WIDTH_SAMPLE`]
-/// *earliest* pending events. Pop cost is governed by event density at
-/// the head of the queue — the far-future timer tail must not influence
-/// the estimate (a global mean would let one 60 s RTO timer widen the
-/// buckets that the microsecond-scale packet events live in). The head
-/// is found with an O(n) partial selection, not a full sort. Returns
-/// `None` when the head is a single instant (ties pop FIFO from one
-/// bucket regardless of width, so any width serves).
-fn estimate_shift(entries: &[Entry]) -> Option<u32> {
-    let n = entries.len();
+/// Width heuristic: three times the mean gap across the *earlier half*
+/// of the pending population (never fewer than [`WIDTH_SAMPLE`]
+/// entries). Pop cost is governed by event density near the head of the
+/// queue — the far-future timer tail must not influence the estimate (a
+/// global mean would let one 60 s RTO timer widen the buckets that the
+/// microsecond-scale packet events live in), which rules out a full-span
+/// mean; but a head sample must also be deep enough that a same-instant
+/// burst (64 senders released by one ack batch) cannot collapse the
+/// estimate to nanoseconds and leave every pop marching over empty days.
+/// Half the population is both: burst-proof at scale, tail-blind because
+/// timers sort last. The head is found with an O(n) partial selection,
+/// not a full sort. Returns `None` when the whole sampled head is a
+/// single instant (ties pop FIFO from one bucket regardless of width, so
+/// any width serves).
+fn estimate_shift(keys: &[(u64, u64)]) -> Option<u32> {
+    let n = keys.len();
     if n < 2 {
         return None;
     }
-    let mut times: Vec<u64> = entries.iter().map(|e| e.at.as_nanos()).collect();
-    let k = WIDTH_SAMPLE.min(n - 1);
+    let mut times: Vec<u64> = keys.iter().map(|&(at, _)| at).collect();
+    let k = (n / 2).clamp(WIDTH_SAMPLE.min(n - 1), n - 1);
     times.select_nth_unstable(k);
     let head = &times[..=k];
     let min = *head.iter().min().expect("head is nonempty");
     let kth = head[k];
-    if kth == min {
+    if kth > min {
+        let mean_gap = (kth - min) / k as u64;
+        return Some(shift_for_width(mean_gap.saturating_mul(3).max(1)));
+    }
+    // The whole sampled head is one instant (a tie burst — e.g. a window
+    // blast's RTO deadlines). Widen the sample to the 90th percentile so
+    // the burst cannot zero the estimate; only give up when even that
+    // span is a single instant.
+    let k90 = (9 * n / 10).clamp(k, n - 1);
+    if k90 == k {
         return None;
     }
-    let mean_gap = (kth - min) / k as u64;
+    times.select_nth_unstable(k90);
+    let p90 = times[k90];
+    if p90 == min {
+        return None;
+    }
+    let mean_gap = (p90 - min) / k90 as u64;
     Some(shift_for_width(mean_gap.saturating_mul(3).max(1)))
 }
 

@@ -247,6 +247,8 @@ mod tests {
                 tx_index: seq,
                 is_retx: false,
                 hop: 0,
+                dir: crate::packet::PacketDir::Data,
+                recv_at: SimTime::ZERO,
             },
             enqueued_at: at,
         }

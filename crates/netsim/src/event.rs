@@ -49,6 +49,14 @@ pub enum Event {
     RtoCheck { flow: FlowId, gen: u64 },
     /// The ON/OFF workload process for `flow` toggles state.
     WorkloadToggle { flow: FlowId, gen: u64 },
+    /// A new transfer arrives at an unblocked (M/G/∞) churn slot: the
+    /// slot's concurrent-flow count increments and the next Poisson
+    /// arrival is drawn. `gen` guards against stale timers exactly as in
+    /// [`Event::WorkloadToggle`].
+    FlowArrival { flow: FlowId, gen: u64 },
+    /// One transfer of an unblocked churn slot completes; the slot turns
+    /// OFF when its concurrent-flow count reaches zero.
+    FlowDeparture { flow: FlowId, gen: u64 },
     /// Periodic trace sample (queue occupancy time series, Fig 8).
     TraceSample,
 }

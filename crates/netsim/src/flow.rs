@@ -21,6 +21,13 @@ pub struct FlowStats {
     pub on_time: SimDuration,
     /// Packets dropped on the forward path.
     pub forward_drops: u64,
+    /// Acknowledgments tail-dropped at a reverse-link queue (only
+    /// possible when a link declares a [`crate::topology::ReverseSpec`]
+    /// with a finite reverse buffer). Mirrors `forward_drops` semantics:
+    /// AQM dequeue-time drops (CoDel sojourn drops) are internal to the
+    /// discipline and appear in the reverse link's
+    /// [`crate::queue::QueueStats`] instead.
+    pub ack_drops: u64,
     /// Retransmission timeouts experienced.
     pub timeouts: u64,
     /// Packets declared lost by the reordering detector.
@@ -75,6 +82,8 @@ pub struct FlowOutcome {
     pub packets_delivered: u64,
     pub on_time_s: f64,
     pub forward_drops: u64,
+    /// Acknowledgments dropped on the reverse path.
+    pub ack_drops: u64,
     pub timeouts: u64,
     pub losses: u64,
     pub transmissions: u64,
@@ -94,6 +103,7 @@ impl FlowOutcome {
             packets_delivered: stats.packets_delivered,
             on_time_s: stats.on_time.as_secs_f64(),
             forward_drops: stats.forward_drops,
+            ack_drops: stats.ack_drops,
             timeouts: stats.timeouts,
             losses: stats.losses,
             transmissions: stats.transmissions,

@@ -2,10 +2,19 @@
 //!
 //! The simulation substrate for the learnability-of-congestion-control
 //! study. Models store-and-forward links with pluggable queue disciplines
-//! (drop-tail, CoDel, sfqCoDel), dumbbell and parking-lot topologies,
-//! exponential ON/OFF workloads, and a sender-side reliability layer into
-//! which congestion-control algorithms plug via the
-//! [`transport::CongestionControl`] trait.
+//! (drop-tail, RED, CoDel, sfqCoDel), dumbbell and parking-lot
+//! topologies, exponential ON/OFF and Poisson flow-churn workloads
+//! (blocked, or unblocked M/G/∞ with overlapping transfers per slot),
+//! and a sender-side reliability layer into which congestion-control
+//! algorithms plug via the [`transport::CongestionControl`] trait.
+//!
+//! The network is bidirectional: acknowledgments are first-class
+//! [`packet::Packet`]s. A link with a [`topology::ReverseSpec`] carries
+//! its ACK traffic over a real reverse [`link::Link`] with its own queue
+//! discipline — per-flow private channels, or one shared reverse link on
+//! which every flow's ACKs queue, interleave and drop together (see
+//! [`sim`] for the three compatibility tiers; without a spec, the
+//! paper's uncongested-reverse arithmetic is preserved bit for bit).
 //!
 //! Every run is a pure function of `(NetworkConfig, protocols, seed)`:
 //! integer nanosecond time, a deterministic event queue, and per-component
@@ -55,8 +64,11 @@
 //!   power-of-two nanosecond span seeded from the bottleneck
 //!   serialization time and re-estimated from the live event population
 //!   on every resize (see the `calendar` module docs for the tuning
-//!   knobs). The previous `BinaryHeap` backend stays selectable at
-//!   runtime ([`event::SchedulerKind::Heap`], or `NETSIM_SCHEDULER=heap`)
+//!   knobs). Buckets store `(time, seq)` keys separately from event
+//!   payloads, so the scans that dominate at high standing populations
+//!   touch only a dense 16-byte-per-entry key array. The previous
+//!   `BinaryHeap` backend stays selectable at runtime
+//!   ([`event::SchedulerKind::Heap`], or `NETSIM_SCHEDULER=heap`)
 //!   as the O(log n) reference.
 //! * **Determinism is load-bearing.** All of the above preserve the
 //!   bit-for-bit `(config, protocols, seed) → outcome` contract that the

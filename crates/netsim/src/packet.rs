@@ -2,10 +2,21 @@
 //!
 //! The simulator models two kinds of traffic: data packets flowing from a
 //! sender through the (possibly congested) forward path, and per-packet
-//! acknowledgments returning over an uncongested reverse path. ACKs echo the
-//! sender's transmission timestamp — the Tao protocols' `send_ewma` and
-//! `rtt_ratio` congestion signals are computed from this echo, exactly as in
-//! the paper (§3.3).
+//! acknowledgments returning to the sender. ACKs echo the sender's
+//! transmission timestamp — the Tao protocols' `send_ewma` and `rtt_ratio`
+//! congestion signals are computed from this echo, exactly as in the paper
+//! (§3.3).
+//!
+//! Both kinds are the same [`Packet`] struct: an acknowledgment is a
+//! packet travelling in [`PacketDir::Ack`] whose echo fields reuse the
+//! data packet's slots (`sent_at`/`tx_index`/`is_retx` become the echoes)
+//! plus the receiver timestamp `recv_at`. On links whose [`ReverseSpec`]
+//! declares an explicit reverse channel, ACK packets traverse real
+//! [`crate::link::Link`] objects — queueing, serializing and (under an AQM
+//! or a full buffer) dropping exactly like data; without one, the engine
+//! keeps the paper's uncongested-reverse arithmetic.
+//!
+//! [`ReverseSpec`]: crate::topology::ReverseSpec
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -26,11 +37,25 @@ pub const DATA_PACKET_BYTES: u32 = 1500;
 /// Size of a returning acknowledgment (TCP ACK-sized).
 pub const ACK_BYTES: u32 = 40;
 
-/// A data packet in flight.
+/// Direction a packet is travelling: data toward the receiver, or an
+/// acknowledgment returning to the sender over the reverse path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PacketDir {
+    /// A data packet on the forward path.
+    #[default]
+    Data,
+    /// An acknowledgment on the reverse path. The echo fields
+    /// (`sent_at`, `tx_index`, `is_retx`) describe the acknowledged data
+    /// packet, and `recv_at` stamps its delivery at the receiver.
+    Ack,
+}
+
+/// A packet in flight — data or acknowledgment (see [`PacketDir`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Packet {
     pub flow: FlowId,
-    /// Sequence number within the flow epoch.
+    /// Sequence number within the flow epoch (for an ACK: the sequence
+    /// being acknowledged).
     pub seq: u64,
     /// Flow epoch: incremented each time the ON/OFF workload restarts the
     /// flow, so stale in-flight packets from a previous burst are ignored.
@@ -44,9 +69,49 @@ pub struct Packet {
     pub tx_index: u64,
     /// True if this is a retransmission.
     pub is_retx: bool,
-    /// Remaining hops: index into the flow's route of the *next* link to
-    /// traverse after the current one.
+    /// Remaining hops: index into the flow's route (data) or ACK route
+    /// (acknowledgment) of the *next* link to traverse after this one.
     pub hop: u8,
+    /// Which direction this packet is travelling.
+    pub dir: PacketDir,
+    /// Receiver timestamp when the acknowledged data packet arrived
+    /// ([`PacketDir::Ack`] only; `SimTime::ZERO` on data packets).
+    pub recv_at: SimTime,
+}
+
+impl Packet {
+    /// The acknowledgment packet for a delivered data packet: an
+    /// ACK-sized packet travelling in reverse whose echo fields copy the
+    /// data packet's, stamped with the receiver's delivery time.
+    pub fn ack_for(data: &Packet, recv_at: SimTime) -> Packet {
+        debug_assert_eq!(data.dir, PacketDir::Data, "acks acknowledge data");
+        Packet {
+            flow: data.flow,
+            seq: data.seq,
+            epoch: data.epoch,
+            size: ACK_BYTES,
+            sent_at: data.sent_at,
+            tx_index: data.tx_index,
+            is_retx: data.is_retx,
+            hop: 0,
+            dir: PacketDir::Ack,
+            recv_at,
+        }
+    }
+
+    /// The transport-facing [`Ack`] view of an acknowledgment packet.
+    pub fn as_ack(&self) -> Ack {
+        debug_assert_eq!(self.dir, PacketDir::Ack, "not an acknowledgment");
+        Ack {
+            flow: self.flow,
+            seq: self.seq,
+            epoch: self.epoch,
+            echo_sent_at: self.sent_at,
+            echo_tx_index: self.tx_index,
+            recv_at: self.recv_at,
+            was_retx: self.is_retx,
+        }
+    }
 }
 
 /// An acknowledgment returning to the sender.
@@ -89,6 +154,35 @@ mod tests {
         };
         let now = sent + SimDuration::from_millis(150);
         assert_eq!((now - ack.echo_sent_at).as_millis_f64(), 150.0);
+    }
+
+    #[test]
+    fn ack_packet_round_trip() {
+        let data = Packet {
+            flow: FlowId(3),
+            seq: 17,
+            epoch: 2,
+            size: DATA_PACKET_BYTES,
+            sent_at: SimTime::from_secs_f64(1.0),
+            tx_index: 21,
+            is_retx: true,
+            hop: 1,
+            dir: PacketDir::Data,
+            recv_at: SimTime::ZERO,
+        };
+        let recv = SimTime::from_secs_f64(1.075);
+        let ap = Packet::ack_for(&data, recv);
+        assert_eq!(ap.dir, PacketDir::Ack);
+        assert_eq!(ap.size, ACK_BYTES);
+        assert_eq!(ap.hop, 0, "ack starts at the first reverse hop");
+        let ack = ap.as_ack();
+        assert_eq!(ack.flow, FlowId(3));
+        assert_eq!(ack.seq, 17);
+        assert_eq!(ack.epoch, 2);
+        assert_eq!(ack.echo_sent_at, data.sent_at);
+        assert_eq!(ack.echo_tx_index, 21);
+        assert_eq!(ack.recv_at, recv);
+        assert!(ack.was_retx);
     }
 
     #[test]

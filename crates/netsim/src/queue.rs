@@ -85,6 +85,16 @@ pub enum QueueSpec {
     },
 }
 
+/// The default queue is an infinite FIFO — the "no packet drops" buffer.
+/// (Used by `#[serde(default)]` fields, e.g. a [`ReverseSpec`] queue.)
+///
+/// [`ReverseSpec`]: crate::topology::ReverseSpec
+impl Default for QueueSpec {
+    fn default() -> Self {
+        QueueSpec::infinite()
+    }
+}
+
 impl QueueSpec {
     /// Drop-tail sized to `bdp_multiple` bandwidth-delay products.
     pub fn drop_tail_bdp(rate_bps: f64, min_rtt_s: f64, bdp_multiple: f64) -> QueueSpec {
@@ -274,6 +284,8 @@ mod tests {
             tx_index: seq,
             is_retx: false,
             hop: 0,
+            dir: crate::packet::PacketDir::Data,
+            recv_at: SimTime::ZERO,
         }
     }
 

@@ -2,14 +2,44 @@
 //!
 //! Wires the pieces together: senders (a [`CongestionControl`] plugged into
 //! a [`Transport`]) emit packets over routed paths of [`Link`]s; receivers
-//! acknowledge every delivery over an uncongested reverse path; ON/OFF
-//! [`crate::workload::Workload`] processes gate offered load. A run is a pure function of
+//! acknowledge every delivery; ON/OFF [`crate::workload::Workload`]
+//! processes gate offered load. A run is a pure function of
 //! `(NetworkConfig, protocols, seed)`.
+//!
+//! # The reverse (ACK) path
+//!
+//! The network is bidirectional in three compatibility tiers, decided per
+//! flow from the [`crate::topology::ReverseSpec`]s on its route:
+//!
+//! * **No spec on any route link** — the paper's model, preserved bit for
+//!   bit: the acknowledgment arrives after the flow's reverse propagation
+//!   delay plus a negligible 1 Gbps serialization. No reverse links exist.
+//! * **`shared: false` specs** — each flow gets a *private* reverse
+//!   [`Link`] per spec'd hop: its ACKs serialize one at a time at the
+//!   reverse rate (the historical per-flow channel, now a real link
+//!   object with a real queue discipline), but never contend with other
+//!   flows. On routes whose reverse path has **one** spec'd hop — every
+//!   committed figure configuration — this reproduces the old
+//!   `busy_until` arithmetic bit for bit. On multi-hop reverse paths the
+//!   semantics are deliberately *more physical* than before: the ACK
+//!   serializes at every spec'd hop (store-and-forward), where the old
+//!   scalar serialized it once at the route's minimum reverse rate.
+//! * **`shared: true` specs** — one reverse [`Link`] per spec'd forward
+//!   link carries *every* crossing flow's ACKs: they queue, interleave
+//!   and (under a finite or AQM reverse queue) drop together, so ACK
+//!   compression on a shared uplink is a property of the simulated
+//!   network rather than an arithmetic approximation.
+//!
+//! In the link tiers, ACKs are first-class [`Packet`]s
+//! ([`PacketDir::Ack`]) dispatched through the same
+//! `Arrive → TxComplete → Propagated` event chain as data. Route hops
+//! without a spec contribute pure propagation delay, applied after the
+//! last reverse link.
 
 use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::flow::{FlowOutcome, FlowStats, OnTimeTracker};
 use crate::link::{Link, Offer};
-use crate::packet::{Ack, FlowId, LinkId, Packet, ACK_BYTES};
+use crate::packet::{Ack, FlowId, LinkId, Packet, PacketDir, ACK_BYTES};
 use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::seqtrack::SeqTracker;
@@ -23,13 +53,19 @@ struct SenderSlot {
     transport: Transport,
     workload: crate::workload::Workload,
     route: Vec<usize>,
+    /// Full reverse-path propagation delay (the paper-model arithmetic
+    /// tier uses it directly).
     ack_delay: SimDuration,
-    /// Reverse-path bottleneck rate (explicit asymmetric ACK path), or
-    /// `None` for the paper's uncongested reverse model.
-    reverse_rate_bps: Option<f64>,
-    /// When the asymmetric reverse channel finishes serializing the last
-    /// ACK it accepted (ACKs serialize one at a time at the reverse rate).
-    reverse_busy_until: SimTime,
+    /// Reverse links (indices into `Simulation::links`) this flow's ACKs
+    /// traverse, in reverse-route order; empty selects the paper's
+    /// uncongested-reverse arithmetic.
+    ack_route: Vec<usize>,
+    /// Propagation of route hops without a [`crate::topology::ReverseSpec`]
+    /// (pure delay applied after the last reverse link).
+    ack_residual_delay: SimDuration,
+    /// Concurrent transfers hosted by this slot (unblocked M/G/∞ churn);
+    /// the slot is ON while this is nonzero.
+    active_flows: u32,
     on: bool,
     on_tracker: OnTimeTracker,
     /// Time of the last transmission, for pacing.
@@ -56,10 +92,17 @@ struct ReceiverSlot {
 pub struct RunOutcome {
     pub flows: Vec<FlowOutcome>,
     pub duration_s: f64,
-    /// Final queue counters per link.
+    /// Final queue counters per link. Indices `0..forward_links` are the
+    /// config's links in order; any further entries are reverse (ACK)
+    /// links (shared ones first, in link order, then per-flow private
+    /// ones in flow order).
     pub link_queues: Vec<QueueStats>,
-    /// Bytes each link transmitted (utilization = bytes*8 / rate / T).
+    /// Bytes each link transmitted (utilization = bytes*8 / rate / T),
+    /// indexed like `link_queues`.
     pub link_bytes: Vec<u64>,
+    /// Number of forward links (`== config.links.len()`); entries past
+    /// this index in `link_queues`/`link_bytes` are reverse links.
+    pub forward_links: usize,
     pub events_processed: u64,
     /// Order-sensitive FNV-1a digest of every dispatched event, when
     /// enabled via [`Simulation::enable_event_digest`] (`None` otherwise).
@@ -79,7 +122,14 @@ impl RunOutcome {
 pub struct Simulation {
     now: SimTime,
     events: EventQueue,
+    /// Forward links (config order), then reverse links (see
+    /// [`RunOutcome::link_queues`] for the layout).
     links: Vec<Link>,
+    /// Number of forward links; `links[n_forward..]` are reverse links.
+    n_forward: usize,
+    /// Shared reverse link index per forward link (`None` when the link
+    /// has no shared [`crate::topology::ReverseSpec`]).
+    shared_rev: Vec<Option<usize>>,
     senders: Vec<SenderSlot>,
     receivers: Vec<ReceiverSlot>,
     stats: Vec<FlowStats>,
@@ -127,7 +177,7 @@ impl Simulation {
             "one protocol per flow required"
         );
         let mut root = SimRng::from_seed(seed);
-        let links: Vec<Link> = config
+        let mut links: Vec<Link> = config
             .links
             .iter()
             .enumerate()
@@ -136,7 +186,7 @@ impl Simulation {
                 Link::new(ls.rate_bps, ls.one_way_delay(), ls.queue.build(salt))
             })
             .collect();
-        let senders: Vec<SenderSlot> = protocols
+        let mut senders: Vec<SenderSlot> = protocols
             .into_iter()
             .enumerate()
             .map(|(i, cc)| SenderSlot {
@@ -145,8 +195,9 @@ impl Simulation {
                 workload: crate::workload::Workload::new(config.flows[i].workload.clone()),
                 route: config.flows[i].route.clone(),
                 ack_delay: config.ack_delay(i),
-                reverse_rate_bps: config.reverse_rate(i),
-                reverse_busy_until: SimTime::ZERO,
+                ack_route: Vec::new(),
+                ack_residual_delay: SimDuration::ZERO,
+                active_flows: 0,
                 on: false,
                 on_tracker: OnTimeTracker::default(),
                 last_send: None,
@@ -157,14 +208,78 @@ impl Simulation {
             })
             .collect();
         let n = senders.len();
+        // Reverse links, appended after the forward links: one shared
+        // link per spec'd LinkSpec (link order), then one private link
+        // per (flow, unshared spec'd hop) pair (flow order, reverse-route
+        // order). Built after the sender RNG forks so configs without
+        // shared reverse links keep their exact pre-refactor streams.
+        let n_forward = links.len();
+        let mut rev_fork = 0u64;
+        let mut salt = |root: &mut SimRng| {
+            let s = root.fork(0x3333 + rev_fork).gen_u64();
+            rev_fork += 1;
+            s
+        };
+        let mut shared_rev: Vec<Option<usize>> = vec![None; n_forward];
+        for (l, ls) in config.links.iter().enumerate() {
+            if let Some(r) = &ls.reverse {
+                if r.shared {
+                    shared_rev[l] = Some(links.len());
+                    links.push(Link::new(
+                        r.rate_bps,
+                        SimDuration::from_secs_f64(r.delay_s),
+                        r.queue.build(salt(&mut root)),
+                    ));
+                }
+            }
+        }
+        for (i, f) in config.flows.iter().enumerate() {
+            let mut ack_route = Vec::new();
+            let mut residual = SimDuration::ZERO;
+            for &l in f.route.iter().rev() {
+                match &config.links[l].reverse {
+                    Some(r) => ack_route.push(match shared_rev[l] {
+                        Some(idx) => idx,
+                        None => {
+                            let idx = links.len();
+                            links.push(Link::new(
+                                r.rate_bps,
+                                SimDuration::from_secs_f64(r.delay_s),
+                                r.queue.build(salt(&mut root)),
+                            ));
+                            idx
+                        }
+                    }),
+                    None => residual += config.links[l].one_way_delay(),
+                }
+            }
+            if !ack_route.is_empty() {
+                senders[i].ack_route = ack_route;
+                senders[i].ack_residual_delay = residual;
+            }
+        }
         // Seed the calendar queue's bucket width with the tightest
-        // per-packet event spacing in the topology (the fastest link's
-        // serialization time); the queue self-tunes from there.
-        let spacing_hint = links.iter().map(Link::event_spacing_hint).min();
+        // per-packet event spacing in the topology: the fastest forward
+        // link's data serialization time, or a reverse link's ACK
+        // serialization time if that is tighter. The queue self-tunes
+        // from there.
+        let spacing_hint = links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i < n_forward {
+                    l.event_spacing_hint()
+                } else {
+                    l.tx_time(ACK_BYTES)
+                }
+            })
+            .min();
         Simulation {
             now: SimTime::ZERO,
             events: EventQueue::with_kind_and_hint(scheduler, spacing_hint),
             links,
+            n_forward,
+            shared_rev,
             senders,
             receivers: (0..n).map(|_| ReceiverSlot::default()).collect(),
             stats: vec![FlowStats::default(); n],
@@ -180,6 +295,18 @@ impl Simulation {
     /// The scheduler backend this simulation dispatches through.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.scheduler
+    }
+
+    /// The [`LinkId`] of the shared reverse link built for forward link
+    /// `link`, if its [`crate::topology::ReverseSpec`] is `shared` —
+    /// usable with [`enable_trace`](Self::enable_trace) to sample the
+    /// shared ACK queue.
+    pub fn shared_reverse_link(&self, link: usize) -> Option<LinkId> {
+        self.shared_rev
+            .get(link)
+            .copied()
+            .flatten()
+            .map(|idx| LinkId(idx as u32))
     }
 
     /// Record queue occupancy of `links` every `period` (Fig 8).
@@ -207,7 +334,10 @@ impl Simulation {
     pub fn run(&mut self, duration: SimDuration) -> RunOutcome {
         let end = SimTime::ZERO + duration;
 
-        // Prime workload processes.
+        // Prime workload processes. Unblocked (M/G/∞) churn slots draw
+        // the same exp(1/λ) first arrival as the blocked variant but
+        // enter the per-slot multiplexing machinery instead of the
+        // single-chain toggle process.
         for i in 0..self.senders.len() {
             let s = &mut self.senders[i];
             if s.workload.is_on() {
@@ -219,14 +349,14 @@ impl Simulation {
                     s.workload.first_toggle(&mut rng)
                 };
                 if let Some(t) = first {
+                    let flow = FlowId(i as u32);
                     let gen = self.senders[i].toggle_gen;
-                    self.events.schedule(
-                        t,
-                        Event::WorkloadToggle {
-                            flow: FlowId(i as u32),
-                            gen,
-                        },
-                    );
+                    let ev = if self.senders[i].workload.mginf_rates().is_some() {
+                        Event::FlowArrival { flow, gen }
+                    } else {
+                        Event::WorkloadToggle { flow, gen }
+                    };
+                    self.events.schedule(t, ev);
                 }
             }
         }
@@ -265,6 +395,7 @@ impl Simulation {
             duration_s: duration.as_secs_f64(),
             link_queues: self.links.iter().map(|l| l.queue_stats()).collect(),
             link_bytes: self.links.iter().map(|l| l.bytes_transmitted()).collect(),
+            forward_links: self.n_forward,
             events_processed: self.events_processed,
             event_digest: self.event_digest,
         }
@@ -306,6 +437,8 @@ impl Simulation {
             }
             Event::RtoCheck { flow, gen } => self.handle_rto(flow, gen),
             Event::WorkloadToggle { flow, gen } => self.handle_toggle(flow, gen),
+            Event::FlowArrival { flow, gen } => self.handle_flow_arrival(flow, gen),
+            Event::FlowDeparture { flow, gen } => self.handle_flow_departure(flow, gen),
             Event::TraceSample => self.handle_trace_sample(end),
         }
     }
@@ -318,7 +451,11 @@ impl Simulation {
                 .schedule(self.now + d, Event::TxComplete { link, pkt }),
             Offer::Queued => {}
             Offer::Dropped => {
-                self.stats[pkt.flow.0 as usize].forward_drops += 1;
+                let st = &mut self.stats[pkt.flow.0 as usize];
+                match pkt.dir {
+                    PacketDir::Data => st.forward_drops += 1,
+                    PacketDir::Ack => st.ack_drops += 1,
+                }
                 if let Some(tr) = &mut self.trace {
                     if tr.links.contains(&link) {
                         tr.record_drop(self.now);
@@ -343,6 +480,9 @@ impl Simulation {
     }
 
     fn handle_propagated(&mut self, link: LinkId, pkt: Packet) {
+        if pkt.dir == PacketDir::Ack {
+            return self.handle_ack_propagated(pkt);
+        }
         let flow = pkt.flow.0 as usize;
         let route = &self.senders[flow].route;
         let next_hop = pkt.hop as usize + 1;
@@ -371,40 +511,69 @@ impl Simulation {
             let delay = self.now - pkt.sent_at;
             self.stats[flow].record_delivery(pkt.size, delay);
         }
-        // Per-packet selective ack over the uncongested reverse path.
-        let ack = Ack {
-            flow: pkt.flow,
-            seq: pkt.seq,
-            epoch: pkt.epoch,
-            echo_sent_at: pkt.sent_at,
-            echo_tx_index: pkt.tx_index,
-            recv_at: self.now,
-            was_retx: pkt.is_retx,
-        };
-        let s = &mut self.senders[flow];
-        let arrive_at = match s.reverse_rate_bps {
-            // Paper model: uncongested reverse path, negligible (1 Gbps)
-            // ACK serialization.
-            None => {
-                self.now + s.ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9)
-            }
-            // Asymmetric reverse channel: ACKs serialize one at a time at
-            // the reverse bottleneck rate, so a slow uplink stretches and
-            // clumps the ACK clock the sender paces against.
-            Some(rate) => {
-                let start = self.now.max(s.reverse_busy_until);
-                let done = start + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / rate);
-                s.reverse_busy_until = done;
-                done + s.ack_delay
-            }
-        };
-        self.events.schedule(
-            arrive_at,
-            Event::AckArrive {
-                flow: pkt.flow,
-                ack,
-            },
-        );
+        // Per-packet selective acknowledgment.
+        let s = &self.senders[flow];
+        if s.ack_route.is_empty() {
+            // Paper model, preserved bit for bit: uncongested reverse
+            // path, negligible (1 Gbps) ACK serialization.
+            let arrive_at =
+                self.now + s.ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9);
+            let ack = Packet::ack_for(&pkt, self.now).as_ack();
+            self.events.schedule(
+                arrive_at,
+                Event::AckArrive {
+                    flow: pkt.flow,
+                    ack,
+                },
+            );
+        } else {
+            // The ACK is a real packet: it enters the first reverse link
+            // and queues, serializes and propagates like any other
+            // traffic (contending with every other flow's ACKs when the
+            // reverse link is shared).
+            let first = LinkId(s.ack_route[0] as u32);
+            self.events.schedule(
+                self.now,
+                Event::Arrive {
+                    link: first,
+                    pkt: Packet::ack_for(&pkt, self.now),
+                },
+            );
+        }
+    }
+
+    /// An ACK packet finished propagating across a reverse link: forward
+    /// it to the next reverse hop, or deliver it to the sender (after any
+    /// residual pure-delay segment from route hops without a reverse
+    /// spec).
+    fn handle_ack_propagated(&mut self, pkt: Packet) {
+        let flow = pkt.flow.0 as usize;
+        let s = &self.senders[flow];
+        let next_hop = pkt.hop as usize + 1;
+        if next_hop < s.ack_route.len() {
+            let mut fwd = pkt;
+            fwd.hop = next_hop as u8;
+            let next_link = LinkId(s.ack_route[next_hop] as u32);
+            self.events.schedule(
+                self.now,
+                Event::Arrive {
+                    link: next_link,
+                    pkt: fwd,
+                },
+            );
+            return;
+        }
+        if s.ack_residual_delay.is_zero() {
+            self.handle_ack(pkt.flow, pkt.as_ack());
+        } else {
+            self.events.schedule(
+                self.now + s.ack_residual_delay,
+                Event::AckArrive {
+                    flow: pkt.flow,
+                    ack: pkt.as_ack(),
+                },
+            );
+        }
     }
 
     fn handle_ack(&mut self, flow: FlowId, ack: Ack) {
@@ -464,6 +633,60 @@ impl Simulation {
         if on && !self.senders[i].on {
             self.turn_on(i);
         } else if !on && self.senders[i].on {
+            self.turn_off(i);
+        }
+    }
+
+    /// A transfer arrives at an unblocked (M/G/∞) churn slot: draw the
+    /// next Poisson interarrival and this transfer's exponential
+    /// duration, bump the concurrent-transfer count, and turn the slot ON
+    /// if it was idle. Arrivals never block — overlapping transfers
+    /// extend the slot's busy period.
+    fn handle_flow_arrival(&mut self, flow: FlowId, gen: u64) {
+        let i = flow.0 as usize;
+        if gen != self.senders[i].toggle_gen {
+            return;
+        }
+        let (next_arrival, duration) = {
+            let s = &mut self.senders[i];
+            let (lambda, d) = s.workload.mginf_rates().expect("M/G/inf churn slot");
+            let mut rng = s.rng.fork(0xBBBB ^ self.now.as_nanos());
+            // Clamp zero-length draws to 1 µs (same guard as toggles): a
+            // zero interarrival would re-fire at this instant with the
+            // identical RNG fork and spin forever.
+            let clamp = |d: SimDuration| {
+                if d.is_zero() {
+                    SimDuration::from_micros(1)
+                } else {
+                    d
+                }
+            };
+            (
+                clamp(rng.exp_duration(SimDuration::from_secs_f64(1.0 / lambda))),
+                clamp(rng.exp_duration(SimDuration::from_secs_f64(d))),
+            )
+        };
+        self.events
+            .schedule(self.now + next_arrival, Event::FlowArrival { flow, gen });
+        self.events
+            .schedule(self.now + duration, Event::FlowDeparture { flow, gen });
+        self.senders[i].active_flows += 1;
+        if self.senders[i].active_flows == 1 {
+            self.turn_on(i);
+        }
+    }
+
+    /// One transfer of an unblocked churn slot completes; the slot turns
+    /// OFF when the last concurrent transfer drains.
+    fn handle_flow_departure(&mut self, flow: FlowId, gen: u64) {
+        let i = flow.0 as usize;
+        if gen != self.senders[i].toggle_gen {
+            return;
+        }
+        let s = &mut self.senders[i];
+        debug_assert!(s.active_flows > 0, "departure without arrival");
+        s.active_flows -= 1;
+        if s.active_flows == 0 {
             self.turn_off(i);
         }
     }
@@ -609,6 +832,8 @@ fn fold_event(digest: u64, at: SimTime, ev: &Event) -> u64 {
         Event::RtoCheck { flow, gen } => fnv(fnv(fnv(digest, 6), flow.0 as u64), *gen),
         Event::WorkloadToggle { flow, gen } => fnv(fnv(fnv(digest, 7), flow.0 as u64), *gen),
         Event::TraceSample => fnv(digest, 8),
+        Event::FlowArrival { flow, gen } => fnv(fnv(fnv(digest, 9), flow.0 as u64), *gen),
+        Event::FlowDeparture { flow, gen } => fnv(fnv(fnv(digest, 10), flow.0 as u64), *gen),
     }
 }
 
@@ -879,10 +1104,7 @@ mod tests {
             WorkloadSpec::AlwaysOn,
         );
         let mut asym = net.clone();
-        asym.links[0].reverse = Some(crate::topology::ReverseSpec {
-            rate_bps: 100e3,
-            delay_s: 0.050,
-        });
+        asym.links[0].reverse = Some(crate::topology::ReverseSpec::per_flow(100e3, 0.050));
         let run = |n: &crate::topology::NetworkConfig| {
             let mut sim = Simulation::new(n, vec![fixed(60.0)], 9);
             sim.run(SimDuration::from_secs(20)).flows[0].throughput_bps
@@ -939,6 +1161,120 @@ mod tests {
             );
             assert!(f.bytes_delivered > 0);
         }
+    }
+
+    #[test]
+    fn mginf_churn_overlaps_flows_per_slot() {
+        // λ = 1/s, d = 1 s: blocked churn has duty λd/(1+λd) = 1/2, the
+        // unblocked M/G/∞ slot is ON with probability 1 − e^{−1} ≈ 0.632.
+        // Busy periods are unions of overlapping transfers, so the
+        // unblocked slot must accumulate measurably more ON time.
+        let run = |spec: WorkloadSpec, seed: u64| {
+            let net = dumbbell(2, 10e6, 0.050, QueueSpec::infinite(), spec);
+            let mut sim = Simulation::new(&net, vec![fixed(40.0), fixed(40.0)], seed);
+            let out = sim.run(SimDuration::from_secs(300));
+            out.flows.iter().map(|f| f.on_time_s).sum::<f64>() / 2.0 / 300.0
+        };
+        let blocked: f64 = (0..3)
+            .map(|s| run(WorkloadSpec::churn(1.0, 1.0), s))
+            .sum::<f64>()
+            / 3.0;
+        let unblocked: f64 = (0..3)
+            .map(|s| run(WorkloadSpec::churn_mginf(1.0, 1.0), s))
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            (blocked - 0.5).abs() < 0.06,
+            "blocked duty {blocked} != 1/2"
+        );
+        assert!(
+            (unblocked - 0.632).abs() < 0.06,
+            "M/G/inf duty {unblocked} != 1 - 1/e"
+        );
+        assert!(unblocked > blocked + 0.05, "overlap extends busy periods");
+    }
+
+    #[test]
+    fn shared_reverse_link_contends_across_flows() {
+        // Four senders, forward path far from saturated, but all ACKs
+        // share one slow uplink: per-flow reverse channels of the same
+        // rate leave each flow its full private ACK bandwidth, so the
+        // shared variant must deliver materially less in aggregate.
+        let base = dumbbell(
+            4,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let mut per_flow = base.clone();
+        per_flow.links[0].reverse = Some(crate::topology::ReverseSpec::per_flow(200e3, 0.050));
+        let mut shared = base.clone();
+        shared.links[0].reverse = Some(crate::topology::ReverseSpec::shared(
+            200e3,
+            0.050,
+            QueueSpec::infinite(),
+        ));
+        let run = |n: &crate::topology::NetworkConfig| {
+            let mut sim = Simulation::new(n, (0..4).map(|_| fixed(30.0)).collect(), 5);
+            let out = sim.run(SimDuration::from_secs(20));
+            out.flows.iter().map(|f| f.throughput_bps).sum::<f64>()
+        };
+        let (pf_tpt, sh_tpt) = (run(&per_flow), run(&shared));
+        // One 200 kbps uplink carries at most 625 ACKs/s in total: the
+        // ACK-clocked aggregate can't exceed ~7.5 Mbps worth of data.
+        let shared_limit = 200e3 / (ACK_BYTES as f64 * 8.0) * 1500.0 * 8.0;
+        assert!(
+            sh_tpt < shared_limit * 1.05,
+            "shared uplink caps the aggregate: {sh_tpt} vs {shared_limit}"
+        );
+        // Private channels: each flow has its own 200 kbps of ACK
+        // bandwidth (~7.5 Mbps of data each), so the 10 Mbps forward link
+        // is the binding constraint again.
+        assert!(
+            pf_tpt > 9e6,
+            "private reverse channels leave the forward link binding: {pf_tpt}"
+        );
+        assert!(
+            pf_tpt > sh_tpt * 1.2,
+            "shared contention must cost aggregate throughput: {pf_tpt} vs {sh_tpt}"
+        );
+    }
+
+    #[test]
+    fn shared_reverse_queue_can_drop_acks() {
+        // A shared uplink with a tiny drop-tail buffer: ACK drops are
+        // accounted per flow, and the flows survive via loss recovery.
+        let mut net = dumbbell(
+            4,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        net.links[0].reverse = Some(crate::topology::ReverseSpec::shared(
+            100e3,
+            0.050,
+            QueueSpec::DropTail {
+                capacity_bytes: Some(400),
+            },
+        ));
+        let mut sim = Simulation::new(&net, (0..4).map(|_| fixed(30.0)).collect(), 9);
+        let out = sim.run(SimDuration::from_secs(20));
+        let ack_drops: u64 = out.flows.iter().map(|f| f.ack_drops).sum();
+        assert!(ack_drops > 0, "10-ACK buffer must overflow");
+        assert_eq!(
+            out.flows.iter().map(|f| f.forward_drops).sum::<u64>(),
+            0,
+            "forward path uncongested: drops are reverse-only"
+        );
+        for f in &out.flows {
+            assert!(f.bytes_delivered > 0, "flow {} starved", f.flow);
+        }
+        // Reverse links are reported after the forward links.
+        assert_eq!(out.forward_links, 1);
+        assert_eq!(out.link_queues.len(), 2, "one shared reverse link");
+        assert_eq!(out.link_queues[1].dropped, ack_drops);
     }
 
     #[test]

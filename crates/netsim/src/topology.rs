@@ -13,10 +13,16 @@
 //!
 //! A link may additionally carry an explicit [`ReverseSpec`] describing an
 //! *asymmetric* ACK path: its own propagation delay and a finite reverse
-//! rate at which acknowledgments serialize one at a time (the classic
-//! ADSL/cable/satellite "slow uplink" regime the paper never tested).
-//! Without one, the reverse path stays the paper's model — uncongested
-//! pure delay of `delay_s / 2`.
+//! rate at which acknowledgments serialize (the classic ADSL/cable/
+//! satellite "slow uplink" regime the paper never tested). The engine
+//! realizes the spec as a real reverse [`crate::link::Link`] with its own
+//! queue discipline: `shared: false` (the default) gives every flow a
+//! private reverse channel — acknowledgments of one flow serialize one at
+//! a time, never contending with other flows — while `shared: true`
+//! queues *all* flows' ACKs through one reverse link, so ACK compression
+//! and reverse-queue drops emerge from real contention (the
+//! uplink-sharing household regime). Without a spec, the reverse path
+//! stays the paper's model — uncongested pure delay of `delay_s / 2`.
 
 use crate::queue::QueueSpec;
 use crate::time::SimDuration;
@@ -24,13 +30,54 @@ use crate::workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// Explicit reverse-direction (ACK-path) characteristics of a link.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// The engine builds a real reverse [`crate::link::Link`] from this spec:
+/// one private link per flow when `shared` is false (reproducing the
+/// per-flow ACK serialization this field originally modelled), or one
+/// link carrying every flow's ACKs when `shared` is true.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ReverseSpec {
-    /// Reverse line rate in bits per second; acknowledgments serialize one
-    /// at a time at this rate (the asymmetry bottleneck).
+    /// Reverse line rate in bits per second; acknowledgments serialize
+    /// at this rate (the asymmetry bottleneck).
     pub rate_bps: f64,
     /// One-way reverse propagation delay in seconds.
     pub delay_s: f64,
+    /// Queue discipline of the reverse channel. Defaults to an infinite
+    /// FIFO (ACKs never drop — the historical per-flow semantics); any
+    /// [`QueueSpec`] works, so RED/CoDel/sfqCoDel can manage ACK traffic
+    /// exactly as they manage data.
+    #[serde(default)]
+    pub queue: QueueSpec,
+    /// `true`: all flows crossing the link queue their ACKs through one
+    /// shared reverse link (true contention, ACK compression, shared
+    /// drops). `false` (serde default, back-compatible): each flow gets a
+    /// private reverse channel of this rate.
+    #[serde(default)]
+    pub shared: bool,
+}
+
+impl ReverseSpec {
+    /// Private per-flow reverse channel with an infinite FIFO — the exact
+    /// semantics `ReverseSpec { rate_bps, delay_s }` had before the
+    /// reverse path became real links.
+    pub fn per_flow(rate_bps: f64, delay_s: f64) -> Self {
+        ReverseSpec {
+            rate_bps,
+            delay_s,
+            queue: QueueSpec::infinite(),
+            shared: false,
+        }
+    }
+
+    /// Shared reverse link: every flow's ACKs through one queue.
+    pub fn shared(rate_bps: f64, delay_s: f64, queue: QueueSpec) -> Self {
+        ReverseSpec {
+            rate_bps,
+            delay_s,
+            queue,
+            shared: true,
+        }
+    }
 }
 
 /// A unidirectional link description.
@@ -146,10 +193,38 @@ impl NetworkConfig {
         );
         let mut out = self.clone();
         for link in &mut out.links {
-            link.reverse = Some(ReverseSpec {
-                rate_bps: link.rate_bps / slowdown,
-                delay_s: link.delay_s / 2.0,
-            });
+            link.reverse = Some(ReverseSpec::per_flow(
+                link.rate_bps / slowdown,
+                link.delay_s / 2.0,
+            ));
+        }
+        out
+    }
+
+    /// Copy of this network with a *shared* reverse link on every link —
+    /// all flows' acknowledgments queue together through one reverse
+    /// channel at `forward rate / slowdown` under the given queue
+    /// discipline (built per link from `queue_for(reverse_rate_bps,
+    /// link)`), with the reverse propagation mirroring the forward
+    /// direction. This is the uplink-sharing household regime: ACK
+    /// compression and reverse drops come from genuine contention.
+    pub fn with_shared_reverse(
+        &self,
+        slowdown: f64,
+        mut queue_for: impl FnMut(f64, &LinkSpec) -> QueueSpec,
+    ) -> NetworkConfig {
+        assert!(
+            slowdown.is_finite() && slowdown > 0.0,
+            "reverse slowdown must be positive"
+        );
+        let mut out = self.clone();
+        for link in &mut out.links {
+            let rate = link.rate_bps / slowdown;
+            link.reverse = Some(ReverseSpec::shared(
+                rate,
+                link.delay_s / 2.0,
+                queue_for(rate, link),
+            ));
         }
         out
     }
@@ -189,6 +264,28 @@ impl NetworkConfig {
             if f.route.len() > u8::MAX as usize {
                 return Err(format!("flow {i} route too long"));
             }
+            if let crate::workload::WorkloadSpec::Churn {
+                arrival_rate_hz,
+                mean_duration_s,
+                unblocked,
+            } = &f.workload
+            {
+                if !arrival_rate_hz.is_finite()
+                    || *arrival_rate_hz <= 0.0
+                    || !mean_duration_s.is_finite()
+                    || *mean_duration_s <= 0.0
+                {
+                    let kind = if *unblocked {
+                        "M/G/inf (unblocked)"
+                    } else {
+                        "blocked"
+                    };
+                    return Err(format!(
+                        "flow {i} {kind} churn needs a positive arrival rate and mean \
+                         duration (got {arrival_rate_hz} arrivals/s, {mean_duration_s} s)"
+                    ));
+                }
+            }
         }
         for (i, l) in self.links.iter().enumerate() {
             if l.rate_bps.is_nan() || l.rate_bps <= 0.0 {
@@ -198,6 +295,14 @@ impl NetworkConfig {
                 return Err(format!("link {i} has negative delay"));
             }
             if let Some(r) = &l.reverse {
+                if r.shared && !(r.rate_bps.is_finite() && r.rate_bps > 0.0) {
+                    return Err(format!(
+                        "link {i} declares a shared reverse link but no positive \
+                         ReverseSpec rate (got {}); set rate_bps to the uplink \
+                         rate or drop `shared`",
+                        r.rate_bps
+                    ));
+                }
                 if !r.rate_bps.is_finite() || r.rate_bps <= 0.0 {
                     return Err(format!(
                         "link {i} reverse path has non-positive rate {} \
@@ -211,8 +316,9 @@ impl NetworkConfig {
                         r.delay_s
                     ));
                 }
+                validate_queue(&format!("link {i} reverse"), &r.queue)?;
             }
-            validate_queue(i, &l.queue)?;
+            validate_queue(&format!("link {i}"), &l.queue)?;
         }
         Ok(())
     }
@@ -223,11 +329,11 @@ impl NetworkConfig {
 /// simulation is built (a `min_th >= max_th` RED would otherwise panic
 /// deep inside `QueueSpec::build`, a zero-capacity buffer would deadlock
 /// the link).
-fn validate_queue(link: usize, q: &QueueSpec) -> Result<(), String> {
+fn validate_queue(link: &str, q: &QueueSpec) -> Result<(), String> {
     let finite_capacity = |cap: u64, name: &str| {
         if cap == 0 {
             Err(format!(
-                "link {link} {name} queue has zero capacity (no packet ever fits)"
+                "{link} {name} queue has zero capacity (no packet ever fits)"
             ))
         } else {
             Ok(())
@@ -248,12 +354,12 @@ fn validate_queue(link: usize, q: &QueueSpec) -> Result<(), String> {
             if target_ms.is_nan() || target_ms <= 0.0 || interval_ms.is_nan() || interval_ms <= 0.0
             {
                 return Err(format!(
-                    "link {link} sfqCoDel needs positive target/interval \
+                    "{link} sfqCoDel needs positive target/interval \
                      (got target {target_ms} ms, interval {interval_ms} ms)"
                 ));
             }
             if bins == 0 {
-                return Err(format!("link {link} sfqCoDel needs at least one bin"));
+                return Err(format!("{link} sfqCoDel needs at least one bin"));
             }
             Ok(())
         }
@@ -266,12 +372,12 @@ fn validate_queue(link: usize, q: &QueueSpec) -> Result<(), String> {
             finite_capacity(capacity_bytes, "RED")?;
             if min_th.is_nan() || max_th.is_nan() || min_th < 0.0 || max_th <= min_th {
                 return Err(format!(
-                    "link {link} RED thresholds invalid: need 0 <= min_th < max_th \
+                    "{link} RED thresholds invalid: need 0 <= min_th < max_th \
                      (got min_th {min_th}, max_th {max_th})"
                 ));
             }
             if max_p.is_nan() || max_p <= 0.0 || max_p > 1.0 {
-                return Err(format!("link {link} RED max_p {max_p} outside (0, 1]"));
+                return Err(format!("{link} RED max_p {max_p} outside (0, 1]"));
             }
             Ok(())
         }
@@ -284,7 +390,7 @@ fn validate_queue(link: usize, q: &QueueSpec) -> Result<(), String> {
             if target_ms.is_nan() || target_ms <= 0.0 || interval_ms.is_nan() || interval_ms <= 0.0
             {
                 return Err(format!(
-                    "link {link} CoDel needs positive target/interval \
+                    "{link} CoDel needs positive target/interval \
                      (got target {target_ms} ms, interval {interval_ms} ms)"
                 ));
             }
@@ -491,10 +597,7 @@ mod tests {
         );
         assert_eq!(sym.reverse_rate(0), None);
         let mut asym = sym.clone();
-        asym.links[0].reverse = Some(ReverseSpec {
-            rate_bps: 0.2e6,
-            delay_s: 0.080,
-        });
+        asym.links[0].reverse = Some(ReverseSpec::per_flow(0.2e6, 0.080));
         asym.validate().unwrap();
         assert_eq!(asym.min_one_way(0), SimDuration::from_millis(50));
         assert_eq!(asym.ack_delay(0), SimDuration::from_millis(80));
@@ -532,19 +635,13 @@ mod tests {
     #[test]
     fn validation_rejects_bad_reverse_specs() {
         let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
-        net.links[0].reverse = Some(ReverseSpec {
-            rate_bps: 0.0,
-            delay_s: 0.05,
-        });
+        net.links[0].reverse = Some(ReverseSpec::per_flow(0.0, 0.05));
         let msg = net.validate().unwrap_err();
         assert!(
             msg.contains("reverse path has non-positive rate"),
             "actionable message, got: {msg}"
         );
-        net.links[0].reverse = Some(ReverseSpec {
-            rate_bps: 1e6,
-            delay_s: f64::NAN,
-        });
+        net.links[0].reverse = Some(ReverseSpec::per_flow(1e6, f64::NAN));
         let msg = net.validate().unwrap_err();
         assert!(msg.contains("invalid delay"), "got: {msg}");
     }
@@ -600,6 +697,134 @@ mod tests {
         base(QueueSpec::codel_default(1e6, 0.1, 5.0))
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_shared_reverse_without_rate() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        for bad_rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            net.links[0].reverse = Some(ReverseSpec {
+                rate_bps: bad_rate,
+                delay_s: 0.05,
+                queue: QueueSpec::infinite(),
+                shared: true,
+            });
+            let msg = net.validate().unwrap_err();
+            assert!(
+                msg.contains("shared reverse link") && msg.contains("drop `shared`"),
+                "actionable shared-reverse message, got: {msg}"
+            );
+        }
+        // a positive rate makes the same spec valid
+        net.links[0].reverse = Some(ReverseSpec::shared(1e5, 0.05, QueueSpec::infinite()));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_checks_reverse_queue_specs() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.links[0].reverse = Some(ReverseSpec::shared(
+            1e5,
+            0.05,
+            QueueSpec::Red {
+                capacity_bytes: 60_000,
+                min_th: 20.0,
+                max_th: 10.0,
+                max_p: 0.1,
+            },
+        ));
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("link 0 reverse") && msg.contains("min_th < max_th"),
+            "reverse queue named in the message, got: {msg}"
+        );
+        net.links[0].reverse = Some(ReverseSpec::shared(
+            1e5,
+            0.05,
+            QueueSpec::DropTail {
+                capacity_bytes: Some(0),
+            },
+        ));
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("link 0 reverse"), "got: {msg}");
+        // a well-formed AQM reverse queue passes
+        net.links[0].reverse = Some(ReverseSpec::shared(
+            1e5,
+            0.05,
+            QueueSpec::codel_default(1e5, 0.1, 5.0),
+        ));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_churn() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.flows[0].workload = WorkloadSpec::Churn {
+            arrival_rate_hz: 0.0,
+            mean_duration_s: 1.0,
+            unblocked: true,
+        };
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("M/G/inf") && msg.contains("positive arrival rate"),
+            "actionable churn message, got: {msg}"
+        );
+        net.flows[0].workload = WorkloadSpec::Churn {
+            arrival_rate_hz: 1.0,
+            mean_duration_s: f64::NAN,
+            unblocked: false,
+        };
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("blocked churn"), "got: {msg}");
+        net.flows[0].workload = WorkloadSpec::churn_mginf(1.0, 1.0);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn pre_shared_reverse_specs_still_parse() {
+        // JSON from before the `queue`/`shared` fields existed: defaults
+        // to a private per-flow channel with an infinite FIFO.
+        let json = r#"{
+            "links": [{"rate_bps": 1e7, "delay_s": 0.1,
+                       "queue": {"DropTail": {"capacity_bytes": null}},
+                       "reverse": {"rate_bps": 2e5, "delay_s": 0.05}}],
+            "flows": [{"route": [0], "workload": "AlwaysOn"}]
+        }"#;
+        let net: NetworkConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(net.links[0].reverse, Some(ReverseSpec::per_flow(2e5, 0.05)));
+        net.validate().unwrap();
+        // and the full spec round-trips
+        let mut shared = net.clone();
+        shared.links[0].reverse = Some(ReverseSpec::shared(
+            2e5,
+            0.05,
+            QueueSpec::codel_default(2e5, 0.1, 5.0),
+        ));
+        let back: NetworkConfig =
+            serde_json::from_str(&serde_json::to_string(&shared).unwrap()).unwrap();
+        assert_eq!(back, shared);
+    }
+
+    #[test]
+    fn shared_reverse_builder_sizes_queues_per_link() {
+        let net = parking_lot(
+            10e6,
+            40e6,
+            0.075,
+            QueueSpec::infinite(),
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        )
+        .with_shared_reverse(8.0, |rate, _| QueueSpec::codel_default(rate, 0.150, 5.0));
+        net.validate().unwrap();
+        for (i, l) in net.links.iter().enumerate() {
+            let r = l.reverse.as_ref().expect("reverse on every link");
+            assert!(r.shared, "link {i} shared");
+            assert_eq!(r.rate_bps, l.rate_bps / 8.0);
+            assert!(matches!(r.queue, QueueSpec::Codel { .. }));
+        }
+        // min RTT unchanged: reverse delay mirrors forward
+        assert_eq!(net.min_rtt(0), SimDuration::from_millis(150));
     }
 
     #[test]

@@ -361,6 +361,8 @@ impl Transport {
             tx_index,
             is_retx,
             hop: 0,
+            dir: crate::packet::PacketDir::Data,
+            recv_at: SimTime::ZERO,
         })
     }
 

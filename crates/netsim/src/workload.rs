@@ -22,17 +22,26 @@ pub enum WorkloadSpec {
     /// time. State before the first switchpoint is OFF.
     Schedule(Vec<(f64, bool)>),
     /// Flow churn: this sender slot hosts a Poisson process of short-lived
-    /// flows. Flows arrive at `arrival_rate_hz` (arrivals while a flow is
-    /// in progress are blocked) and each transfers for an exponentially
-    /// distributed duration with mean `mean_duration_s`. By memorylessness
-    /// of the exponential, the slot behaves as an ON/OFF process with mean
-    /// ON `mean_duration_s` and mean OFF `1 / arrival_rate_hz` — the spec
-    /// is kept distinct so churn sweeps express the *arrival rate* as data
-    /// and summaries can reason about offered duty cycle
-    /// (`λ·d / (1 + λ·d)`).
+    /// flows. Flows arrive at `arrival_rate_hz` and each transfers for an
+    /// exponentially distributed duration with mean `mean_duration_s`.
+    ///
+    /// With `unblocked: false` (the serde default), arrivals while a flow
+    /// is in progress are *blocked*: by memorylessness of the exponential,
+    /// the slot behaves as an ON/OFF process with mean ON
+    /// `mean_duration_s` and mean OFF `1 / arrival_rate_hz` (duty cycle
+    /// `λ·d / (1 + λ·d)`). The spec is kept distinct so churn sweeps
+    /// express the *arrival rate* as data.
+    ///
+    /// With `unblocked: true`, the slot is an M/G/∞ station: arrivals are
+    /// never blocked, concurrent transfers overlap (the engine counts
+    /// them per slot), and the slot offers load while *any* transfer is
+    /// active — ON exactly during the M/G/∞ busy periods, with
+    /// stationary ON probability `1 − e^(−λ·d)`.
     Churn {
         arrival_rate_hz: f64,
         mean_duration_s: f64,
+        #[serde(default)]
+        unblocked: bool,
     },
 }
 
@@ -59,8 +68,8 @@ impl WorkloadSpec {
         WorkloadSpec::Schedule(vec![(on_s, true), (off_s, false)])
     }
 
-    /// Flow churn with the given Poisson arrival rate and mean flow
-    /// duration (see [`WorkloadSpec::Churn`]).
+    /// Blocked flow churn with the given Poisson arrival rate and mean
+    /// flow duration (see [`WorkloadSpec::Churn`]).
     pub fn churn(arrival_rate_hz: f64, mean_duration_s: f64) -> Self {
         assert!(
             arrival_rate_hz > 0.0 && mean_duration_s > 0.0,
@@ -69,6 +78,21 @@ impl WorkloadSpec {
         WorkloadSpec::Churn {
             arrival_rate_hz,
             mean_duration_s,
+            unblocked: false,
+        }
+    }
+
+    /// Unblocked M/G/∞ flow churn: Poisson arrivals that overlap within
+    /// the slot instead of blocking (see [`WorkloadSpec::Churn`]).
+    pub fn churn_mginf(arrival_rate_hz: f64, mean_duration_s: f64) -> Self {
+        assert!(
+            arrival_rate_hz > 0.0 && mean_duration_s > 0.0,
+            "churn needs positive arrival rate and duration"
+        );
+        WorkloadSpec::Churn {
+            arrival_rate_hz,
+            mean_duration_s,
+            unblocked: true,
         }
     }
 
@@ -83,7 +107,24 @@ impl WorkloadSpec {
             WorkloadSpec::Churn {
                 arrival_rate_hz,
                 mean_duration_s,
+                ..
             } => Some((mean_duration_s, 1.0 / arrival_rate_hz)),
+            _ => None,
+        }
+    }
+
+    /// `(arrival_rate_hz, mean_duration_s)` when this spec is unblocked
+    /// M/G/∞ churn — the engine routes such slots through per-slot flow
+    /// multiplexing ([`crate::event::Event::FlowArrival`] /
+    /// [`FlowDeparture`](crate::event::Event::FlowDeparture)) instead of
+    /// the single-chain toggle machinery.
+    pub fn mginf_rates(&self) -> Option<(f64, f64)> {
+        match *self {
+            WorkloadSpec::Churn {
+                arrival_rate_hz,
+                mean_duration_s,
+                unblocked: true,
+            } => Some((arrival_rate_hz, mean_duration_s)),
             _ => None,
         }
     }
@@ -126,6 +167,11 @@ impl Workload {
 
     pub fn is_on(&self) -> bool {
         self.on
+    }
+
+    /// See [`WorkloadSpec::mginf_rates`].
+    pub fn mginf_rates(&self) -> Option<(f64, f64)> {
+        self.spec.mginf_rates()
     }
 
     /// Time of the first toggle after simulation start, if any.
@@ -249,6 +295,49 @@ mod tests {
     #[should_panic(expected = "churn needs positive arrival rate")]
     fn churn_rejects_zero_rate() {
         WorkloadSpec::churn(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn needs positive arrival rate")]
+    fn churn_mginf_rejects_zero_duration() {
+        WorkloadSpec::churn_mginf(1.0, 0.0);
+    }
+
+    #[test]
+    fn mginf_rates_only_for_unblocked_churn() {
+        assert_eq!(WorkloadSpec::churn(2.0, 0.5).mginf_rates(), None);
+        assert_eq!(
+            WorkloadSpec::churn_mginf(2.0, 0.5).mginf_rates(),
+            Some((2.0, 0.5))
+        );
+        assert_eq!(WorkloadSpec::on_off_1s().mginf_rates(), None);
+        let w = Workload::new(WorkloadSpec::churn_mginf(2.0, 0.5));
+        assert!(!w.is_on(), "M/G/inf slot starts idle");
+        assert_eq!(w.mginf_rates(), Some((2.0, 0.5)));
+    }
+
+    #[test]
+    fn mginf_first_arrival_matches_blocked_draw() {
+        // The first arrival of the unblocked variant is the same exp(1/λ)
+        // draw as the blocked one, so sweeps share their burn-in phase.
+        let mut blocked = Workload::new(WorkloadSpec::churn(0.5, 1.0));
+        let mut mginf = Workload::new(WorkloadSpec::churn_mginf(0.5, 1.0));
+        let t_b = blocked.first_toggle(&mut SimRng::from_seed(11)).unwrap();
+        let t_u = mginf.first_toggle(&mut SimRng::from_seed(11)).unwrap();
+        assert_eq!(t_b, t_u);
+    }
+
+    #[test]
+    fn pre_unblocked_churn_specs_still_parse() {
+        // JSON from before the `unblocked` field existed.
+        let json = r#"{"Churn": {"arrival_rate_hz": 2.0, "mean_duration_s": 0.5}}"#;
+        let spec: WorkloadSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec, WorkloadSpec::churn(2.0, 0.5));
+        // and the new field round-trips
+        let mginf = WorkloadSpec::churn_mginf(2.0, 0.5);
+        let back: WorkloadSpec =
+            serde_json::from_str(&serde_json::to_string(&mginf).unwrap()).unwrap();
+        assert_eq!(back, mginf);
     }
 
     #[test]

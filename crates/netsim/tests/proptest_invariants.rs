@@ -18,6 +18,8 @@ fn qp(flow: u32, seq: u64, size: u32) -> QueuedPacket {
             tx_index: seq,
             is_retx: false,
             hop: 0,
+            dir: netsim::packet::PacketDir::Data,
+            recv_at: SimTime::ZERO,
         },
         enqueued_at: SimTime::ZERO,
     }

@@ -168,21 +168,42 @@ fn aqm_queue(which: u8) -> QueueSpec {
 }
 
 /// A parking-lot scenario exercising every new axis at once: an AQM
-/// discipline per bottleneck, an asymmetric reverse path, and a churning
-/// flow next to ON/OFF cross-traffic.
-fn diversity_net(aqm0: u8, aqm1: u8, slowdown: f64, churn_rate: f64) -> NetworkConfig {
+/// discipline per bottleneck, an asymmetric reverse path (per-flow
+/// channels, or one shared reverse link per bottleneck with its own AQM
+/// queue), and a churning flow — blocked or unblocked M/G/∞ — next to
+/// ON/OFF cross-traffic.
+fn diversity_net(
+    aqm0: u8,
+    aqm1: u8,
+    slowdown: f64,
+    churn_rate: f64,
+    shared_reverse: bool,
+    mginf: bool,
+) -> NetworkConfig {
     // Always-on cross-traffic so the AIMD windows grow enough to pressure
     // the AQMs (ON/OFF resets would keep queues empty); flow 0 churns.
-    let mut net = parking_lot(
+    let base = parking_lot(
         8e6,
         8e6,
         0.060,
         aqm_queue(aqm0),
         aqm_queue(aqm1),
         WorkloadSpec::AlwaysOn,
-    )
-    .with_reverse_slowdown(slowdown);
-    net.flows[0].workload = WorkloadSpec::churn(churn_rate, 0.8);
+    );
+    let mut net = if shared_reverse {
+        // Shared uplinks with a deliberately tight drop-tail ACK buffer
+        // so reverse-queue drops are part of the equivalence check.
+        base.with_shared_reverse(slowdown, |_, _| QueueSpec::DropTail {
+            capacity_bytes: Some(4_000),
+        })
+    } else {
+        base.with_reverse_slowdown(slowdown)
+    };
+    net.flows[0].workload = if mginf {
+        WorkloadSpec::churn_mginf(churn_rate, 0.8)
+    } else {
+        WorkloadSpec::churn(churn_rate, 0.8)
+    };
     net.validate().expect("diversity scenario must be valid");
     net
 }
@@ -213,7 +234,7 @@ fn run_diversity(kind: SchedulerKind, seed: u64, net: &NetworkConfig) -> Run {
 #[test]
 fn red_codel_asymmetric_churn_runs_bit_identical_across_backends() {
     // RED and CoDel at the two bottlenecks, a 1/20x reverse path, churn.
-    let net = diversity_net(1, 2, 20.0, 1.5);
+    let net = diversity_net(1, 2, 20.0, 1.5, false, false);
     for seed in [3u64, 99] {
         let heap = run_diversity(SchedulerKind::Heap, seed, &net);
         let cal = run_diversity(SchedulerKind::Calendar, seed, &net);
@@ -227,7 +248,11 @@ fn red_codel_asymmetric_churn_runs_bit_identical_across_backends() {
     // The AQMs must actually be in play for the equivalence to mean much.
     // (Probed on the symmetric variant: a 1/20x reverse path ACK-throttles
     // the senders so hard the forward queues never fill.)
-    let probe = run_diversity(SchedulerKind::Calendar, 3, &diversity_net(1, 2, 1.0, 1.5));
+    let probe = run_diversity(
+        SchedulerKind::Calendar,
+        3,
+        &diversity_net(1, 2, 1.0, 1.5, false, false),
+    );
     assert!(
         probe.outcome.link_queues.iter().any(|q| q.dropped > 0),
         "scenario should exercise AQM drops: {:?}",
@@ -235,22 +260,56 @@ fn red_codel_asymmetric_churn_runs_bit_identical_across_backends() {
     );
 }
 
+#[test]
+fn shared_uplink_mginf_runs_bit_identical_across_backends() {
+    // The PR-5 axes together: shared reverse links (tight ACK buffers,
+    // reverse drops) and an unblocked M/G/∞ churn slot. The new
+    // reverse-link event chain and the FlowArrival/FlowDeparture timers
+    // must dispatch identically on both scheduler backends.
+    let net = diversity_net(1, 2, 20.0, 1.5, true, true);
+    for seed in [3u64, 99] {
+        let heap = run_diversity(SchedulerKind::Heap, seed, &net);
+        let cal = run_diversity(SchedulerKind::Calendar, seed, &net);
+        assert!(
+            heap.outcome.events_processed > 5_000,
+            "run too small: {} events",
+            heap.outcome.events_processed
+        );
+        assert_bit_identical(&heap, &cal);
+    }
+    // The shared ACK buffers must actually drop for the arm to bite: at
+    // a 1/100x uplink the shared ACK service rate (~250/s) is far below
+    // the bottleneck delivery rate, so the tight buffer overflows.
+    let probe = run_diversity(
+        SchedulerKind::Calendar,
+        3,
+        &diversity_net(0, 0, 100.0, 1.5, true, true),
+    );
+    assert!(
+        probe.outcome.flows.iter().any(|f| f.ack_drops > 0),
+        "scenario should exercise shared reverse-queue drops"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Any combination of AQM disciplines, reverse-path slowdown and churn
-    /// rate dispatches the identical event sequence on both scheduler
-    /// backends — the contract that lets RED/CoDel-enabled sweeps run on
-    /// the fast backend without perturbing a figure.
+    /// Any combination of AQM disciplines, reverse-path slowdown (per-flow
+    /// or shared reverse links) and churn rate (blocked or M/G/∞)
+    /// dispatches the identical event sequence on both scheduler backends
+    /// — the contract that lets every scenario axis run on the fast
+    /// backend without perturbing a figure.
     #[test]
     fn scenario_axes_never_break_backend_equivalence(
         aqm0 in 0u8..4,
         aqm1 in 0u8..4,
         slowdown in prop_oneof![Just(1.0), Just(8.0), Just(40.0)],
         churn_rate in prop_oneof![Just(0.3), Just(2.0)],
+        shared_reverse in prop_oneof![Just(false), Just(true)],
+        mginf in prop_oneof![Just(false), Just(true)],
         seed in 0u64..1_000,
     ) {
-        let net = diversity_net(aqm0, aqm1, slowdown, churn_rate);
+        let net = diversity_net(aqm0, aqm1, slowdown, churn_rate, shared_reverse, mginf);
         let heap = run_diversity(SchedulerKind::Heap, seed, &net);
         let cal = run_diversity(SchedulerKind::Calendar, seed, &net);
         assert_bit_identical(&heap, &cal);

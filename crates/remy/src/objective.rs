@@ -107,6 +107,7 @@ mod tests {
             packets_delivered: if tpt > 0.0 { 100 } else { 0 },
             on_time_s: on,
             forward_drops: 0,
+            ack_drops: 0,
             timeouts: 0,
             losses: 0,
             transmissions: 0,
