@@ -183,26 +183,60 @@ pub fn default_json_dir() -> PathBuf {
     remy::serialize::assets_dir().join("figures")
 }
 
+/// Run one experiment end to end, printing its tables and writing the
+/// JSON artifact. Returns a failure description if the run panicked, any
+/// sweep cell was poisoned, or the artifact could not be written — the
+/// figure (if any) is still rendered first, so a degraded run leaves its
+/// evidence behind.
+fn run_one(e: &dyn Experiment, opts: &RunOptions, json_dir: Option<&Path>) -> Result<(), String> {
+    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        experiments::run_experiment_report(e, opts)
+    }))
+    .map_err(|payload| format!("panicked: {}", crate::runner::panic_message(payload)))?;
+    print!("{}", render_figure(&report.fig));
+    if let Some(dir) = json_dir {
+        let path = dir.join(format!("{}.json", e.id()));
+        write_json(&report.fig, &path)
+            .map_err(|err| format!("could not write {}: {err}", path.display()))?;
+        eprintln!("[{}] figure data -> {}", e.id(), path.display());
+    }
+    if !report.poisoned.is_empty() {
+        return Err(format!(
+            "{} poisoned sweep cell(s): {}",
+            report.poisoned.len(),
+            report.poisoned.join("; ")
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_run(exps: &[&'static dyn Experiment], opts: &RunOptions, json_dir: Option<&Path>) -> i32 {
     let t0 = Instant::now();
+    let mut failed: Vec<&str> = Vec::new();
     for e in exps {
         let s = Instant::now();
-        let fig = experiments::run_experiment(*e, opts);
-        print!("{}", render_figure(&fig));
-        if let Some(dir) = json_dir {
-            let path = dir.join(format!("{}.json", e.id()));
-            if let Err(err) = write_json(&fig, &path) {
-                eprintln!("error: could not write {}: {err}", path.display());
-                return 1;
+        match run_one(*e, opts, json_dir) {
+            Ok(()) => eprintln!("[{}] done in {:.1}s", e.id(), s.elapsed().as_secs_f64()),
+            Err(msg) => {
+                eprintln!("error: experiment '{}' failed: {msg}", e.id());
+                failed.push(e.id());
             }
-            eprintln!("[{}] figure data -> {}", e.id(), path.display());
         }
-        eprintln!("[{}] done in {:.1}s", e.id(), s.elapsed().as_secs_f64());
     }
     if exps.len() > 1 {
         eprintln!("all experiments in {:.1}s", t0.elapsed().as_secs_f64());
     }
-    0
+    if failed.is_empty() {
+        0
+    } else {
+        eprintln!(
+            "error: {} of {} experiment(s) failed: {}",
+            failed.len(),
+            exps.len(),
+            failed.join(", ")
+        );
+        1
+    }
 }
 
 fn write_json(fig: &crate::report::FigureData, path: &Path) -> std::io::Result<()> {
@@ -291,6 +325,42 @@ mod tests {
         assert!(parse_run(&["rtt", "--seeds", "0"]).is_err());
         assert!(parse_run(&["rtt", "--wat"]).is_err());
         assert!(parse_run(&["rtt", "--fidelity"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn run_fails_loudly_naming_the_broken_experiment() {
+        // A sweep that panics must fail that experiment's run with a
+        // non-zero exit instead of taking the process down — the hardened
+        // path users hit when one experiment of `run all` is broken.
+        use crate::experiments::TrainJob;
+        use crate::report::FigureData;
+        use crate::runner::{PointOutcome, SweepPoint};
+        struct Broken;
+        impl Experiment for Broken {
+            fn id(&self) -> &'static str {
+                "broken_fixture"
+            }
+            fn paper_artifact(&self) -> &'static str {
+                "test fixture"
+            }
+            fn train_specs(&self) -> Vec<TrainJob> {
+                Vec::new()
+            }
+            fn sweep(&self, _fidelity: Fidelity) -> Vec<SweepPoint> {
+                panic!("deliberately broken sweep")
+            }
+            fn summarize(&self, _fidelity: Fidelity, _points: &[PointOutcome]) -> FigureData {
+                unreachable!("sweep panics first")
+            }
+        }
+        static BROKEN: Broken = Broken;
+        let opts = RunOptions::new(Fidelity::Quick);
+        let err = run_one(&BROKEN, &opts, None).expect_err("broken sweep must fail");
+        assert!(
+            err.contains("deliberately broken sweep"),
+            "failure names the cause: {err}"
+        );
+        assert_eq!(cmd_run(&[&BROKEN], &opts, None), 1, "non-zero exit");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! | `churn` | [`churn`] | extension — Poisson flow churn vs the static multiplexing baseline |
 //! | `shared_uplink` | [`shared_uplink`] | extension — all flows' ACKs through one shared reverse link, drop-tail vs CoDel ACK queue |
 //! | `churn_mginf` | [`churn_mginf`] | extension — unblocked M/G/∞ churn (overlapping flows per slot) vs blocked arrivals |
+//! | `bursty_loss` | [`bursty_loss`] | extension — Gilbert–Elliott bursty non-congestive loss vs loss- and delay-based schemes |
+//! | `outage_recovery` | [`outage_recovery`] | extension — recovery time after link blackouts (the RTO-backoff axis) |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -30,12 +32,14 @@
 
 pub mod aqm;
 pub mod asymmetry;
+pub mod bursty_loss;
 pub mod calibration;
 pub mod churn;
 pub mod churn_mginf;
 pub mod diversity;
 pub mod link_speed;
 pub mod multiplexing;
+pub mod outage_recovery;
 pub mod rtt;
 pub mod shared_uplink;
 pub mod signals;
@@ -177,9 +181,9 @@ pub trait Experiment: Sync {
 
 /// Every experiment of the study: the paper's nine in paper order, then
 /// the beyond-paper scenario axes (AQM, asymmetry, churn, shared uplink,
-/// M/G/∞ churn).
+/// M/G/∞ churn, fault injection).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 14] = [
+    static REGISTRY: [&dyn Experiment; 16] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -194,6 +198,8 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &churn::Churn,
         &shared_uplink::SharedUplink,
         &churn_mginf::ChurnMginf,
+        &bursty_loss::BurstyLoss,
+        &outage_recovery::OutageRecovery,
     ];
     &REGISTRY
 }
@@ -250,10 +256,25 @@ pub fn git_describe() -> &'static str {
     })
 }
 
+/// Everything one experiment run produced: the figure plus the harness's
+/// health report. `poisoned` lists cells whose simulation panicked (the
+/// sweep engine degrades them into flagged holes — see
+/// [`crate::runner::PointOutcome::poisoned`]); a run with a non-empty
+/// `poisoned` must fail the CLI even though a figure was still rendered
+/// from the surviving cells.
+pub struct RunReport {
+    pub fig: FigureData,
+    /// `"cell '<key>' seed <seed>: <panic message>"` per crashed cell.
+    pub poisoned: Vec<String>,
+}
+
 /// Run one experiment end to end on the shared sweep engine: expand its
 /// sweep, execute the cells in parallel, summarize, and stamp provenance
-/// metadata. The result is bit-identical for any `opts.threads`.
-pub fn run_experiment(exp: &dyn Experiment, opts: &RunOptions) -> FigureData {
+/// metadata. Poisoned cells and event-budget truncations are appended to
+/// the figure's notes (and reported in [`RunReport::poisoned`]) so a
+/// degraded figure can never silently pass for a clean one. The result is
+/// bit-identical for any `opts.threads`.
+pub fn run_experiment_report(exp: &dyn Experiment, opts: &RunOptions) -> RunReport {
     let mut points = exp.sweep(opts.fidelity);
     if let Some(n) = opts.seeds {
         for p in &mut points {
@@ -263,13 +284,47 @@ pub fn run_experiment(exp: &dyn Experiment, opts: &RunOptions) -> FigureData {
         }
     }
     let outcomes = crate::runner::execute_sweep(points, opts.threads);
+    let poisoned: Vec<String> = outcomes
+        .iter()
+        .flat_map(|p| {
+            p.poisoned
+                .iter()
+                .map(|(seed, msg)| format!("cell '{}' seed {seed}: {msg}", p.key()))
+        })
+        .collect();
+    let truncated: Vec<String> = outcomes
+        .iter()
+        .flat_map(|p| {
+            p.runs
+                .iter()
+                .zip(p.point.seeds.clone())
+                .filter(|(run, _)| run.truncated)
+                .map(|(_, seed)| format!("cell '{}' seed {seed}", p.key()))
+        })
+        .collect();
     let mut fig = exp.summarize(opts.fidelity, &outcomes);
+    for cell in &poisoned {
+        fig.notes.push(format!("POISONED: {cell}"));
+    }
+    if !truncated.is_empty() {
+        fig.notes.push(format!(
+            "TRUNCATED: {} run(s) hit the event budget before simulated time \
+             ran out and carry partial statistics: {}",
+            truncated.len(),
+            truncated.join(", ")
+        ));
+    }
     fig.meta = RunMeta {
         fidelity: opts.fidelity.name().into(),
         seeds: opts.seed_set(),
         git_describe: git_describe().into(),
     };
-    fig
+    RunReport { fig, poisoned }
+}
+
+/// [`run_experiment_report`] for callers that only want the figure.
+pub fn run_experiment(exp: &dyn Experiment, opts: &RunOptions) -> FigureData {
+    run_experiment_report(exp, opts).fig
 }
 
 /// Execute a training job: load every produced asset if committed,
@@ -503,6 +558,7 @@ mod tests {
             on_time_s: 1.0,
             forward_drops: 0,
             ack_drops: 0,
+            fault_drops: 0,
             timeouts: 0,
             losses: 0,
             transmissions: 0,
@@ -518,7 +574,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_fourteen_experiments() {
+    fn registry_lists_all_sixteen_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -536,7 +592,9 @@ mod tests {
                 "asymmetry",
                 "churn",
                 "shared_uplink",
-                "churn_mginf"
+                "churn_mginf",
+                "bursty_loss",
+                "outage_recovery"
             ]
         );
         assert!(find("calibration").is_some());

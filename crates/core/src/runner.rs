@@ -21,7 +21,8 @@
 use netsim::prelude::*;
 use netsim::trace::Trace;
 use netsim::transport::CongestionControl;
-use protocols::{Cubic, NewReno, SignalMask, TaoCc, WhiskerTree};
+use protocols::{Cubic, NewReno, SignalMask, TaoCc, Vegas, WhiskerTree};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -38,6 +39,9 @@ pub enum Scheme {
     Cubic,
     /// TCP NewReno (the paper's AIMD incumbent).
     NewReno,
+    /// TCP Vegas: delay-based, so non-congestive loss costs it less
+    /// window than the loss-based incumbents (the bursty-loss foil).
+    Vegas,
 }
 
 impl Scheme {
@@ -54,6 +58,7 @@ impl Scheme {
             Scheme::Tao { label, .. } => label.clone(),
             Scheme::Cubic => "cubic".into(),
             Scheme::NewReno => "newreno".into(),
+            Scheme::Vegas => "vegas".into(),
         }
     }
 
@@ -64,6 +69,7 @@ impl Scheme {
             }
             Scheme::Cubic => Box::new(Cubic::new()),
             Scheme::NewReno => Box::new(NewReno::new()),
+            Scheme::Vegas => Box::new(Vegas::new()),
         }
     }
 }
@@ -274,10 +280,16 @@ impl SweepPoint {
 /// All runs of one [`SweepPoint`], in seed order.
 pub struct PointOutcome {
     pub point: SweepPoint,
-    /// One outcome per seed, in `point.seeds` order.
+    /// One outcome per *successful* seed, in `point.seeds` order (seeds
+    /// whose cell panicked are listed in `poisoned` instead).
     pub runs: Vec<RunOutcome>,
-    /// Queue traces per seed (populated only when `point.trace` is set).
+    /// Queue traces per seed (populated only when `point.trace` is set),
+    /// indexed like `runs`.
     pub traces: Vec<Option<Trace>>,
+    /// `(seed, panic message)` of cells that panicked: the sweep engine
+    /// degrades one crashing cell into a flagged hole instead of taking
+    /// the whole sweep down (or deadlocking a poisoned slot mutex).
+    pub poisoned: Vec<(u64, String)>,
 }
 
 impl PointOutcome {
@@ -350,6 +362,29 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_try_map_indexed(n, threads, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            // Re-raise with the original message: callers of the
+            // infallible map keep panic-on-failure semantics, but the
+            // panic now happens on the calling thread after the pool
+            // drained instead of poisoning a slot mutex mid-merge.
+            Err(msg) => panic!("parallel_map_indexed worker panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Panic-tolerant variant of [`parallel_map_indexed`]: each `f(i)` runs
+/// under `catch_unwind`, so one panicking index yields `Err(message)` in
+/// its slot while every other index completes normally. The closure's
+/// result is computed *before* the slot lock is taken — a panic can never
+/// poison the mutex, so the merge always finishes.
+pub fn parallel_try_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|t| t.get())
@@ -359,13 +394,14 @@ where
     };
     let workers = threads.min(n.max(1));
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let work = || loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             return;
         }
-        *slots[i].lock().expect("result slot poisoned") = Some(f(i));
+        let result = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
+        *slots[i].lock().expect("result slot poisoned") = Some(result);
     };
     if workers <= 1 {
         work();
@@ -387,6 +423,18 @@ where
         .collect()
 }
 
+/// Extract a human-readable message from a panic payload (`&str` and
+/// `String` payloads cover every `panic!`/`assert!` in the workspace).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Execute a sweep: expand every point into `(point, seed)` cells, run
 /// them on the work-stealing pool (`threads == 0` uses all cores), and
 /// merge outcomes back per point in seed order. Deterministic: the merge
@@ -397,7 +445,7 @@ pub fn execute_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<PointOutcom
         .enumerate()
         .flat_map(|(pi, p)| p.seeds.clone().map(move |s| (pi, s)))
         .collect();
-    let results = parallel_map_indexed(cells.len(), threads, |i| {
+    let results = parallel_try_map_indexed(cells.len(), threads, |i| {
         let (pi, seed) = cells[i];
         run_cell(&points[pi], seed)
     });
@@ -407,11 +455,17 @@ pub fn execute_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<PointOutcom
             point,
             runs: Vec::new(),
             traces: Vec::new(),
+            poisoned: Vec::new(),
         })
         .collect();
-    for ((pi, _seed), (run, trace)) in cells.into_iter().zip(results) {
-        out[pi].runs.push(run);
-        out[pi].traces.push(trace);
+    for ((pi, seed), result) in cells.into_iter().zip(results) {
+        match result {
+            Ok((run, trace)) => {
+                out[pi].runs.push(run);
+                out[pi].traces.push(trace);
+            }
+            Err(msg) => out[pi].poisoned.push((seed, msg)),
+        }
     }
     out
 }
@@ -623,6 +677,74 @@ mod tests {
             assert_eq!(par, serial, "threads={threads}");
         }
         assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn panicking_cell_fails_that_cell_not_the_pool() {
+        // One deliberately panicking index must not poison the slot mutex
+        // or hang the merge: every other index completes, and the panic
+        // message survives verbatim.
+        for threads in [1usize, 2, 8] {
+            let results = parallel_try_map_indexed(9, threads, |i| {
+                if i == 4 {
+                    panic!("cell {i} exploded deliberately");
+                }
+                i * 10
+            });
+            assert_eq!(results.len(), 9, "threads={threads}");
+            for (i, r) in results.iter().enumerate() {
+                if i == 4 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(
+                        msg.contains("cell 4 exploded deliberately"),
+                        "panic message preserved, got: {msg}"
+                    );
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at index 2")]
+    fn infallible_map_repanics_with_original_message() {
+        let _ = parallel_map_indexed(4, 2, |i| {
+            if i == 2 {
+                panic!("boom at index 2");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn sweep_survives_a_poisoned_cell() {
+        // A config the validator rejects panics inside Simulation::new;
+        // the sweep must degrade that point to a flagged hole while the
+        // healthy point runs to completion.
+        let mut bad_net = net();
+        bad_net.flows[0].route = vec![];
+        let bad = SweepPoint::homogeneous("bad", 0.0, bad_net, Scheme::Cubic, 0..2, 4.0);
+        let good = SweepPoint::homogeneous("good", 0.0, net(), Scheme::Cubic, 0..2, 4.0);
+        let outs = execute_sweep(vec![bad, good], 2);
+        assert_eq!(outs[0].runs.len(), 0);
+        assert_eq!(outs[0].poisoned.len(), 2, "both seeds poisoned");
+        assert_eq!(outs[0].poisoned[0].0, 0, "seed recorded");
+        assert!(
+            outs[0].poisoned[0].1.contains("invalid network config"),
+            "validator message preserved: {}",
+            outs[0].poisoned[0].1
+        );
+        assert_eq!(outs[1].runs.len(), 2, "healthy point unaffected");
+        assert!(outs[1].poisoned.is_empty());
+    }
+
+    #[test]
+    fn vegas_scheme_runs_and_labels() {
+        assert_eq!(Scheme::Vegas.label(), "vegas");
+        let out = run_homogeneous(&net(), &Scheme::Vegas, 3, 20.0);
+        let total: f64 = out.flows.iter().map(|f| f.throughput_bps).sum();
+        assert!(total > 3e6, "Vegas should carry traffic, got {total}");
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub enum Event {
     FlowDeparture { flow: FlowId, gen: u64 },
     /// Periodic trace sample (queue occupancy time series, Fig 8).
     TraceSample,
+    /// An [`FaultSpec::Outage`](crate::topology::FaultSpec) blackout
+    /// begins on `link`: the link stops starting new transmissions.
+    LinkDown { link: LinkId },
+    /// The outage on `link` ends: held packets resume service and the
+    /// next blackout is scheduled.
+    LinkUp { link: LinkId },
 }
 
 /// FNV-1a offset basis: the seed for the run's determinism digests.

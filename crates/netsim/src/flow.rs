@@ -28,6 +28,13 @@ pub struct FlowStats {
     /// discipline and appear in the reverse link's
     /// [`crate::queue::QueueStats`] instead.
     pub ack_drops: u64,
+    /// Packets destroyed by a [`crate::topology::FaultSpec`] process
+    /// (bursty loss, outage blackout, corruption) rather than a queue
+    /// overflowing. Mirrors `forward_drops`/`ack_drops` semantics but is
+    /// kept separate so non-congestive loss never masquerades as
+    /// congestion in a figure; fault drops do not appear in link
+    /// [`crate::queue::QueueStats`].
+    pub fault_drops: u64,
     /// Retransmission timeouts experienced.
     pub timeouts: u64,
     /// Packets declared lost by the reordering detector.
@@ -84,6 +91,8 @@ pub struct FlowOutcome {
     pub forward_drops: u64,
     /// Acknowledgments dropped on the reverse path.
     pub ack_drops: u64,
+    /// Packets destroyed by a fault process (non-congestive loss).
+    pub fault_drops: u64,
     pub timeouts: u64,
     pub losses: u64,
     pub transmissions: u64,
@@ -104,6 +113,7 @@ impl FlowOutcome {
             on_time_s: stats.on_time.as_secs_f64(),
             forward_drops: stats.forward_drops,
             ack_drops: stats.ack_drops,
+            fault_drops: stats.fault_drops,
             timeouts: stats.timeouts,
             losses: stats.losses,
             transmissions: stats.transmissions,

@@ -111,7 +111,7 @@ pub mod prelude {
     pub use crate::sim::{RunOutcome, Simulation};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{
-        dumbbell, dumbbell_mixed, parking_lot, LinkSpec, NetworkConfig, ReverseSpec,
+        dumbbell, dumbbell_mixed, parking_lot, FaultSpec, LinkSpec, NetworkConfig, ReverseSpec,
     };
     pub use crate::transport::{AckInfo, CongestionControl};
     pub use crate::workload::WorkloadSpec;

@@ -30,6 +30,11 @@ pub struct Link {
     delay: SimDuration,
     queue: Box<dyn QueueDiscipline>,
     busy: bool,
+    /// Outage state: while down the link starts no new transmissions —
+    /// arriving packets queue (or are destroyed by the engine, depending
+    /// on the fault spec's drop mode). A packet already serializing when
+    /// the link goes down finishes normally.
+    down: bool,
     /// Total bytes that finished serializing (utilization accounting).
     bytes_transmitted: u64,
 }
@@ -42,6 +47,7 @@ impl Link {
             delay,
             queue,
             busy: false,
+            down: false,
             bytes_transmitted: 0,
         }
     }
@@ -69,7 +75,7 @@ impl Link {
 
     /// A packet arrives at the link ingress.
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> Offer {
-        if !self.busy {
+        if !self.busy && !self.down {
             self.busy = true;
             Offer::StartTx(self.tx_time(pkt.size))
         } else if self.queue.enqueue(
@@ -95,6 +101,12 @@ impl Link {
     ) -> Option<(Packet, SimDuration)> {
         debug_assert!(self.busy, "tx_complete on idle link");
         self.bytes_transmitted += finished.size as u64;
+        if self.down {
+            // Blackout began mid-serialization: the in-flight packet
+            // finished, but nothing new starts until the link returns.
+            self.busy = false;
+            return None;
+        }
         match self.queue.dequeue(now) {
             Some(qp) => Some((qp.pkt, self.tx_time(qp.pkt.size))),
             None => {
@@ -122,6 +134,30 @@ impl Link {
 
     pub fn is_busy(&self) -> bool {
         self.busy
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Begin a blackout: no new transmissions start until
+    /// [`set_up`](Self::set_up). A packet currently serializing finishes
+    /// normally.
+    pub fn set_down(&mut self) {
+        self.down = true;
+    }
+
+    /// End a blackout. If packets were held in the queue during the
+    /// outage, service resumes immediately: returns the first packet and
+    /// its transmission time for the engine to schedule.
+    pub fn set_up(&mut self, now: SimTime) -> Option<(Packet, SimDuration)> {
+        self.down = false;
+        if self.busy {
+            return None;
+        }
+        let qp = self.queue.dequeue(now)?;
+        self.busy = true;
+        Some((qp.pkt, self.tx_time(qp.pkt.size)))
     }
 }
 
@@ -185,6 +221,40 @@ mod tests {
         }
         assert_eq!(l.offer(pkt(5, 1500), SimTime::ZERO), Offer::Dropped);
         assert_eq!(l.queue_len_packets(), 4);
+    }
+
+    #[test]
+    fn down_link_holds_packets_and_resumes_on_up() {
+        let mut l = link_10mbps();
+        l.set_down();
+        assert!(l.is_down());
+        // Arrivals during the blackout queue instead of starting tx.
+        assert_eq!(l.offer(pkt(0, 1500), SimTime::ZERO), Offer::Queued);
+        assert_eq!(l.offer(pkt(1, 1500), SimTime::ZERO), Offer::Queued);
+        assert!(!l.is_busy());
+        // Service resumes the held queue when the link returns.
+        let now = SimTime::from_secs_f64(0.5);
+        let (first, d) = l.set_up(now).unwrap();
+        assert_eq!(first.seq, 0);
+        assert_eq!(d, SimDuration::from_micros(1200));
+        assert!(l.is_busy());
+        assert!(!l.is_down());
+    }
+
+    #[test]
+    fn mid_serialization_blackout_finishes_current_packet_only() {
+        let mut l = link_10mbps();
+        let p0 = pkt(0, 1500);
+        assert!(matches!(l.offer(p0, SimTime::ZERO), Offer::StartTx(_)));
+        l.offer(pkt(1, 1500), SimTime::ZERO);
+        l.set_down();
+        // The in-flight packet completes, but the queued one must wait.
+        let now = SimTime::from_secs_f64(0.0012);
+        assert!(l.tx_complete(&p0, now).is_none());
+        assert!(!l.is_busy());
+        assert_eq!(l.queue_len_packets(), 1);
+        let (next, _) = l.set_up(SimTime::from_secs_f64(0.1)).unwrap();
+        assert_eq!(next.seq, 1);
     }
 
     #[test]

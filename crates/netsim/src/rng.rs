@@ -1,7 +1,9 @@
 //! Deterministic randomness for the simulator.
 //!
 //! Every stochastic component (workload ON/OFF draws, sfqCoDel hash salt,
-//! scenario sampling) pulls from a [`SimRng`] derived from a single root
+//! per-link fault processes — Gilbert–Elliott loss, Markov outages,
+//! corruption — and scenario sampling) pulls from a [`SimRng`] derived
+//! from a single root
 //! seed, so a simulation is a pure function of `(config, seed)`. The
 //! optimizer exploits this for common-random-number comparisons between
 //! candidate protocols.

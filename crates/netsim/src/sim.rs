@@ -44,7 +44,7 @@ use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::seqtrack::SeqTracker;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::NetworkConfig;
+use crate::topology::{FaultSpec, NetworkConfig};
 use crate::trace::{QueueSample, Trace};
 use crate::transport::{CongestionControl, Transport};
 
@@ -78,6 +78,17 @@ struct SenderSlot {
     rng: SimRng,
 }
 
+/// Runtime state of one forward link's [`FaultSpec`] process: the
+/// per-link child RNG (forked only for links that declare a fault, so
+/// `fault: None` configs keep their exact pre-fault streams) and the
+/// Gilbert–Elliott channel state.
+struct FaultState {
+    spec: FaultSpec,
+    rng: SimRng,
+    /// Gilbert–Elliott: currently in the bad (lossy) state.
+    bad: bool,
+}
+
 /// Per-flow receiver state: which sequences have been seen this epoch
 /// (deduplicates retransmissions in the delivery stats). Sequences are
 /// near-sequential, so a sliding bitmap replaces the per-delivery hash.
@@ -104,6 +115,12 @@ pub struct RunOutcome {
     /// this index in `link_queues`/`link_bytes` are reverse links.
     pub forward_links: usize,
     pub events_processed: u64,
+    /// `true` when the run stopped because it exhausted the event budget
+    /// ([`Simulation::set_event_budget`]) rather than reaching the
+    /// requested duration. Every per-flow statistic then covers only the
+    /// simulated prefix — consumers must treat the outcome as a partial
+    /// result, not a converged measurement.
+    pub truncated: bool,
     /// Order-sensitive FNV-1a digest of every dispatched event, when
     /// enabled via [`Simulation::enable_event_digest`] (`None` otherwise).
     /// Two runs with equal digests dispatched the identical event
@@ -132,6 +149,8 @@ pub struct Simulation {
     shared_rev: Vec<Option<usize>>,
     senders: Vec<SenderSlot>,
     receivers: Vec<ReceiverSlot>,
+    /// Fault-process state per forward link (`None` = no fault declared).
+    faults: Vec<Option<FaultState>>,
     stats: Vec<FlowStats>,
     min_one_way: Vec<SimDuration>,
     trace: Option<Trace>,
@@ -258,6 +277,21 @@ impl Simulation {
                 senders[i].ack_residual_delay = residual;
             }
         }
+        // Fault-process RNGs, forked last and only for links declaring a
+        // fault: a `fault: None` config performs the identical fork
+        // sequence as before this field existed, keeping it bit-identical.
+        let faults: Vec<Option<FaultState>> = config
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, ls)| {
+                ls.fault.as_ref().map(|spec| FaultState {
+                    spec: spec.clone(),
+                    rng: root.fork(0x4444 + i as u64),
+                    bad: false,
+                })
+            })
+            .collect();
         // Seed the calendar queue's bucket width with the tightest
         // per-packet event spacing in the topology: the fastest forward
         // link's data serialization time, or a reverse link's ACK
@@ -282,6 +316,7 @@ impl Simulation {
             shared_rev,
             senders,
             receivers: (0..n).map(|_| ReceiverSlot::default()).collect(),
+            faults,
             stats: vec![FlowStats::default(); n],
             min_one_way: (0..n).map(|i| config.min_one_way(i)).collect(),
             trace: None,
@@ -363,7 +398,26 @@ impl Simulation {
         if self.trace.is_some() {
             self.events.schedule(SimTime::ZERO, Event::TraceSample);
         }
+        // Prime outage processes: every Outage-faulted link starts up and
+        // goes down after its first up dwell.
+        for l in 0..self.n_forward {
+            if let Some(f) = &mut self.faults[l] {
+                if let FaultSpec::Outage {
+                    up_s, scheduled, ..
+                } = f.spec
+                {
+                    let dwell = outage_dwell(up_s, scheduled, &mut f.rng);
+                    self.events.schedule(
+                        SimTime::ZERO + dwell,
+                        Event::LinkDown {
+                            link: LinkId(l as u32),
+                        },
+                    );
+                }
+            }
+        }
 
+        let mut truncated = false;
         while let Some((at, ev)) = self.events.pop() {
             if at > end {
                 break;
@@ -371,6 +425,7 @@ impl Simulation {
             self.now = at;
             self.events_processed += 1;
             if self.events_processed > self.event_budget {
+                truncated = true;
                 break;
             }
             if let Some(digest) = &mut self.event_digest {
@@ -397,6 +452,7 @@ impl Simulation {
             link_bytes: self.links.iter().map(|l| l.bytes_transmitted()).collect(),
             forward_links: self.n_forward,
             events_processed: self.events_processed,
+            truncated,
             event_digest: self.event_digest,
         }
     }
@@ -440,11 +496,46 @@ impl Simulation {
             Event::FlowArrival { flow, gen } => self.handle_flow_arrival(flow, gen),
             Event::FlowDeparture { flow, gen } => self.handle_flow_departure(flow, gen),
             Event::TraceSample => self.handle_trace_sample(end),
+            Event::LinkDown { link } => self.handle_link_down(link),
+            Event::LinkUp { link } => self.handle_link_up(link),
         }
     }
 
     fn handle_arrive(&mut self, link: LinkId, pkt: Packet) {
         let l = link.0 as usize;
+        // Ingress fault checks (forward links only; ACKs arrive only at
+        // reverse links, which carry no fault process).
+        if l < self.n_forward {
+            if let Some(f) = &mut self.faults[l] {
+                match f.spec {
+                    FaultSpec::GilbertElliott {
+                        loss_good,
+                        loss_bad,
+                        good_to_bad,
+                        bad_to_good,
+                    } => {
+                        // Fixed draw order (loss, then transition) keeps
+                        // the stream identical across scheduler backends.
+                        let lost = f.rng.chance(if f.bad { loss_bad } else { loss_good });
+                        if f.rng.chance(if f.bad { bad_to_good } else { good_to_bad }) {
+                            f.bad = !f.bad;
+                        }
+                        if lost {
+                            self.stats[pkt.flow.0 as usize].fault_drops += 1;
+                            return;
+                        }
+                    }
+                    FaultSpec::Outage {
+                        drop_while_down: true,
+                        ..
+                    } if self.links[l].is_down() => {
+                        self.stats[pkt.flow.0 as usize].fault_drops += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
         match self.links[l].offer(pkt, self.now) {
             Offer::StartTx(d) => self
                 .events
@@ -482,6 +573,17 @@ impl Simulation {
     fn handle_propagated(&mut self, link: LinkId, pkt: Packet) {
         if pkt.dir == PacketDir::Ack {
             return self.handle_ack_propagated(pkt);
+        }
+        // Corruption destroys the packet *after* it crossed the link: it
+        // consumed serialization capacity and queue space (unlike a queue
+        // drop, which never transmits) but is discarded at the far end.
+        if let Some(f) = &mut self.faults[link.0 as usize] {
+            if let FaultSpec::Corruption { prob } = f.spec {
+                if f.rng.chance(prob) {
+                    self.stats[pkt.flow.0 as usize].fault_drops += 1;
+                    return;
+                }
+            }
         }
         let flow = pkt.flow.0 as usize;
         let route = &self.senders[flow].route;
@@ -786,6 +888,42 @@ impl Simulation {
         );
     }
 
+    /// An outage blackout begins: stop the link and schedule its return.
+    fn handle_link_down(&mut self, link: LinkId) {
+        let l = link.0 as usize;
+        self.links[l].set_down();
+        let Some(f) = &mut self.faults[l] else { return };
+        let FaultSpec::Outage {
+            down_s, scheduled, ..
+        } = f.spec
+        else {
+            return;
+        };
+        let dwell = outage_dwell(down_s, scheduled, &mut f.rng);
+        self.events
+            .schedule(self.now + dwell, Event::LinkUp { link });
+    }
+
+    /// The outage ends: resume service on any held queue and schedule the
+    /// next blackout.
+    fn handle_link_up(&mut self, link: LinkId) {
+        let l = link.0 as usize;
+        if let Some((pkt, d)) = self.links[l].set_up(self.now) {
+            self.events
+                .schedule(self.now + d, Event::TxComplete { link, pkt });
+        }
+        let Some(f) = &mut self.faults[l] else { return };
+        let FaultSpec::Outage {
+            up_s, scheduled, ..
+        } = f.spec
+        else {
+            return;
+        };
+        let dwell = outage_dwell(up_s, scheduled, &mut f.rng);
+        self.events
+            .schedule(self.now + dwell, Event::LinkDown { link });
+    }
+
     fn handle_trace_sample(&mut self, end: SimTime) {
         let Some(tr) = &mut self.trace else { return };
         for (idx, &lid) in tr.links.clone().iter().enumerate() {
@@ -806,6 +944,22 @@ impl Simulation {
 }
 
 use crate::event::fnv;
+
+/// One outage dwell: exact for scheduled outages, exponential for Markov
+/// ones, clamped to 1 µs so a degenerate draw can never schedule the
+/// opposing transition at the same instant forever.
+fn outage_dwell(mean_s: f64, scheduled: bool, rng: &mut SimRng) -> SimDuration {
+    let d = if scheduled {
+        SimDuration::from_secs_f64(mean_s)
+    } else {
+        rng.exp_duration(SimDuration::from_secs_f64(mean_s))
+    };
+    if d.is_zero() {
+        SimDuration::from_micros(1)
+    } else {
+        d
+    }
+}
 
 /// Fold one dispatched event into the order-sensitive run digest: firing
 /// time, event kind, and the identifying payload (flow/link/seq/gen).
@@ -834,6 +988,8 @@ fn fold_event(digest: u64, at: SimTime, ev: &Event) -> u64 {
         Event::TraceSample => fnv(digest, 8),
         Event::FlowArrival { flow, gen } => fnv(fnv(fnv(digest, 9), flow.0 as u64), *gen),
         Event::FlowDeparture { flow, gen } => fnv(fnv(fnv(digest, 10), flow.0 as u64), *gen),
+        Event::LinkDown { link } => fnv(fnv(digest, 11), link.0 as u64),
+        Event::LinkUp { link } => fnv(fnv(digest, 12), link.0 as u64),
     }
 }
 
@@ -1075,6 +1231,11 @@ mod tests {
         sim.set_event_budget(10_000);
         let out = sim.run(SimDuration::from_secs(1_000));
         assert!(out.events_processed <= 10_001);
+        assert!(out.truncated, "budget exhaustion must be flagged");
+        // A run that completes within budget is not truncated.
+        let mut sim = Simulation::new(&net, vec![fixed(10.0)], 1);
+        let out = sim.run(SimDuration::from_secs(1));
+        assert!(!out.truncated);
     }
 
     #[test]

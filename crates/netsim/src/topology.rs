@@ -80,6 +80,90 @@ impl ReverseSpec {
     }
 }
 
+/// A non-congestive fault process attached to a forward link.
+///
+/// Every mode draws from a per-link child of the simulation RNG, so a
+/// faulted run stays a pure function of `(config, seed)` and dispatches
+/// the identical event sequence on both scheduler backends. Packets a
+/// fault destroys are counted per flow as `fault_drops` — never as queue
+/// drops — so "the path lost it" and "the buffer overflowed" stay
+/// distinguishable in every figure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Gilbert–Elliott two-state bursty loss. The link alternates between
+    /// a good state (loss probability `loss_good`) and a bad state
+    /// (`loss_bad`); after each packet the state flips with probability
+    /// `good_to_bad` / `bad_to_good`. Mean burst length is
+    /// `1 / bad_to_good` packets and the stationary bad-state fraction is
+    /// `good_to_bad / (good_to_bad + bad_to_good)`.
+    GilbertElliott {
+        loss_good: f64,
+        loss_bad: f64,
+        good_to_bad: f64,
+        bad_to_good: f64,
+    },
+    /// The link goes fully down for `down_s`-length blackouts separated by
+    /// `up_s` of service. `scheduled: true` makes the dwells exact
+    /// (deterministic square wave); otherwise both dwells are exponential
+    /// with the given means (a two-state Markov outage process). While
+    /// down, arriving packets are destroyed when `drop_while_down` is set,
+    /// or held in the link queue (subject to its normal discipline) and
+    /// released when the link returns.
+    Outage {
+        up_s: f64,
+        down_s: f64,
+        #[serde(default)]
+        scheduled: bool,
+        #[serde(default)]
+        drop_while_down: bool,
+    },
+    /// Each packet is independently corrupted with probability `prob`
+    /// *after* crossing the link: it consumes serialization capacity and
+    /// queue space, then is discarded at the far end (checksum failure),
+    /// unlike a queue drop which never transmits.
+    Corruption { prob: f64 },
+}
+
+impl FaultSpec {
+    /// Bursty loss with a clean good state: bad-state loss `loss_bad`,
+    /// entered with per-packet probability `good_to_bad` and left with
+    /// `bad_to_good` (mean burst `1 / bad_to_good` packets).
+    pub fn gilbert_elliott(loss_bad: f64, good_to_bad: f64, bad_to_good: f64) -> Self {
+        FaultSpec::GilbertElliott {
+            loss_good: 0.0,
+            loss_bad,
+            good_to_bad,
+            bad_to_good,
+        }
+    }
+
+    /// Deterministic square-wave outage: exactly `up_s` of service, then
+    /// exactly `down_s` of blackout, repeating.
+    pub fn outage_scheduled(up_s: f64, down_s: f64, drop_while_down: bool) -> Self {
+        FaultSpec::Outage {
+            up_s,
+            down_s,
+            scheduled: true,
+            drop_while_down,
+        }
+    }
+
+    /// Markov outage: exponential up/down dwells with the given means.
+    pub fn outage_markov(up_s: f64, down_s: f64, drop_while_down: bool) -> Self {
+        FaultSpec::Outage {
+            up_s,
+            down_s,
+            scheduled: false,
+            drop_while_down,
+        }
+    }
+
+    /// Independent per-packet corruption (delivered but discarded).
+    pub fn corruption(prob: f64) -> Self {
+        FaultSpec::Corruption { prob }
+    }
+}
+
 /// A unidirectional link description.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LinkSpec {
@@ -94,6 +178,11 @@ pub struct LinkSpec {
     /// before this field existed still parse.
     #[serde(default)]
     pub reverse: Option<ReverseSpec>,
+    /// Non-congestive fault process on the forward direction; `None` (the
+    /// serde default) is bit-identical to a link from before this field
+    /// existed — the engine forks no fault RNG and installs no hooks.
+    #[serde(default)]
+    pub fault: Option<FaultSpec>,
 }
 
 impl LinkSpec {
@@ -104,6 +193,7 @@ impl LinkSpec {
             delay_s,
             queue,
             reverse: None,
+            fault: None,
         }
     }
 
@@ -318,9 +408,74 @@ impl NetworkConfig {
                 }
                 validate_queue(&format!("link {i} reverse"), &r.queue)?;
             }
+            if let Some(fault) = &l.fault {
+                validate_fault(i, fault)?;
+            }
             validate_queue(&format!("link {i}"), &l.queue)?;
         }
         Ok(())
+    }
+}
+
+/// Fault-process parameter validation for [`NetworkConfig::validate`]:
+/// degenerate fault specs are rejected with actionable messages before a
+/// simulation is built (an absorbing bad state would silently black-hole
+/// the link forever; a non-positive dwell would schedule outage events at
+/// a zero interval).
+fn validate_fault(link: usize, fault: &FaultSpec) -> Result<(), String> {
+    let prob01 = |p: f64, name: &str| {
+        if (0.0..=1.0).contains(&p) {
+            Ok(())
+        } else {
+            Err(format!(
+                "link {link} Gilbert-Elliott {name} {p} outside [0, 1]"
+            ))
+        }
+    };
+    match *fault {
+        FaultSpec::GilbertElliott {
+            loss_good,
+            loss_bad,
+            good_to_bad,
+            bad_to_good,
+        } => {
+            prob01(loss_good, "loss_good")?;
+            prob01(loss_bad, "loss_bad")?;
+            prob01(good_to_bad, "good_to_bad")?;
+            prob01(bad_to_good, "bad_to_good")?;
+            if good_to_bad > 0.0 && bad_to_good == 0.0 && loss_bad > 0.0 {
+                return Err(format!(
+                    "link {link} Gilbert-Elliott bad state is absorbing \
+                     (good_to_bad {good_to_bad} > 0 but bad_to_good = 0): the link \
+                     would black-hole forever once it enters the bad state; set \
+                     bad_to_good > 0 or use an Outage fault for permanent failure"
+                ));
+            }
+            Ok(())
+        }
+        FaultSpec::Outage { up_s, down_s, .. } => {
+            if !up_s.is_finite() || up_s <= 0.0 {
+                return Err(format!(
+                    "link {link} outage needs a positive up dwell (got {up_s} s)"
+                ));
+            }
+            if !down_s.is_finite() || down_s <= 0.0 {
+                return Err(format!(
+                    "link {link} outage needs a positive down dwell (got {down_s} s); \
+                     drop the fault spec for an always-up link"
+                ));
+            }
+            Ok(())
+        }
+        FaultSpec::Corruption { prob } => {
+            if (0.0..=1.0).contains(&prob) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "link {link} corruption probability {prob} outside [0, 1]"
+                ))
+            }
+        }
     }
 }
 
@@ -418,6 +573,7 @@ pub fn dumbbell(
             delay_s: min_rtt_s,
             queue,
             reverse: None,
+            fault: None,
         }],
         flows: (0..n_senders)
             .map(|_| FlowSpec {
@@ -442,6 +598,7 @@ pub fn dumbbell_mixed(
             delay_s: min_rtt_s,
             queue,
             reverse: None,
+            fault: None,
         }],
         flows: workloads
             .into_iter()
@@ -473,12 +630,14 @@ pub fn parking_lot(
                 delay_s: per_link_delay_s,
                 queue: queue1,
                 reverse: None,
+                fault: None,
             },
             LinkSpec {
                 rate_bps: rate2_bps,
                 delay_s: per_link_delay_s,
                 queue: queue2,
                 reverse: None,
+                fault: None,
             },
         ],
         flows: vec![
@@ -566,6 +725,7 @@ mod tests {
                 capacity_bytes: Some(12345),
             },
             reverse: None,
+            fault: None,
         };
         assert_eq!(finite.queue_capacity_or_bdp(5.0), 12345);
         let infinite = LinkSpec {
@@ -573,6 +733,7 @@ mod tests {
             delay_s: 0.1,
             queue: QueueSpec::infinite(),
             reverse: None,
+            fault: None,
         };
         // 8 Mbps * 100 ms = 100 kB BDP; 5 BDP = 500 kB.
         assert_eq!(infinite.queue_capacity_or_bdp(5.0), 500_000);
@@ -582,6 +743,7 @@ mod tests {
             delay_s: 0.01,
             queue: QueueSpec::infinite(),
             reverse: None,
+            fault: None,
         };
         assert_eq!(tiny.queue_capacity_or_bdp(5.0), 30_000);
     }
@@ -825,6 +987,92 @@ mod tests {
         }
         // min RTT unchanged: reverse delay mirrors forward
         assert_eq!(net.min_rtt(0), SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_faults() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.links[0].fault = Some(FaultSpec::GilbertElliott {
+            loss_good: 0.0,
+            loss_bad: 1.5,
+            good_to_bad: 0.1,
+            bad_to_good: 0.1,
+        });
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("loss_bad") && msg.contains("[0, 1]"),
+            "got: {msg}"
+        );
+        net.links[0].fault = Some(FaultSpec::GilbertElliott {
+            loss_good: f64::NAN,
+            loss_bad: 0.5,
+            good_to_bad: 0.1,
+            bad_to_good: 0.1,
+        });
+        assert!(net.validate().is_err(), "NaN probability must be rejected");
+        // Absorbing bad state: once entered, never left.
+        net.links[0].fault = Some(FaultSpec::gilbert_elliott(0.5, 0.01, 0.0));
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("absorbing") && msg.contains("bad_to_good"),
+            "actionable absorbing-state message, got: {msg}"
+        );
+        net.links[0].fault = Some(FaultSpec::outage_scheduled(0.0, 1.0, true));
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("positive up dwell"), "got: {msg}");
+        net.links[0].fault = Some(FaultSpec::outage_markov(1.0, f64::INFINITY, false));
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("positive down dwell"), "got: {msg}");
+        net.links[0].fault = Some(FaultSpec::corruption(-0.1));
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("corruption probability"), "got: {msg}");
+        // well-formed specs of every mode pass
+        for good in [
+            FaultSpec::gilbert_elliott(0.3, 0.01, 0.1),
+            FaultSpec::outage_scheduled(5.0, 0.5, true),
+            FaultSpec::outage_markov(5.0, 0.5, false),
+            FaultSpec::corruption(0.01),
+        ] {
+            net.links[0].fault = Some(good);
+            net.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn pre_fault_configs_still_parse_and_faults_round_trip() {
+        // JSON from before the `fault` field existed (no such key).
+        let json = r#"{
+            "links": [{"rate_bps": 1e7, "delay_s": 0.1,
+                       "queue": {"DropTail": {"capacity_bytes": null}}}],
+            "flows": [{"route": [0], "workload": "AlwaysOn"}]
+        }"#;
+        let net: NetworkConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(net.links[0].fault, None);
+        net.validate().unwrap();
+        // Outage serde defaults: scheduled/drop_while_down omitted -> false.
+        let json = r#"{
+            "links": [{"rate_bps": 1e7, "delay_s": 0.1,
+                       "queue": {"DropTail": {"capacity_bytes": null}},
+                       "fault": {"Outage": {"up_s": 5.0, "down_s": 0.5}}}],
+            "flows": [{"route": [0], "workload": "AlwaysOn"}]
+        }"#;
+        let net: NetworkConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            net.links[0].fault,
+            Some(FaultSpec::outage_markov(5.0, 0.5, false))
+        );
+        // and every fault mode round-trips
+        for fault in [
+            FaultSpec::gilbert_elliott(0.3, 0.01, 0.1),
+            FaultSpec::outage_scheduled(5.0, 0.5, true),
+            FaultSpec::corruption(0.01),
+        ] {
+            let mut net = net.clone();
+            net.links[0].fault = Some(fault);
+            let back: NetworkConfig =
+                serde_json::from_str(&serde_json::to_string(&net).unwrap()).unwrap();
+            assert_eq!(back, net);
+        }
     }
 
     #[test]

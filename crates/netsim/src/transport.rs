@@ -632,6 +632,62 @@ mod tests {
     }
 
     #[test]
+    fn repeated_timeouts_cap_the_rto_shift() {
+        // Pin the intended asymmetry: `on_timeout` caps the backoff
+        // *counter* at 16 (cheap saturation guard), while `rto()` caps
+        // the *shift* at 8 before clamping to MAX_RTO — so the doubling
+        // stops mattering once 2^8 * base exceeds MAX_RTO, and a long
+        // outage can never overflow the multiplier.
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        tr.produce(t(0), 10);
+        for k in 1..=8 {
+            tr.produce(t(0), 10);
+            tr.on_timeout();
+            let expect = INITIAL_RTO.mul_f64((1u64 << k.min(8)) as f64).min(MAX_RTO);
+            assert_eq!(tr.rto(), expect, "after {k} timeouts");
+        }
+        // 1 s << 8 = 256 s > MAX_RTO: fully saturated from here on.
+        assert_eq!(tr.rto(), MAX_RTO);
+        // Far past both caps: the counter saturates at 16, the shift at
+        // 8, and the RTO stays exactly MAX_RTO with no overflow.
+        for _ in 0..64 {
+            tr.produce(t(0), 10);
+            tr.on_timeout();
+        }
+        assert_eq!(tr.rto(), MAX_RTO);
+    }
+
+    #[test]
+    fn valid_ack_resets_rto_backoff() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        for _ in 0..3 {
+            tr.produce(t(0), 10);
+            tr.on_timeout();
+        }
+        assert!(tr.rto() > INITIAL_RTO, "backed off before the ack");
+        // Drain the retransmission queue, then ack one packet.
+        let p = tr.produce(t(100), 10).unwrap();
+        let out = tr.on_ack(t(200), &ack_for(&p, t(150)));
+        assert!(out.valid);
+        // backoff is 0 again. The acked packet was a retransmission, so
+        // Karn's rule leaves srtt unset and the RTO is exactly the
+        // un-backed-off INITIAL_RTO — one eighth of the pre-ack 8 s.
+        assert_eq!(tr.rto(), INITIAL_RTO, "backoff must reset on a valid ack");
+        // An *invalid* ack (stale epoch) must not reset the backoff.
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let stale = tr.produce(t(0), 10).unwrap();
+        tr.start_epoch();
+        tr.produce(t(0), 10);
+        tr.on_timeout();
+        let backed = tr.rto();
+        assert!(!tr.on_ack(t(10), &ack_for(&stale, t(5))).valid);
+        assert_eq!(tr.rto(), backed, "invalid ack must not touch backoff");
+    }
+
+    #[test]
     fn rto_tracks_srtt() {
         let mut tr = Transport::new(FlowId(0));
         tr.start_epoch();

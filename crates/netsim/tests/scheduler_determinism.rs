@@ -106,6 +106,8 @@ fn assert_bit_identical(a: &Run, b: &Run) {
         assert_eq!(fa.transmissions, fb.transmissions);
         assert_eq!(fa.retransmissions, fb.retransmissions);
         assert_eq!(fa.forward_drops, fb.forward_drops);
+        assert_eq!(fa.ack_drops, fb.ack_drops);
+        assert_eq!(fa.fault_drops, fb.fault_drops);
         assert_eq!(fa.timeouts, fb.timeouts);
         assert_eq!(fa.throughput_bps.to_bits(), fb.throughput_bps.to_bits());
         assert_eq!(
@@ -291,6 +293,87 @@ fn shared_uplink_mginf_runs_bit_identical_across_backends() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection axes: bursty loss, outages, corruption.
+// ---------------------------------------------------------------------------
+
+/// The fault modes a sweep cell can select, scaled by `rate` in [0, 1].
+fn fault_mode(which: u8, rate: f64) -> FaultSpec {
+    match which % 4 {
+        0 => FaultSpec::GilbertElliott {
+            loss_good: rate * 0.01,
+            loss_bad: rate,
+            good_to_bad: 0.02,
+            bad_to_good: 0.1,
+        },
+        1 => FaultSpec::outage_scheduled(2.0, 0.3 + rate, true),
+        2 => FaultSpec::outage_markov(2.0, 0.3 + rate, false),
+        _ => FaultSpec::Corruption { prob: rate * 0.2 },
+    }
+}
+
+/// Dumbbell with a fault process on the bottleneck; finite buffer so
+/// queue drops and fault drops coexist in the same run.
+fn fault_net(which: u8, rate: f64) -> NetworkConfig {
+    let mut net = dumbbell(
+        3,
+        8e6,
+        0.120,
+        QueueSpec::DropTail {
+            capacity_bytes: Some(18_000),
+        },
+        WorkloadSpec::AlwaysOn,
+    );
+    net.links[0].fault = Some(fault_mode(which, rate));
+    net.validate().expect("fault scenario must be valid");
+    net
+}
+
+/// Like [`run_diversity`] but tracing only the single bottleneck link.
+fn run_fault(kind: SchedulerKind, seed: u64, net: &NetworkConfig) -> Run {
+    let protocols: Vec<Box<dyn CongestionControl>> =
+        (0..3).map(|_| Box::new(Aimd { w: 2.0 }) as _).collect();
+    let mut sim = Simulation::with_scheduler(net, protocols, seed, kind);
+    sim.enable_event_digest();
+    sim.enable_trace(vec![LinkId(0)], SimDuration::from_millis(50));
+    let outcome = sim.run(SimDuration::from_secs(12));
+    let ack_digests = sim.ack_digests();
+    let trace = sim
+        .take_trace()
+        .unwrap()
+        .series_for(LinkId(0))
+        .unwrap()
+        .iter()
+        .map(|s| (s.at, s.packets, s.bytes, s.cum_drops))
+        .collect();
+    Run {
+        outcome,
+        ack_digests,
+        trace,
+    }
+}
+
+#[test]
+fn every_fault_mode_runs_bit_identical_across_backends() {
+    for which in 0u8..4 {
+        let net = fault_net(which, 0.5);
+        let heap = run_fault(SchedulerKind::Heap, 5, &net);
+        let cal = run_fault(SchedulerKind::Calendar, 5, &net);
+        assert!(
+            heap.outcome.flows.iter().any(|f| f.fault_drops > 0)
+                || matches!(net.links[0].fault, Some(FaultSpec::Outage { .. })),
+            "fault mode {which} must actually destroy packets"
+        );
+        assert_bit_identical(&heap, &cal);
+    }
+    // The loss modes must be exercised for the equivalence to mean much.
+    let probe = run_fault(SchedulerKind::Calendar, 5, &fault_net(0, 0.5));
+    assert!(
+        probe.outcome.flows.iter().any(|f| f.fault_drops > 0),
+        "GE scenario should produce fault drops"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -312,6 +395,22 @@ proptest! {
         let net = diversity_net(aqm0, aqm1, slowdown, churn_rate, shared_reverse, mginf);
         let heap = run_diversity(SchedulerKind::Heap, seed, &net);
         let cal = run_diversity(SchedulerKind::Calendar, seed, &net);
+        assert_bit_identical(&heap, &cal);
+    }
+
+    /// Every fault mode (Gilbert–Elliott, scheduled/Markov outage,
+    /// corruption) at any rate dispatches the identical event sequence
+    /// on both scheduler backends — faults draw from a per-link RNG
+    /// child, never from dispatch order.
+    #[test]
+    fn fault_axes_never_break_backend_equivalence(
+        which in 0u8..4,
+        rate in prop_oneof![Just(0.05), Just(0.3), Just(0.9)],
+        seed in 0u64..1_000,
+    ) {
+        let net = fault_net(which, rate);
+        let heap = run_fault(SchedulerKind::Heap, seed, &net);
+        let cal = run_fault(SchedulerKind::Calendar, seed, &net);
         assert_bit_identical(&heap, &cal);
     }
 }

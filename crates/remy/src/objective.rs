@@ -108,6 +108,7 @@ mod tests {
             on_time_s: on,
             forward_drops: 0,
             ack_drops: 0,
+            fault_drops: 0,
             timeouts: 0,
             losses: 0,
             transmissions: 0,
