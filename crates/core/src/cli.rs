@@ -29,9 +29,15 @@ usage: learnability <command> [options]
 
 commands:
   list                          list every experiment
-  run <id|all> [options]        run experiment(s), print tables, emit JSON
-  train <id|all> [--force]      train missing protocol assets
+  run <ids|all> [options]       run experiment(s), print tables, emit JSON
+                                (<ids> may be comma-separated: run rtt,aqm)
+  train <ids|all> [--force]     train missing protocol assets
                                 (--force discards cached assets first)
+  replay [figure.json]          re-measure every worst-case certificate in
+                                an adversarial figure on both scheduler
+                                backends; fails unless each score
+                                reproduces bit-identically
+                                (default: assets/figures/adversarial.json)
 
 run options:
   --fidelity quick|full         compute budget (default: quick, or
@@ -91,6 +97,19 @@ pub fn run(args: &[&str]) -> i32 {
                 }
             }
         }
+        Some(&"replay") => match args.get(2) {
+            Some(extra) => {
+                eprintln!("error: unexpected replay argument '{extra}'\n\n{USAGE}");
+                2
+            }
+            None => {
+                let path = args
+                    .get(1)
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| default_json_dir().join("adversarial.json"));
+                cmd_replay(&path)
+            }
+        },
         Some(&"--help") | Some(&"-h") | Some(&"help") => {
             print!("{USAGE}");
             0
@@ -126,18 +145,37 @@ pub fn list_table() -> String {
     t.to_string()
 }
 
+/// Resolve an experiment selector: a single id, `all`, or a
+/// comma-separated list (`rtt,aqm,churn`). Duplicates are dropped while
+/// preserving first-mention order; `all` inside a list expands in place.
 fn select(id: Option<&str>) -> Result<Vec<&'static dyn Experiment>, String> {
-    match id {
-        None => Err("missing experiment id (or 'all')".into()),
-        Some("all") => Ok(experiments::registry().to_vec()),
-        Some(id) => experiments::find(id).map(|e| vec![e]).ok_or_else(|| {
+    let Some(spec) = id else {
+        return Err("missing experiment id(s) (or 'all')".into());
+    };
+    let mut exps: Vec<&'static dyn Experiment> = Vec::new();
+    let mut push = |e: &'static dyn Experiment| {
+        if !exps.iter().any(|have| have.id() == e.id()) {
+            exps.push(e);
+        }
+    };
+    for id in spec.split(',') {
+        let id = id.trim();
+        if id == "all" {
+            experiments::registry().iter().copied().for_each(&mut push);
+        } else if let Some(e) = experiments::find(id) {
+            push(e);
+        } else {
             let known: Vec<&str> = experiments::registry().iter().map(|e| e.id()).collect();
-            format!(
+            return Err(format!(
                 "unknown experiment '{id}' (known: {}, all)",
                 known.join(", ")
-            )
-        }),
+            ));
+        }
     }
+    if exps.is_empty() {
+        return Err("empty experiment list".into());
+    }
+    Ok(exps)
 }
 
 type RunArgs = (Vec<&'static dyn Experiment>, RunOptions, Option<PathBuf>);
@@ -239,6 +277,82 @@ fn cmd_run(exps: &[&'static dyn Experiment], opts: &RunOptions, json_dir: Option
     }
 }
 
+/// `learnability replay`: re-measure every `CERTIFICATE:` entry of an
+/// adversarial figure on both scheduler backends and demand bit-identical
+/// scores. Returns 0 only if every certificate reproduces.
+fn cmd_replay(path: &Path) -> i32 {
+    use crate::experiments::adversarial::certificates_from_figure;
+    use netsim::event::SchedulerKind;
+
+    let fig = match std::fs::read_to_string(path) {
+        Ok(s) => match crate::report::FigureData::from_json(&s) {
+            Ok(fig) => fig,
+            Err(e) => {
+                eprintln!("error: {} is not FigureData JSON: {e}", path.display());
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {} (run `learnability run adversarial` first): {e}",
+                path.display()
+            );
+            return 1;
+        }
+    };
+    let certs = certificates_from_figure(&fig);
+    if certs.is_empty() {
+        eprintln!(
+            "error: no CERTIFICATE entries in {} — nothing to replay",
+            path.display()
+        );
+        return 1;
+    }
+    let mut failures = 0;
+    for cert in &certs {
+        let scheme = match crate::search::scheme_for_certificate(cert) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[{}] cannot rebuild scheme: {e}", cert.scheme);
+                failures += 1;
+                continue;
+            }
+        };
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let replayed = crate::search::replay(cert, &scheme, kind);
+            if replayed.to_bits() == cert.score_bits {
+                println!(
+                    "[{}] {kind:?}: score {replayed:.6} reproduced bit-identically \
+                     ({} seeds, {:.0} s)",
+                    cert.scheme,
+                    cert.seeds.len(),
+                    cert.duration_s
+                );
+            } else {
+                eprintln!(
+                    "[{}] {kind:?}: MISMATCH — replayed {replayed} ({:#018x}) vs \
+                     recorded {} ({:#018x})",
+                    cert.scheme,
+                    replayed.to_bits(),
+                    cert.score,
+                    cert.score_bits
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "{} certificate(s) reproduced on both scheduler backends",
+            certs.len()
+        );
+        0
+    } else {
+        eprintln!("error: {failures} replay failure(s)");
+        1
+    }
+}
+
 fn write_json(fig: &crate::report::FigureData, path: &Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -325,6 +439,87 @@ mod tests {
         assert!(parse_run(&["rtt", "--seeds", "0"]).is_err());
         assert!(parse_run(&["rtt", "--wat"]).is_err());
         assert!(parse_run(&["rtt", "--fidelity"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn select_accepts_comma_separated_lists() {
+        let ids = |spec| {
+            select(Some(spec))
+                .unwrap()
+                .iter()
+                .map(|e| e.id())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids("rtt,aqm,churn"), vec!["rtt", "aqm", "churn"]);
+        // Duplicates collapse, first mention wins the ordering.
+        assert_eq!(ids("aqm,rtt,aqm"), vec!["aqm", "rtt"]);
+        // `all` expands in place; ids already mentioned keep their slot.
+        assert_eq!(ids("all").len(), experiments::registry().len());
+        assert_eq!(ids("rtt,all")[0], "rtt");
+        assert_eq!(ids("rtt,all").len(), experiments::registry().len());
+        // Whitespace around commas is tolerated.
+        assert_eq!(ids("rtt, aqm"), vec!["rtt", "aqm"]);
+        let err = select(Some("rtt,bogus")).err().expect("bad id rejected");
+        assert!(err.contains("bogus"), "names the bad id: {err}");
+        assert!(select(Some("")).is_err(), "empty list rejected");
+        assert!(select(Some(",")).is_err());
+    }
+
+    #[test]
+    fn replay_requires_an_artifact() {
+        // Missing file and certificate-free figures both fail loudly.
+        assert_eq!(run(&["replay", "/nonexistent/adversarial.json"]), 1);
+        assert_eq!(run(&["replay", "x.json", "stray"]), 2);
+        let dir = std::env::temp_dir().join("lcc-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.json");
+        let fig = crate::report::FigureData::new("adversarial", "test");
+        std::fs::write(&empty, fig.to_json()).unwrap();
+        assert_eq!(run(&["replay", empty.to_str().unwrap()]), 1);
+        std::fs::write(&empty, "not json").unwrap();
+        assert_eq!(run(&["replay", empty.to_str().unwrap()]), 1);
+    }
+
+    #[test]
+    fn replay_reproduces_a_freshly_searched_certificate() {
+        // End-to-end CLI check on the cheapest budget: search -> figure
+        // JSON on disk -> `learnability replay` exits 0; a tampered
+        // score_bits makes it exit 1.
+        use crate::search::{find_worst_case, SearchConfig};
+        let cfg = SearchConfig {
+            population: 1,
+            generations: 0,
+            survivors: 1,
+            children_per_survivor: 1,
+            seeds: 0..1,
+            duration_s: 2.0,
+            seed: 3,
+            threads: 0,
+            strength: 0.3,
+        };
+        let cert = find_worst_case(&crate::runner::Scheme::NewReno, None, &cfg)
+            .certificate
+            .expect("tiny search certifies");
+        let mut fig = crate::report::FigureData::new("adversarial", "test");
+        fig.notes.push(format!(
+            "CERTIFICATE: {}",
+            serde_json::to_string(&cert).unwrap()
+        ));
+        let dir = std::env::temp_dir().join("lcc-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.json");
+        std::fs::write(&path, fig.to_json()).unwrap();
+        assert_eq!(run(&["replay", path.to_str().unwrap()]), 0);
+
+        let mut bad = cert.clone();
+        bad.score_bits ^= 1;
+        let mut fig = crate::report::FigureData::new("adversarial", "test");
+        fig.notes.push(format!(
+            "CERTIFICATE: {}",
+            serde_json::to_string(&bad).unwrap()
+        ));
+        std::fs::write(&path, fig.to_json()).unwrap();
+        assert_eq!(run(&["replay", path.to_str().unwrap()]), 1);
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl Experiment for BurstyLoss {
                 .runs
                 .iter()
                 .flat_map(|r| r.flows.iter())
-                .map(|f| f.fault_drops)
+                .map(|f| f.drops.fault)
                 .sum();
             t.row(vec![
                 level.to_string(),

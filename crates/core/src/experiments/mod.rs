@@ -20,6 +20,7 @@
 //! | `churn_mginf` | [`churn_mginf`] | extension — unblocked M/G/∞ churn (overlapping flows per slot) vs blocked arrivals |
 //! | `bursty_loss` | [`bursty_loss`] | extension — Gilbert–Elliott bursty non-congestive loss vs loss- and delay-based schemes |
 //! | `outage_recovery` | [`outage_recovery`] | extension — recovery time after link blackouts (the RTO-backoff axis) |
+//! | `adversarial` | [`adversarial`] | extension — adversarial scenario search: per-scheme worst-case certificates |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -30,6 +31,7 @@
 //! [`FigureData`] from which both the JSON artifacts and the printed
 //! tables are rendered.
 
+pub mod adversarial;
 pub mod aqm;
 pub mod asymmetry;
 pub mod bursty_loss;
@@ -62,31 +64,42 @@ pub enum Fidelity {
     Full,
 }
 
+/// One parser for every spelling a fidelity arrives in: the canonical
+/// CLI names (`quick`/`full`) plus the `LEARNABILITY_FULL` boolean
+/// convention (`1`/`true` → full; ``/`0`/`false` → quick, any case).
+/// Pure, so it is testable without touching the process environment
+/// (env mutation races parallel tests); [`Fidelity::from_env`] and
+/// [`Fidelity::from_flag`] are thin wrappers differing only in how they
+/// treat unrecognized input.
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "quick" || s.is_empty() || s == "0" || s.eq_ignore_ascii_case("false") {
+            Ok(Fidelity::Quick)
+        } else if s == "full" || s == "1" || s.eq_ignore_ascii_case("true") {
+            Ok(Fidelity::Full)
+        } else {
+            Err(format!("unknown fidelity '{s}' (quick|full)"))
+        }
+    }
+}
+
 impl Fidelity {
-    /// Pure parse of a `LEARNABILITY_FULL`-style value: `"1"` or `"true"`
-    /// (any case) selects full fidelity, anything else — including absence
-    /// — selects quick. Pure so it is testable without touching the
-    /// process environment (env mutation races parallel tests).
-    pub fn parse(value: Option<&str>) -> Self {
-        match value {
-            Some(v) if v == "1" || v.eq_ignore_ascii_case("true") => Fidelity::Full,
-            _ => Fidelity::Quick,
-        }
-    }
-
-    /// `LEARNABILITY_FULL=1` selects full fidelity. Thin wrapper over
-    /// [`Fidelity::parse`].
+    /// `LEARNABILITY_FULL=1` selects full fidelity; anything
+    /// unrecognized — including absence — stays quick (an env var must
+    /// never abort a run).
     pub fn from_env() -> Self {
-        Self::parse(std::env::var("LEARNABILITY_FULL").ok().as_deref())
+        std::env::var("LEARNABILITY_FULL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Fidelity::Quick)
     }
 
-    /// Parse a `--fidelity` CLI flag value.
+    /// Parse a `--fidelity` CLI flag value (strict: unrecognized input is
+    /// an error the user sees).
     pub fn from_flag(value: &str) -> Result<Self, String> {
-        match value {
-            "quick" => Ok(Fidelity::Quick),
-            "full" => Ok(Fidelity::Full),
-            other => Err(format!("unknown fidelity '{other}' (quick|full)")),
-        }
+        value.parse()
     }
 
     pub fn name(self) -> &'static str {
@@ -181,9 +194,9 @@ pub trait Experiment: Sync {
 
 /// Every experiment of the study: the paper's nine in paper order, then
 /// the beyond-paper scenario axes (AQM, asymmetry, churn, shared uplink,
-/// M/G/∞ churn, fault injection).
+/// M/G/∞ churn, fault injection, adversarial search).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 16] = [
+    static REGISTRY: [&dyn Experiment; 17] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -200,6 +213,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &churn_mginf::ChurnMginf,
         &bursty_loss::BurstyLoss,
         &outage_recovery::OutageRecovery,
+        &adversarial::Adversarial,
     ];
     &REGISTRY
 }
@@ -518,14 +532,19 @@ mod tests {
     }
 
     #[test]
-    fn fidelity_parse_is_pure() {
-        assert_eq!(Fidelity::parse(None), Fidelity::Quick);
-        assert_eq!(Fidelity::parse(Some("")), Fidelity::Quick);
-        assert_eq!(Fidelity::parse(Some("0")), Fidelity::Quick);
-        assert_eq!(Fidelity::parse(Some("yes")), Fidelity::Quick);
-        assert_eq!(Fidelity::parse(Some("1")), Fidelity::Full);
-        assert_eq!(Fidelity::parse(Some("true")), Fidelity::Full);
-        assert_eq!(Fidelity::parse(Some("TRUE")), Fidelity::Full);
+    fn fidelity_from_str_covers_both_conventions() {
+        // Canonical CLI names and the LEARNABILITY_FULL boolean spelling
+        // go through the one FromStr impl.
+        assert_eq!("quick".parse(), Ok(Fidelity::Quick));
+        assert_eq!("full".parse(), Ok(Fidelity::Full));
+        assert_eq!("".parse(), Ok(Fidelity::Quick));
+        assert_eq!("0".parse(), Ok(Fidelity::Quick));
+        assert_eq!("false".parse(), Ok(Fidelity::Quick));
+        assert_eq!("1".parse(), Ok(Fidelity::Full));
+        assert_eq!("true".parse(), Ok(Fidelity::Full));
+        assert_eq!("TRUE".parse(), Ok(Fidelity::Full));
+        assert!("yes".parse::<Fidelity>().is_err());
+        assert!("medium".parse::<Fidelity>().is_err());
     }
 
     #[test]
@@ -556,9 +575,7 @@ mod tests {
             bytes_delivered: 1,
             packets_delivered: 1,
             on_time_s: 1.0,
-            forward_drops: 0,
-            ack_drops: 0,
-            fault_drops: 0,
+            drops: netsim::flow::DropStats::default(),
             timeouts: 0,
             losses: 0,
             transmissions: 0,
@@ -574,7 +591,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_sixteen_experiments() {
+    fn registry_lists_all_seventeen_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -594,7 +611,8 @@ mod tests {
                 "shared_uplink",
                 "churn_mginf",
                 "bursty_loss",
-                "outage_recovery"
+                "outage_recovery",
+                "adversarial"
             ]
         );
         assert!(find("calibration").is_some());

@@ -169,7 +169,7 @@ impl Experiment for OutageRecovery {
                 .runs
                 .iter()
                 .flat_map(|r| r.flows.iter())
-                .map(|f| f.fault_drops)
+                .map(|f| f.drops.fault)
                 .sum();
             // Equivalent-capacity seconds lost to the outage beyond the
             // blackout itself, per blackout: the baseline run turns bytes

@@ -135,7 +135,7 @@ impl Experiment for SharedUplink {
             let ack_drops: f64 = p
                 .runs
                 .iter()
-                .map(|r| r.flows.iter().map(|f| f.ack_drops).sum::<u64>() as f64)
+                .map(|r| r.flows.iter().map(|f| f.drops.ack).sum::<u64>() as f64)
                 .sum::<f64>()
                 / p.runs.len().max(1) as f64;
             t.row(vec![

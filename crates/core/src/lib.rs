@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod omniscient;
 pub mod report;
 pub mod runner;
+pub mod search;
 
 pub use experiments::{run_experiment, run_train_job, Experiment, Fidelity, RunOptions, TrainJob};
 #[doc(hidden)]
@@ -33,4 +34,8 @@ pub use report::{render_figure, FigureData, Series, Table};
 pub use runner::{
     execute_sweep, flow_points, run_homogeneous, run_mix, run_seeds, summarize, with_sfq_codel,
     PointOutcome, Scheme, SummaryStat, SweepPoint,
+};
+pub use search::{
+    adversarial_space, find_worst_case, replay, scheme_for_certificate, Certificate, SearchConfig,
+    SearchResult,
 };

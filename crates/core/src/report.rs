@@ -27,8 +27,8 @@
 //! [`SummaryItem`] is a stable machine-readable key plus an f64 — the
 //! numbers CI diffs across commits without parsing prose.
 //!
-//! [`RunMeta::threads`] is deliberately absent: results are bit-identical
-//! for any worker count, so thread count is not provenance.
+//! A `threads` field in [`RunMeta`] is deliberately absent: results are
+//! bit-identical for any worker count, so thread count is not provenance.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

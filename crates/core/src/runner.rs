@@ -157,7 +157,9 @@ pub fn with_sfq_codel(net: &NetworkConfig) -> NetworkConfig {
 
 /// Event cap for every test-side simulation (protects sweeps against
 /// degenerate protocol settings; training has its own budget knob).
-const TEST_EVENT_BUDGET: u64 = 200_000_000;
+/// Public because certificate replay (`crate::search::replay`) must apply
+/// the exact budget the sweep engine used to reproduce scores bit for bit.
+pub const TEST_EVENT_BUDGET: u64 = 200_000_000;
 
 /// Run one mix of schemes (one per flow) on a network.
 pub fn run_mix(net: &NetworkConfig, schemes: &[Scheme], seed: u64, duration_s: f64) -> RunOutcome {

@@ -1,0 +1,89 @@
+//! Property-based tests of the adversarial-search contract: every point
+//! the search can visit realizes to a valid network, and a certificate's
+//! recorded score digest replays exactly on both scheduler backends.
+
+use lcc_core::search::{adversarial_space, find_worst_case, realize, replay, SearchConfig};
+use lcc_core::Scheme;
+use netsim::event::SchedulerKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sampled point of the adversarial box realizes to a config
+    /// that passes `NetworkConfig::validate`, and sampling is a pure
+    /// function of the seed.
+    #[test]
+    fn sampled_points_realize_valid(seed in 0u64..u64::MAX) {
+        let space = adversarial_space();
+        let p = space.sample(seed);
+        prop_assert!(space.contains(&p), "sample left the box: {p:?}");
+        prop_assert!(realize(&space, &p).validate().is_ok());
+        prop_assert_eq!(space.sample(seed), p, "sampling not deterministic");
+    }
+
+    /// Bounded mutation never escapes the box, from any starting point —
+    /// including points already mutated several times — so evolutionary
+    /// refinement can only ever visit valid configs.
+    #[test]
+    fn mutation_chains_realize_valid(
+        start_seed in 0u64..u64::MAX,
+        step_seeds in proptest::collection::vec(0u64..u64::MAX, 1..6),
+        strength in 0.01f64..1.0,
+    ) {
+        let space = adversarial_space();
+        let mut p = space.sample(start_seed);
+        for s in step_seeds {
+            p = space.mutate(&p, s, strength);
+            prop_assert!(space.contains(&p), "mutation left the box: {p:?}");
+            prop_assert!(realize(&space, &p).validate().is_ok());
+        }
+    }
+
+    /// Even arbitrary out-of-box vectors realize to a valid config (clamp
+    /// is total), so a hand-edited certificate point cannot crash replay.
+    #[test]
+    fn realize_is_total(raw in proptest::collection::vec(-1e9f64..1e9, 11)) {
+        let space = adversarial_space();
+        prop_assert!(realize(&space, &raw).validate().is_ok());
+    }
+}
+
+proptest! {
+    // Replay runs real simulations, so keep the case count small; each
+    // case is a full tiny search plus four replays.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The reproducibility contract of `learnability replay`: for any
+    /// search seed, replaying the certificate's (config, seeds) on either
+    /// scheduler backend reproduces the recorded score bit for bit.
+    #[test]
+    fn certificates_replay_bit_identically(seed in 0u64..u64::MAX) {
+        let cfg = SearchConfig {
+            population: 1,
+            generations: 0,
+            survivors: 1,
+            children_per_survivor: 1,
+            seeds: 0..1,
+            duration_s: 1.0,
+            seed,
+            threads: 1,
+            strength: 0.3,
+        };
+        for scheme in [Scheme::Cubic, Scheme::Vegas] {
+            let Some(cert) = find_worst_case(&scheme, None, &cfg).certificate else {
+                // A candidate where no flow turned ON yields no certificate;
+                // that is a legal search outcome, not a replay failure.
+                continue;
+            };
+            for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+                let got = replay(&cert, &scheme, kind);
+                prop_assert_eq!(
+                    got.to_bits(), cert.score_bits,
+                    "{:?}/{:?}: replayed {} vs recorded {}",
+                    scheme.label(), kind, got, cert.score
+                );
+            }
+        }
+    }
+}

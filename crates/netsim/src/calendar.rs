@@ -30,7 +30,7 @@
 //!   halves when `len < buckets / 4` (never below [`MIN_BUCKETS`]).
 //! * **Degeneracy recovery:** pops that scan a long bucket (width too
 //!   wide) or fall through a whole year to the direct-search path (width
-//!   too narrow) increment a counter; [`RETUNE_AFTER`] such pops force a
+//!   too narrow) increment a counter; `RETUNE_AFTER` such pops force a
 //!   same-size rebuild with a fresh width estimate. A mis-seeded queue
 //!   therefore converges instead of staying degenerate.
 //!

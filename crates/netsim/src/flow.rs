@@ -6,6 +6,37 @@
 //! including propagation and queueing.
 
 use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-flow drop accounting, split by *why* the packet died.
+///
+/// The split matters because only `forward` is congestive signal: `ack`
+/// drops starve the sender of feedback without signalling congestion, and
+/// `fault` drops are exogenous loss that must never masquerade as
+/// congestion in a figure. AQM dequeue-time drops (CoDel sojourn drops)
+/// are internal to the discipline and appear in the link's
+/// [`crate::queue::QueueStats`] instead of here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropStats {
+    /// Packets tail-dropped on the forward path (queue overflow).
+    pub forward: u64,
+    /// Acknowledgments tail-dropped at a reverse-link queue (only
+    /// possible when a link declares a [`crate::topology::ReverseSpec`]
+    /// with a finite reverse buffer).
+    pub ack: u64,
+    /// Packets destroyed by a [`crate::topology::FaultSpec`] process
+    /// (bursty loss, outage blackout, corruption) rather than a queue
+    /// overflowing.
+    pub fault: u64,
+}
+
+impl DropStats {
+    /// Every packet this flow lost to a queue or a fault, regardless of
+    /// direction or cause.
+    pub fn total(&self) -> u64 {
+        self.forward + self.ack + self.fault
+    }
+}
 
 /// Running statistics for one flow.
 #[derive(Clone, Debug, Default)]
@@ -19,22 +50,8 @@ pub struct FlowStats {
     pub delay_sum: SimDuration,
     /// Total time the workload was ON.
     pub on_time: SimDuration,
-    /// Packets dropped on the forward path.
-    pub forward_drops: u64,
-    /// Acknowledgments tail-dropped at a reverse-link queue (only
-    /// possible when a link declares a [`crate::topology::ReverseSpec`]
-    /// with a finite reverse buffer). Mirrors `forward_drops` semantics:
-    /// AQM dequeue-time drops (CoDel sojourn drops) are internal to the
-    /// discipline and appear in the reverse link's
-    /// [`crate::queue::QueueStats`] instead.
-    pub ack_drops: u64,
-    /// Packets destroyed by a [`crate::topology::FaultSpec`] process
-    /// (bursty loss, outage blackout, corruption) rather than a queue
-    /// overflowing. Mirrors `forward_drops`/`ack_drops` semantics but is
-    /// kept separate so non-congestive loss never masquerades as
-    /// congestion in a figure; fault drops do not appear in link
-    /// [`crate::queue::QueueStats`].
-    pub fault_drops: u64,
+    /// Drop counters, split by cause (see [`DropStats`]).
+    pub drops: DropStats,
     /// Retransmission timeouts experienced.
     pub timeouts: u64,
     /// Packets declared lost by the reordering detector.
@@ -88,11 +105,8 @@ pub struct FlowOutcome {
     pub bytes_delivered: u64,
     pub packets_delivered: u64,
     pub on_time_s: f64,
-    pub forward_drops: u64,
-    /// Acknowledgments dropped on the reverse path.
-    pub ack_drops: u64,
-    /// Packets destroyed by a fault process (non-congestive loss).
-    pub fault_drops: u64,
+    /// Drop counters, split by cause (see [`DropStats`]).
+    pub drops: DropStats,
     pub timeouts: u64,
     pub losses: u64,
     pub transmissions: u64,
@@ -111,9 +125,7 @@ impl FlowOutcome {
             bytes_delivered: stats.bytes_delivered,
             packets_delivered: stats.packets_delivered,
             on_time_s: stats.on_time.as_secs_f64(),
-            forward_drops: stats.forward_drops,
-            ack_drops: stats.ack_drops,
-            fault_drops: stats.fault_drops,
+            drops: stats.drops,
             timeouts: stats.timeouts,
             losses: stats.losses,
             transmissions: stats.transmissions,

@@ -521,7 +521,7 @@ impl Simulation {
                             f.bad = !f.bad;
                         }
                         if lost {
-                            self.stats[pkt.flow.0 as usize].fault_drops += 1;
+                            self.stats[pkt.flow.0 as usize].drops.fault += 1;
                             return;
                         }
                     }
@@ -529,7 +529,7 @@ impl Simulation {
                         drop_while_down: true,
                         ..
                     } if self.links[l].is_down() => {
-                        self.stats[pkt.flow.0 as usize].fault_drops += 1;
+                        self.stats[pkt.flow.0 as usize].drops.fault += 1;
                         return;
                     }
                     _ => {}
@@ -544,8 +544,8 @@ impl Simulation {
             Offer::Dropped => {
                 let st = &mut self.stats[pkt.flow.0 as usize];
                 match pkt.dir {
-                    PacketDir::Data => st.forward_drops += 1,
-                    PacketDir::Ack => st.ack_drops += 1,
+                    PacketDir::Data => st.drops.forward += 1,
+                    PacketDir::Ack => st.drops.ack += 1,
                 }
                 if let Some(tr) = &mut self.trace {
                     if tr.links.contains(&link) {
@@ -580,7 +580,7 @@ impl Simulation {
         if let Some(f) = &mut self.faults[link.0 as usize] {
             if let FaultSpec::Corruption { prob } = f.spec {
                 if f.rng.chance(prob) {
-                    self.stats[pkt.flow.0 as usize].fault_drops += 1;
+                    self.stats[pkt.flow.0 as usize].drops.fault += 1;
                     return;
                 }
             }
@@ -1050,7 +1050,7 @@ mod tests {
         );
         // Standing queue of ~117 packets: delay well above propagation.
         assert!(f.avg_queueing_delay_s > 0.005);
-        assert_eq!(f.forward_drops, 0);
+        assert_eq!(f.drops.forward, 0);
     }
 
     #[test]
@@ -1111,7 +1111,7 @@ mod tests {
         );
         let mut sim = Simulation::new(&net, vec![fixed(400.0)], 3);
         let out = sim.run(SimDuration::from_secs(10));
-        assert!(out.flows[0].forward_drops > 0, "oversized window must drop");
+        assert!(out.flows[0].drops.forward > 0, "oversized window must drop");
         assert!(out.flows[0].retransmissions > 0, "losses get retransmitted");
         // Delivered bytes are unique: throughput can't exceed line rate.
         assert!(out.flows[0].throughput_bps <= 1.0e6 * 1.01);
@@ -1422,10 +1422,10 @@ mod tests {
         ));
         let mut sim = Simulation::new(&net, (0..4).map(|_| fixed(30.0)).collect(), 9);
         let out = sim.run(SimDuration::from_secs(20));
-        let ack_drops: u64 = out.flows.iter().map(|f| f.ack_drops).sum();
+        let ack_drops: u64 = out.flows.iter().map(|f| f.drops.ack).sum();
         assert!(ack_drops > 0, "10-ACK buffer must overflow");
         assert_eq!(
-            out.flows.iter().map(|f| f.forward_drops).sum::<u64>(),
+            out.flows.iter().map(|f| f.drops.forward).sum::<u64>(),
             0,
             "forward path uncongested: drops are reverse-only"
         );

@@ -85,7 +85,7 @@ impl ReverseSpec {
 /// Every mode draws from a per-link child of the simulation RNG, so a
 /// faulted run stays a pure function of `(config, seed)` and dispatches
 /// the identical event sequence on both scheduler backends. Packets a
-/// fault destroys are counted per flow as `fault_drops` — never as queue
+/// fault destroys are counted per flow as `drops.fault` — never as queue
 /// drops — so "the path lost it" and "the buffer overflowed" stay
 /// distinguishable in every figure.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -379,10 +379,13 @@ impl NetworkConfig {
         }
         for (i, l) in self.links.iter().enumerate() {
             if l.rate_bps.is_nan() || l.rate_bps <= 0.0 {
-                return Err(format!("link {i} has non-positive rate"));
+                return Err(format!(
+                    "link {i} has non-positive rate (got {} bps)",
+                    l.rate_bps
+                ));
             }
             if l.delay_s < 0.0 {
-                return Err(format!("link {i} has negative delay"));
+                return Err(format!("link {i} has negative delay (got {} s)", l.delay_s));
             }
             if let Some(r) = &l.reverse {
                 if r.shared && !(r.rate_bps.is_finite() && r.rate_bps > 0.0) {
@@ -413,6 +416,54 @@ impl NetworkConfig {
             }
             validate_queue(&format!("link {i}"), &l.queue)?;
         }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Range-respecting mutation helpers.
+    //
+    // Adversarial scenario search mutates configs mechanically; these
+    // setters are the write-side counterpart of `validate()`: each one
+    // clamps its argument into the caller's bounded range (or validates
+    // it outright) before writing, so a mutation can move a config
+    // around inside the searchable box but never out of it.
+    // ------------------------------------------------------------------
+
+    /// Set link `link`'s forward rate to `rate_bps` clamped into
+    /// `[lo, hi]` bps (non-finite collapses to `lo`). Returns the value
+    /// actually written.
+    pub fn set_rate_clamped(&mut self, link: usize, rate_bps: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo > 0.0 && lo <= hi, "bad rate range [{lo}, {hi}]");
+        let v = if rate_bps.is_finite() {
+            rate_bps.clamp(lo, hi)
+        } else {
+            lo
+        };
+        self.links[link].rate_bps = v;
+        v
+    }
+
+    /// Set link `link`'s round-trip propagation delay to `delay_s`
+    /// clamped into `[lo, hi]` seconds (non-finite collapses to `lo`).
+    /// Returns the value actually written.
+    pub fn set_delay_clamped(&mut self, link: usize, delay_s: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo >= 0.0 && lo <= hi, "bad delay range [{lo}, {hi}]");
+        let v = if delay_s.is_finite() {
+            delay_s.clamp(lo, hi)
+        } else {
+            lo
+        };
+        self.links[link].delay_s = v;
+        v
+    }
+
+    /// Attach `fault` to link `link` only if it passes the same checks
+    /// `validate()` applies — a degenerate mutation product is rejected
+    /// here, with the offending value in the message, instead of
+    /// poisoning a simulation later.
+    pub fn try_set_fault(&mut self, link: usize, fault: FaultSpec) -> Result<(), String> {
+        validate_fault(link, &fault)?;
+        self.links[link].fault = Some(fault);
         Ok(())
     }
 }
@@ -514,7 +565,9 @@ fn validate_queue(link: &str, q: &QueueSpec) -> Result<(), String> {
                 ));
             }
             if bins == 0 {
-                return Err(format!("{link} sfqCoDel needs at least one bin"));
+                return Err(format!(
+                    "{link} sfqCoDel needs at least one bin (got {bins})"
+                ));
             }
             Ok(())
         }
@@ -714,6 +767,67 @@ mod tests {
         let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
         net.links[0].rate_bps = 0.0;
         assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validation_messages_carry_the_offending_value() {
+        // Certificates from mutation-produced configs must be
+        // self-diagnosing: every link/fault/reverse rejection names the
+        // bad value, not just the link index.
+        let base = || dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut net = base();
+        net.links[0].rate_bps = -3.0;
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("-3"), "rate value missing: {msg}");
+        let mut net = base();
+        net.links[0].delay_s = -0.25;
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("-0.25"), "delay value missing: {msg}");
+        let mut net = base();
+        net.links[0].fault = Some(FaultSpec::corruption(1.75));
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("1.75"), "corruption value missing: {msg}");
+        let mut net = base();
+        net.links[0].fault = Some(FaultSpec::Outage {
+            up_s: 4.0,
+            down_s: -2.5,
+            scheduled: true,
+            drop_while_down: true,
+        });
+        let msg = net.validate().unwrap_err();
+        assert!(msg.contains("-2.5"), "outage dwell value missing: {msg}");
+        let mut net = base();
+        net.links[0].reverse = Some(ReverseSpec::per_flow(-7e6, 0.05));
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("-7000000"),
+            "reverse rate value missing: {msg}"
+        );
+    }
+
+    #[test]
+    fn clamped_setters_respect_their_ranges() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        assert_eq!(net.set_rate_clamped(0, 5e9, 1e6, 64e6), 64e6);
+        assert_eq!(net.links[0].rate_bps, 64e6);
+        assert_eq!(net.set_rate_clamped(0, f64::NAN, 1e6, 64e6), 1e6);
+        assert_eq!(net.set_delay_clamped(0, -4.0, 0.04, 0.3), 0.04);
+        assert_eq!(net.set_delay_clamped(0, 0.15, 0.04, 0.3), 0.15);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn try_set_fault_rejects_degenerate_specs() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let msg = net
+            .try_set_fault(0, FaultSpec::corruption(2.0))
+            .unwrap_err();
+        assert!(msg.contains("2"), "value in message: {msg}");
+        assert!(net.links[0].fault.is_none(), "rejected fault not written");
+        net.try_set_fault(0, FaultSpec::gilbert_elliott(0.5, 0.01, 0.1))
+            .unwrap();
+        assert!(net.links[0].fault.is_some());
+        net.validate().unwrap();
     }
 
     #[test]

@@ -63,12 +63,12 @@ fn gilbert_elliott_losses_are_fault_drops_not_queue_drops() {
     let f = run_net(&faulty, 7, 10);
     let c = run_net(&clean, 7, 10);
     assert!(
-        f.flows[0].fault_drops > 50,
+        f.flows[0].drops.fault > 50,
         "GE process must destroy packets, got {}",
-        f.flows[0].fault_drops
+        f.flows[0].drops.fault
     );
     assert_eq!(
-        f.flows[0].forward_drops, 0,
+        f.flows[0].drops.forward, 0,
         "infinite buffer: no queue drop can occur"
     );
     assert_eq!(
@@ -90,11 +90,11 @@ fn corruption_consumes_link_capacity_but_is_discarded() {
     let faulty = uncongested_net(Some(FaultSpec::corruption(0.05)));
     let f = run_net(&faulty, 3, 10);
     assert!(
-        f.flows[0].fault_drops > 20,
+        f.flows[0].drops.fault > 20,
         "corruption must discard packets, got {}",
-        f.flows[0].fault_drops
+        f.flows[0].drops.fault
     );
-    assert_eq!(f.flows[0].forward_drops, 0);
+    assert_eq!(f.flows[0].drops.forward, 0);
     assert_eq!(f.link_queues[0].dropped, 0);
     // Corrupted packets crossed the link before being discarded: the
     // link transmitted more bytes than the receiver counted.
@@ -117,7 +117,7 @@ fn flow_recovers_after_blackout_shorter_than_max_rto() {
     // more bytes, not a black-holed stall.
     let a = run_net(&net, 11, 6);
     let b = run_net(&net, 11, 12);
-    assert!(a.flows[0].fault_drops > 0, "blackout must destroy packets");
+    assert!(a.flows[0].drops.fault > 0, "blackout must destroy packets");
     assert!(
         b.flows[0].timeouts >= 1,
         "recovery must exercise the RTO path"
@@ -136,8 +136,8 @@ fn hold_mode_outage_preserves_packets() {
     // released when the link returns: nothing is destroyed.
     let net = uncongested_net(Some(FaultSpec::outage_scheduled(4.0, 2.0, false)));
     let out = run_net(&net, 11, 12);
-    assert_eq!(out.flows[0].fault_drops, 0, "hold mode destroys nothing");
-    assert_eq!(out.flows[0].forward_drops, 0);
+    assert_eq!(out.flows[0].drops.fault, 0, "hold mode destroys nothing");
+    assert_eq!(out.flows[0].drops.forward, 0);
     let held = run_net(&net, 11, 12).flows[0].bytes_delivered;
     let dropped = run_net(
         &uncongested_net(Some(FaultSpec::outage_scheduled(4.0, 2.0, true))),
@@ -165,5 +165,5 @@ fn markov_outages_differ_by_seed_but_not_by_backend() {
     // Same seed reproduces exactly.
     let a2 = run_net(&net, 1, 10);
     assert_eq!(a.flows[0].bytes_delivered, a2.flows[0].bytes_delivered);
-    assert_eq!(a.flows[0].fault_drops, a2.flows[0].fault_drops);
+    assert_eq!(a.flows[0].drops.fault, a2.flows[0].drops.fault);
 }

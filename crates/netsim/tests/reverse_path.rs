@@ -115,7 +115,7 @@ proptest! {
         prop_assert_eq!(sh.events_processed, pf.events_processed);
         for (a, b) in sh.flows.iter().zip(&pf.flows) {
             prop_assert_eq!(a.bytes_delivered, b.bytes_delivered);
-            prop_assert_eq!(a.ack_drops, b.ack_drops);
+            prop_assert_eq!(a.drops.ack, b.drops.ack);
             prop_assert_eq!(a.throughput_bps.to_bits(), b.throughput_bps.to_bits());
         }
     }
@@ -124,8 +124,8 @@ proptest! {
 #[test]
 fn reverse_queue_disciplines_manage_ack_traffic() {
     // Eight aggressive senders' ACKs through one 300 kbps uplink. A tiny
-    // drop-tail buffer tail-drops (per-flow `ack_drops` accounting, like
-    // `forward_drops`); CoDel on a large buffer sheds its standing ACK
+    // drop-tail buffer tail-drops (per-flow `drops.ack` accounting, like
+    // `drops.forward`); CoDel on a large buffer sheds its standing ACK
     // queue through sojourn-triggered dequeue drops, which — exactly as
     // on the forward path — are internal to the discipline and appear in
     // the reverse link's `QueueStats` only.
@@ -145,7 +145,7 @@ fn reverse_queue_disciplines_manage_ack_traffic() {
         assert_eq!(out.forward_links, 1, "reverse link reported after forward");
         (
             out.link_queues[1].dropped,
-            out.flows.iter().map(|f| f.ack_drops).sum::<u64>(),
+            out.flows.iter().map(|f| f.drops.ack).sum::<u64>(),
         )
     };
     // 2 kB = 50 ACKs of shared buffer: the standing queue overflows.

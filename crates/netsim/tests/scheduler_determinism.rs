@@ -105,9 +105,9 @@ fn assert_bit_identical(a: &Run, b: &Run) {
         assert_eq!(fa.bytes_delivered, fb.bytes_delivered);
         assert_eq!(fa.transmissions, fb.transmissions);
         assert_eq!(fa.retransmissions, fb.retransmissions);
-        assert_eq!(fa.forward_drops, fb.forward_drops);
-        assert_eq!(fa.ack_drops, fb.ack_drops);
-        assert_eq!(fa.fault_drops, fb.fault_drops);
+        assert_eq!(fa.drops.forward, fb.drops.forward);
+        assert_eq!(fa.drops.ack, fb.drops.ack);
+        assert_eq!(fa.drops.fault, fb.drops.fault);
         assert_eq!(fa.timeouts, fb.timeouts);
         assert_eq!(fa.throughput_bps.to_bits(), fb.throughput_bps.to_bits());
         assert_eq!(
@@ -288,7 +288,7 @@ fn shared_uplink_mginf_runs_bit_identical_across_backends() {
         &diversity_net(0, 0, 100.0, 1.5, true, true),
     );
     assert!(
-        probe.outcome.flows.iter().any(|f| f.ack_drops > 0),
+        probe.outcome.flows.iter().any(|f| f.drops.ack > 0),
         "scenario should exercise shared reverse-queue drops"
     );
 }
@@ -360,7 +360,7 @@ fn every_fault_mode_runs_bit_identical_across_backends() {
         let heap = run_fault(SchedulerKind::Heap, 5, &net);
         let cal = run_fault(SchedulerKind::Calendar, 5, &net);
         assert!(
-            heap.outcome.flows.iter().any(|f| f.fault_drops > 0)
+            heap.outcome.flows.iter().any(|f| f.drops.fault > 0)
                 || matches!(net.links[0].fault, Some(FaultSpec::Outage { .. })),
             "fault mode {which} must actually destroy packets"
         );
@@ -369,7 +369,7 @@ fn every_fault_mode_runs_bit_identical_across_backends() {
     // The loss modes must be exercised for the equivalence to mean much.
     let probe = run_fault(SchedulerKind::Calendar, 5, &fault_net(0, 0.5));
     assert!(
-        probe.outcome.flows.iter().any(|f| f.fault_drops > 0),
+        probe.outcome.flows.iter().any(|f| f.drops.fault > 0),
         "GE scenario should produce fault drops"
     );
 }

@@ -41,9 +41,9 @@ fn recovery_through_a_tiny_buffer() {
     let out = sim.run(SimDuration::from_secs(20));
     let f = &out.flows[0];
     assert!(
-        f.forward_drops > 500,
+        f.drops.forward > 500,
         "tiny buffer must shed heavily: {}",
-        f.forward_drops
+        f.drops.forward
     );
     // Despite the loss storm the connection makes forward progress at
     // roughly line rate (goodput bounded by capacity, not collapsed).
@@ -82,7 +82,7 @@ fn rto_fires_when_whole_window_is_lost() {
     );
     let out = sim.run(SimDuration::from_secs(60));
     let victim = &out.flows[1];
-    assert!(victim.forward_drops > 0, "victim must see drops");
+    assert!(victim.drops.forward > 0, "victim must see drops");
     assert!(
         victim.timeouts > 0,
         "expected RTO-driven recovery for the victim"

@@ -1,5 +1,5 @@
 //! Compiled whisker trees: the executor-side representation of a
-//! [`WhiskerTree`](crate::whisker::WhiskerTree).
+//! [`crate::whisker::WhiskerTree`].
 //!
 //! The boxed recursive `WhiskerTree` is the optimizer's *editing*
 //! structure (split, set-action, serialize); walking it on every ack

@@ -58,6 +58,7 @@ pub mod objective;
 pub mod optimizer;
 pub mod scenario;
 pub mod serialize;
+pub mod space;
 pub mod verifier;
 
 pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalPool, EvalResult};
@@ -67,6 +68,7 @@ pub use scenario::{
     BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec, SenderClassSpec,
     TopologySpec,
 };
+pub use space::{Axis, AxisKind, ScenarioSpace};
 pub use verifier::{verify, VerifyConfig, VerifyReport};
 
 /// Common imports for optimizer users.
@@ -78,4 +80,5 @@ pub mod prelude {
         BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec,
         SenderClassSpec, TopologySpec,
     };
+    pub use crate::space::{Axis, AxisKind, ScenarioSpace};
 }

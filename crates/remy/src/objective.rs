@@ -106,9 +106,7 @@ mod tests {
             bytes_delivered: (tpt * on / 8.0) as u64,
             packets_delivered: if tpt > 0.0 { 100 } else { 0 },
             on_time_s: on,
-            forward_drops: 0,
-            ack_drops: 0,
-            fault_drops: 0,
+            drops: netsim::flow::DropStats::default(),
             timeouts: 0,
             losses: 0,
             transmissions: 0,

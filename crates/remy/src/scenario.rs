@@ -10,6 +10,7 @@
 //! ready to simulate.
 
 use crate::objective::Objective;
+use crate::space::ScenarioSpace;
 use netsim::prelude::*;
 use netsim::queue::QueueSpec;
 use netsim::rng::SimRng;
@@ -49,6 +50,24 @@ impl Sample {
             Sample::Uniform { lo, hi } => (lo + hi) / 2.0,
             Sample::LogUniform { lo, hi } => (lo * hi).sqrt(),
         }
+    }
+
+    /// Closed range `[lo, hi]` of values this sample can take.
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            Sample::Fixed(v) => (v, v),
+            Sample::Uniform { lo, hi } | Sample::LogUniform { lo, hi } => (lo, hi),
+        }
+    }
+
+    /// Clamp `v` into this sample's bounds (non-finite values collapse to
+    /// the lower bound), so mutated values can never escape the range.
+    pub fn clamp(&self, v: f64) -> f64 {
+        let (lo, hi) = self.bounds();
+        if !v.is_finite() {
+            return lo;
+        }
+        v.clamp(lo, hi)
     }
 }
 
@@ -157,6 +176,28 @@ pub enum TopologySpec {
         link2_mbps: Sample,
         per_link_delay_ms: f64,
     },
+}
+
+impl TopologySpec {
+    /// The [`ScenarioSpace`] over this topology's sampled axes, in the
+    /// exact order [`ScenarioSpec::sample`] draws them. This is what makes
+    /// a Remy training-distribution draw one instance of the general
+    /// scenario-space machinery: the spec's topology ranges *are* a
+    /// (small) `ScenarioSpace`, and `sample` routes its draws through it.
+    pub fn space(&self) -> ScenarioSpace {
+        match *self {
+            TopologySpec::Dumbbell { link_mbps, rtt_ms } => ScenarioSpace::new("dumbbell")
+                .with_continuous("link_mbps", link_mbps)
+                .with_continuous("rtt_ms", rtt_ms),
+            TopologySpec::ParkingLot {
+                link1_mbps,
+                link2_mbps,
+                ..
+            } => ScenarioSpace::new("parking-lot")
+                .with_continuous("link1_mbps", link1_mbps)
+                .with_continuous("link2_mbps", link2_mbps),
+        }
+    }
 }
 
 /// A complete training-scenario specification.
@@ -364,13 +405,22 @@ impl ScenarioSpec {
             .unwrap_or(0)
     }
 
+    /// The [`ScenarioSpace`] this spec samples its topology from.
+    pub fn space(&self) -> ScenarioSpace {
+        self.topology.space()
+    }
+
     /// Draw a concrete scenario. Deterministic in `seed`.
     pub fn sample(&self, seed: u64) -> ConcreteScenario {
         let mut rng = SimRng::from_seed(seed);
+        // Topology axes are drawn through the spec's ScenarioSpace, in
+        // declared order, from the same rng — the general sampler and the
+        // historical inline draws produce bit-identical streams.
+        let point = self.space().sample_with(&mut rng);
         match &self.topology {
-            TopologySpec::Dumbbell { link_mbps, rtt_ms } => {
-                let rate = link_mbps.draw(&mut rng) * 1e6;
-                let rtt_s = rtt_ms.draw(&mut rng) / 1e3;
+            TopologySpec::Dumbbell { .. } => {
+                let rate = point[0] * 1e6;
+                let rtt_s = point[1] / 1e3;
                 let mut roles = Vec::new();
                 let mut deltas = Vec::new();
                 let mut workloads = Vec::new();
@@ -418,12 +468,10 @@ impl ScenarioSpec {
                 }
             }
             TopologySpec::ParkingLot {
-                link1_mbps,
-                link2_mbps,
-                per_link_delay_ms,
+                per_link_delay_ms, ..
             } => {
-                let r1 = link1_mbps.draw(&mut rng) * 1e6;
-                let r2 = link2_mbps.draw(&mut rng) * 1e6;
+                let r1 = point[0] * 1e6;
+                let r2 = point[1] * 1e6;
                 let delay_s = per_link_delay_ms / 1e3;
                 let class = &self.classes[0];
                 let (q1, q2) = (

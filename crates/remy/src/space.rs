@@ -1,0 +1,312 @@
+//! `ScenarioSpace`: a first-class description of "a distribution over
+//! scenarios".
+//!
+//! Both Remy's training-distribution draws ([`crate::scenario::ScenarioSpec`]
+//! routes its topology sampling through [`TopologySpec::space`]) and the
+//! adversarial scenario search in `lcc-core` describe their scenario ranges
+//! the same way: an ordered list of named [`Axis`] values, each either a
+//! continuous [`Sample`] range or a categorical choice. A *point* in the
+//! space is a plain `Vec<f64>` parallel to the axes (categorical axes hold
+//! the choice index as an exact small integer), which makes points
+//! serde-friendly enough to embed in worst-case certificates and replay
+//! bit-identically.
+//!
+//! Three operations matter:
+//! - [`ScenarioSpace::sample_with`] — draw a point axis-by-axis, in declared
+//!   order, from one [`SimRng`]; deterministic in the rng state.
+//! - [`ScenarioSpace::mutate_with`] — a *bounded* mutation: perturb a point
+//!   without ever leaving the axis ranges (the evolutionary refinement step
+//!   of adversarial search).
+//! - [`ScenarioSpace::clamp`] — project an arbitrary point (e.g. a
+//!   hand-edited certificate) back into the box.
+//!
+//! [`TopologySpec::space`]: crate::scenario::TopologySpec::space
+
+use crate::scenario::Sample;
+use netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One searchable dimension of a [`ScenarioSpace`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Human-readable name; certificates print points axis-by-axis.
+    pub name: String,
+    pub kind: AxisKind,
+}
+
+/// What an axis ranges over.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AxisKind {
+    /// A scalar drawn from a [`Sample`] range (fixed, uniform, or
+    /// log-uniform).
+    Continuous(Sample),
+    /// A categorical choice among `0..n` options, stored in the point as
+    /// the exact integer index.
+    Choice(u32),
+}
+
+impl Axis {
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        match self.kind {
+            AxisKind::Continuous(s) => s.draw(rng),
+            AxisKind::Choice(n) => rng.uniform_u32(0, n.saturating_sub(1)) as f64,
+        }
+    }
+
+    fn center(&self) -> f64 {
+        match self.kind {
+            AxisKind::Continuous(s) => s.center(),
+            AxisKind::Choice(n) => (n.saturating_sub(1) / 2) as f64,
+        }
+    }
+
+    fn clamp(&self, v: f64) -> f64 {
+        match self.kind {
+            AxisKind::Continuous(s) => s.clamp(v),
+            AxisKind::Choice(n) => {
+                let hi = n.saturating_sub(1) as f64;
+                if !v.is_finite() {
+                    0.0
+                } else {
+                    v.round().clamp(0.0, hi)
+                }
+            }
+        }
+    }
+
+    fn contains(&self, v: f64) -> bool {
+        self.clamp(v) == v
+    }
+
+    /// Bounded perturbation: continuous axes step by at most `strength`
+    /// of their range (linear for uniform, in log-space for log-uniform)
+    /// and are clamped back into bounds; choice axes re-draw uniformly.
+    fn perturb(&self, v: f64, rng: &mut SimRng, strength: f64) -> f64 {
+        match self.kind {
+            AxisKind::Continuous(s) => {
+                let (lo, hi) = s.bounds();
+                if lo == hi {
+                    return lo;
+                }
+                let step = rng.uniform(-strength, strength);
+                let moved = match s {
+                    Sample::LogUniform { .. } => {
+                        let span = (hi / lo).ln();
+                        (s.clamp(v).ln() + step * span).exp()
+                    }
+                    _ => s.clamp(v) + step * (hi - lo),
+                };
+                s.clamp(moved)
+            }
+            AxisKind::Choice(_) => self.draw(rng),
+        }
+    }
+}
+
+/// An ordered, named box of scenario ranges — see the module docs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpace {
+    /// Name of the space (shows up in certificates).
+    pub name: String,
+    pub axes: Vec<Axis>,
+}
+
+impl ScenarioSpace {
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpace {
+            name: name.into(),
+            axes: Vec::new(),
+        }
+    }
+
+    /// Builder: append a continuous axis.
+    pub fn with_continuous(mut self, name: impl Into<String>, sample: Sample) -> Self {
+        self.axes.push(Axis {
+            name: name.into(),
+            kind: AxisKind::Continuous(sample),
+        });
+        self
+    }
+
+    /// Builder: append a categorical axis with `n` options.
+    pub fn with_choice(mut self, name: impl Into<String>, n: u32) -> Self {
+        let name = name.into();
+        assert!(n >= 1, "choice axis '{name}' needs at least one option");
+        self.axes.push(Axis {
+            name,
+            kind: AxisKind::Choice(n),
+        });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.axes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Index of the axis named `name`, if any.
+    pub fn axis_index(&self, name: &str) -> Option<usize> {
+        self.axes.iter().position(|a| a.name == name)
+    }
+
+    /// Value of the named axis in `point` (panics on an unknown name —
+    /// axis names are compile-time constants at every call site).
+    pub fn value(&self, point: &[f64], name: &str) -> f64 {
+        let i = self
+            .axis_index(name)
+            .unwrap_or_else(|| panic!("no axis named '{name}' in space '{}'", self.name));
+        point[i]
+    }
+
+    /// Draw one point, axis by axis in declared order, from `rng`.
+    pub fn sample_with(&self, rng: &mut SimRng) -> Vec<f64> {
+        self.axes.iter().map(|a| a.draw(rng)).collect()
+    }
+
+    /// Draw one point deterministically from a seed.
+    pub fn sample(&self, seed: u64) -> Vec<f64> {
+        self.sample_with(&mut SimRng::from_seed(seed))
+    }
+
+    /// The center of the box (geometric center for log-uniform axes).
+    pub fn center(&self) -> Vec<f64> {
+        self.axes.iter().map(|a| a.center()).collect()
+    }
+
+    /// Project an arbitrary point into the box (clamping continuous axes,
+    /// rounding + clamping choice axes, collapsing non-finite values).
+    pub fn clamp(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.axes.len(), "point/axes arity mismatch");
+        self.axes
+            .iter()
+            .zip(point)
+            .map(|(a, &v)| a.clamp(v))
+            .collect()
+    }
+
+    /// Is `point` inside the box (and of the right arity)?
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.axes.len() && self.axes.iter().zip(point).all(|(a, &v)| a.contains(v))
+    }
+
+    /// Bounded mutation: always perturbs one uniformly chosen axis, and
+    /// each other axis independently with probability 0.3. The result is
+    /// guaranteed to stay inside the box. `strength` scales the continuous
+    /// step size (fraction of each axis range; 0.1–0.5 is typical).
+    pub fn mutate_with(&self, point: &[f64], rng: &mut SimRng, strength: f64) -> Vec<f64> {
+        assert_eq!(point.len(), self.axes.len(), "point/axes arity mismatch");
+        if self.axes.is_empty() {
+            return Vec::new();
+        }
+        let forced = rng.uniform_u32(0, self.axes.len() as u32 - 1) as usize;
+        self.axes
+            .iter()
+            .enumerate()
+            .zip(point)
+            .map(|((i, a), &v)| {
+                if i == forced || rng.chance(0.3) {
+                    a.perturb(v, rng, strength)
+                } else {
+                    a.clamp(v)
+                }
+            })
+            .collect()
+    }
+
+    /// Deterministic bounded mutation from a seed.
+    pub fn mutate(&self, point: &[f64], seed: u64, strength: f64) -> Vec<f64> {
+        self.mutate_with(point, &mut SimRng::from_seed(seed), strength)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_space() -> ScenarioSpace {
+        ScenarioSpace::new("demo")
+            .with_continuous("rate", Sample::LogUniform { lo: 1.0, hi: 100.0 })
+            .with_continuous("rtt", Sample::Uniform { lo: 0.05, hi: 0.3 })
+            .with_continuous("pinned", Sample::Fixed(7.0))
+            .with_choice("aqm", 4)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_bounds() {
+        let sp = demo_space();
+        for seed in 0..200 {
+            let p = sp.sample(seed);
+            assert_eq!(p, sp.sample(seed));
+            assert!(sp.contains(&p), "seed {seed} sampled out of bounds: {p:?}");
+            assert_eq!(p[2], 7.0, "fixed axis is fixed");
+            assert_eq!(p[3], p[3].round(), "choice axis is an exact integer");
+        }
+    }
+
+    #[test]
+    fn spec_space_matches_inline_draw_order() {
+        // ScenarioSpec::sample routes through space().sample_with; drawing
+        // the space with a fresh rng of the same seed must reproduce the
+        // sampled network's parameters exactly.
+        let spec = crate::scenario::ScenarioSpec::link_speed_range(1.0, 1000.0);
+        for seed in [0u64, 7, 123456789] {
+            let s = spec.sample(seed);
+            let p = spec.space().sample_with(&mut SimRng::from_seed(seed));
+            assert_eq!(s.net.links[0].rate_bps, p[0] * 1e6);
+        }
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds_and_is_deterministic() {
+        let sp = demo_space();
+        let mut point = sp.center();
+        for seed in 0..300 {
+            assert_eq!(sp.mutate(&point, seed, 0.5), sp.mutate(&point, seed, 0.5));
+            point = sp.mutate(&point, seed, 0.5);
+            assert!(
+                sp.contains(&point),
+                "seed {seed} mutated out of bounds: {point:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_actually_moves() {
+        let sp = demo_space();
+        let center = sp.center();
+        let moved = (0..50)
+            .filter(|&s| sp.mutate(&center, s, 0.3) != center)
+            .count();
+        assert!(moved > 40, "only {moved}/50 mutations moved the point");
+    }
+
+    #[test]
+    fn clamp_projects_into_the_box() {
+        let sp = demo_space();
+        let wild = vec![1e9, -5.0, 0.0, 99.7];
+        let p = sp.clamp(&wild);
+        assert!(sp.contains(&p));
+        assert_eq!(p, vec![100.0, 0.05, 7.0, 3.0]);
+        let nan = sp.clamp(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::NAN]);
+        assert!(sp.contains(&nan));
+    }
+
+    #[test]
+    fn value_lookup_by_name() {
+        let sp = demo_space();
+        let p = sp.center();
+        assert_eq!(sp.value(&p, "pinned"), 7.0);
+        assert_eq!(sp.axis_index("nope"), None);
+    }
+
+    #[test]
+    fn spaces_serialize() {
+        let sp = demo_space();
+        let json = serde_json::to_string(&sp).unwrap();
+        let back: ScenarioSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(sp, back);
+    }
+}

@@ -103,7 +103,7 @@ fn aggressive_protocol_floods_infinite_buffer() {
         "10 aggressive senders on a no-drop link must build seconds of queue, got {mean_qd}"
     );
     assert_eq!(
-        out.flows.iter().map(|f| f.forward_drops).sum::<u64>(),
+        out.flows.iter().map(|f| f.drops.forward).sum::<u64>(),
         0,
         "no-drop buffer never drops"
     );
@@ -125,7 +125,7 @@ fn aggressive_protocol_drops_on_finite_buffer() {
         "aggressive",
     );
     let out = run_homogeneous(&net, &aggressive, 3, 20.0);
-    let drops: u64 = out.flows.iter().map(|f| f.forward_drops).sum();
+    let drops: u64 = out.flows.iter().map(|f| f.drops.forward).sum();
     let retx: u64 = out.flows.iter().map(|f| f.retransmissions).sum();
     assert!(
         drops > 100,

@@ -184,7 +184,7 @@ pub mod collection {
         max_exclusive: usize,
     }
 
-    /// Size bounds accepted by [`vec`].
+    /// Size bounds accepted by [`vec()`].
     pub trait SizeRange {
         fn bounds(&self) -> (usize, usize);
     }
