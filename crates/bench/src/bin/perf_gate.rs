@@ -6,6 +6,9 @@
 //!
 //! * `sim_events_per_sec` — fresh must be ≥ committed / tolerance
 //! * `smoke_train_wall_s` — fresh must be ≤ committed × tolerance
+//! * `genetic_smoke_train_secs` — fresh must be ≤ committed × tolerance
+//!   (doubles as CI's genetic smoke-train: the measurement *is* a full
+//!   smoke-budget `GeneticTrainer` run)
 //!
 //! The tolerance defaults to 2× — generous on purpose: shared CI
 //! runners are noisy, and the gate exists to catch order-of-magnitude
@@ -132,6 +135,7 @@ fn main() -> ExitCode {
         ("sim_events_per_sec", Direction::HigherIsBetter),
         ("sim_events_per_sec_dense", Direction::HigherIsBetter),
         ("smoke_train_wall_s", Direction::LowerIsBetter),
+        ("genetic_smoke_train_secs", Direction::LowerIsBetter),
     ] {
         if let Err(e) = check(name, &baseline, &fresh, tolerance, dir) {
             failures.push(e);

@@ -4,6 +4,10 @@
 //!
 //! * `smoke_train_wall_s` — wall time of one `OptimizerConfig::smoke()`
 //!   training run on the calibration scenario (the Remy inner loop).
+//! * `genetic_smoke_train_secs` — wall time of one smoke-budget
+//!   `GeneticTrainer` run on the same scenario (the population-search
+//!   trainer's inner loop: per-generation batch evaluation plus
+//!   genome mutation).
 //! * `sim_events_per_sec` — event throughput of a fixed 4-sender dumbbell
 //!   simulation (the netsim hot path), single-threaded, on the default
 //!   scheduler backend (the bucketed calendar queue). The same dumbbell
@@ -22,9 +26,11 @@
 //! ```
 
 use netsim::prelude::*;
+use netsim::rng::SimRng;
 use protocols::{Action, TaoCc, WhiskerTree};
-use remy::{Optimizer, OptimizerConfig, ScenarioSpec};
+use remy::{EvalPool, GeneticTrainer, Optimizer, OptimizerConfig, ScenarioSpec, TrainBudget, Trainer};
 use serde_json::Value;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Repetitions of the smoke training run (median reported).
@@ -40,6 +46,24 @@ fn time_smoke_training() -> f64 {
         let trained = opt.optimize("perf-snapshot");
         let dt = start.elapsed().as_secs_f64();
         assert!(trained.score.is_finite(), "training degenerated");
+        samples.push(dt);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn time_genetic_smoke_training() -> f64 {
+    let mut samples = Vec::with_capacity(TRAIN_REPS);
+    for _ in 0..TRAIN_REPS {
+        let mut budget = TrainBudget::smoke();
+        budget.seed = 7;
+        let trainer = GeneticTrainer::new(budget.clone());
+        let pool = Arc::new(EvalPool::new(budget.threads));
+        let specs = vec![ScenarioSpec::calibration()];
+        let start = Instant::now();
+        let trained = trainer.train("perf-snapshot-genetic", &specs, &pool, &mut SimRng::from_seed(7));
+        let dt = start.elapsed().as_secs_f64();
+        assert!(trained.score.is_finite(), "genetic training degenerated");
         samples.push(dt);
     }
     samples.sort_by(|a, b| a.total_cmp(b));
@@ -127,6 +151,10 @@ fn main() {
     let train_s = time_smoke_training();
     eprintln!("[perf] smoke training: {train_s:.3} s");
 
+    eprintln!("[perf] timing genetic smoke training ({TRAIN_REPS} reps)...");
+    let genetic_train_s = time_genetic_smoke_training();
+    eprintln!("[perf] genetic smoke training: {genetic_train_s:.3} s");
+
     eprintln!("[perf] timing dumbbell simulation (calendar backend)...");
     let eps = sim_events_per_sec(SchedulerKind::Calendar);
     eprintln!("[perf] simulator/calendar: {eps:.0} events/s");
@@ -155,6 +183,10 @@ fn main() {
 
     let mut obj = vec![
         ("smoke_train_wall_s".to_string(), Value::F64(train_s)),
+        (
+            "genetic_smoke_train_secs".to_string(),
+            Value::F64(genetic_train_s),
+        ),
         ("sim_events_per_sec".to_string(), Value::F64(eps)),
         ("sim_events_per_sec_heap".to_string(), Value::F64(eps_heap)),
         (
@@ -170,7 +202,8 @@ fn main() {
         (
             "bench".to_string(),
             Value::Str(
-                "perf_snapshot: OptimizerConfig::smoke() on calibration; 4-Tao dumbbell 30 s \
+                "perf_snapshot: OptimizerConfig::smoke() on calibration (tree and genetic \
+                 trainers); 4-Tao dumbbell 30 s \
                  (sim_events_per_sec = default calendar scheduler, _heap = BinaryHeap \
                  reference); _dense = 64x256-window fat-pipe dumbbell 10 s (standing \
                  event population in the thousands)"

@@ -31,8 +31,13 @@ commands:
   list                          list every experiment
   run <ids|all> [options]       run experiment(s), print tables, emit JSON
                                 (<ids> may be comma-separated: run rtt,aqm)
-  train <ids|all> [--force]     train missing protocol assets
-                                (--force discards cached assets first)
+  train <ids|all> [--force] [--trainer tree|genetic]
+                                train missing protocol assets
+                                (--force discards cached assets first;
+                                --trainer genetic runs the population
+                                search instead of the whisker-tree hill
+                                climb, producing '<asset>-genetic' assets
+                                so the committed tree assets never move)
   replay [figure.json]          re-measure every worst-case certificate in
                                 an adversarial figure on both scheduler
                                 backends; fails unless each score
@@ -83,20 +88,13 @@ pub fn run(args: &[&str]) -> i32 {
                 2
             }
         },
-        Some(&"train") => {
-            let force = args.get(2) == Some(&"--force");
-            let parsed = match args.get(if force { 3 } else { 2 }) {
-                Some(extra) => Err(format!("unexpected train argument '{extra}'")),
-                None => select(args.get(1).copied()),
-            };
-            match parsed {
-                Ok(exps) => cmd_train(&exps, force),
-                Err(e) => {
-                    eprintln!("error: {e}\n\n{USAGE}");
-                    2
-                }
+        Some(&"train") => match parse_train(&args[1..]) {
+            Ok((exps, force, trainer)) => cmd_train(&exps, force, trainer),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                2
             }
-        }
+        },
         Some(&"replay") => match args.get(2) {
             Some(extra) => {
                 eprintln!("error: unexpected replay argument '{extra}'\n\n{USAGE}");
@@ -128,7 +126,7 @@ pub fn run(args: &[&str]) -> i32 {
 pub fn list_table() -> String {
     let mut t = Table::new(
         "learnability experiments",
-        &["id", "paper artifact", "protocol assets"],
+        &["id", "paper artifact", "scheme families", "protocol assets"],
     );
     for e in experiments::registry() {
         let assets: Vec<String> = e
@@ -139,6 +137,7 @@ pub fn list_table() -> String {
         t.row(vec![
             e.id().to_string(),
             e.paper_artifact().to_string(),
+            e.scheme_families().join(", "),
             assets.join(", "),
         ]);
     }
@@ -362,21 +361,97 @@ fn write_json(fig: &crate::report::FigureData, path: &Path) -> std::io::Result<(
     std::fs::write(path, json)
 }
 
-fn cmd_train(exps: &[&'static dyn Experiment], force: bool) -> i32 {
+/// Which [`remy::Trainer`] `learnability train` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TrainerKind {
+    /// The whisker-tree hill climb — the strategy behind every committed
+    /// asset.
+    Tree,
+    /// The genetic population search; results are saved under
+    /// `<asset>-genetic` names so the committed tree assets never move.
+    Genetic,
+}
+
+fn parse_train(args: &[&str]) -> Result<(Vec<&'static dyn Experiment>, bool, TrainerKind), String> {
+    let exps = select(args.first().copied())?;
+    let mut force = false;
+    let mut trainer = TrainerKind::Tree;
+    let mut it = args[1..].iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--force" => force = true,
+            "--trainer" => {
+                trainer = match it.next().copied() {
+                    Some("tree") => TrainerKind::Tree,
+                    Some("genetic") => TrainerKind::Genetic,
+                    Some(other) => {
+                        return Err(format!("unknown trainer '{other}' (tree or genetic)"))
+                    }
+                    None => return Err("--trainer needs a value (tree or genetic)".into()),
+                };
+            }
+            other => return Err(format!("unexpected train argument '{other}'")),
+        }
+    }
+    Ok((exps, force, trainer))
+}
+
+/// Asset names a train job produces under the chosen trainer.
+fn train_asset_names(job: &experiments::TrainJob, trainer: TrainerKind) -> Vec<String> {
+    match trainer {
+        TrainerKind::Tree => job.assets.clone(),
+        TrainerKind::Genetic => job.assets.iter().map(|n| format!("{n}-genetic")).collect(),
+    }
+}
+
+/// Run one train job under the genetic trainer (falls back to the tree
+/// path for co-optimized jobs, which the population search does not
+/// model).
+fn run_genetic_job(job: &experiments::TrainJob) -> Vec<remy::TrainedProtocol> {
+    use remy::{GeneticTrainer, TrainBudget, Trainer};
+    if job.co_alternations.is_some() {
+        eprintln!(
+            "[learnability] genetic trainer does not co-optimize; \
+             training {} with the tree trainer",
+            job.assets.join("+")
+        );
+        return experiments::run_train_job(job);
+    }
+    let name = format!("{}-genetic", job.assets[0]);
+    vec![remy::serialize::load_or_train(&name, || {
+        eprintln!("[learnability] genetic-training {name} (no committed asset found)...");
+        let t0 = Instant::now();
+        let budget = TrainBudget::from_config(job.cfg.clone());
+        let pool = std::sync::Arc::new(remy::EvalPool::new(budget.threads));
+        let mut rng = netsim::rng::SimRng::from_seed(budget.seed);
+        let p = GeneticTrainer::new(budget).train(&name, &job.specs, &pool, &mut rng);
+        eprintln!(
+            "[learnability] genetic-trained {name} in {:.1}s (score {:.3})",
+            t0.elapsed().as_secs_f64(),
+            p.score
+        );
+        p
+    })]
+}
+
+fn cmd_train(exps: &[&'static dyn Experiment], force: bool, trainer: TrainerKind) -> i32 {
     let t0 = Instant::now();
     for e in exps {
         let s = Instant::now();
         for job in e.train_specs() {
             if force {
-                // Discard cached assets so run_train_job actually retrains.
-                for name in &job.assets {
-                    let path = remy::serialize::asset_path(name);
+                // Discard cached assets so the trainer actually retrains.
+                for name in train_asset_names(&job, trainer) {
+                    let path = remy::serialize::asset_path(&name);
                     if std::fs::remove_file(&path).is_ok() {
                         eprintln!("[learnability] discarded cached {}", path.display());
                     }
                 }
             }
-            let protos = experiments::run_train_job(&job);
+            let protos = match trainer {
+                TrainerKind::Tree => experiments::run_train_job(&job),
+                TrainerKind::Genetic => run_genetic_job(&job),
+            };
             for p in &protos {
                 eprintln!(
                     "[{:>7.1}s] {} ready ({} whiskers, score {:.3})",
@@ -538,6 +613,9 @@ mod tests {
             fn paper_artifact(&self) -> &'static str {
                 "test fixture"
             }
+            fn scheme_families(&self) -> &'static [&'static str] {
+                &[]
+            }
             fn train_specs(&self) -> Vec<TrainJob> {
                 Vec::new()
             }
@@ -571,12 +649,61 @@ mod tests {
         assert_eq!(
             run(&["train", "calibration", "--fidelity", "full"]),
             2,
-            "train only accepts --force"
+            "train only accepts --force and --trainer"
         );
         assert_eq!(
             run(&["train", "calibration", "--force", "--wat"]),
             2,
             "trailing junk after --force rejected"
         );
+        assert_eq!(
+            run(&["train", "calibration", "--trainer", "annealing"]),
+            2,
+            "unknown trainer rejected"
+        );
+        assert_eq!(
+            run(&["train", "calibration", "--trainer"]),
+            2,
+            "--trainer needs a value"
+        );
+    }
+
+    #[test]
+    fn train_arg_parsing_selects_the_trainer() {
+        let (exps, force, trainer) = parse_train(&["calibration"]).unwrap();
+        assert_eq!(exps[0].id(), "calibration");
+        assert!(!force);
+        assert_eq!(trainer, TrainerKind::Tree);
+
+        let (_, force, trainer) =
+            parse_train(&["calibration", "--trainer", "genetic", "--force"]).unwrap();
+        assert!(force, "flags parse in any order");
+        assert_eq!(trainer, TrainerKind::Genetic);
+
+        let (_, _, trainer) = parse_train(&["calibration", "--trainer", "tree"]).unwrap();
+        assert_eq!(trainer, TrainerKind::Tree);
+    }
+
+    #[test]
+    fn genetic_assets_ride_under_suffixed_names() {
+        let job = experiments::TrainJob::single(
+            "tao-test",
+            vec![remy::ScenarioSpec::link_speed_range(1.0, 2.0)],
+            remy::OptimizerConfig::smoke(),
+        );
+        assert_eq!(train_asset_names(&job, TrainerKind::Tree), vec!["tao-test"]);
+        assert_eq!(
+            train_asset_names(&job, TrainerKind::Genetic),
+            vec!["tao-test-genetic"]
+        );
+    }
+
+    #[test]
+    fn list_shows_scheme_families() {
+        let out = list_table();
+        assert!(out.contains("scheme families"));
+        for needle in ["pcc", "vegas", "newreno"] {
+            assert!(out.contains(needle), "list must mention {needle}");
+        }
     }
 }

@@ -27,8 +27,8 @@ use crate::report::{ChartData, FigureData, Series, Table, TableData};
 use crate::runner::{PointOutcome, Scheme, SweepPoint};
 use crate::search::{adversarial_space, describe, find_worst_case, Certificate, SearchConfig};
 
-/// The schemes searched, in sweep order: the paper's calibration Tao plus
-/// the fixed TCP baselines.
+/// The schemes searched, in sweep order: the paper's calibration Tao,
+/// the fixed TCP baselines, and the PCC-style online learner.
 fn schemes() -> Vec<(Scheme, Option<&'static str>)> {
     let tao = calibration::trained_tao();
     vec![
@@ -36,6 +36,7 @@ fn schemes() -> Vec<(Scheme, Option<&'static str>)> {
         (Scheme::Cubic, None),
         (Scheme::NewReno, None),
         (Scheme::Vegas, None),
+        (Scheme::Pcc, None),
     ]
 }
 
@@ -74,6 +75,10 @@ impl Experiment for Adversarial {
     fn paper_artifact(&self) -> &'static str {
         "extension — adversarial scenario search: per-scheme worst-case certificates \
          over the full scenario box"
+    }
+
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno", "vegas", "pcc"]
     }
 
     fn train_specs(&self) -> Vec<TrainJob> {
@@ -179,7 +184,7 @@ impl Experiment for Adversarial {
         }
         fig.tables.push(TableData::from_table(&t));
         fig.charts.push(ChartData::from_series(
-            "worst-case normalized score by scheme (sweep order: tao, cubic, newreno, vegas)",
+            "worst-case normalized score by scheme (sweep order: tao, cubic, newreno, vegas, pcc)",
             "scheme index",
             &[series],
         ));

@@ -42,6 +42,10 @@ impl Experiment for Aqm {
         "extension — AQM generality: drop-tail-trained Tao vs RED/CoDel/sfqCoDel gateways"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // Reuses the calibration asset: the whole point is evaluating a
         // protocol designed for drop-tail on disciplines it never saw.

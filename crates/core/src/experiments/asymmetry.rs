@@ -42,6 +42,10 @@ impl Experiment for Asymmetry {
         "extension — asymmetric links: reverse (ACK) rate swept 1x -> 1/50x of forward"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // The calibration Tao again: trained with a symmetric, uncongested
         // reverse path, evaluated where that assumption breaks.

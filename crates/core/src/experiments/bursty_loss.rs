@@ -53,6 +53,10 @@ impl Experiment for BurstyLoss {
         "extension — Gilbert–Elliott bursty loss: drop-tail-trained Tao vs loss- and delay-based TCPs"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno", "vegas"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // Reuses the calibration asset: the point is evaluating a protocol
         // that has only ever seen congestive loss.

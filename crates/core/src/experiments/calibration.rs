@@ -48,6 +48,10 @@ impl Experiment for Calibration {
         "Fig 1 / Table 1 — Tao vs Cubic vs Cubic-over-sfqCoDel vs omniscient"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         vec![TrainJob::single(
             ASSET,

@@ -111,6 +111,10 @@ impl Experiment for Churn {
         "extension — flow churn: Poisson arrival rate vs the static multiplexing baseline"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // Identical job to the multiplexing experiment's tao-mux-10 slot,
         // so one committed asset serves both.

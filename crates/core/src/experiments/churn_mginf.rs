@@ -80,6 +80,10 @@ impl Experiment for ChurnMginf {
          blocked-arrival baseline"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // Identical job to the multiplexing experiment's tao-mux-10 slot,
         // so one committed asset serves all three churn-family sweeps.

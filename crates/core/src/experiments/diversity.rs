@@ -112,6 +112,10 @@ impl Experiment for Diversity {
         "Fig 9 / Table 7 — the price of sender diversity"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         vec![
             TrainJob::single(

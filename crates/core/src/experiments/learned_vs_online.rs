@@ -1,0 +1,182 @@
+//! Offline-learned vs online-learned congestion control (§6 discussion).
+//!
+//! The paper's Tao protocols bake the scenario model in at *design time*;
+//! a PCC-style sender learns *at run time* from rate micro-experiments
+//! and carries no model at all. This experiment puts the two learning
+//! regimes side by side on the link-speed sweep the study uses everywhere
+//! else: the broad-range `tao-1000x` protocol (offline, trained for
+//! 1–1000 Mbps), the online [`Scheme::Pcc`] learner, and Cubic as the
+//! human-designed yardstick — all normalized against the omniscient
+//! reference, so 0 means "as good as knowing the network exactly".
+
+use super::{
+    log_grid, mean_normalized_objective, run_train_job, train_cfg, Experiment, Fidelity, TrainCost,
+    TrainJob,
+};
+use crate::omniscient;
+use crate::report::{ChartData, FigureData, Series};
+use crate::runner::{PointOutcome, Scheme, SweepPoint};
+use netsim::prelude::*;
+use netsim::queue::QueueSpec;
+use netsim::topology::dumbbell;
+use netsim::workload::WorkloadSpec;
+use remy::{ScenarioSpec, TrainedProtocol};
+
+/// The offline-learned contender: the broadest-range Tao from the
+/// link-speed experiment (same asset name, so training is shared).
+pub const ASSET: &str = "tao-1000x";
+
+/// The per-sweep scheme labels, in series order.
+const NAMES: [&str; 3] = ["tao-1000x", "pcc", "cubic"];
+
+fn trained_tao() -> TrainedProtocol {
+    run_train_job(&TrainJob::single(
+        ASSET,
+        vec![ScenarioSpec::link_speed_range(1.0, 1000.0)],
+        train_cfg(TrainCost::Heavy),
+    ))
+    .remove(0)
+}
+
+fn test_network(speed_mbps: f64) -> NetworkConfig {
+    let rate = speed_mbps * 1e6;
+    dumbbell(
+        2,
+        rate,
+        0.150,
+        QueueSpec::drop_tail_bdp(rate, 0.150, 5.0),
+        WorkloadSpec::on_off_1s(),
+    )
+}
+
+fn speeds(fidelity: Fidelity) -> Vec<f64> {
+    match fidelity {
+        Fidelity::Quick => log_grid(1.0, 1000.0, 7),
+        Fidelity::Full => log_grid(1.0, 1000.0, 13),
+    }
+}
+
+/// The offline-vs-online learning experiment
+/// (`learnability run learned_vs_online`).
+pub struct LearnedVsOnline;
+
+impl Experiment for LearnedVsOnline {
+    fn id(&self) -> &'static str {
+        "learned_vs_online"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "§6 discussion — offline-designed Tao vs online-learned (PCC-style) control"
+    }
+
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "pcc", "cubic"]
+    }
+
+    fn train_specs(&self) -> Vec<TrainJob> {
+        vec![TrainJob::single(
+            ASSET,
+            vec![ScenarioSpec::link_speed_range(1.0, 1000.0)],
+            train_cfg(TrainCost::Heavy),
+        )]
+    }
+
+    fn sweep(&self, fidelity: Fidelity) -> Vec<SweepPoint> {
+        let tao = trained_tao();
+        let base_dur = fidelity.test_duration_s();
+        let seeds = fidelity.seeds();
+        let mut points = Vec::new();
+        for &speed in &speeds(fidelity) {
+            let net = test_network(speed);
+            // Same high-speed event-count guard as the link-speed sweep.
+            let dur = if speed > 300.0 {
+                base_dur.min(20.0)
+            } else {
+                base_dur
+            };
+            for (key, scheme) in [
+                ("tao-1000x", Scheme::tao(tao.tree.clone(), &tao.name)),
+                ("pcc", Scheme::Pcc),
+                ("cubic", Scheme::Cubic),
+            ] {
+                points.push(SweepPoint::homogeneous(
+                    key,
+                    speed,
+                    net.clone(),
+                    scheme,
+                    seeds.clone(),
+                    dur,
+                ));
+            }
+        }
+        points
+    }
+
+    fn summarize(&self, _fidelity: Fidelity, points: &[PointOutcome]) -> FigureData {
+        let mut fig = FigureData::new(self.id(), self.paper_artifact());
+        let mut series: Vec<Series> = NAMES.iter().map(|n| Series::new(*n)).collect();
+        for p in points {
+            let omn = omniscient::omniscient(&test_network(p.x()));
+            let obj = mean_normalized_objective(&p.runs, omn[0].throughput_bps, omn[0].delay_s);
+            let si = NAMES
+                .iter()
+                .position(|n| *n == p.key())
+                .expect("known series");
+            series[si].push(p.x(), obj);
+        }
+        fig.charts.push(ChartData::from_series(
+            "normalized objective vs link speed: offline Tao vs online PCC (omniscient = 0)",
+            "Mbps",
+            &series,
+        ));
+
+        // Headline: how much of the gap to the offline design does online
+        // learning close relative to the human baseline, over the range
+        // the Tao was actually trained for?
+        let mean_of = |name: &str| {
+            series
+                .iter()
+                .find(|s| s.name == name)
+                .and_then(|s| s.mean_in(1.0, 1000.0))
+        };
+        if let (Some(tao), Some(pcc), Some(cubic)) =
+            (mean_of("tao-1000x"), mean_of("pcc"), mean_of("cubic"))
+        {
+            fig.push_summary("tao_minus_pcc_mean_objective", tao - pcc);
+            fig.push_summary("pcc_minus_cubic_mean_objective", pcc - cubic);
+            fig.notes.push(format!(
+                "mean normalized objective over 1-1000 Mbps: tao-1000x {tao:.3}, \
+                 pcc {pcc:.3}, cubic {cubic:.3} (offline design carries the \
+                 scenario model; online learning carries none)"
+            ));
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_specs_reuse_the_link_speed_asset() {
+        let jobs = LearnedVsOnline.train_specs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].assets, vec![ASSET.to_string()]);
+        // Same asset name as link_speed's broadest range: training once
+        // serves both experiments.
+        assert_eq!(super::super::link_speed::RANGES[0].0, ASSET);
+    }
+
+    #[test]
+    fn quick_sweep_covers_the_grid() {
+        assert_eq!(speeds(Fidelity::Quick).len(), 7);
+        assert_eq!(speeds(Fidelity::Full).len(), 13);
+    }
+
+    #[test]
+    fn series_names_match_sweep_keys() {
+        // sweep() would train; pin the label set structurally instead.
+        assert_eq!(NAMES, ["tao-1000x", "pcc", "cubic"]);
+    }
+}

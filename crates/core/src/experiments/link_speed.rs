@@ -67,6 +67,10 @@ impl Experiment for LinkSpeed {
         "Fig 2 / Table 2 — operating range in link speed"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         RANGES
             .iter()

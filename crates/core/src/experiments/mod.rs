@@ -21,6 +21,7 @@
 //! | `bursty_loss` | [`bursty_loss`] | extension — Gilbert–Elliott bursty non-congestive loss vs loss- and delay-based schemes |
 //! | `outage_recovery` | [`outage_recovery`] | extension — recovery time after link blackouts (the RTO-backoff axis) |
 //! | `adversarial` | [`adversarial`] | extension — adversarial scenario search: per-scheme worst-case certificates |
+//! | `learned_vs_online` | [`learned_vs_online`] | extension — offline-designed Tao vs online-learned (PCC-style) control |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -39,6 +40,7 @@ pub mod calibration;
 pub mod churn;
 pub mod churn_mginf;
 pub mod diversity;
+pub mod learned_vs_online;
 pub mod link_speed;
 pub mod multiplexing;
 pub mod outage_recovery;
@@ -178,6 +180,12 @@ pub trait Experiment: Sync {
     /// Which paper figure/table this reproduces.
     fn paper_artifact(&self) -> &'static str;
 
+    /// The scheme families this experiment evaluates, as sweep labels
+    /// ("tao" covers every trained Tao variant). Shown by
+    /// `learnability list` so users can see at a glance which protocols
+    /// each figure compares.
+    fn scheme_families(&self) -> &'static [&'static str];
+
     /// The Tao protocols this experiment needs (description only; training
     /// happens lazily via [`run_train_job`] / `learnability train`).
     fn train_specs(&self) -> Vec<TrainJob>;
@@ -194,9 +202,10 @@ pub trait Experiment: Sync {
 
 /// Every experiment of the study: the paper's nine in paper order, then
 /// the beyond-paper scenario axes (AQM, asymmetry, churn, shared uplink,
-/// M/G/∞ churn, fault injection, adversarial search).
+/// M/G/∞ churn, fault injection, adversarial search, offline-vs-online
+/// learning).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 17] = [
+    static REGISTRY: [&dyn Experiment; 18] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -214,6 +223,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &bursty_loss::BurstyLoss,
         &outage_recovery::OutageRecovery,
         &adversarial::Adversarial,
+        &learned_vs_online::LearnedVsOnline,
     ];
     &REGISTRY
 }
@@ -392,51 +402,18 @@ pub fn ensure_trained(exp: &dyn Experiment) -> Vec<TrainedProtocol> {
 // Shared training budgets and metrics.
 // ---------------------------------------------------------------------------
 
-/// Cost class of a training spec: heavy specs (very fast links, 100-way
-/// multiplexing) get shorter simulations so training budgets stay sane.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TrainCost {
-    Normal,
-    Heavy,
-}
+/// Cost class of a training spec (re-exported from `remy::trainer`, the
+/// single home of the budget presets).
+pub use remy::TrainCost;
 
 /// Standard training budget used for all committed protocol assets.
 ///
-/// The paper burned a CPU-year per protocol on an 80-core machine; these
-/// budgets train in minutes and reproduce the *orderings* the study is
-/// about (see DESIGN.md on substitutions).
+/// Delegates to [`remy::TrainBudget::for_fidelity`] — the one copy of the
+/// per-fidelity presets (including the `LEARNABILITY_FAST_TRAIN` /
+/// `LEARNABILITY_VERBOSE` env handling) — rendered as the tree trainer's
+/// [`OptimizerConfig`].
 pub fn train_cfg(cost: TrainCost) -> OptimizerConfig {
-    let mut cfg = OptimizerConfig {
-        draws_per_eval: 6,
-        sim_duration_s: 8.0,
-        rounds: 8,
-        max_leaves: 8,
-        scales: vec![4.0, 1.0],
-        threads: 0,
-        seed: 0x51C0_2014,
-        event_budget: 8_000_000,
-        masks: Vec::new(),
-        scheduler: Default::default(),
-        verbose: std::env::var("LEARNABILITY_VERBOSE").is_ok(),
-    };
-    if cost == TrainCost::Heavy {
-        cfg.sim_duration_s = 3.0;
-        cfg.draws_per_eval = 5;
-        cfg.rounds = 5;
-        cfg.max_leaves = 5;
-        cfg.event_budget = 4_000_000;
-    }
-    // LEARNABILITY_FAST_TRAIN=1 slashes budgets for time-boxed retrains
-    // (used when regenerating all assets under a deadline).
-    if std::env::var("LEARNABILITY_FAST_TRAIN").is_ok() {
-        cfg.rounds = cfg.rounds.min(4);
-        cfg.max_leaves = cfg.max_leaves.min(4);
-        cfg.draws_per_eval = cfg.draws_per_eval.min(4);
-        cfg.sim_duration_s = cfg.sim_duration_s.min(5.0);
-        cfg.scales = vec![4.0];
-        cfg.event_budget = cfg.event_budget.min(2_000_000);
-    }
-    cfg
+    remy::TrainBudget::for_fidelity(cost).tree_config()
 }
 
 /// Train (or load the committed asset for) a Tao protocol.
@@ -591,7 +568,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_seventeen_experiments() {
+    fn registry_lists_all_eighteen_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -612,7 +589,8 @@ mod tests {
                 "churn_mginf",
                 "bursty_loss",
                 "outage_recovery",
-                "adversarial"
+                "adversarial",
+                "learned_vs_online"
             ]
         );
         assert!(find("calibration").is_some());

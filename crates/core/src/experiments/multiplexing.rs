@@ -84,6 +84,10 @@ impl Experiment for Multiplexing {
         "Fig 3 / Table 3 — degree of multiplexing"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         RANGES
             .iter()

@@ -94,6 +94,10 @@ impl Experiment for OutageRecovery {
         "extension — recovery overhead after link blackouts (the RTO-backoff axis)"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // Reuses the calibration asset: recovery behavior is part of what
         // the protocol learned, not something trained for here.

@@ -65,6 +65,10 @@ impl Experiment for Rtt {
         "Fig 4 / Table 4 — knowledge of propagation delay"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         RANGES
             .iter()

@@ -72,6 +72,10 @@ impl Experiment for SharedUplink {
          (1x -> 1/50x), drop-tail vs CoDel ACK queue"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         // The calibration Tao: trained with an uncongested private
         // reverse path, evaluated where ACKs contend for a shared one.

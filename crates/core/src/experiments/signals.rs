@@ -76,6 +76,10 @@ impl Experiment for Signals {
         "§3.4 — value of the congestion signals (knockout study)"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         KNOCKOUTS
             .iter()

@@ -85,6 +85,10 @@ impl Experiment for TcpAware {
         "Figs 7-8 / Table 6 — knowledge about incumbent endpoints"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "newreno"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         vec![
             TrainJob::single(

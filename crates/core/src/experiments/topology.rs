@@ -95,6 +95,10 @@ impl Experiment for Topology {
         "Figs 5-6 / Table 5 — one- vs two-bottleneck knowledge"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         vec![
             TrainJob::single(

@@ -137,6 +137,10 @@ impl Experiment for Universal {
         "extension — the conclusion's \"one protocol for everything\" question"
     }
 
+    fn scheme_families(&self) -> &'static [&'static str] {
+        &["tao", "cubic"]
+    }
+
     fn train_specs(&self) -> Vec<TrainJob> {
         vec![TrainJob::single(ASSET, training_specs(), universal_cfg())]
     }

@@ -21,7 +21,7 @@
 use netsim::prelude::*;
 use netsim::trace::Trace;
 use netsim::transport::CongestionControl;
-use protocols::{Cubic, NewReno, SignalMask, TaoCc, Vegas, WhiskerTree};
+use protocols::{Cubic, NewReno, Pcc, SignalMask, TaoCc, Vegas, WhiskerTree};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,6 +42,10 @@ pub enum Scheme {
     /// TCP Vegas: delay-based, so non-congestive loss costs it less
     /// window than the loss-based incumbents (the bursty-loss foil).
     Vegas,
+    /// PCC-style online learner: rate micro-experiments scored by a
+    /// utility function, no offline training (the learned-online foil
+    /// to the offline-designed Tao protocols).
+    Pcc,
 }
 
 impl Scheme {
@@ -59,6 +63,7 @@ impl Scheme {
             Scheme::Cubic => "cubic".into(),
             Scheme::NewReno => "newreno".into(),
             Scheme::Vegas => "vegas".into(),
+            Scheme::Pcc => "pcc".into(),
         }
     }
 
@@ -70,6 +75,7 @@ impl Scheme {
             Scheme::Cubic => Box::new(Cubic::new()),
             Scheme::NewReno => Box::new(NewReno::new()),
             Scheme::Vegas => Box::new(Vegas::new()),
+            Scheme::Pcc => Box::new(Pcc::new()),
         }
     }
 }

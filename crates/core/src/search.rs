@@ -383,6 +383,7 @@ pub fn scheme_for_certificate(cert: &Certificate) -> Result<Scheme, String> {
         "cubic" => Ok(Scheme::Cubic),
         "newreno" => Ok(Scheme::NewReno),
         "vegas" => Ok(Scheme::Vegas),
+        "pcc" => Ok(Scheme::Pcc),
         other => Err(format!("unknown scheme '{other}' (and no asset named)")),
     }
 }

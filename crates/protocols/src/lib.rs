@@ -12,6 +12,9 @@
 //!   human-designed baseline.
 //! * [`vegas::Vegas`] — the delay-based protocol §4.5 cites as the
 //!   canonical "squeezed out by TCP" cautionary tale.
+//! * [`pcc::Pcc`] — a PCC-style *online* learner (randomized rate
+//!   micro-experiments scored by a throughput/loss/delay-gradient
+//!   utility): the no-offline-training counterpoint to Tao protocols.
 //! * [`const_window::ConstWindow`] — fixed window/pacing, for calibration
 //!   and tests.
 //!
@@ -24,6 +27,7 @@ pub mod const_window;
 pub mod cubic;
 pub mod memory;
 pub mod newreno;
+pub mod pcc;
 pub mod tao;
 pub mod vegas;
 pub mod whisker;
@@ -34,6 +38,7 @@ pub use const_window::ConstWindow;
 pub use cubic::Cubic;
 pub use memory::{Memory, MemoryPoint, Signal, SignalMask, NUM_SIGNALS};
 pub use newreno::NewReno;
+pub use pcc::Pcc;
 pub use tao::TaoCc;
 pub use vegas::Vegas;
 pub use whisker::{LeafId, MemoryRange, Whisker, WhiskerTree};

@@ -350,6 +350,27 @@ impl EvalPool {
         self.evaluate_shared(&shared, trees, cfg)
     }
 
+    /// Evaluate each tree *independently* (as a single-slot population
+    /// member, not co-optimized slots) on one shared common-random-number
+    /// batch; returns mean utilities in input order. The population
+    /// trainer's fitness pass: each genome's scenarios are claimed by
+    /// atomic index and folded deterministically, so the fitness vector
+    /// is bit-identical for any thread count.
+    pub fn evaluate_each(
+        &self,
+        scenarios: &Arc<[ConcreteScenario]>,
+        trees: &[WhiskerTree],
+        cfg: &EvalConfig,
+    ) -> Vec<f64> {
+        trees
+            .iter()
+            .map(|t| {
+                self.evaluate_shared(scenarios, std::slice::from_ref(t), cfg)
+                    .mean_utility
+            })
+            .collect()
+    }
+
     /// Evaluate `trees` on a shared scenario batch without copying it. At
     /// most `cfg.effective_threads()` threads touch the batch regardless
     /// of pool size; results are bit-identical for any thread count.

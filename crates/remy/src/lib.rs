@@ -59,11 +59,13 @@ pub mod optimizer;
 pub mod scenario;
 pub mod serialize;
 pub mod space;
+pub mod trainer;
 pub mod verifier;
 
 pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalPool, EvalResult};
 pub use objective::Objective;
 pub use optimizer::{Optimizer, OptimizerConfig, TrainedProtocol};
+pub use trainer::{GeneticTrainer, TrainBudget, TrainCost, Trainer, TreeTrainer};
 pub use scenario::{
     BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec, SenderClassSpec,
     TopologySpec,
@@ -81,4 +83,5 @@ pub mod prelude {
         SenderClassSpec, TopologySpec,
     };
     pub use crate::space::{Axis, AxisKind, ScenarioSpace};
+    pub use crate::trainer::{GeneticTrainer, TrainBudget, TrainCost, Trainer, TreeTrainer};
 }

@@ -113,17 +113,29 @@ pub struct Optimizer {
     cfg: OptimizerConfig,
     /// Persistent evaluation workers, created once per optimizer and
     /// reused by every candidate evaluation (`improve_leaf` runs
-    /// thousands of them per training run).
-    pool: EvalPool,
+    /// thousands of them per training run). Shared (`Arc`) so several
+    /// trainers can feed one pool (see [`crate::trainer`]).
+    pool: std::sync::Arc<EvalPool>,
 }
 
 impl Optimizer {
     pub fn new(specs: Vec<ScenarioSpec>, cfg: OptimizerConfig) -> Self {
+        let pool = std::sync::Arc::new(EvalPool::new(cfg.threads));
+        Self::with_pool(specs, cfg, pool)
+    }
+
+    /// Build an optimizer that evaluates on an existing shared pool
+    /// instead of spawning its own workers. Results are identical either
+    /// way — the pool only carries threads, never randomness.
+    pub fn with_pool(
+        specs: Vec<ScenarioSpec>,
+        cfg: OptimizerConfig,
+        pool: std::sync::Arc<EvalPool>,
+    ) -> Self {
         assert!(
             !specs.is_empty(),
             "optimizer needs at least one training spec"
         );
-        let pool = EvalPool::new(cfg.threads);
         Optimizer { specs, cfg, pool }
     }
 
