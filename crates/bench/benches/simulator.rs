@@ -117,6 +117,8 @@ fn mk_pkt(flow: u32, seq: u64) -> QueuedPacket {
             hop: 0,
             dir: netsim::packet::PacketDir::Data,
             recv_at: SimTime::ZERO,
+            batch: 1,
+            rwnd: 0,
         },
         enqueued_at: SimTime::ZERO,
     }

@@ -5,6 +5,8 @@
 //! either tracked number regressed beyond a tolerance factor:
 //!
 //! * `sim_events_per_sec` — fresh must be ≥ committed / tolerance
+//!   (likewise `_dense` and `_receiver_policy`, the standing-population
+//!   and delayed-ACK-receiver variants of the same measurement)
 //! * `smoke_train_wall_s` — fresh must be ≤ committed × tolerance
 //! * `genetic_smoke_train_secs` — fresh must be ≤ committed × tolerance
 //!   (doubles as CI's genetic smoke-train: the measurement *is* a full
@@ -134,6 +136,10 @@ fn main() -> ExitCode {
     for (name, dir) in [
         ("sim_events_per_sec", Direction::HigherIsBetter),
         ("sim_events_per_sec_dense", Direction::HigherIsBetter),
+        (
+            "sim_events_per_sec_receiver_policy",
+            Direction::HigherIsBetter,
+        ),
         ("smoke_train_wall_s", Direction::LowerIsBetter),
         ("genetic_smoke_train_secs", Direction::LowerIsBetter),
     ] {

@@ -19,6 +19,10 @@
 //!   events, the regime where the calendar queue's bucket scans dominate:
 //!   this is the number the key/payload bucket split (keys scanned
 //!   densely, event payloads untouched) is accountable to.
+//! * `sim_events_per_sec_receiver_policy` — the dense dumbbell again, but
+//!   with every flow behind a delayed-ACK receiver (`ack_every = 4` plus
+//!   a flush timer), so the receiver state machines and the `AckTimer`
+//!   arm/cancel path are on the measured hot path.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin perf_snapshot            # print only
@@ -28,7 +32,9 @@
 use netsim::prelude::*;
 use netsim::rng::SimRng;
 use protocols::{Action, TaoCc, WhiskerTree};
-use remy::{EvalPool, GeneticTrainer, Optimizer, OptimizerConfig, ScenarioSpec, TrainBudget, Trainer};
+use remy::{
+    EvalPool, GeneticTrainer, Optimizer, OptimizerConfig, ScenarioSpec, TrainBudget, Trainer,
+};
 use serde_json::Value;
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,7 +67,12 @@ fn time_genetic_smoke_training() -> f64 {
         let pool = Arc::new(EvalPool::new(budget.threads));
         let specs = vec![ScenarioSpec::calibration()];
         let start = Instant::now();
-        let trained = trainer.train("perf-snapshot-genetic", &specs, &pool, &mut SimRng::from_seed(7));
+        let trained = trainer.train(
+            "perf-snapshot-genetic",
+            &specs,
+            &pool,
+            &mut SimRng::from_seed(7),
+        );
         let dt = start.elapsed().as_secs_f64();
         assert!(trained.score.is_finite(), "genetic training degenerated");
         samples.push(dt);
@@ -115,7 +126,9 @@ impl netsim::transport::CongestionControl for FixedWindow {
     }
 }
 
-fn sim_events_per_sec_dense(scheduler: SchedulerKind) -> f64 {
+/// The dense 64-sender fat-pipe dumbbell; `receiver` optionally puts
+/// every flow behind an endpoint policy.
+fn dense_net(receiver: Option<ReceiverSpec>) -> NetworkConfig {
     // 64 windows of 256 packets over a 400 Mbps / 200 ms pipe: thousands
     // of propagation and ack events stand in the queue at all times, so
     // per-pop bucket-scan cost (not retune churn) dominates.
@@ -126,14 +139,32 @@ fn sim_events_per_sec_dense(scheduler: SchedulerKind) -> f64 {
         QueueSpec::infinite(),
         WorkloadSpec::AlwaysOn,
     );
+    match receiver {
+        Some(spec) => net.with_receiver(spec),
+        None => net,
+    }
+}
+
+fn run_dense(net: &NetworkConfig, scheduler: SchedulerKind) -> f64 {
     let protocols: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..64)
         .map(|_| Box::new(FixedWindow(256.0)) as Box<dyn netsim::transport::CongestionControl>)
         .collect();
-    let mut sim = Simulation::with_scheduler(&net, protocols, 42, scheduler);
+    let mut sim = Simulation::with_scheduler(net, protocols, 42, scheduler);
     let start = Instant::now();
     let out = sim.run(SimDuration::from_secs(10));
     let dt = start.elapsed().as_secs_f64();
     out.events_processed as f64 / dt
+}
+
+fn sim_events_per_sec_dense(scheduler: SchedulerKind) -> f64 {
+    run_dense(&dense_net(None), scheduler)
+}
+
+fn sim_events_per_sec_receiver_policy(scheduler: SchedulerKind) -> f64 {
+    // Same dense scenario, every receiver coalescing 4:1 with a 40 ms
+    // flush timer: the ack-every-k bookkeeping and the AckTimer
+    // arm/fire/cancel chain run on every delivery.
+    run_dense(&dense_net(Some(ReceiverSpec::delayed(4, 0.040))), scheduler)
 }
 
 fn main() {
@@ -171,6 +202,10 @@ fn main() {
     let eps_dense_heap = sim_events_per_sec_dense(SchedulerKind::Heap);
     eprintln!("[perf] simulator-dense/heap: {eps_dense_heap:.0} events/s");
 
+    eprintln!("[perf] timing dense dumbbell with delayed-ACK receivers...");
+    let eps_receiver = sim_events_per_sec_receiver_policy(SchedulerKind::Calendar);
+    eprintln!("[perf] simulator-receiver-policy: {eps_receiver:.0} events/s");
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -197,6 +232,10 @@ fn main() {
             "sim_events_per_sec_dense_heap".to_string(),
             Value::F64(eps_dense_heap),
         ),
+        (
+            "sim_events_per_sec_receiver_policy".to_string(),
+            Value::F64(eps_receiver),
+        ),
         ("scheduler".to_string(), Value::Str("calendar".to_string())),
         ("threads".to_string(), Value::U64(threads as u64)),
         (
@@ -206,7 +245,8 @@ fn main() {
                  trainers); 4-Tao dumbbell 30 s \
                  (sim_events_per_sec = default calendar scheduler, _heap = BinaryHeap \
                  reference); _dense = 64x256-window fat-pipe dumbbell 10 s (standing \
-                 event population in the thousands)"
+                 event population in the thousands); _receiver_policy = the dense \
+                 dumbbell with ack-every-4 delayed-ACK receivers (40 ms flush timer)"
                     .to_string(),
             ),
         ),

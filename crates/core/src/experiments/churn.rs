@@ -82,14 +82,20 @@ fn cross_traffic_network() -> NetworkConfig {
             FlowSpec {
                 route: vec![0, 1],
                 workload: WorkloadSpec::churn(1.0, MEAN_DURATION_S),
+                receiver: None,
+                reverse_data: false,
             },
             FlowSpec {
                 route: vec![0],
                 workload: WorkloadSpec::almost_continuous(),
+                receiver: None,
+                reverse_data: false,
             },
             FlowSpec {
                 route: vec![1],
                 workload: WorkloadSpec::almost_continuous(),
+                receiver: None,
+                reverse_data: false,
             },
         ],
     }

@@ -22,6 +22,7 @@
 //! | `outage_recovery` | [`outage_recovery`] | extension — recovery time after link blackouts (the RTO-backoff axis) |
 //! | `adversarial` | [`adversarial`] | extension — adversarial scenario search: per-scheme worst-case certificates |
 //! | `learned_vs_online` | [`learned_vs_online`] | extension — offline-designed Tao vs online-learned (PCC-style) control |
+//! | `delayed_ack` | [`delayed_ack`] | extension — delayed/stretch ACK receivers (ack-every-k) crossed with a shared ACK uplink |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -39,6 +40,7 @@ pub mod bursty_loss;
 pub mod calibration;
 pub mod churn;
 pub mod churn_mginf;
+pub mod delayed_ack;
 pub mod diversity;
 pub mod learned_vs_online;
 pub mod link_speed;
@@ -203,9 +205,9 @@ pub trait Experiment: Sync {
 /// Every experiment of the study: the paper's nine in paper order, then
 /// the beyond-paper scenario axes (AQM, asymmetry, churn, shared uplink,
 /// M/G/∞ churn, fault injection, adversarial search, offline-vs-online
-/// learning).
+/// learning, delayed-ACK receivers).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 18] = [
+    static REGISTRY: [&dyn Experiment; 19] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -224,6 +226,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &outage_recovery::OutageRecovery,
         &adversarial::Adversarial,
         &learned_vs_online::LearnedVsOnline,
+        &delayed_ack::DelayedAck,
     ];
     &REGISTRY
 }
@@ -568,7 +571,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_eighteen_experiments() {
+    fn registry_lists_all_nineteen_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -590,7 +593,8 @@ mod tests {
                 "bursty_loss",
                 "outage_recovery",
                 "adversarial",
-                "learned_vs_online"
+                "learned_vs_online",
+                "delayed_ack"
             ]
         );
         assert!(find("calibration").is_some());

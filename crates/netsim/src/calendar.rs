@@ -180,6 +180,7 @@ impl Default for CalendarQueue {
 }
 
 impl CalendarQueue {
+    /// An empty calendar queue with the default bucket width.
     pub fn new() -> Self {
         Self::with_shift(DEFAULT_SHIFT)
     }

@@ -51,6 +51,7 @@ pub struct Codel {
 }
 
 impl Codel {
+    /// An empty CoDel state machine with the given parameters.
     pub fn new(params: CodelParams) -> Self {
         Codel {
             params,
@@ -65,20 +66,24 @@ impl Codel {
         }
     }
 
+    /// Enqueue a packet at the tail.
     pub fn push(&mut self, qp: QueuedPacket) {
         self.bytes += qp.pkt.size as u64;
         self.stats.enqueued += 1;
         self.q.push_back(qp);
     }
 
+    /// Number of queued packets.
     pub fn len_packets(&self) -> usize {
         self.q.len()
     }
 
+    /// Total queued bytes.
     pub fn len_bytes(&self) -> u64 {
         self.bytes
     }
 
+    /// Lifetime enqueue/drop counters.
     pub fn stats(&self) -> QueueStats {
         self.stats
     }
@@ -187,6 +192,7 @@ pub struct CodelQueue {
 }
 
 impl CodelQueue {
+    /// A CoDel queue with a hard byte capacity (tail-drops past it).
     pub fn new(capacity_bytes: u64, params: CodelParams) -> Self {
         assert!(capacity_bytes > 0, "CoDel needs a finite buffer");
         CodelQueue {
@@ -249,6 +255,8 @@ mod tests {
                 hop: 0,
                 dir: crate::packet::PacketDir::Data,
                 recv_at: SimTime::ZERO,
+                batch: 1,
+                rwnd: 0,
             },
             enqueued_at: at,
         }

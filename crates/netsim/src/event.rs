@@ -32,39 +32,100 @@ use std::collections::BinaryHeap;
 pub enum Event {
     /// A data packet arrives at the ingress of `link` and must be enqueued
     /// (or transmitted immediately if the link is idle).
-    Arrive { link: LinkId, pkt: Packet },
+    Arrive {
+        /// Link whose ingress queue receives the packet.
+        link: LinkId,
+        /// The arriving packet.
+        pkt: Packet,
+    },
     /// `link` finished serializing `pkt`; the packet begins propagating and
     /// the link pulls the next packet from its queue.
-    TxComplete { link: LinkId, pkt: Packet },
+    TxComplete {
+        /// Link that finished serialization.
+        link: LinkId,
+        /// The packet now propagating.
+        pkt: Packet,
+    },
     /// `pkt` finished propagating across `link` and is delivered to the far
     /// end (either the next hop or the receiver).
-    Propagated { link: LinkId, pkt: Packet },
+    Propagated {
+        /// Link whose far end the packet reached.
+        link: LinkId,
+        /// The delivered packet.
+        pkt: Packet,
+    },
     /// An ACK arrives back at the sender of `flow`.
-    AckArrive { flow: FlowId, ack: Ack },
+    AckArrive {
+        /// Flow whose sender the acknowledgment reaches.
+        flow: FlowId,
+        /// The acknowledgment being delivered.
+        ack: Ack,
+    },
     /// Pacing-timer wakeup for a sender that was clocked out.
-    SenderWake { flow: FlowId },
+    SenderWake {
+        /// Flow whose sender wakes.
+        flow: FlowId,
+    },
     /// Retransmission-timeout check. `gen` guards against stale timers:
     /// the event is ignored unless it matches the sender's current RTO
     /// generation.
-    RtoCheck { flow: FlowId, gen: u64 },
+    RtoCheck {
+        /// Flow whose RTO is checked.
+        flow: FlowId,
+        /// RTO generation the timer was armed for.
+        gen: u64,
+    },
     /// The ON/OFF workload process for `flow` toggles state.
-    WorkloadToggle { flow: FlowId, gen: u64 },
+    WorkloadToggle {
+        /// Flow whose workload toggles.
+        flow: FlowId,
+        /// Workload-timer generation the toggle was armed for.
+        gen: u64,
+    },
     /// A new transfer arrives at an unblocked (M/G/∞) churn slot: the
     /// slot's concurrent-flow count increments and the next Poisson
     /// arrival is drawn. `gen` guards against stale timers exactly as in
     /// [`Event::WorkloadToggle`].
-    FlowArrival { flow: FlowId, gen: u64 },
+    FlowArrival {
+        /// Churn slot the transfer arrives at.
+        flow: FlowId,
+        /// Workload-timer generation the arrival was drawn for.
+        gen: u64,
+    },
     /// One transfer of an unblocked churn slot completes; the slot turns
     /// OFF when its concurrent-flow count reaches zero.
-    FlowDeparture { flow: FlowId, gen: u64 },
+    FlowDeparture {
+        /// Churn slot the transfer departs from.
+        flow: FlowId,
+        /// Workload-timer generation the departure was drawn for.
+        gen: u64,
+    },
     /// Periodic trace sample (queue occupancy time series, Fig 8).
     TraceSample,
     /// An [`FaultSpec::Outage`](crate::topology::FaultSpec) blackout
     /// begins on `link`: the link stops starting new transmissions.
-    LinkDown { link: LinkId },
+    LinkDown {
+        /// Link going dark.
+        link: LinkId,
+    },
     /// The outage on `link` ends: held packets resume service and the
     /// next blackout is scheduled.
-    LinkUp { link: LinkId },
+    LinkUp {
+        /// Link coming back up.
+        link: LinkId,
+    },
+    /// A receiver's delayed-ACK flush timer fires for `flow`: whatever
+    /// run of deliveries the receiver is still holding is acknowledged
+    /// now (see [`crate::topology::ReceiverSpec::flush_timer_s`]). `gen`
+    /// guards against stale timers exactly as in [`Event::RtoCheck`]:
+    /// every flush bumps the receiver's timer generation, so a timer
+    /// scheduled for an already-flushed batch is ignored.
+    AckTimer {
+        /// Flow whose receiver flushes.
+        flow: FlowId,
+        /// Receiver timer generation the flush was armed for.
+        gen: u64,
+    },
 }
 
 /// FNV-1a offset basis: the seed for the run's determinism digests.
@@ -85,8 +146,11 @@ pub(crate) fn fnv(mut digest: u64, word: u64) -> u64 {
 /// A scheduled event with its firing time and tie-breaking sequence.
 #[derive(Debug)]
 pub struct Entry {
+    /// Firing time.
     pub at: SimTime,
+    /// Insertion sequence number (FIFO tie-break at equal times).
     pub seq: u64,
+    /// The event payload.
     pub event: Event,
 }
 
@@ -125,8 +189,10 @@ pub trait Scheduler {
     /// Time of the next entry without removing it.
     fn peek_time(&self) -> Option<SimTime>;
 
+    /// Number of pending entries.
     fn len(&self) -> usize;
 
+    /// Whether no entries are pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -139,6 +205,7 @@ pub struct BinaryHeapScheduler {
 }
 
 impl BinaryHeapScheduler {
+    /// An empty heap-backed scheduler.
     pub fn new() -> Self {
         Self::default()
     }
@@ -310,6 +377,7 @@ impl EventQueue {
         }
     }
 
+    /// Number of pending events.
     pub fn len(&self) -> usize {
         match &self.backend {
             Backend::Heap(s) => s.len(),
@@ -318,6 +386,7 @@ impl EventQueue {
         }
     }
 
+    /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -59,10 +59,12 @@ pub struct FlowStats {
     /// Total transmissions (including retransmissions) — Fig 3's
     /// "more retransmissions than transmissions" regime shows up here.
     pub transmissions: u64,
+    /// Retransmissions alone (`transmissions - first sends`).
     pub retransmissions: u64,
 }
 
 impl FlowStats {
+    /// Account one in-order delivery of `bytes` with one-way `delay`.
     pub fn record_delivery(&mut self, bytes: u32, delay: SimDuration) {
         self.bytes_delivered += bytes as u64;
         self.packets_delivered += 1;
@@ -93,6 +95,7 @@ impl FlowStats {
 /// Final per-flow results handed back by [`crate::sim::Simulation::run`].
 #[derive(Clone, Debug)]
 pub struct FlowOutcome {
+    /// Flow index within the topology.
     pub flow: usize,
     /// Bits per second over ON time.
     pub throughput_bps: f64,
@@ -102,18 +105,26 @@ pub struct FlowOutcome {
     pub avg_queueing_delay_s: f64,
     /// Minimum possible one-way delay for this flow (propagation only).
     pub min_one_way_s: f64,
+    /// Application bytes delivered in order.
     pub bytes_delivered: u64,
+    /// Data packets delivered in order.
     pub packets_delivered: u64,
+    /// Total seconds the flow’s workload was ON.
     pub on_time_s: f64,
     /// Drop counters, split by cause (see [`DropStats`]).
     pub drops: DropStats,
+    /// Retransmission timeouts experienced.
     pub timeouts: u64,
+    /// Packets declared lost by the reordering detector.
     pub losses: u64,
+    /// Total transmissions, retransmissions included.
     pub transmissions: u64,
+    /// Retransmissions alone.
     pub retransmissions: u64,
 }
 
 impl FlowOutcome {
+    /// Fold accumulated [`FlowStats`] into the final outcome record.
     pub fn from_stats(flow: usize, stats: &FlowStats, min_one_way: SimDuration) -> Self {
         let avg_delay = stats.avg_delay_s();
         FlowOutcome {
@@ -142,6 +153,7 @@ pub struct OnTimeTracker {
 }
 
 impl OnTimeTracker {
+    /// Mark the flow ON starting at `now`.
     pub fn turn_on(&mut self, now: SimTime) {
         debug_assert!(self.on_since.is_none(), "double turn_on");
         self.on_since = Some(now);
@@ -160,6 +172,7 @@ impl OnTimeTracker {
         self.turn_off(end)
     }
 
+    /// Whether an interval is currently open.
     pub fn is_on(&self) -> bool {
         self.on_since.is_some()
     }

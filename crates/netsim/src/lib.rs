@@ -83,6 +83,8 @@
 //! --release -p bench --bin perf_snapshot` (events/sec of a fixed
 //! dumbbell under both backends, written to `BENCH_optimizer.json`).
 
+#![deny(missing_docs)]
+
 pub mod calendar;
 pub mod codel;
 pub mod event;
@@ -111,7 +113,8 @@ pub mod prelude {
     pub use crate::sim::{RunOutcome, Simulation};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{
-        dumbbell, dumbbell_mixed, parking_lot, FaultSpec, LinkSpec, NetworkConfig, ReverseSpec,
+        dumbbell, dumbbell_mixed, parking_lot, FaultSpec, FlowSpec, LinkSpec, NetworkConfig,
+        ReceiverSpec, ReverseSpec,
     };
     pub use crate::transport::{AckInfo, CongestionControl};
     pub use crate::workload::WorkloadSpec;

@@ -40,6 +40,7 @@ pub struct Link {
 }
 
 impl Link {
+    /// A quiet link with the given rate, propagation delay and queue.
     pub fn new(rate_bps: f64, delay: SimDuration, queue: Box<dyn QueueDiscipline>) -> Self {
         assert!(rate_bps > 0.0, "link rate must be positive");
         Link {
@@ -52,10 +53,12 @@ impl Link {
         }
     }
 
+    /// Serialization rate in bits per second.
     pub fn rate_bps(&self) -> f64 {
         self.rate_bps
     }
 
+    /// One-way propagation delay.
     pub fn delay(&self) -> SimDuration {
         self.delay
     }
@@ -116,26 +119,32 @@ impl Link {
         }
     }
 
+    /// Packets waiting in the ingress queue.
     pub fn queue_len_packets(&self) -> usize {
         self.queue.len_packets()
     }
 
+    /// Bytes waiting in the ingress queue.
     pub fn queue_len_bytes(&self) -> u64 {
         self.queue.len_bytes()
     }
 
+    /// Lifetime enqueue/drop counters of the ingress queue.
     pub fn queue_stats(&self) -> QueueStats {
         self.queue.stats()
     }
 
+    /// Total bytes that finished serializing.
     pub fn bytes_transmitted(&self) -> u64 {
         self.bytes_transmitted
     }
 
+    /// Whether a packet is currently serializing.
     pub fn is_busy(&self) -> bool {
         self.busy
     }
 
+    /// Whether the link is in a blackout.
     pub fn is_down(&self) -> bool {
         self.down
     }
@@ -179,6 +188,8 @@ mod tests {
             hop: 0,
             dir: crate::packet::PacketDir::Data,
             recv_at: SimTime::ZERO,
+            batch: 1,
+            rwnd: 0,
         }
     }
 

@@ -53,6 +53,7 @@ pub enum PacketDir {
 /// A packet in flight — data or acknowledgment (see [`PacketDir`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Packet {
+    /// The flow this packet belongs to.
     pub flow: FlowId,
     /// Sequence number within the flow epoch (for an ACK: the sequence
     /// being acknowledged).
@@ -77,12 +78,25 @@ pub struct Packet {
     /// Receiver timestamp when the acknowledged data packet arrived
     /// ([`PacketDir::Ack`] only; `SimTime::ZERO` on data packets).
     pub recv_at: SimTime,
+    /// Number of consecutive sequence numbers ending at `seq` that this
+    /// acknowledgment covers (delayed/stretch ACKs coalesce a run of
+    /// in-order deliveries into one ACK). `1` on data packets and on
+    /// plain per-packet acknowledgments — the default everywhere.
+    pub batch: u32,
+    /// Advertised receive window in packets ([`PacketDir::Ack`] only).
+    /// `0` means "no advertisement": the receiver does not constrain the
+    /// sender, which is the pre-[`crate::topology::ReceiverSpec`]
+    /// behavior and the default.
+    pub rwnd: u32,
 }
 
 impl Packet {
     /// The acknowledgment packet for a delivered data packet: an
     /// ACK-sized packet travelling in reverse whose echo fields copy the
-    /// data packet's, stamped with the receiver's delivery time.
+    /// data packet's, stamped with the receiver's delivery time. This is
+    /// the **only** ACK constructor — every acknowledgment in the engine
+    /// is built here, so `dir: Ack` (and the `batch`/`rwnd` defaults of
+    /// a plain per-packet ack) can never be forgotten at a call site.
     pub fn ack_for(data: &Packet, recv_at: SimTime) -> Packet {
         debug_assert_eq!(data.dir, PacketDir::Data, "acks acknowledge data");
         Packet {
@@ -96,6 +110,8 @@ impl Packet {
             hop: 0,
             dir: PacketDir::Ack,
             recv_at,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -110,6 +126,8 @@ impl Packet {
             echo_tx_index: self.tx_index,
             recv_at: self.recv_at,
             was_retx: self.is_retx,
+            batch: self.batch,
+            rwnd: self.rwnd,
         }
     }
 }
@@ -121,9 +139,12 @@ impl Packet {
 /// sender timestamp and stamping its own arrival time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Ack {
+    /// The flow this acknowledgment belongs to.
     pub flow: FlowId,
-    /// Sequence number of the data packet being acknowledged.
+    /// Sequence number of the data packet being acknowledged (the
+    /// *highest* covered sequence when `batch > 1`).
     pub seq: u64,
+    /// Flow epoch of the acknowledged packet.
     pub epoch: u32,
     /// Echo of `Packet::sent_at`; `now - echo_sent_at` is an RTT sample.
     pub echo_sent_at: SimTime,
@@ -133,6 +154,13 @@ pub struct Ack {
     pub recv_at: SimTime,
     /// Whether the acknowledged packet was a retransmission.
     pub was_retx: bool,
+    /// Number of consecutive sequences ending at `seq` this ack covers
+    /// (`1` = plain per-packet ack; `> 1` = delayed/stretch ack — the
+    /// transport removes `seq - batch + 1 ..= seq` from its in-flight
+    /// set, taking echo/RTT state from the top sequence only).
+    pub batch: u32,
+    /// Advertised receive window in packets; `0` = no advertisement.
+    pub rwnd: u32,
 }
 
 #[cfg(test)]
@@ -151,6 +179,8 @@ mod tests {
             echo_tx_index: 5,
             recv_at: sent + SimDuration::from_millis(75),
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         };
         let now = sent + SimDuration::from_millis(150);
         assert_eq!((now - ack.echo_sent_at).as_millis_f64(), 150.0);
@@ -169,12 +199,16 @@ mod tests {
             hop: 1,
             dir: PacketDir::Data,
             recv_at: SimTime::ZERO,
+            batch: 1,
+            rwnd: 0,
         };
         let recv = SimTime::from_secs_f64(1.075);
         let ap = Packet::ack_for(&data, recv);
         assert_eq!(ap.dir, PacketDir::Ack);
         assert_eq!(ap.size, ACK_BYTES);
         assert_eq!(ap.hop, 0, "ack starts at the first reverse hop");
+        assert_eq!(ap.batch, 1, "per-packet ack by default");
+        assert_eq!(ap.rwnd, 0, "no receive-window advertisement by default");
         let ack = ap.as_ack();
         assert_eq!(ack.flow, FlowId(3));
         assert_eq!(ack.seq, 17);
@@ -183,6 +217,16 @@ mod tests {
         assert_eq!(ack.echo_tx_index, 21);
         assert_eq!(ack.recv_at, recv);
         assert!(ack.was_retx);
+        assert_eq!(ack.batch, 1);
+        assert_eq!(ack.rwnd, 0);
+        // A coalesced ack carries its batch count and advertisement
+        // through the packet -> Ack conversion untouched.
+        let mut stretch = ap;
+        stretch.batch = 4;
+        stretch.rwnd = 32;
+        let ack = stretch.as_ack();
+        assert_eq!(ack.batch, 4);
+        assert_eq!(ack.rwnd, 32);
     }
 
     #[test]

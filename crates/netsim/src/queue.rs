@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 /// its drop law off sojourn time).
 #[derive(Clone, Copy, Debug)]
 pub struct QueuedPacket {
+    /// The queued packet.
     pub pkt: Packet,
+    /// When the packet entered the queue.
     pub enqueued_at: SimTime,
 }
 
@@ -22,8 +24,11 @@ pub struct QueuedPacket {
 /// occupancy from here.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QueueStats {
+    /// Packets accepted into the queue.
     pub enqueued: u64,
+    /// Packets dropped (on enqueue or dequeue).
     pub dropped: u64,
+    /// Packets handed to the link for transmission.
     pub dequeued: u64,
 }
 
@@ -48,8 +53,10 @@ pub trait QueueDiscipline: Send {
     /// Queue occupancy in bytes.
     fn len_bytes(&self) -> u64;
 
+    /// Lifetime enqueue/drop counters.
     fn stats(&self) -> QueueStats;
 
+    /// Short discipline name for traces and figures.
     fn name(&self) -> &'static str;
 }
 
@@ -59,28 +66,42 @@ pub trait QueueDiscipline: Send {
 pub enum QueueSpec {
     /// FIFO with a byte capacity; `None` means infinite ("no drop" in
     /// Table 3b).
-    DropTail { capacity_bytes: Option<u64> },
+    DropTail {
+        /// Byte capacity; `None` means infinite.
+        capacity_bytes: Option<u64>,
+    },
     /// Stochastic fair queueing with per-bin CoDel and DRR scheduling
     /// (the paper's sfqCoDel gateway).
     SfqCodel {
+        /// Hard byte capacity backstop.
         capacity_bytes: u64,
+        /// CoDel target sojourn time, milliseconds.
         target_ms: f64,
+        /// CoDel control interval, milliseconds.
         interval_ms: f64,
+        /// Number of stochastic-fair hash bins.
         bins: u32,
     },
     /// Random Early Detection (gentle variant) with a byte-capacity
     /// backstop; thresholds in packets.
     Red {
+        /// Hard byte capacity backstop.
         capacity_bytes: u64,
+        /// Lower average-occupancy threshold, packets.
         min_th: f64,
+        /// Upper average-occupancy threshold, packets.
         max_th: f64,
+        /// Mark/drop probability at `max_th`.
         max_p: f64,
     },
     /// A single CoDel-managed FIFO with a byte-capacity backstop (the
     /// plain-CoDel gateway of the AQM ablation; no per-flow isolation).
     Codel {
+        /// Hard byte capacity backstop.
         capacity_bytes: u64,
+        /// CoDel target sojourn time, milliseconds.
         target_ms: f64,
+        /// CoDel control interval, milliseconds.
         interval_ms: f64,
     },
 }
@@ -138,6 +159,7 @@ impl QueueSpec {
         }
     }
 
+    /// Instantiate the discipline (`salt` seeds sfqCoDel’s hash).
     pub fn build(&self, salt: u64) -> Box<dyn QueueDiscipline> {
         match *self {
             QueueSpec::DropTail { capacity_bytes } => Box::new(DropTail::new(capacity_bytes)),
@@ -221,6 +243,7 @@ pub struct DropTail {
 }
 
 impl DropTail {
+    /// An empty FIFO; `None` capacity means never drop.
     pub fn new(capacity_bytes: Option<u64>) -> Self {
         DropTail {
             q: VecDeque::new(),
@@ -286,6 +309,8 @@ mod tests {
             hop: 0,
             dir: crate::packet::PacketDir::Data,
             recv_at: SimTime::ZERO,
+            batch: 1,
+            rwnd: 0,
         }
     }
 

@@ -18,8 +18,11 @@ use std::collections::VecDeque;
 /// RED parameters (thresholds in packets, as in the original paper).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RedParams {
+    /// Lower average-occupancy threshold, packets.
     pub min_th: f64,
+    /// Upper average-occupancy threshold, packets.
     pub max_th: f64,
+    /// Mark/drop probability at `max_th`.
     pub max_p: f64,
     /// EWMA weight for the average queue size.
     pub weight: f64,
@@ -63,6 +66,7 @@ pub struct Red {
 }
 
 impl Red {
+    /// An empty RED queue; `seed` drives the probabilistic drops.
     pub fn new(capacity_bytes: u64, params: RedParams, seed: u64) -> Self {
         assert!(params.min_th < params.max_th, "min_th must be < max_th");
         assert!((0.0..=1.0).contains(&params.max_p));
@@ -78,6 +82,7 @@ impl Red {
         }
     }
 
+    /// Current EWMA of the queue size, packets.
     pub fn avg_queue(&self) -> f64 {
         self.avg
     }
@@ -167,6 +172,8 @@ mod tests {
                 hop: 0,
                 dir: crate::packet::PacketDir::Data,
                 recv_at: SimTime::ZERO,
+                batch: 1,
+                rwnd: 0,
             },
             enqueued_at: SimTime::ZERO,
         }

@@ -24,6 +24,7 @@ pub struct SimRng {
 }
 
 impl SimRng {
+    /// A stream seeded directly from `seed`.
     pub fn from_seed(seed: u64) -> Self {
         SimRng {
             inner: StdRng::seed_from_u64(seed),
@@ -78,6 +79,7 @@ impl SimRng {
         self.inner.gen_range(lo..=hi)
     }
 
+    /// Uniform draw over all of `u64`.
     pub fn gen_u64(&mut self) -> u64 {
         self.inner.gen()
     }

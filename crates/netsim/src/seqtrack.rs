@@ -25,6 +25,7 @@ pub struct SeqTracker {
 }
 
 impl SeqTracker {
+    /// An empty tracker (no sequence seen yet).
     pub fn new() -> Self {
         Self::default()
     }

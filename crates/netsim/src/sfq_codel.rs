@@ -33,6 +33,7 @@ pub struct SfqCodel {
 }
 
 impl SfqCodel {
+    /// An empty sfqCoDel gateway with `nbins` flow bins; `hash_salt` keys the flow hash.
     pub fn new(capacity_bytes: u64, params: CodelParams, nbins: u32, hash_salt: u64) -> Self {
         let nbins = nbins.max(1) as usize;
         SfqCodel {
@@ -169,6 +170,8 @@ mod tests {
                 hop: 0,
                 dir: crate::packet::PacketDir::Data,
                 recv_at: SimTime::ZERO,
+                batch: 1,
+                rwnd: 0,
             },
             enqueued_at: at,
         }

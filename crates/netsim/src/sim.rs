@@ -35,6 +35,24 @@
 //! `Arrive → TxComplete → Propagated` event chain as data. Route hops
 //! without a spec contribute pure propagation delay, applied after the
 //! last reverse link.
+//!
+//! # Endpoint policies
+//!
+//! Receivers are first-class: each flow may carry a
+//! [`crate::topology::ReceiverSpec`] turning its receiver into a small
+//! state machine — delayed/stretch ACKs (acknowledge once per *k*
+//! consecutive deliveries, with an optional [`Event::AckTimer`] flush
+//! bounding how long a partial run is held), and advertised receive
+//! windows (every ACK stamps `rwnd`; the sender transmits while
+//! `in_flight < min(cwnd, rwnd)`). All acknowledgments — immediate or
+//! coalesced — leave through one `Simulation::emit_ack` gateway, which
+//! picks the flow's reverse tier. A flow may also set `reverse_data`:
+//! its *data* then travels over the route's reverse links (the upload
+//! direction of an access network, contending with everyone's ACKs on a
+//! shared uplink) while its own acknowledgments return over the forward
+//! direction via the paper arithmetic. A flow without a spec (or with
+//! the default spec) takes the historical immediate-ACK path bit for
+//! bit.
 
 use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::flow::{FlowOutcome, FlowStats, OnTimeTracker};
@@ -44,7 +62,7 @@ use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::seqtrack::SeqTracker;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{FaultSpec, NetworkConfig};
+use crate::topology::{FaultSpec, NetworkConfig, ReceiverSpec};
 use crate::trace::{QueueSample, Trace};
 use crate::transport::{CongestionControl, Transport};
 
@@ -96,12 +114,55 @@ struct FaultState {
 struct ReceiverSlot {
     epoch: u32,
     seen: SeqTracker,
+    /// ACK-policy state machine; `None` (every flow whose spec is absent
+    /// or [`ReceiverSpec::is_immediate`]) selects the historical
+    /// immediate per-packet-ack path, bit for bit.
+    policy: Option<PolicyState>,
+}
+
+/// Runtime state of one receiver's non-immediate ACK policy.
+struct PolicyState {
+    spec: ReceiverSpec,
+    /// Deliveries coalesced into the batch so far (the `batch` count an
+    /// eventual flush carries).
+    pending: u32,
+    /// Latest coalesced delivery and its arrival time (the packet whose
+    /// echo fields the flush's single ACK will carry).
+    held: Option<(Packet, SimTime)>,
+    /// Generation guard: an [`Event::AckTimer`] fires only if its `gen`
+    /// still matches (every flush and epoch restart bumps this).
+    timer_gen: u64,
+    /// A flush timer for the current batch is already in the queue.
+    timer_armed: bool,
+}
+
+impl PolicyState {
+    fn new(spec: ReceiverSpec) -> Self {
+        PolicyState {
+            spec,
+            pending: 0,
+            held: None,
+            timer_gen: 0,
+            timer_armed: false,
+        }
+    }
+
+    /// Drop all coalescing state and invalidate any armed timer (epoch
+    /// restart).
+    fn reset(&mut self) {
+        self.pending = 0;
+        self.held = None;
+        self.timer_gen += 1;
+        self.timer_armed = false;
+    }
 }
 
 /// Aggregate outcome of a simulation run.
 #[derive(Debug)]
 pub struct RunOutcome {
+    /// Per-flow results, indexed by flow id.
     pub flows: Vec<FlowOutcome>,
+    /// Simulated wall-clock length, seconds.
     pub duration_s: f64,
     /// Final queue counters per link. Indices `0..forward_links` are the
     /// config's links in order; any further entries are reverse (ACK)
@@ -114,6 +175,7 @@ pub struct RunOutcome {
     /// Number of forward links (`== config.links.len()`); entries past
     /// this index in `link_queues`/`link_bytes` are reverse links.
     pub forward_links: usize,
+    /// Total events dispatched.
     pub events_processed: u64,
     /// `true` when the run stopped because it exhausted the event budget
     /// ([`Simulation::set_event_budget`]) rather than reaching the
@@ -272,7 +334,17 @@ impl Simulation {
                     None => residual += config.links[l].one_way_delay(),
                 }
             }
-            if !ack_route.is_empty() {
+            if f.reverse_data {
+                // Upload flow: its *data* traverses the route's reverse
+                // links (in reverse-route order), while its own
+                // acknowledgments return over the forward direction via
+                // the paper arithmetic — so ack_route stays empty and
+                // ack_delay becomes the forward propagation. Validation
+                // guarantees every route hop declared a ReverseSpec, so
+                // the reverse chain covers the whole path.
+                senders[i].route = ack_route;
+                senders[i].ack_delay = config.min_one_way(i);
+            } else if !ack_route.is_empty() {
                 senders[i].ack_route = ack_route;
                 senders[i].ack_residual_delay = residual;
             }
@@ -315,10 +387,33 @@ impl Simulation {
             n_forward,
             shared_rev,
             senders,
-            receivers: (0..n).map(|_| ReceiverSlot::default()).collect(),
+            receivers: config
+                .flows
+                .iter()
+                .map(|f| ReceiverSlot {
+                    epoch: 0,
+                    seen: SeqTracker::default(),
+                    policy: f
+                        .receiver
+                        .as_ref()
+                        .filter(|r| !r.is_immediate())
+                        .map(|spec| PolicyState::new(spec.clone())),
+                })
+                .collect(),
             faults,
             stats: vec![FlowStats::default(); n],
-            min_one_way: (0..n).map(|i| config.min_one_way(i)).collect(),
+            min_one_way: (0..n)
+                .map(|i| {
+                    if config.flows[i].reverse_data {
+                        // The data path is the reverse direction, so the
+                        // propagation floor for delay statistics is the
+                        // reverse chain's.
+                        config.ack_delay(i)
+                    } else {
+                        config.min_one_way(i)
+                    }
+                })
+                .collect(),
             trace: None,
             events_processed: 0,
             event_budget: u64::MAX,
@@ -498,6 +593,7 @@ impl Simulation {
             Event::TraceSample => self.handle_trace_sample(end),
             Event::LinkDown { link } => self.handle_link_down(link),
             Event::LinkUp { link } => self.handle_link_up(link),
+            Event::AckTimer { flow, gen } => self.handle_ack_timer(flow, gen),
         }
     }
 
@@ -577,11 +673,16 @@ impl Simulation {
         // Corruption destroys the packet *after* it crossed the link: it
         // consumed serialization capacity and queue space (unlike a queue
         // drop, which never transmits) but is discarded at the far end.
-        if let Some(f) = &mut self.faults[link.0 as usize] {
-            if let FaultSpec::Corruption { prob } = f.spec {
-                if f.rng.chance(prob) {
-                    self.stats[pkt.flow.0 as usize].drops.fault += 1;
-                    return;
+        // Fault processes exist only on forward links; a reverse_data
+        // flow's data packets cross reverse links, which carry none.
+        let l = link.0 as usize;
+        if l < self.n_forward {
+            if let Some(f) = &mut self.faults[l] {
+                if let FaultSpec::Corruption { prob } = f.spec {
+                    if f.rng.chance(prob) {
+                        self.stats[pkt.flow.0 as usize].drops.fault += 1;
+                        return;
+                    }
                 }
             }
         }
@@ -613,19 +714,97 @@ impl Simulation {
             let delay = self.now - pkt.sent_at;
             self.stats[flow].record_delivery(pkt.size, delay);
         }
-        // Per-packet selective acknowledgment.
+        self.receive(flow, pkt);
+    }
+
+    /// The receiver's acknowledgment decision for a delivered data
+    /// packet: the immediate per-packet selective ACK when the flow has
+    /// no (non-trivial) [`ReceiverSpec`] — the historical engine, bit for
+    /// bit — or the delayed-ACK state machine otherwise.
+    fn receive(&mut self, flow: usize, pkt: Packet) {
+        if self.receivers[flow].policy.is_none() {
+            let ack = Packet::ack_for(&pkt, self.now);
+            self.emit_ack(flow, ack);
+            return;
+        }
+        // Only seq-consecutive in-order runs coalesce: a gap (or a
+        // duplicate) means the held acknowledgment must go out on its
+        // own before this delivery starts a new run — folding across the
+        // gap would silently acknowledge sequences that never arrived.
+        let breaks_run = self.receivers[flow]
+            .policy
+            .as_ref()
+            .and_then(|p| p.held.as_ref())
+            .is_some_and(|(held, _)| pkt.seq != held.seq + 1);
+        if breaks_run {
+            self.flush_ack(flow);
+        }
+        let now = self.now;
+        let p = self.receivers[flow].policy.as_mut().expect("checked above");
+        p.held = Some((pkt, now));
+        p.pending += 1;
+        // A retransmitted delivery acknowledges immediately: the sender
+        // is in recovery and stretching its ACK clock would stall it.
+        let flush_now = pkt.is_retx || p.pending >= p.spec.ack_every;
+        if !flush_now {
+            if let Some(t) = p.spec.flush_timer_s {
+                if !p.timer_armed {
+                    p.timer_armed = true;
+                    let gen = p.timer_gen;
+                    self.events.schedule(
+                        now + SimDuration::from_secs_f64(t),
+                        Event::AckTimer {
+                            flow: FlowId(flow as u32),
+                            gen,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        self.flush_ack(flow);
+    }
+
+    /// Emit the coalesced acknowledgment for a policy receiver's held
+    /// run (no-op when nothing is held), invalidating any armed flush
+    /// timer. The ACK departs *now* but echoes the held packet's arrival
+    /// time, so sender RTT samples include the coalescing delay — the
+    /// real cost of a delayed-ACK receiver.
+    fn flush_ack(&mut self, flow: usize) {
+        let Some(p) = &mut self.receivers[flow].policy else {
+            return;
+        };
+        let Some((pkt, recv_at)) = p.held.take() else {
+            return;
+        };
+        let batch = p.pending;
+        p.pending = 0;
+        p.timer_gen += 1;
+        p.timer_armed = false;
+        let rwnd = p.spec.rwnd_packets;
+        let mut ack = Packet::ack_for(&pkt, recv_at);
+        ack.batch = batch;
+        if let Some(w) = rwnd {
+            ack.rwnd = w;
+        }
+        self.emit_ack(flow, ack);
+    }
+
+    /// The single ACK gateway: every acknowledgment — immediate or
+    /// coalesced — leaves the receiver here, over the flow's reverse
+    /// tier.
+    fn emit_ack(&mut self, flow: usize, ack_pkt: Packet) {
         let s = &self.senders[flow];
         if s.ack_route.is_empty() {
             // Paper model, preserved bit for bit: uncongested reverse
             // path, negligible (1 Gbps) ACK serialization.
             let arrive_at =
                 self.now + s.ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9);
-            let ack = Packet::ack_for(&pkt, self.now).as_ack();
             self.events.schedule(
                 arrive_at,
                 Event::AckArrive {
-                    flow: pkt.flow,
-                    ack,
+                    flow: ack_pkt.flow,
+                    ack: ack_pkt.as_ack(),
                 },
             );
         } else {
@@ -638,10 +817,25 @@ impl Simulation {
                 self.now,
                 Event::Arrive {
                     link: first,
-                    pkt: Packet::ack_for(&pkt, self.now),
+                    pkt: ack_pkt,
                 },
             );
         }
+    }
+
+    /// A receiver's delayed-ACK flush timer fired: emit the held partial
+    /// batch, unless a flush or epoch restart already invalidated this
+    /// timer generation.
+    fn handle_ack_timer(&mut self, flow: FlowId, gen: u64) {
+        let i = flow.0 as usize;
+        let Some(p) = &mut self.receivers[i].policy else {
+            return;
+        };
+        if gen != p.timer_gen {
+            return;
+        }
+        p.timer_armed = false;
+        self.flush_ack(i);
     }
 
     /// An ACK packet finished propagating across a reverse link: forward
@@ -804,6 +998,9 @@ impl Simulation {
         let rx = &mut self.receivers[i];
         rx.epoch = epoch;
         rx.seen.clear();
+        if let Some(p) = &mut rx.policy {
+            p.reset();
+        }
         self.try_send(i);
     }
 
@@ -824,7 +1021,14 @@ impl Simulation {
             if !s.on {
                 return;
             }
-            let window = s.cc.window().floor().max(0.0) as usize;
+            // Effective window: the congestion window, capped by the
+            // receiver's advertised window when one has been seen this
+            // epoch.
+            let cwnd = s.cc.window().floor().max(0.0) as usize;
+            let window = match s.transport.peer_rwnd() {
+                Some(r) => cwnd.min(r as usize),
+                None => cwnd,
+            };
             if s.transport.in_flight() >= window {
                 return;
             }
@@ -990,6 +1194,7 @@ fn fold_event(digest: u64, at: SimTime, ev: &Event) -> u64 {
         Event::FlowDeparture { flow, gen } => fnv(fnv(fnv(digest, 10), flow.0 as u64), *gen),
         Event::LinkDown { link } => fnv(fnv(digest, 11), link.0 as u64),
         Event::LinkUp { link } => fnv(fnv(digest, 12), link.0 as u64),
+        Event::AckTimer { flow, gen } => fnv(fnv(fnv(digest, 13), flow.0 as u64), *gen),
     }
 }
 
@@ -1436,6 +1641,154 @@ mod tests {
         assert_eq!(out.forward_links, 1);
         assert_eq!(out.link_queues.len(), 2, "one shared reverse link");
         assert_eq!(out.link_queues[1].dropped, ack_drops);
+    }
+
+    #[test]
+    fn explicit_default_receiver_spec_is_bit_identical() {
+        // `Some(ReceiverSpec::default())` must take the same immediate-ack
+        // fast path as `None`: identical event sequence, not just
+        // identical aggregates.
+        let net = dumbbell(
+            2,
+            10e6,
+            0.080,
+            QueueSpec::DropTail {
+                capacity_bytes: Some(45_000),
+            },
+            WorkloadSpec::on_off_1s(),
+        );
+        let explicit = net.with_receiver(crate::topology::ReceiverSpec::default());
+        let run = |n: &crate::topology::NetworkConfig| {
+            let mut sim = Simulation::new(n, vec![fixed(80.0), fixed(80.0)], 17);
+            sim.enable_event_digest();
+            let out = sim.run(SimDuration::from_secs(20));
+            (out.event_digest, out.events_processed)
+        };
+        assert_eq!(run(&net), run(&explicit));
+    }
+
+    #[test]
+    fn delayed_ack_coalesces_the_ack_stream() {
+        // ack-every-4 acknowledges each window in a quarter of the ACK
+        // events, so the run dispatches materially fewer events while
+        // goodput stays close (the window is generous).
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let delayed = net.with_receiver(crate::topology::ReceiverSpec::delayed(4, 0.2));
+        let run = |n: &crate::topology::NetworkConfig| {
+            let mut sim = Simulation::new(n, vec![fixed(200.0)], 1);
+            let out = sim.run(SimDuration::from_secs(20));
+            (out.flows[0].throughput_bps, out.events_processed)
+        };
+        let ((base_tpt, base_ev), (del_tpt, del_ev)) = (run(&net), run(&delayed));
+        assert!(
+            del_ev < base_ev * 9 / 10,
+            "coalescing must shrink the event count: {del_ev} vs {base_ev}"
+        );
+        assert!(
+            del_tpt > base_tpt * 0.9,
+            "stretch ACKs keep goodput with a generous window: {del_tpt} vs {base_tpt}"
+        );
+    }
+
+    #[test]
+    fn flush_timer_rescues_a_stalled_partial_batch() {
+        // ack_every far above the window: without a flush timer the
+        // receiver sits on every batch and progress happens only through
+        // retransmission timeouts; a 10 ms timer keeps the ACK clock
+        // running.
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let run = |spec: crate::topology::ReceiverSpec| {
+            let n = net.with_receiver(spec);
+            let mut sim = Simulation::new(&n, vec![fixed(30.0)], 3);
+            let out = sim.run(SimDuration::from_secs(20));
+            (out.flows[0].throughput_bps, out.flows[0].timeouts)
+        };
+        let no_timer = crate::topology::ReceiverSpec {
+            ack_every: 1000,
+            flush_timer_s: None,
+            rwnd_packets: None,
+        };
+        let (stalled_tpt, stalled_to) = run(no_timer);
+        let (timer_tpt, timer_to) = run(crate::topology::ReceiverSpec::delayed(1000, 0.010));
+        assert!(stalled_to > 0, "no timer: progress only via RTO");
+        assert_eq!(timer_to, 0, "timer flushes keep the RTO quiet");
+        assert!(
+            timer_tpt > stalled_tpt * 5.0,
+            "timer must rescue throughput: {timer_tpt} vs {stalled_tpt}"
+        );
+    }
+
+    #[test]
+    fn advertised_rwnd_clamps_the_sender_window() {
+        // cwnd 100 but rwnd 5 over a 100 ms RTT: throughput collapses to
+        // ~5 packets per RTT once the first advertisement arrives.
+        let net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        let clamped = net.with_receiver(crate::topology::ReceiverSpec::default().with_rwnd(5));
+        let run = |n: &crate::topology::NetworkConfig| {
+            let mut sim = Simulation::new(n, vec![fixed(100.0)], 1);
+            sim.run(SimDuration::from_secs(20)).flows[0].throughput_bps
+        };
+        let (open, tight) = (run(&net), run(&clamped));
+        let expect = 5.0 * 1500.0 * 8.0 / 0.100;
+        assert!(open > 5e6, "unclamped baseline healthy: {open}");
+        assert!(
+            (tight - expect).abs() / expect < 0.1,
+            "rwnd-limited throughput {tight} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn reverse_data_rides_the_reverse_links() {
+        // An upload flow: data crosses the shared reverse uplink (the
+        // binding 2 Mbps constraint), ACKs return over the forward
+        // direction via the paper arithmetic — so the forward link
+        // carries no traffic at all.
+        let mut net = dumbbell(
+            1,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        );
+        net.links[0].reverse = Some(crate::topology::ReverseSpec::shared(
+            2e6,
+            0.050,
+            QueueSpec::infinite(),
+        ));
+        net.flows[0].reverse_data = true;
+        let mut sim = Simulation::new(&net, vec![fixed(100.0)], 6);
+        let out = sim.run(SimDuration::from_secs(20));
+        assert_eq!(out.link_bytes[0], 0, "forward link idle for an upload");
+        assert!(out.link_bytes[1] > 0, "data rides the reverse link");
+        let tpt = out.flows[0].throughput_bps;
+        assert!(
+            tpt > 1.8e6 && tpt <= 2e6 * 1.01,
+            "upload saturates the 2 Mbps uplink: {tpt}"
+        );
+        // The delay floor is the reverse chain's 50 ms, not the forward 100 ms.
+        assert!(
+            (out.flows[0].min_one_way_s - 0.050).abs() < 1e-9,
+            "min one-way follows the data path: {}",
+            out.flows[0].min_one_way_s
+        );
     }
 
     #[test]

@@ -18,32 +18,41 @@ pub struct SimTime(u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
+/// Nanoseconds per second.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Nanoseconds per millisecond.
 pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per microsecond.
 pub const NANOS_PER_MICRO: u64 = 1_000;
 
 impl SimTime {
+    /// The simulation start instant.
     pub const ZERO: SimTime = SimTime(0);
     /// A time later than any reachable simulation horizon.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// Instant from nanoseconds since simulation start.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
     }
 
+    /// Nanoseconds since simulation start.
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// Instant from (non-negative) seconds since simulation start.
     pub fn from_secs_f64(secs: f64) -> Self {
         debug_assert!(secs >= 0.0, "negative SimTime");
         SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
     }
 
+    /// Seconds since simulation start.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
 
+    /// Milliseconds since simulation start.
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_MILLI as f64
     }
@@ -55,31 +64,39 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Instant `d` earlier, or `None` on underflow.
     pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_sub(d.0).map(SimTime)
     }
 }
 
 impl SimDuration {
+    /// The zero-length span.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// A span longer than any reachable simulation horizon.
     pub const MAX: SimDuration = SimDuration(u64::MAX);
 
+    /// Span from nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)
     }
 
+    /// Span from microseconds.
     pub const fn from_micros(us: u64) -> Self {
         SimDuration(us * NANOS_PER_MICRO)
     }
 
+    /// Span from milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms * NANOS_PER_MILLI)
     }
 
+    /// Span from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * NANOS_PER_SEC)
     }
 
+    /// Span from (non-negative, finite) seconds, rounded to nanoseconds.
     pub fn from_secs_f64(secs: f64) -> Self {
         debug_assert!(
             secs >= 0.0 && secs.is_finite(),
@@ -88,26 +105,32 @@ impl SimDuration {
         SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
     }
 
+    /// Span from fractional milliseconds.
     pub fn from_millis_f64(ms: f64) -> Self {
         Self::from_secs_f64(ms / 1e3)
     }
 
+    /// The span in nanoseconds.
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// The span in seconds.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
 
+    /// The span in milliseconds.
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_MILLI as f64
     }
 
+    /// Whether the span is zero-length.
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
 
+    /// `self - other`, saturating at zero.
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }

@@ -97,9 +97,13 @@ pub enum FaultSpec {
     /// `1 / bad_to_good` packets and the stationary bad-state fraction is
     /// `good_to_bad / (good_to_bad + bad_to_good)`.
     GilbertElliott {
+        /// Per-packet loss probability in the good state.
         loss_good: f64,
+        /// Per-packet loss probability in the bad state.
         loss_bad: f64,
+        /// Per-packet probability of entering the bad state.
         good_to_bad: f64,
+        /// Per-packet probability of leaving the bad state.
         bad_to_good: f64,
     },
     /// The link goes fully down for `down_s`-length blackouts separated by
@@ -110,10 +114,14 @@ pub enum FaultSpec {
     /// or held in the link queue (subject to its normal discipline) and
     /// released when the link returns.
     Outage {
+        /// Mean (or exact, if scheduled) up dwell, seconds.
         up_s: f64,
+        /// Mean (or exact, if scheduled) blackout length, seconds.
         down_s: f64,
+        /// Exact square-wave dwells instead of exponential ones.
         #[serde(default)]
         scheduled: bool,
+        /// Destroy packets arriving during a blackout instead of holding them.
         #[serde(default)]
         drop_while_down: bool,
     },
@@ -121,7 +129,10 @@ pub enum FaultSpec {
     /// *after* crossing the link: it consumes serialization capacity and
     /// queue space, then is discarded at the far end (checksum failure),
     /// unlike a queue drop which never transmits.
-    Corruption { prob: f64 },
+    Corruption {
+        /// Independent per-packet corruption probability.
+        prob: f64,
+    },
 }
 
 impl FaultSpec {
@@ -172,6 +183,7 @@ pub struct LinkSpec {
     /// Round-trip propagation contribution of this link, in seconds
     /// (one-way delay is half this value; see module docs).
     pub delay_s: f64,
+    /// Queue discipline at the link ingress.
     pub queue: QueueSpec,
     /// Explicit asymmetric ACK path; `None` keeps the paper's symmetric
     /// uncongested reverse model. `#[serde(default)]` so configs from
@@ -197,6 +209,7 @@ impl LinkSpec {
         }
     }
 
+    /// One-way propagation delay (`delay_s / 2`; see module docs).
     pub fn one_way_delay(&self) -> SimDuration {
         SimDuration::from_secs_f64(self.delay_s / 2.0)
     }
@@ -224,12 +237,118 @@ impl LinkSpec {
     }
 }
 
+/// Receiver-side endpoint policy of one flow.
+///
+/// The default (`ack_every: 1`, no flush timer, no advertisement) is the
+/// pre-policy engine bit for bit: every delivered data packet is answered
+/// by an immediate per-packet acknowledgment. Anything else turns the
+/// receiver into a small state machine inside the engine:
+///
+/// * **Delayed/stretch ACKs** — `ack_every: k` coalesces runs of
+///   consecutive in-order deliveries and acknowledges once per `k`
+///   packets (one ACK with `batch: k` covering the whole run). A
+///   non-consecutive or retransmitted delivery flushes immediately, so
+///   loss recovery never waits on the coalescing counter.
+/// * **Flush timer** — `flush_timer_s` bounds how long a partial run may
+///   be held: a timer armed at the first unacknowledged delivery flushes
+///   the batch when it fires (the classic delayed-ACK timeout). Without
+///   it, a stalled sender waits for its RTO, whose retransmission is
+///   acked immediately.
+/// * **Advertised receive window** — `rwnd_packets` stamps every ACK
+///   with a receive-window advertisement; the sender's transport then
+///   caps its effective window at `min(cwnd, rwnd)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverSpec {
+    /// Acknowledge once per this many consecutive in-order deliveries
+    /// (`1` = every packet, the default; must be >= 1).
+    #[serde(default = "default_ack_every")]
+    pub ack_every: u32,
+    /// Upper bound in seconds on how long a partial batch may be held
+    /// before it is acknowledged anyway. `None` (the default) disables
+    /// the timer.
+    #[serde(default)]
+    pub flush_timer_s: Option<f64>,
+    /// Receive-window advertisement in packets carried on every ACK;
+    /// `None` (the default) advertises nothing and leaves the sender
+    /// congestion-window-limited only.
+    #[serde(default)]
+    pub rwnd_packets: Option<u32>,
+}
+
+fn default_ack_every() -> u32 {
+    1
+}
+
+/// `skip_serializing_if` helper: configs predating a boolean flag omit it,
+/// so the default `false` must serialize to nothing to stay byte-identical.
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
+impl Default for ReceiverSpec {
+    fn default() -> Self {
+        ReceiverSpec::immediate()
+    }
+}
+
+impl ReceiverSpec {
+    /// Immediate per-packet acknowledgment — the engine's historical
+    /// behavior, bit-identical to configuring no receiver at all.
+    pub fn immediate() -> Self {
+        ReceiverSpec {
+            ack_every: 1,
+            flush_timer_s: None,
+            rwnd_packets: None,
+        }
+    }
+
+    /// Delayed/stretch ACKs: acknowledge once per `ack_every`
+    /// consecutive deliveries, flushing any partial batch after
+    /// `flush_timer_s` seconds.
+    pub fn delayed(ack_every: u32, flush_timer_s: f64) -> Self {
+        ReceiverSpec {
+            ack_every,
+            flush_timer_s: Some(flush_timer_s),
+            rwnd_packets: None,
+        }
+    }
+
+    /// Same policy with a receive-window advertisement of `packets`.
+    pub fn with_rwnd(mut self, packets: u32) -> Self {
+        self.rwnd_packets = Some(packets);
+        self
+    }
+
+    /// Whether this spec reproduces the default immediate-ACK path
+    /// exactly (the engine then skips the policy state machine
+    /// entirely, keeping default configs bit-identical).
+    pub fn is_immediate(&self) -> bool {
+        self.ack_every <= 1 && self.rwnd_packets.is_none()
+    }
+}
+
 /// A sender/receiver pair and its path.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlowSpec {
     /// Indices into [`NetworkConfig::links`], in forward-path order.
     pub route: Vec<usize>,
+    /// Offered-load process gating when this sender has data to send.
     pub workload: WorkloadSpec,
+    /// Receiver-side endpoint policy; `None` (the serde default, so
+    /// configs from before this field existed still parse) is immediate
+    /// per-packet acknowledgment, bit-identical to the pre-policy
+    /// engine.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub receiver: Option<ReceiverSpec>,
+    /// `true` routes this flow's *data* over the reverse links of its
+    /// route (every route link must then declare a [`ReverseSpec`]) —
+    /// the upload direction of an access network, contending with
+    /// everyone's ACKs on a shared uplink. Its own acknowledgments
+    /// return over the forward direction via the paper's uncongested
+    /// arithmetic. `false` (the serde default) is the ordinary forward
+    /// data flow.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub reverse_data: bool,
 }
 
 /// A complete network configuration (topology + workloads). Protocols are
@@ -237,7 +356,9 @@ pub struct FlowSpec {
 /// evaluated under many protocol mixes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
+    /// Unidirectional links of the topology.
     pub links: Vec<LinkSpec>,
+    /// Flows routed over those links.
     pub flows: Vec<FlowSpec>,
 }
 
@@ -319,6 +440,17 @@ impl NetworkConfig {
         out
     }
 
+    /// Copy of this network with the given receiver-side endpoint
+    /// policy on every flow (see [`ReceiverSpec`]); the convenient form
+    /// for sweeps that vary the ACK policy of a whole sender population.
+    pub fn with_receiver(&self, spec: ReceiverSpec) -> NetworkConfig {
+        let mut out = self.clone();
+        for flow in &mut out.flows {
+            flow.receiver = Some(spec.clone());
+        }
+        out
+    }
+
     /// Reverse-path bottleneck rate of a flow: the slowest explicit
     /// reverse rate along the route, or `None` when no link on the route
     /// declares one (the reverse path is then effectively unconstrained).
@@ -341,6 +473,7 @@ impl NetworkConfig {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Reject structurally invalid configs (bad routes, degenerate receiver parameters) before they reach the engine.
     pub fn validate(&self) -> Result<(), String> {
         for (i, f) in self.flows.iter().enumerate() {
             if f.route.is_empty() {
@@ -374,6 +507,21 @@ impl NetworkConfig {
                         "flow {i} {kind} churn needs a positive arrival rate and mean \
                          duration (got {arrival_rate_hz} arrivals/s, {mean_duration_s} s)"
                     ));
+                }
+            }
+            if let Some(r) = &f.receiver {
+                validate_receiver(i, r)?;
+            }
+            if f.reverse_data {
+                for &l in &f.route {
+                    if self.links[l].reverse.is_none() {
+                        return Err(format!(
+                            "flow {i} sets reverse_data but route link {l} declares no \
+                             ReverseSpec: data cannot be routed over a reverse path \
+                             that does not exist; add `reverse` to link {l} or drop \
+                             the flag"
+                        ));
+                    }
                 }
             }
         }
@@ -466,6 +614,39 @@ impl NetworkConfig {
         self.links[link].fault = Some(fault);
         Ok(())
     }
+}
+
+/// Receiver-policy parameter validation for [`NetworkConfig::validate`]:
+/// degenerate endpoint specs are rejected with actionable messages before
+/// a simulation is built (an ack-every-0 receiver would never acknowledge
+/// anything; a zero advertised window would forbid the sender from ever
+/// transmitting).
+fn validate_receiver(flow: usize, r: &ReceiverSpec) -> Result<(), String> {
+    if r.ack_every == 0 {
+        return Err(format!(
+            "flow {flow} receiver ack_every must be >= 1 (got 0): an \
+             ack-every-0 receiver never acknowledges; use 1 for per-packet \
+             acks"
+        ));
+    }
+    if let Some(t) = r.flush_timer_s {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(format!(
+                "flow {flow} receiver flush timer must be positive and finite \
+                 (got {t} s); drop flush_timer_s for count-only flushing"
+            ));
+        }
+    }
+    if let Some(w) = r.rwnd_packets {
+        if w == 0 {
+            return Err(format!(
+                "flow {flow} receiver advertises a zero receive window (got \
+                 {w} packets): the sender could never transmit; drop \
+                 rwnd_packets for no advertisement"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Fault-process parameter validation for [`NetworkConfig::validate`]:
@@ -632,6 +813,8 @@ pub fn dumbbell(
             .map(|_| FlowSpec {
                 route: vec![0],
                 workload: workload.clone(),
+                receiver: None,
+                reverse_data: false,
             })
             .collect(),
     }
@@ -658,6 +841,8 @@ pub fn dumbbell_mixed(
             .map(|w| FlowSpec {
                 route: vec![0],
                 workload: w,
+                receiver: None,
+                reverse_data: false,
             })
             .collect(),
     }
@@ -697,14 +882,20 @@ pub fn parking_lot(
             FlowSpec {
                 route: vec![0, 1],
                 workload: workload.clone(),
+                receiver: None,
+                reverse_data: false,
             },
             FlowSpec {
                 route: vec![0],
                 workload: workload.clone(),
+                receiver: None,
+                reverse_data: false,
             },
             FlowSpec {
                 route: vec![1],
                 workload,
+                receiver: None,
+                reverse_data: false,
             },
         ],
     }
@@ -1187,6 +1378,117 @@ mod tests {
                 serde_json::from_str(&serde_json::to_string(&net).unwrap()).unwrap();
             assert_eq!(back, net);
         }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_receiver_specs() {
+        let base = || dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        let mut net = base();
+        net.flows[0].receiver = Some(ReceiverSpec {
+            ack_every: 0,
+            flush_timer_s: None,
+            rwnd_packets: None,
+        });
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("ack_every") && msg.contains("got 0"),
+            "actionable ack-every message, got: {msg}"
+        );
+        for bad_timer in [0.0, -0.2, f64::NAN, f64::INFINITY] {
+            let mut net = base();
+            net.flows[0].receiver = Some(ReceiverSpec {
+                ack_every: 2,
+                flush_timer_s: Some(bad_timer),
+                rwnd_packets: None,
+            });
+            let msg = net.validate().unwrap_err();
+            assert!(
+                msg.contains("flush timer"),
+                "flush timer {bad_timer} must be rejected: {msg}"
+            );
+        }
+        let mut net = base();
+        net.flows[0].receiver = Some(ReceiverSpec::immediate().with_rwnd(0));
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("zero receive window"),
+            "actionable rwnd message, got: {msg}"
+        );
+        // well-formed specs pass
+        let mut net = base();
+        net.flows[0].receiver = Some(ReceiverSpec::delayed(4, 0.2).with_rwnd(64));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_reverse_data_without_reverse_links() {
+        let mut net = dumbbell(1, 1e6, 0.1, QueueSpec::infinite(), WorkloadSpec::AlwaysOn);
+        net.flows[0].reverse_data = true;
+        let msg = net.validate().unwrap_err();
+        assert!(
+            msg.contains("reverse_data") && msg.contains("link 0"),
+            "actionable reverse-data message, got: {msg}"
+        );
+        net.links[0].reverse = Some(ReverseSpec::shared(2e5, 0.05, QueueSpec::infinite()));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn pre_receiver_configs_still_parse() {
+        // JSON from before the `receiver`/`reverse_data` fields existed.
+        let json = r#"{
+            "links": [{"rate_bps": 1e7, "delay_s": 0.1,
+                       "queue": {"DropTail": {"capacity_bytes": null}}}],
+            "flows": [{"route": [0], "workload": "AlwaysOn"}]
+        }"#;
+        let net: NetworkConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(net.flows[0].receiver, None);
+        assert!(!net.flows[0].reverse_data);
+        net.validate().unwrap();
+        // Partial ReceiverSpec JSON: omitted fields take their defaults.
+        let json = r#"{
+            "links": [{"rate_bps": 1e7, "delay_s": 0.1,
+                       "queue": {"DropTail": {"capacity_bytes": null}}}],
+            "flows": [{"route": [0], "workload": "AlwaysOn",
+                       "receiver": {"ack_every": 2}}]
+        }"#;
+        let net: NetworkConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            net.flows[0].receiver,
+            Some(ReceiverSpec {
+                ack_every: 2,
+                flush_timer_s: None,
+                rwnd_packets: None,
+            })
+        );
+        // and the full spec round-trips
+        let mut full = net.clone();
+        full.flows[0].receiver = Some(ReceiverSpec::delayed(4, 0.04).with_rwnd(32));
+        let back: NetworkConfig =
+            serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn with_receiver_covers_every_flow() {
+        let net = dumbbell(
+            3,
+            10e6,
+            0.100,
+            QueueSpec::infinite(),
+            WorkloadSpec::AlwaysOn,
+        )
+        .with_receiver(ReceiverSpec::delayed(2, 0.2));
+        net.validate().unwrap();
+        for f in &net.flows {
+            assert_eq!(f.receiver, Some(ReceiverSpec::delayed(2, 0.2)));
+        }
+        assert!(
+            ReceiverSpec::default().is_immediate(),
+            "default spec selects the fast path"
+        );
+        assert!(!ReceiverSpec::delayed(2, 0.2).is_immediate());
+        assert!(!ReceiverSpec::immediate().with_rwnd(8).is_immediate());
     }
 
     #[test]

@@ -10,8 +10,11 @@ use crate::time::{SimDuration, SimTime};
 /// One sampled point of a link's queue.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueueSample {
+    /// Sample time.
     pub at: SimTime,
+    /// Queue occupancy in packets.
     pub packets: usize,
+    /// Queue occupancy in bytes.
     pub bytes: u64,
     /// Cumulative drops at this link up to the sample time.
     pub cum_drops: u64,
@@ -22,6 +25,7 @@ pub struct QueueSample {
 pub struct Trace {
     /// Which links to sample.
     pub links: Vec<LinkId>,
+    /// Sampling period.
     pub period: SimDuration,
     /// Per traced link (same order as `links`): the sampled series.
     pub series: Vec<Vec<QueueSample>>,
@@ -30,6 +34,7 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// An empty recorder sampling `links` every `period`.
     pub fn new(links: Vec<LinkId>, period: SimDuration) -> Self {
         assert!(!period.is_zero(), "trace period must be positive");
         let n = links.len();
@@ -41,10 +46,12 @@ impl Trace {
         }
     }
 
+    /// Append a sample for traced-link index `idx`.
     pub fn record(&mut self, idx: usize, sample: QueueSample) {
         self.series[idx].push(sample);
     }
 
+    /// Record a forward-path drop at `at`.
     pub fn record_drop(&mut self, at: SimTime) {
         self.drop_times.push(at);
     }

@@ -160,6 +160,13 @@ pub struct AckInfo {
     pub min_rtt: SimDuration,
     /// Packets still outstanding after this ack was processed.
     pub in_flight: usize,
+    /// Receive-window advertisement carried on this ack, in packets
+    /// (`None` when the receiver advertises nothing — the default).
+    /// The transport already caps the effective window at
+    /// `min(cwnd, rwnd)`; schemes may additionally clamp their own
+    /// window so their internal state never runs ahead of what the
+    /// receiver will accept.
+    pub rwnd: Option<u32>,
 }
 
 /// A congestion-control algorithm: decides the window (cap on packets in
@@ -174,6 +181,7 @@ pub trait CongestionControl: Send {
     /// as Remy's senders do between bursts.
     fn reset(&mut self, now: SimTime);
 
+    /// An acknowledgment of the current epoch arrived.
     fn on_ack(&mut self, now: SimTime, ack: &Ack, info: &AckInfo);
 
     /// A packet was declared lost via reordering. May be called several
@@ -192,6 +200,7 @@ pub trait CongestionControl: Send {
     /// triple). `SimDuration::ZERO` disables pacing.
     fn intersend(&self) -> SimDuration;
 
+    /// Human-readable protocol name for figures and traces.
     fn name(&self) -> String;
 
     /// Downcast hook: protocols that expose post-run state (e.g. the Tao
@@ -226,6 +235,10 @@ pub struct Transport {
     srtt: Option<SimDuration>,
     rttvar: SimDuration,
     min_rtt: Option<SimDuration>,
+    /// Latest receive-window advertisement from the peer, in packets
+    /// (`None` until an ack carries one; reset each epoch). The engine
+    /// sends while `in_flight < min(floor(cwnd), peer_rwnd)`.
+    peer_rwnd: Option<u32>,
     /// Exponential RTO backoff multiplier (resets on a valid ack).
     backoff: u32,
     /// Generation counter invalidating stale RTO events.
@@ -245,6 +258,7 @@ pub struct Transport {
 pub struct AckOutcome {
     /// Whether the ack matched an outstanding packet of the current epoch.
     pub valid: bool,
+    /// Derived RTT/progress facts when the ack was valid.
     pub info: Option<AckInfo>,
     /// Packets declared lost by the reordering detector (now queued for
     /// retransmission).
@@ -252,6 +266,7 @@ pub struct AckOutcome {
 }
 
 impl Transport {
+    /// A fresh reliability layer for `flow` (epoch 0, nothing in flight).
     pub fn new(flow: FlowId) -> Self {
         Transport {
             flow,
@@ -265,28 +280,40 @@ impl Transport {
             srtt: None,
             rttvar: SimDuration::ZERO,
             min_rtt: None,
+            peer_rwnd: None,
             backoff: 0,
             rto_gen: 0,
             ack_digest: None,
         }
     }
 
+    /// Current flow epoch (bumped on each workload ON transition).
     pub fn epoch(&self) -> u32 {
         self.epoch
     }
 
+    /// Packets outstanding (sent, neither acked nor declared lost).
     pub fn in_flight(&self) -> usize {
         self.outstanding.len()
     }
 
+    /// Whether any declared-lost packets await retransmission.
     pub fn has_retx_pending(&self) -> bool {
         !self.retx_queue.is_empty()
     }
 
+    /// Smallest RTT observed so far this epoch.
     pub fn min_rtt(&self) -> Option<SimDuration> {
         self.min_rtt
     }
 
+    /// Latest receive-window advertisement from the peer, in packets
+    /// (`None` until an ack of the current epoch carried one).
+    pub fn peer_rwnd(&self) -> Option<u32> {
+        self.peer_rwnd
+    }
+
+    /// Current RTO timer generation (stale-timer detection).
     pub fn rto_gen(&self) -> u64 {
         self.rto_gen
     }
@@ -314,6 +341,7 @@ impl Transport {
         self.srtt = None;
         self.rttvar = SimDuration::ZERO;
         self.min_rtt = None;
+        self.peer_rwnd = None;
         self.backoff = 0;
         self.rto_gen += 1;
         self.epoch
@@ -363,6 +391,8 @@ impl Transport {
             hop: 0,
             dir: crate::packet::PacketDir::Data,
             recv_at: SimTime::ZERO,
+            batch: 1,
+            rwnd: 0,
         })
     }
 
@@ -384,6 +414,28 @@ impl Transport {
                 info: None,
                 newly_lost: Vec::new(),
             };
+        }
+        if ack.rwnd > 0 {
+            self.peer_rwnd = Some(ack.rwnd);
+        }
+        // A stretch ack (batch > 1) covers a run of consecutive
+        // sequences ending at `ack.seq`: the lower sequences leave the
+        // in-flight set here — no RTT sample (their send times are not
+        // echoed), no loss-detector cutoff of their own — and the top
+        // sequence is then processed exactly like a per-packet ack.
+        // Guarded so the default batch-of-1 path is bit-identical to the
+        // pre-policy transport.
+        if ack.batch > 1 {
+            let first = ack.seq.saturating_sub(ack.batch as u64 - 1);
+            for seq in first..ack.seq {
+                if let Some(out) = self.outstanding.remove(seq) {
+                    self.by_tx_index.remove(out.tx_index);
+                    self.highest_acked_tx_index = Some(
+                        self.highest_acked_tx_index
+                            .map_or(out.tx_index, |h| h.max(out.tx_index)),
+                    );
+                }
+            }
         }
         let Some(out) = self.outstanding.remove(ack.seq) else {
             // Duplicate or ack of an already-retransmitted packet.
@@ -429,6 +481,7 @@ impl Transport {
             rtt,
             min_rtt: self.min_rtt.unwrap_or(SimDuration::ZERO),
             in_flight: self.outstanding.len(),
+            rwnd: (ack.rwnd > 0).then_some(ack.rwnd),
         };
         AckOutcome {
             valid: true,
@@ -521,6 +574,8 @@ mod tests {
             echo_tx_index: pkt.tx_index,
             recv_at: now,
             was_retx: pkt.is_retx,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -714,6 +769,67 @@ mod tests {
         tr.abort();
         assert_eq!(tr.in_flight(), 0);
         assert!(!tr.has_retx_pending());
+    }
+
+    #[test]
+    fn batch_ack_clears_the_covered_run() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let pkts: Vec<Packet> = (0..5).map(|_| tr.produce(t(0), 10).unwrap()).collect();
+        // One stretch ack covering seqs 0..=3 (batch 4, top seq 3).
+        let mut ack = ack_for(&pkts[3], t(75));
+        ack.batch = 4;
+        let out = tr.on_ack(t(150), &ack);
+        assert!(out.valid);
+        let info = out.info.unwrap();
+        assert_eq!(info.in_flight, 1, "only seq 4 still outstanding");
+        assert_eq!(
+            info.rtt,
+            Some(SimDuration::from_millis(150)),
+            "RTT sampled from the top (echoed) sequence"
+        );
+        assert!(
+            out.newly_lost.is_empty(),
+            "implicitly acked packets must not trip the loss detector"
+        );
+        // The remaining packet acks normally.
+        assert!(tr.on_ack(t(151), &ack_for(&pkts[4], t(76))).valid);
+        assert_eq!(tr.in_flight(), 0);
+    }
+
+    #[test]
+    fn batch_ack_tolerates_already_acked_sequences() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        let pkts: Vec<Packet> = (0..3).map(|_| tr.produce(t(0), 10).unwrap()).collect();
+        assert!(tr.on_ack(t(100), &ack_for(&pkts[0], t(50))).valid);
+        // A batch covering 0..=2 where 0 is already gone: 1 and 2 clear.
+        let mut ack = ack_for(&pkts[2], t(60));
+        ack.batch = 3;
+        let out = tr.on_ack(t(110), &ack);
+        assert!(out.valid);
+        assert_eq!(tr.in_flight(), 0);
+    }
+
+    #[test]
+    fn rwnd_advertisement_is_cached_per_epoch() {
+        let mut tr = Transport::new(FlowId(0));
+        tr.start_epoch();
+        assert_eq!(tr.peer_rwnd(), None);
+        let p = tr.produce(t(0), 10).unwrap();
+        let mut ack = ack_for(&p, t(75));
+        ack.rwnd = 12;
+        let out = tr.on_ack(t(150), &ack);
+        assert_eq!(out.info.unwrap().rwnd, Some(12));
+        assert_eq!(tr.peer_rwnd(), Some(12));
+        // An ack without an advertisement leaves the cached value.
+        let p = tr.produce(t(200), 10).unwrap();
+        let out = tr.on_ack(t(350), &ack_for(&p, t(275)));
+        assert_eq!(out.info.unwrap().rwnd, None);
+        assert_eq!(tr.peer_rwnd(), Some(12), "advertisement persists");
+        // A new epoch forgets the peer's window.
+        tr.start_epoch();
+        assert_eq!(tr.peer_rwnd(), None);
     }
 
     #[test]

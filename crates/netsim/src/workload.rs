@@ -17,7 +17,12 @@ pub enum WorkloadSpec {
     /// Exponential ON/OFF process with the given mean durations (seconds).
     /// The process starts OFF and draws its first ON arrival from the OFF
     /// distribution, so contending senders come up at staggered times.
-    OnOff { mean_on_s: f64, mean_off_s: f64 },
+    OnOff {
+        /// Mean ON (transmitting) duration, seconds.
+        mean_on_s: f64,
+        /// Mean OFF (silent) duration, seconds.
+        mean_off_s: f64,
+    },
     /// Deterministic state switchpoints: `(time_s, on)` pairs, sorted by
     /// time. State before the first switchpoint is OFF.
     Schedule(Vec<(f64, bool)>),
@@ -38,8 +43,11 @@ pub enum WorkloadSpec {
     /// active — ON exactly during the M/G/∞ busy periods, with
     /// stationary ON probability `1 − e^(−λ·d)`.
     Churn {
+        /// Poisson flow arrival rate, per second.
         arrival_rate_hz: f64,
+        /// Mean transfer duration, seconds (exponential).
         mean_duration_s: f64,
+        /// M/G/∞ semantics: arrivals overlap instead of being blocked.
         #[serde(default)]
         unblocked: bool,
     },
@@ -141,6 +149,7 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// A workload state machine in its initial state for `spec`.
     pub fn new(spec: WorkloadSpec) -> Self {
         let (on, schedule) = match &spec {
             WorkloadSpec::AlwaysOn => (true, Vec::new()),
@@ -165,6 +174,7 @@ impl Workload {
         }
     }
 
+    /// Whether the sender currently has offered load.
     pub fn is_on(&self) -> bool {
         self.on
     }

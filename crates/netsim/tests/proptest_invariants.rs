@@ -20,6 +20,8 @@ fn qp(flow: u32, seq: u64, size: u32) -> QueuedPacket {
             hop: 0,
             dir: netsim::packet::PacketDir::Data,
             recv_at: SimTime::ZERO,
+            batch: 1,
+            rwnd: 0,
         },
         enqueued_at: SimTime::ZERO,
     }

@@ -35,6 +35,11 @@ pub struct Cubic {
     w_est: f64,
     recovery_until: SimTime,
     last_rtt: SimDuration,
+    /// Latest receive-window advertisement, if the receiver sent one;
+    /// clamps [`CongestionControl::window`]. The transport already caps
+    /// the effective window at `min(cwnd, rwnd)` — this belt-and-braces
+    /// clamp keeps the scheme's own view of its window honest too.
+    rwnd: Option<f64>,
 }
 
 impl Cubic {
@@ -49,6 +54,7 @@ impl Cubic {
             w_est: 0.0,
             recovery_until: SimTime::ZERO,
             last_rtt: SimDuration::from_millis(100),
+            rwnd: None,
         }
     }
 
@@ -84,6 +90,9 @@ impl CongestionControl for Cubic {
     }
 
     fn on_ack(&mut self, now: SimTime, _ack: &Ack, info: &AckInfo) {
+        if let Some(w) = info.rwnd {
+            self.rwnd = Some(w as f64);
+        }
         if let Some(rtt) = info.rtt {
             self.last_rtt = rtt;
         }
@@ -143,7 +152,10 @@ impl CongestionControl for Cubic {
     }
 
     fn window(&self) -> f64 {
-        self.cwnd
+        match self.rwnd {
+            Some(r) => self.cwnd.min(r),
+            None => self.cwnd,
+        }
     }
 
     fn intersend(&self) -> SimDuration {
@@ -169,6 +181,8 @@ mod tests {
             echo_tx_index: 0,
             recv_at: SimTime::ZERO,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -177,6 +191,7 @@ mod tests {
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             min_rtt: SimDuration::from_millis(rtt_ms),
             in_flight: 1,
+            rwnd: None,
         }
     }
 
@@ -269,6 +284,23 @@ mod tests {
         cc.on_timeout(t(500));
         assert_eq!(cc.window(), 1.0);
         assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn rwnd_advertisement_clamps_window() {
+        let mut cc = Cubic::new();
+        cc.cwnd = 50.0;
+        cc.ssthresh = 10.0;
+        let mut i = info(100);
+        i.rwnd = Some(8);
+        cc.on_ack(t(100), &ack(), &i);
+        assert!(cc.window() <= 8.0, "rwnd caps the window: {}", cc.window());
+        // A later ack without an advertisement keeps the clamp.
+        cc.on_ack(t(200), &ack(), &info(100));
+        assert!(cc.window() <= 8.0);
+        // reset() clears it with the rest of the state.
+        cc.reset(t(300));
+        assert_eq!(cc.window(), INITIAL_CWND);
     }
 
     #[test]

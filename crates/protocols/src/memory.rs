@@ -207,6 +207,8 @@ mod tests {
             echo_tx_index: 0,
             recv_at: SimTime::ZERO,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         }
     }
 

@@ -23,6 +23,10 @@ pub struct NewReno {
     /// once-per-RTT halving).
     recovery_until: SimTime,
     last_rtt: SimDuration,
+    /// Latest receive-window advertisement; clamps
+    /// [`CongestionControl::window`] (the transport clamps too — this
+    /// keeps the scheme's own view honest).
+    rwnd: Option<f64>,
 }
 
 impl NewReno {
@@ -32,6 +36,7 @@ impl NewReno {
             ssthresh: INITIAL_SSTHRESH,
             recovery_until: SimTime::ZERO,
             last_rtt: SimDuration::from_millis(100),
+            rwnd: None,
         }
     }
 
@@ -51,9 +56,13 @@ impl CongestionControl for NewReno {
         self.cwnd = INITIAL_CWND;
         self.ssthresh = INITIAL_SSTHRESH;
         self.recovery_until = SimTime::ZERO;
+        self.rwnd = None;
     }
 
     fn on_ack(&mut self, _now: SimTime, _ack: &Ack, info: &AckInfo) {
+        if let Some(w) = info.rwnd {
+            self.rwnd = Some(w as f64);
+        }
         if let Some(rtt) = info.rtt {
             self.last_rtt = rtt;
         }
@@ -81,7 +90,10 @@ impl CongestionControl for NewReno {
     }
 
     fn window(&self) -> f64 {
-        self.cwnd
+        match self.rwnd {
+            Some(r) => self.cwnd.min(r),
+            None => self.cwnd,
+        }
     }
 
     fn intersend(&self) -> SimDuration {
@@ -107,6 +119,8 @@ mod tests {
             echo_tx_index: 0,
             recv_at: SimTime::ZERO,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -115,6 +129,7 @@ mod tests {
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             min_rtt: SimDuration::from_millis(rtt_ms),
             in_flight: 1,
+            rwnd: None,
         }
     }
 

@@ -97,6 +97,10 @@ pub struct Pcc {
     srtt: SimDuration,
     /// Deterministic per-flow stream for trial-order randomization.
     rng_state: u64,
+    /// Latest receive-window advertisement; clamps
+    /// [`CongestionControl::window`] (the transport clamps too — this
+    /// keeps the scheme's own view honest).
+    rwnd: Option<f64>,
 }
 
 impl Pcc {
@@ -114,6 +118,7 @@ impl Pcc {
             mi_end: SimTime::ZERO,
             srtt: SimDuration::from_millis(100),
             rng_state: 0x9E37_79B9_7F4A_7C15,
+            rwnd: None,
         }
     }
 
@@ -229,6 +234,9 @@ impl CongestionControl for Pcc {
     }
 
     fn on_ack(&mut self, now: SimTime, _ack: &Ack, info: &AckInfo) {
+        if let Some(w) = info.rwnd {
+            self.rwnd = Some(w as f64);
+        }
         if let Some(rtt) = info.rtt {
             // EWMA smoothing keeps the MI length stable across jitter.
             let s = self.srtt.as_secs_f64() * 0.875 + rtt.as_secs_f64() * 0.125;
@@ -263,8 +271,13 @@ impl CongestionControl for Pcc {
 
     fn window(&self) -> f64 {
         // Rate-based sender: the window only bounds in-flight so pacing
-        // (intersend) is the binding control. 2×BDP at the trial rate.
-        (self.trial_rate_pps * self.srtt.as_secs_f64() * 2.0 + 4.0).max(2.0)
+        // (intersend) is the binding control. 2×BDP at the trial rate,
+        // capped by any receive-window advertisement.
+        let w = (self.trial_rate_pps * self.srtt.as_secs_f64() * 2.0 + 4.0).max(2.0);
+        match self.rwnd {
+            Some(r) => w.min(r),
+            None => w,
+        }
     }
 
     fn intersend(&self) -> SimDuration {
@@ -290,6 +303,8 @@ mod tests {
             echo_tx_index: 0,
             recv_at: SimTime::ZERO,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -298,6 +313,7 @@ mod tests {
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             min_rtt: SimDuration::from_millis(rtt_ms),
             in_flight: 1,
+            rwnd: None,
         }
     }
 

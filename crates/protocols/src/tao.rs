@@ -32,6 +32,10 @@ pub struct TaoCc {
     cwnd: f64,
     intersend: SimDuration,
     name: String,
+    /// Latest receive-window advertisement; clamps
+    /// [`CongestionControl::window`] (the transport clamps too — this
+    /// keeps the scheme's own view honest).
+    rwnd: Option<f64>,
 }
 
 impl TaoCc {
@@ -60,6 +64,7 @@ impl TaoCc {
             cwnd: INITIAL_WINDOW,
             intersend: SimDuration::ZERO,
             name: name.into(),
+            rwnd: None,
         };
         cc.apply_current_whisker_pacing();
         cc
@@ -98,10 +103,14 @@ impl CongestionControl for TaoCc {
     fn reset(&mut self, _now: SimTime) {
         self.memory.reset();
         self.cwnd = INITIAL_WINDOW;
+        self.rwnd = None;
         self.apply_current_whisker_pacing();
     }
 
-    fn on_ack(&mut self, now: SimTime, ack: &Ack, _info: &AckInfo) {
+    fn on_ack(&mut self, now: SimTime, ack: &Ack, info: &AckInfo) {
+        if let Some(w) = info.rwnd {
+            self.rwnd = Some(w as f64);
+        }
         self.memory.on_ack(now, ack);
         let p = MemoryRange::clamp_point(&self.memory.point());
         let leaf = self.tree.lookup_clamped(&p);
@@ -127,7 +136,10 @@ impl CongestionControl for TaoCc {
     }
 
     fn window(&self) -> f64 {
-        self.cwnd
+        match self.rwnd {
+            Some(r) => self.cwnd.min(r),
+            None => self.cwnd,
+        }
     }
 
     fn intersend(&self) -> SimDuration {
@@ -159,6 +171,8 @@ mod tests {
             echo_tx_index: seq,
             recv_at: SimTime::ZERO,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -167,6 +181,7 @@ mod tests {
             rtt: Some(SimDuration::from_millis(100)),
             min_rtt: SimDuration::from_millis(100),
             in_flight: 1,
+            rwnd: None,
         }
     }
 

@@ -32,6 +32,10 @@ pub struct Vegas {
     epoch_start: SimTime,
     last_rtt: SimDuration,
     recovery_until: SimTime,
+    /// Latest receive-window advertisement; clamps
+    /// [`CongestionControl::window`] (the transport clamps too — this
+    /// keeps the scheme's own view honest).
+    rwnd: Option<f64>,
 }
 
 impl Vegas {
@@ -44,6 +48,7 @@ impl Vegas {
             epoch_start: SimTime::ZERO,
             last_rtt: SimDuration::from_millis(100),
             recovery_until: SimTime::ZERO,
+            rwnd: None,
         }
     }
 
@@ -76,6 +81,9 @@ impl CongestionControl for Vegas {
     }
 
     fn on_ack(&mut self, now: SimTime, _ack: &Ack, info: &AckInfo) {
+        if let Some(w) = info.rwnd {
+            self.rwnd = Some(w as f64);
+        }
         let Some(rtt) = info.rtt else {
             return;
         };
@@ -135,7 +143,10 @@ impl CongestionControl for Vegas {
     }
 
     fn window(&self) -> f64 {
-        self.cwnd
+        match self.rwnd {
+            Some(r) => self.cwnd.min(r),
+            None => self.cwnd,
+        }
     }
 
     fn intersend(&self) -> SimDuration {
@@ -161,6 +172,8 @@ mod tests {
             echo_tx_index: 0,
             recv_at: SimTime::ZERO,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         }
     }
 
@@ -169,6 +182,7 @@ mod tests {
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             min_rtt: SimDuration::from_millis(rtt_ms),
             in_flight: 1,
+            rwnd: None,
         }
     }
 

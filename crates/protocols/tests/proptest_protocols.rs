@@ -35,6 +35,8 @@ fn ack_at(sent_ms: u64, seq: u64) -> Ack {
         echo_tx_index: seq,
         recv_at: SimTime::ZERO,
         was_retx: false,
+        batch: 1,
+        rwnd: 0,
     }
 }
 
@@ -43,6 +45,7 @@ fn info(rtt_ms: u64) -> AckInfo {
         rtt: Some(SimDuration::from_millis(rtt_ms)),
         min_rtt: SimDuration::from_millis(rtt_ms),
         in_flight: 1,
+        rwnd: None,
     }
 }
 
@@ -85,6 +88,8 @@ proptest! {
                 echo_tx_index: i as u64,
                 recv_at: now,
                 was_retx: false,
+                batch: 1,
+                rwnd: 0,
             };
             m.on_ack(now, &ack);
             prop_assert!(m.point()[3] >= 1.0 - 1e-12);

@@ -65,12 +65,12 @@ pub mod verifier;
 pub use eval::{draw_scenarios, evaluate_scenarios, EvalConfig, EvalPool, EvalResult};
 pub use objective::Objective;
 pub use optimizer::{Optimizer, OptimizerConfig, TrainedProtocol};
-pub use trainer::{GeneticTrainer, TrainBudget, TrainCost, Trainer, TreeTrainer};
 pub use scenario::{
     BufferSpec, ConcreteScenario, CountSpec, Role, RoleSpec, Sample, ScenarioSpec, SenderClassSpec,
     TopologySpec,
 };
 pub use space::{Axis, AxisKind, ScenarioSpace};
+pub use trainer::{GeneticTrainer, TrainBudget, TrainCost, Trainer, TreeTrainer};
 pub use verifier::{verify, VerifyConfig, VerifyReport};
 
 /// Common imports for optimizer users.

@@ -323,7 +323,13 @@ impl GeneticTrainer {
     pub fn genome_point(tree: &WhiskerTree) -> Vec<f64> {
         tree.leaves()
             .iter()
-            .flat_map(|w| [w.action.window_multiple, w.action.window_increment, w.action.intersend_ms])
+            .flat_map(|w| {
+                [
+                    w.action.window_multiple,
+                    w.action.window_increment,
+                    w.action.intersend_ms,
+                ]
+            })
             .collect()
     }
 
@@ -378,7 +384,10 @@ impl Trainer for GeneticTrainer {
         pool: &Arc<EvalPool>,
         rng: &mut SimRng,
     ) -> TrainedProtocol {
-        assert!(!specs.is_empty(), "trainer needs at least one training spec");
+        assert!(
+            !specs.is_empty(),
+            "trainer needs at least one training spec"
+        );
         let cfg = self.budget.eval_config();
         let pop_n = self.population.max(2);
         let generations = self.budget.rounds.max(1);
@@ -468,7 +477,10 @@ mod tests {
         let back = TrainBudget::from_config(cfg.clone()).tree_config();
         assert_eq!(format!("{cfg:?}"), format!("{back:?}"));
         let smoke = TrainBudget::smoke().tree_config();
-        assert_eq!(format!("{smoke:?}"), format!("{:?}", OptimizerConfig::smoke()));
+        assert_eq!(
+            format!("{smoke:?}"),
+            format!("{:?}", OptimizerConfig::smoke())
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@ fn main() {
             echo_tx_index: i,
             recv_at: now,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         };
         memory.on_ack(now, &ack);
     }
@@ -56,6 +58,8 @@ fn main() {
             echo_tx_index: i,
             recv_at: now,
             was_retx: false,
+            batch: 1,
+            rwnd: 0,
         };
         memory.on_ack(now, &ack);
         if i % 10 == 9 {

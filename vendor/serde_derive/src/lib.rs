@@ -13,6 +13,9 @@
 //! * tuple enum variants        → `{"Variant": [..]}`
 //! * struct enum variants       → `{"Variant": {..}}`
 //! * `#[serde(default)]` fields → `Default::default()` when the key is absent
+//! * `#[serde(default = "path")]` fields → `path()` when the key is absent
+//! * `#[serde(skip_serializing_if = "path")]` fields → key omitted from the
+//!   serialized object when `path(&field)` is true (named structs only)
 //!
 //! Generics, lifetimes, and other serde attributes are unsupported and
 //! rejected at compile time.
@@ -22,7 +25,22 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[derive(Debug)]
 struct Field {
     name: String,
-    default: bool,
+    default: FieldDefault,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key when
+    /// `path(&self.field)` holds.
+    skip_if: Option<String>,
+}
+
+/// How a missing key fills in during deserialization.
+#[derive(Debug, Clone)]
+enum FieldDefault {
+    /// No default: a missing key is an error.
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call `path()` (resolved in the
+    /// deriving module's scope, as real serde does).
+    Path(String),
 }
 
 #[derive(Debug)]
@@ -46,25 +64,70 @@ enum VariantKind {
     Struct(Vec<Field>),
 }
 
-/// Skip a run of outer attributes (`#[...]`), returning whether any of them
-/// was `#[serde(default)]`.
-fn skip_attrs(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
-    let mut has_default = false;
+/// The parsed `#[serde(...)]` knobs of one field.
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    default: Option<FieldDefault>,
+    skip_if: Option<String>,
+}
+
+/// Strip the surrounding quotes from a stringified string literal.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parse the comma-separated items inside a `serde(...)` attribute.
+fn parse_serde_items(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut it = stream.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        // An optional `= "path"` follows the key.
+        let mut path = None;
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '=' {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Literal(l)) => path = Some(unquote(&l.to_string())),
+                    other => panic!("expected string after `{key} =`, got {other:?}"),
+                }
+            }
+        }
+        match (key.as_str(), path) {
+            ("default", None) => attrs.default = Some(FieldDefault::Trait),
+            ("default", Some(p)) => attrs.default = Some(FieldDefault::Path(p)),
+            ("skip_serializing_if", Some(p)) => attrs.skip_if = Some(p),
+            (other, _) => panic!("unsupported serde attribute item `{other}`"),
+        }
+    }
+}
+
+/// Skip a run of outer attributes (`#[...]`), collecting the field's
+/// serde knobs from any `#[serde(...)]` among them (doc comments and
+/// other attributes are ignored, whatever their text contains).
+fn skip_attrs(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     loop {
         match it.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 it.next();
                 match it.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                        let text = g.stream().to_string();
-                        if text.contains("serde") && text.contains("default") {
-                            has_default = true;
+                        let mut body = g.stream().into_iter();
+                        match (body.next(), body.next()) {
+                            (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+                                if id.to_string() == "serde"
+                                    && inner.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                parse_serde_items(inner.stream(), &mut attrs);
+                            }
+                            _ => {} // doc comment / derive / other attribute
                         }
                     }
                     other => panic!("expected attribute body, got {other:?}"),
                 }
             }
-            _ => return has_default,
+            _ => return attrs,
         }
     }
 }
@@ -87,7 +150,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut it = stream.into_iter().peekable();
     loop {
-        let default = skip_attrs(&mut it);
+        let attrs = skip_attrs(&mut it);
         skip_visibility(&mut it);
         let name = match it.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -121,7 +184,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 }
             }
         }
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attrs.default.unwrap_or(FieldDefault::Required),
+            skip_if: attrs.skip_if,
+        });
     }
     fields
 }
@@ -241,10 +308,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct(fields) => {
             let mut pushes = String::new();
             for f in fields {
-                pushes.push_str(&format!(
+                let push = format!(
                     "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.skip_if {
+                    Some(path) => pushes.push_str(&format!(
+                        "if !({path})(&self.{n}) {{ {push} }}\n",
+                        n = f.name
+                    )),
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(obj)"
@@ -315,20 +389,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 fn gen_named_field_reads(fields: &[Field], obj_expr: &str, type_label: &str) -> String {
     let mut out = String::new();
     for f in fields {
-        if f.default {
-            out.push_str(&format!(
-                "{n}: match ::serde::value_get({obj}, \"{n}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => Default::default() }},\n",
+        let missing = match &f.default {
+            FieldDefault::Trait => "Default::default()".to_string(),
+            FieldDefault::Path(p) => format!("{p}()"),
+            FieldDefault::Required => format!(
+                "return Err(::serde::DeError::new(\"missing field `{n}` in {ty}\"))",
                 n = f.name,
-                obj = obj_expr
-            ));
-        } else {
-            out.push_str(&format!(
-                "{n}: match ::serde::value_get({obj}, \"{n}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => return Err(::serde::DeError::new(\"missing field `{n}` in {ty}\")) }},\n",
-                n = f.name,
-                obj = obj_expr,
                 ty = type_label
-            ));
-        }
+            ),
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::value_get({obj}, \"{n}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => {missing} }},\n",
+            n = f.name,
+            obj = obj_expr
+        ));
     }
     out
 }
