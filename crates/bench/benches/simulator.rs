@@ -106,20 +106,14 @@ fn bench_engine_scaling(c: &mut Criterion) {
 
 fn mk_pkt(flow: u32, seq: u64) -> QueuedPacket {
     QueuedPacket {
-        pkt: netsim::packet::Packet {
-            flow: netsim::packet::FlowId(flow),
+        pkt: netsim::packet::Packet::data(
+            netsim::packet::FlowId(flow),
             seq,
-            epoch: 0,
-            size: 1500,
-            sent_at: SimTime::ZERO,
-            tx_index: seq,
-            is_retx: false,
-            hop: 0,
-            dir: netsim::packet::PacketDir::Data,
-            recv_at: SimTime::ZERO,
-            batch: 1,
-            rwnd: 0,
-        },
+            0,
+            SimTime::ZERO,
+            seq,
+            false,
+        ),
         enqueued_at: SimTime::ZERO,
     }
 }

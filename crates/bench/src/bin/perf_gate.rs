@@ -5,8 +5,13 @@
 //! either tracked number regressed beyond a tolerance factor:
 //!
 //! * `sim_events_per_sec` — fresh must be ≥ committed / tolerance
-//!   (likewise `_dense` and `_receiver_policy`, the standing-population
-//!   and delayed-ACK-receiver variants of the same measurement)
+//!   (likewise `_dense`, `_receiver_policy` and `_10k`, the
+//!   standing-population, delayed-ACK-receiver and Internet-scale
+//!   variants of the same measurement)
+//! * `sim_allocs_per_event_dense` / `_10k` — fresh must be ≤
+//!   committed × tolerance, with a small absolute floor so an
+//!   allocation-free committed baseline doesn't make every nonzero
+//!   measurement a failure
 //! * `smoke_train_wall_s` — fresh must be ≤ committed × tolerance
 //! * `genetic_smoke_train_secs` — fresh must be ≤ committed × tolerance
 //!   (doubles as CI's genetic smoke-train: the measurement *is* a full
@@ -52,6 +57,12 @@ fn regressed(committed: f64, fresh: f64, tolerance: f64, dir: Direction) -> bool
     }
 }
 
+/// Absolute floor applied to the committed side of allocs-per-event
+/// metrics: the hot path targets ~0 allocations per event, and ratio
+/// tolerance against a near-zero committed value would flag noise-level
+/// growth (0.0001 → 0.0003) as a 3× regression.
+const ALLOC_PER_EVENT_FLOOR: f64 = 0.01;
+
 fn check(
     name: &str,
     baseline: &Value,
@@ -59,8 +70,11 @@ fn check(
     tolerance: f64,
     dir: Direction,
 ) -> Result<(), String> {
-    let committed =
+    let mut committed =
         num(baseline, name).ok_or_else(|| format!("baseline JSON lacks numeric `{name}`"))?;
+    if name.starts_with("sim_allocs_per_event") {
+        committed = committed.max(ALLOC_PER_EVENT_FLOOR);
+    }
     let measured = num(fresh, name).ok_or_else(|| format!("fresh JSON lacks numeric `{name}`"))?;
     let ratio = measured / committed;
     let verdict = if regressed(committed, measured, tolerance, dir) {
@@ -79,31 +93,61 @@ fn check(
     Ok(())
 }
 
-/// Minimum acceptable calendar/heap throughput ratio within one run.
-/// The calendar backend exists to beat the heap; allow modest slack for
-/// scheduling jitter, but a default backend at half the reference's
-/// speed is a degenerated self-tuning path, whatever the hardware.
+/// Minimum acceptable calendar/heap throughput ratio within one run on
+/// the sparse 4-sender dumbbell. The calendar backend exists to beat the
+/// heap; allow modest slack for scheduling jitter, but a default backend
+/// at half the reference's speed is a degenerated self-tuning path,
+/// whatever the hardware.
 const MIN_BACKEND_RATIO: f64 = 0.75;
 
-fn check_backend_ratio(fresh: &Value) -> Result<(), String> {
-    let calendar = num(fresh, "sim_events_per_sec")
-        .ok_or("fresh JSON lacks numeric `sim_events_per_sec`".to_string())?;
-    let heap = num(fresh, "sim_events_per_sec_heap")
-        .ok_or("fresh JSON lacks numeric `sim_events_per_sec_heap`".to_string())?;
+/// Minimum calendar/heap ratio on the *dense* dumbbell — thousands of
+/// standing events, the O(1)-vs-O(log n) regime the calendar queue is
+/// built for. No slack here: if the default backend can't at least match
+/// the heap where the heap pays log-depth sift costs, the bucket tuning
+/// (or the today-buffer tie path) has degenerated.
+const MIN_DENSE_BACKEND_RATIO: f64 = 1.0;
+
+fn backend_ratio(
+    fresh: &Value,
+    calendar_key: &str,
+    heap_key: &str,
+    floor: f64,
+) -> Result<(), String> {
+    let calendar =
+        num(fresh, calendar_key).ok_or(format!("fresh JSON lacks numeric `{calendar_key}`"))?;
+    let heap = num(fresh, heap_key).ok_or(format!("fresh JSON lacks numeric `{heap_key}`"))?;
     let ratio = calendar / heap;
-    let ok = ratio >= MIN_BACKEND_RATIO;
+    let ok = ratio >= floor;
     eprintln!(
-        "[gate] calendar/heap (same run): {ratio:.2}x .. {}",
+        "[gate] {calendar_key}/{heap_key} (same run): {ratio:.2}x .. {}",
         if ok { "ok" } else { "REGRESSED" }
     );
     if ok {
         Ok(())
     } else {
         Err(format!(
-            "default scheduler degenerated: calendar {calendar:.3e} ev/s is only {ratio:.2}x \
-             of heap {heap:.3e} ev/s measured in the same run (floor {MIN_BACKEND_RATIO})"
+            "default scheduler degenerated: {calendar_key} {calendar:.3e} ev/s is only \
+             {ratio:.2}x of {heap_key} {heap:.3e} ev/s measured in the same run (floor {floor})"
         ))
     }
+}
+
+fn check_backend_ratio(fresh: &Value) -> Result<(), String> {
+    backend_ratio(
+        fresh,
+        "sim_events_per_sec",
+        "sim_events_per_sec_heap",
+        MIN_BACKEND_RATIO,
+    )
+}
+
+fn check_dense_backend_ratio(fresh: &Value) -> Result<(), String> {
+    backend_ratio(
+        fresh,
+        "sim_events_per_sec_dense",
+        "sim_events_per_sec_dense_heap",
+        MIN_DENSE_BACKEND_RATIO,
+    )
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -140,6 +184,9 @@ fn main() -> ExitCode {
             "sim_events_per_sec_receiver_policy",
             Direction::HigherIsBetter,
         ),
+        ("sim_events_per_sec_10k", Direction::HigherIsBetter),
+        ("sim_allocs_per_event_dense", Direction::LowerIsBetter),
+        ("sim_allocs_per_event_10k", Direction::LowerIsBetter),
         ("smoke_train_wall_s", Direction::LowerIsBetter),
         ("genetic_smoke_train_secs", Direction::LowerIsBetter),
     ] {
@@ -154,6 +201,9 @@ fn main() -> ExitCode {
     // exact regression the absolute numbers could mask on a runner
     // faster than the committed baseline's machine.
     if let Err(e) = check_backend_ratio(&fresh) {
+        failures.push(e);
+    }
+    if let Err(e) = check_dense_backend_ratio(&fresh) {
         failures.push(e);
     }
     if failures.is_empty() {
@@ -246,6 +296,57 @@ mod tests {
         assert!(check_backend_ratio(&degenerate).is_err());
         let missing = obj(&[("sim_events_per_sec", 14e6)]);
         assert!(check_backend_ratio(&missing).is_err(), "absent key fails");
+    }
+
+    #[test]
+    fn dense_ratio_requires_calendar_at_least_heap() {
+        let wins = obj(&[
+            ("sim_events_per_sec_dense", 6.7e6),
+            ("sim_events_per_sec_dense_heap", 5.4e6),
+        ]);
+        assert!(check_dense_backend_ratio(&wins).is_ok());
+        let ties = obj(&[
+            ("sim_events_per_sec_dense", 5.4e6),
+            ("sim_events_per_sec_dense_heap", 5.4e6),
+        ]);
+        assert!(
+            check_dense_backend_ratio(&ties).is_ok(),
+            "1.0x is the floor"
+        );
+        let loses = obj(&[
+            ("sim_events_per_sec_dense", 5.3e6),
+            ("sim_events_per_sec_dense_heap", 5.4e6),
+        ]);
+        assert!(
+            check_dense_backend_ratio(&loses).is_err(),
+            "no sub-heap slack in the dense regime"
+        );
+    }
+
+    #[test]
+    fn alloc_metrics_get_an_absolute_floor() {
+        // Committed near-zero: noise-level fresh values must pass ...
+        let base = obj(&[("sim_allocs_per_event_dense", 1e-4)]);
+        let noise = obj(&[("sim_allocs_per_event_dense", 8e-4)]);
+        assert!(check(
+            "sim_allocs_per_event_dense",
+            &base,
+            &noise,
+            2.0,
+            Direction::LowerIsBetter
+        )
+        .is_ok());
+        // ... but a real per-event allocation (>= one alloc per ~20
+        // events) is still far above floor x tolerance and fails.
+        let real = obj(&[("sim_allocs_per_event_dense", 0.05)]);
+        assert!(check(
+            "sim_allocs_per_event_dense",
+            &base,
+            &real,
+            2.0,
+            Direction::LowerIsBetter
+        )
+        .is_err());
     }
 
     #[test]

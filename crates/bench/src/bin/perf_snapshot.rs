@@ -23,6 +23,18 @@
 //!   with every flow behind a delayed-ACK receiver (`ack_every = 4` plus
 //!   a flush timer), so the receiver state machines and the `AckTimer`
 //!   arm/cancel path are on the measured hot path.
+//! * `sim_events_per_sec_10k` — the `many_flows` experiment's incast
+//!   cell: 10⁴ M/G/∞ churn slots into a 400 Mbps / 4 ms bottleneck.
+//!   This is the Internet-scale regime the packet arena, the transport
+//!   pre-sizing and the calendar today-buffer are accountable to.
+//! * `sim_allocs_per_event_dense` / `sim_allocs_per_event_10k` — heap
+//!   allocations per processed event during the corresponding runs,
+//!   counted by a wrapping global allocator. The hot path is designed to
+//!   be allocation-free at steady state (the event arena recycles slots,
+//!   per-flow maps are pre-sized from the BDP), so the only allocations
+//!   left are one-time growth to peak population — amortized to ~0 per
+//!   event. A creeping per-event allocation shows up here long before it
+//!   shows up in events/sec on a fast machine.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin perf_snapshot            # print only
@@ -36,8 +48,44 @@ use remy::{
     EvalPool, GeneticTrainer, Optimizer, OptimizerConfig, ScenarioSpec, TrainBudget, Trainer,
 };
 use serde_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Global allocator wrapper that counts every heap allocation (one
+/// relaxed atomic add per alloc — unmeasurable against a real malloc).
+/// Snapshotting the counter around `Simulation::run` yields the
+/// allocations-per-event metrics.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; only adds counting.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 /// Repetitions of the smoke training run (median reported).
 const TRAIN_REPS: usize = 3;
@@ -145,26 +193,55 @@ fn dense_net(receiver: Option<ReceiverSpec>) -> NetworkConfig {
     }
 }
 
-fn run_dense(net: &NetworkConfig, scheduler: SchedulerKind) -> f64 {
+/// Runs `net` to completion and returns `(events/sec, allocs/event)`,
+/// counting only allocations made *during* the run — construction-time
+/// allocation (transports, queues, scheduler) is deliberately excluded
+/// so the metric isolates the hot path.
+fn run_counted(
+    net: &NetworkConfig,
+    protocols: Vec<Box<dyn netsim::transport::CongestionControl>>,
+    scheduler: SchedulerKind,
+    secs: u64,
+) -> (f64, f64) {
+    let mut sim = Simulation::with_scheduler(net, protocols, 42, scheduler);
+    let allocs_before = allocs_now();
+    let start = Instant::now();
+    let out = sim.run(SimDuration::from_secs(secs));
+    let dt = start.elapsed().as_secs_f64();
+    let allocs = (allocs_now() - allocs_before) as f64;
+    (
+        out.events_processed as f64 / dt,
+        allocs / out.events_processed as f64,
+    )
+}
+
+fn run_dense(net: &NetworkConfig, scheduler: SchedulerKind) -> (f64, f64) {
     let protocols: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..64)
         .map(|_| Box::new(FixedWindow(256.0)) as Box<dyn netsim::transport::CongestionControl>)
         .collect();
-    let mut sim = Simulation::with_scheduler(net, protocols, 42, scheduler);
-    let start = Instant::now();
-    let out = sim.run(SimDuration::from_secs(10));
-    let dt = start.elapsed().as_secs_f64();
-    out.events_processed as f64 / dt
+    run_counted(net, protocols, scheduler, 10)
 }
 
-fn sim_events_per_sec_dense(scheduler: SchedulerKind) -> f64 {
+fn sim_events_per_sec_dense(scheduler: SchedulerKind) -> (f64, f64) {
     run_dense(&dense_net(None), scheduler)
+}
+
+/// The Internet-scale cell: the `many_flows` experiment's 10⁴-slot
+/// incast under Cubic (the cheapest real scheme — the measurement is of
+/// the engine, not the controller).
+fn sim_events_per_sec_10k() -> (f64, f64) {
+    let net = lcc_core::experiments::many_flows::incast(10_000);
+    let protocols: Vec<Box<dyn netsim::transport::CongestionControl>> = (0..10_000)
+        .map(|_| Box::new(protocols::Cubic::new()) as Box<dyn netsim::transport::CongestionControl>)
+        .collect();
+    run_counted(&net, protocols, SchedulerKind::Calendar, 10)
 }
 
 fn sim_events_per_sec_receiver_policy(scheduler: SchedulerKind) -> f64 {
     // Same dense scenario, every receiver coalescing 4:1 with a 40 ms
     // flush timer: the ack-every-k bookkeeping and the AckTimer
     // arm/fire/cancel chain run on every delivery.
-    run_dense(&dense_net(Some(ReceiverSpec::delayed(4, 0.040))), scheduler)
+    run_dense(&dense_net(Some(ReceiverSpec::delayed(4, 0.040))), scheduler).0
 }
 
 fn main() {
@@ -195,16 +272,26 @@ fn main() {
     eprintln!("[perf] simulator/heap: {eps_heap:.0} events/s");
 
     eprintln!("[perf] timing dense-population dumbbell (calendar backend)...");
-    let eps_dense = sim_events_per_sec_dense(SchedulerKind::Calendar);
-    eprintln!("[perf] simulator-dense/calendar: {eps_dense:.0} events/s");
+    let (eps_dense, allocs_dense) = sim_events_per_sec_dense(SchedulerKind::Calendar);
+    eprintln!(
+        "[perf] simulator-dense/calendar: {eps_dense:.0} events/s, \
+         {allocs_dense:.5} allocs/event"
+    );
 
     eprintln!("[perf] timing dense-population dumbbell (heap backend)...");
-    let eps_dense_heap = sim_events_per_sec_dense(SchedulerKind::Heap);
+    let (eps_dense_heap, _) = sim_events_per_sec_dense(SchedulerKind::Heap);
     eprintln!("[perf] simulator-dense/heap: {eps_dense_heap:.0} events/s");
 
     eprintln!("[perf] timing dense dumbbell with delayed-ACK receivers...");
     let eps_receiver = sim_events_per_sec_receiver_policy(SchedulerKind::Calendar);
     eprintln!("[perf] simulator-receiver-policy: {eps_receiver:.0} events/s");
+
+    eprintln!("[perf] timing 10k-flow incast (many_flows cell, calendar backend)...");
+    let (eps_10k, allocs_10k) = sim_events_per_sec_10k();
+    eprintln!(
+        "[perf] simulator-10k/calendar: {eps_10k:.0} events/s, \
+         {allocs_10k:.5} allocs/event"
+    );
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -236,6 +323,15 @@ fn main() {
             "sim_events_per_sec_receiver_policy".to_string(),
             Value::F64(eps_receiver),
         ),
+        ("sim_events_per_sec_10k".to_string(), Value::F64(eps_10k)),
+        (
+            "sim_allocs_per_event_dense".to_string(),
+            Value::F64(allocs_dense),
+        ),
+        (
+            "sim_allocs_per_event_10k".to_string(),
+            Value::F64(allocs_10k),
+        ),
         ("scheduler".to_string(), Value::Str("calendar".to_string())),
         ("threads".to_string(), Value::U64(threads as u64)),
         (
@@ -246,7 +342,10 @@ fn main() {
                  (sim_events_per_sec = default calendar scheduler, _heap = BinaryHeap \
                  reference); _dense = 64x256-window fat-pipe dumbbell 10 s (standing \
                  event population in the thousands); _receiver_policy = the dense \
-                 dumbbell with ack-every-4 delayed-ACK receivers (40 ms flush timer)"
+                 dumbbell with ack-every-4 delayed-ACK receivers (40 ms flush timer); \
+                 _10k = the many_flows incast cell (10^4 M/G/inf churn slots, Cubic) \
+                 10 s; sim_allocs_per_event_* = heap allocations per processed event \
+                 during the run (counting global allocator, construction excluded)"
                     .to_string(),
             ),
         ),

@@ -23,6 +23,7 @@
 //! | `adversarial` | [`adversarial`] | extension — adversarial scenario search: per-scheme worst-case certificates |
 //! | `learned_vs_online` | [`learned_vs_online`] | extension — offline-designed Tao vs online-learned (PCC-style) control |
 //! | `delayed_ack` | [`delayed_ack`] | extension — delayed/stretch ACK receivers (ack-every-k) crossed with a shared ACK uplink |
+//! | `many_flows` | [`many_flows`] | extension — Internet-scale multiplexing: 10²–10⁴ M/G/∞ churn flows, objective + per-decile fairness |
 //!
 //! An experiment is *data*, not code: [`Experiment::train_specs`] lists the
 //! Tao protocols it needs (trained once, cached as JSON assets like the
@@ -44,6 +45,7 @@ pub mod delayed_ack;
 pub mod diversity;
 pub mod learned_vs_online;
 pub mod link_speed;
+pub mod many_flows;
 pub mod multiplexing;
 pub mod outage_recovery;
 pub mod rtt;
@@ -205,9 +207,9 @@ pub trait Experiment: Sync {
 /// Every experiment of the study: the paper's nine in paper order, then
 /// the beyond-paper scenario axes (AQM, asymmetry, churn, shared uplink,
 /// M/G/∞ churn, fault injection, adversarial search, offline-vs-online
-/// learning, delayed-ACK receivers).
+/// learning, delayed-ACK receivers, Internet-scale multiplexing).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 19] = [
+    static REGISTRY: [&dyn Experiment; 20] = [
         &calibration::Calibration,
         &link_speed::LinkSpeed,
         &multiplexing::Multiplexing,
@@ -227,6 +229,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &adversarial::Adversarial,
         &learned_vs_online::LearnedVsOnline,
         &delayed_ack::DelayedAck,
+        &many_flows::ManyFlows,
     ];
     &REGISTRY
 }
@@ -571,7 +574,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_all_nineteen_experiments() {
+    fn registry_lists_all_twenty_experiments() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -594,7 +597,8 @@ mod tests {
                 "outage_recovery",
                 "adversarial",
                 "learned_vs_online",
-                "delayed_ack"
+                "delayed_ack",
+                "many_flows"
             ]
         );
         assert!(find("calibration").is_some());

@@ -21,10 +21,11 @@
 use netsim::prelude::*;
 use netsim::trace::Trace;
 use netsim::transport::CongestionControl;
+use protocols::compiled::CompiledTree;
 use protocols::{Cubic, NewReno, Pcc, SignalMask, TaoCc, Vegas, WhiskerTree};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A congestion-control scheme under test.
 #[derive(Clone)]
@@ -78,6 +79,36 @@ impl Scheme {
             Scheme::Pcc => Box::new(Pcc::new()),
         }
     }
+}
+
+/// Build one congestion-control instance per flow, compiling each
+/// distinct Tao tree exactly once and sharing the compiled arena across
+/// all its senders. [`Scheme::build`] compiles per call, which is fine
+/// for ten flows and pathological for a 10^4-sender `many_flows` cell —
+/// the homogeneous scheme vector would clone and flatten the identical
+/// tree ten thousand times.
+pub fn build_protocols(schemes: &[Scheme]) -> Vec<Box<dyn CongestionControl>> {
+    let mut compiled: Vec<(&WhiskerTree, SignalMask, Arc<CompiledTree>)> = Vec::new();
+    schemes
+        .iter()
+        .map(|s| -> Box<dyn CongestionControl> {
+            match s {
+                Scheme::Tao { tree, mask, label } => {
+                    let shared = compiled
+                        .iter()
+                        .find(|(t, m, _)| *m == *mask && *t == tree)
+                        .map(|(_, _, c)| c.clone())
+                        .unwrap_or_else(|| {
+                            let c = CompiledTree::compile_shared(tree);
+                            compiled.push((tree, *mask, c.clone()));
+                            c
+                        });
+                    Box::new(TaoCc::from_compiled(shared, *mask, label.clone()))
+                }
+                other => other.build(),
+            }
+        })
+        .collect()
 }
 
 /// A gateway queue discipline a sweep cell can select per network (the
@@ -170,7 +201,7 @@ pub const TEST_EVENT_BUDGET: u64 = 200_000_000;
 /// Run one mix of schemes (one per flow) on a network.
 pub fn run_mix(net: &NetworkConfig, schemes: &[Scheme], seed: u64, duration_s: f64) -> RunOutcome {
     assert_eq!(schemes.len(), net.flows.len(), "one scheme per flow");
-    let protocols: Vec<Box<dyn CongestionControl>> = schemes.iter().map(|s| s.build()).collect();
+    let protocols = build_protocols(schemes);
     let mut sim = Simulation::new(net, protocols, seed);
     sim.set_event_budget(TEST_EVENT_BUDGET);
     sim.run(SimDuration::from_secs_f64(duration_s))
@@ -343,8 +374,7 @@ fn run_cell(point: &SweepPoint, seed: u64) -> (RunOutcome, Option<Trace>) {
         "one scheme per flow (point '{}')",
         point.key
     );
-    let protocols: Vec<Box<dyn CongestionControl>> =
-        point.schemes.iter().map(|s| s.build()).collect();
+    let protocols = build_protocols(&point.schemes);
     let mut sim = Simulation::new(&point.net, protocols, seed);
     sim.set_event_budget(TEST_EVENT_BUDGET);
     if let Some(tr) = &point.trace {

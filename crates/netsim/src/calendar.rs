@@ -38,6 +38,34 @@
 //! year waits in its bucket and is skipped by the day scan until its
 //! year comes around; if the queue goes sparse, the pop path jumps
 //! straight to the global minimum instead of walking empty days.
+//!
+//! # The today buffer (oversized tie runs)
+//!
+//! No bucket width can spread a same-instant tie burst — a window blast
+//! released in one ack batch puts thousands of entries at a single
+//! instant, and every pop would rescan them all, O(k²) per burst. PR 5
+//! capped the *retune thrash* this caused with a cooldown; the scan cost
+//! itself remained, and it is why the calendar trailed the heap in the
+//! dense standing-population regime. The fix is a **sort-and-drain
+//! buffer**: when a pop finds more than [`TODAY_DRAIN`] entries due at
+//! the minimum instant of the current day, the whole run is extracted
+//! from its bucket, sorted once by seq (O(k log k)), and drained
+//! front-to-front in O(1) pops. While the buffer is active its front is
+//! the global minimum, so pops bypass the bucket walk entirely. Inserts
+//! at exactly the buffered instant append at their seq position (the
+//! engine's monotonic seq makes that the back, O(1)); inserts at later
+//! times take the ordinary bucket path untouched; inserts before the
+//! buffered instant return the remainder to its bucket first and rewind
+//! as usual. Only same-instant runs are buffered — a day that is merely
+//! *wide* (many distinct instants) still goes through the scan path and
+//! its degeneracy accounting, so a mis-tuned width retunes exactly as
+//! before.
+//!
+//! The buffer also powers [`Scheduler::pop_at`]: after any pop, the
+//! queue knows whether another entry shares the popped instant (buffer
+//! front, or a tie flag maintained by the bucket scan), so the engine
+//! can drain same-instant batches without paying a full `peek` per
+//! event.
 
 use crate::event::{Entry, Event, Scheduler};
 use crate::time::{SimDuration, SimTime};
@@ -76,6 +104,13 @@ const WIDTH_SAMPLE: usize = 64;
 /// every [`RETUNE_AFTER`] pops, turning one oversized day into a
 /// throughput collapse.
 const RETUNE_COOLDOWN_MIN: u64 = 1024;
+
+/// Same-instant entries found by one pop before it stops rescanning and
+/// instead extracts the whole run into the sorted today buffer (see the
+/// module docs). At or below this, per-pop scans of the run are cheaper
+/// than a sort; above it, the O(k log k) sort amortizes to less than the
+/// O(k) rescan every subsequent pop of the run would pay.
+pub const TODAY_DRAIN: usize = 64;
 
 /// One calendar day: `(time-nanos, seq)` keys stored separately from the
 /// event payloads, index-aligned. Bucket scans (the minimum search in
@@ -142,11 +177,36 @@ pub struct CalendarQueue {
     /// Degenerate pops are ignored until `stat_pops` passes this mark
     /// (see [`RETUNE_COOLDOWN_MIN`]).
     cooldown_until: u64,
+    /// Sort-and-drain buffer for an oversized same-instant run (see the
+    /// module docs): `(seq, event)` entries all due at `today_at`,
+    /// sorted ascending by seq, with `today_cursor` marking the drain
+    /// front. Entries here still count in `len`. Empty (`cursor ==
+    /// len`) means the buffer is inactive.
+    today: Vec<(u64, Event)>,
+    /// The single instant (nanos) every buffered entry fires at.
+    today_at: u64,
+    /// Drain front of `today`; entries before it are already popped.
+    today_cursor: usize,
+    /// Set by a bucket-scan pop that saw at least one more entry due at
+    /// the instant it returned — the hint that lets [`Scheduler::pop_at`]
+    /// answer with one bucket rescan instead of a full peek. Purely an
+    /// optimization gate: the rescan re-validates against the actual
+    /// bucket contents, so a stale flag can waste a scan but never
+    /// misorder a pop.
+    tie_pending: bool,
+    /// Collection scratch reused across [`rebuild`](Self::rebuild)s so a
+    /// retune allocates nothing once grown to the standing population —
+    /// retunes are frequent enough in tie-heavy dense runs that fresh
+    /// per-rebuild Vecs dominated the engine's allocation profile.
+    scratch_keys: Vec<(u64, u64)>,
+    /// Payload half of the rebuild scratch (parallel to `scratch_keys`).
+    scratch_payloads: Vec<Event>,
     stat_pops: u64,
     stat_scanned: u64,
     stat_walked: u64,
     stat_global_min: u64,
     stat_rebuilds: u64,
+    stat_drains: u64,
 }
 
 /// `NETSIM_CAL_DEBUG=1` prints per-queue scan/retune counters on drop —
@@ -160,12 +220,13 @@ impl Drop for CalendarQueue {
     fn drop(&mut self) {
         if debug_enabled() && self.stat_pops > 0 {
             eprintln!(
-                "[cal] pops={} scanned/pop={:.2} walked/pop={:.2} global_min={} rebuilds={} shift={} buckets={}",
+                "[cal] pops={} scanned/pop={:.2} walked/pop={:.2} global_min={} rebuilds={} drains={} shift={} buckets={}",
                 self.stat_pops,
                 self.stat_scanned as f64 / self.stat_pops as f64,
                 self.stat_walked as f64 / self.stat_pops as f64,
                 self.stat_global_min,
                 self.stat_rebuilds,
+                self.stat_drains,
                 self.shift,
                 self.buckets.len(),
             );
@@ -204,11 +265,18 @@ impl CalendarQueue {
             len: 0,
             degenerate_pops: 0,
             cooldown_until: 0,
+            today: Vec::new(),
+            today_at: 0,
+            today_cursor: 0,
+            tie_pending: false,
+            scratch_keys: Vec::new(),
+            scratch_payloads: Vec::new(),
             stat_pops: 0,
             stat_scanned: 0,
             stat_walked: 0,
             stat_global_min: 0,
             stat_rebuilds: 0,
+            stat_drains: 0,
         }
     }
 
@@ -242,8 +310,24 @@ impl CalendarQueue {
     /// from the live population.
     fn rebuild(&mut self, nbuckets: usize) {
         debug_assert!(nbuckets.is_power_of_two());
-        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(self.len);
-        let mut payloads: Vec<Event> = Vec::with_capacity(self.len);
+        // Collect through the persistent scratch: after the first rebuild
+        // at a given population, retunes allocate nothing.
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        let mut payloads = std::mem::take(&mut self.scratch_payloads);
+        keys.clear();
+        payloads.clear();
+        keys.reserve(self.len);
+        payloads.reserve(self.len);
+        // An active today buffer rejoins the population (its already-
+        // drained prefix is dropped with the clear below).
+        let today_at = self.today_at;
+        for (seq, event) in self.today.drain(self.today_cursor..) {
+            keys.push((today_at, seq));
+            payloads.push(event);
+        }
+        self.today.clear();
+        self.today_cursor = 0;
+        self.tie_pending = false;
         for b in &mut self.buckets {
             keys.append(&mut b.keys);
             payloads.append(&mut b.payloads);
@@ -252,17 +336,22 @@ impl CalendarQueue {
             self.shift = shift;
         }
         if nbuckets != self.buckets.len() {
-            self.buckets = (0..nbuckets).map(|_| Bucket::default()).collect();
+            // Resize in place: surviving (and emptied-by-append) buckets
+            // keep their key/payload capacity, so halve→double ping-pongs
+            // around a population threshold stop churning the heap.
+            self.buckets.resize_with(nbuckets, Bucket::default);
             self.mask = nbuckets - 1;
         }
         match keys.iter().map(|&(at, _)| at).min() {
             Some(min) => self.seek_to(min),
             None => self.seek_to(0),
         }
-        for ((at, seq), event) in keys.into_iter().zip(payloads) {
+        for ((at, seq), event) in keys.drain(..).zip(payloads.drain(..)) {
             let idx = self.bucket_of(at);
             self.buckets[idx].push(at, seq, event);
         }
+        self.scratch_keys = keys;
+        self.scratch_payloads = payloads;
         self.degenerate_pops = 0;
         self.cooldown_until = self.stat_pops + (self.len as u64).max(RETUNE_COOLDOWN_MIN);
         self.stat_rebuilds += 1;
@@ -276,6 +365,68 @@ impl CalendarQueue {
         if self.degenerate_pops >= RETUNE_AFTER {
             self.rebuild(self.buckets.len());
         }
+    }
+
+    /// Extract every entry due at exactly `at` from the cursor bucket
+    /// into the today buffer and sort the run once by seq. Callers pop
+    /// the front via [`Self::pop_from_today`].
+    fn start_today_drain(&mut self, at: u64) {
+        debug_assert!(self.today.is_empty());
+        let bucket = &mut self.buckets[self.cursor];
+        let mut i = 0;
+        while i < bucket.keys.len() {
+            if bucket.keys[i].0 == at {
+                let (_, seq) = bucket.keys.swap_remove(i);
+                let event = bucket.payloads.swap_remove(i);
+                self.today.push((seq, event));
+            } else {
+                i += 1;
+            }
+        }
+        self.today.sort_unstable_by_key(|&(seq, _)| seq);
+        self.today_at = at;
+        self.today_cursor = 0;
+        self.tie_pending = false;
+    }
+
+    /// Pop the front of the active today buffer. The buffer front is the
+    /// global minimum: it fires at the minimum pending instant (nothing
+    /// predates the current day, and the buffered instant was the
+    /// in-day minimum when drained — inserts at it join the buffer,
+    /// inserts before it flush the buffer first), and the buffer is
+    /// seq-sorted.
+    fn pop_from_today(&mut self) -> Entry {
+        let (seq, slot) = &mut self.today[self.today_cursor];
+        let seq = *seq;
+        // The payload is moved out and replaced with a unit-variant
+        // placeholder; the consumed slot sits behind the cursor until the
+        // buffer drains or rejoins a rebuild, both of which discard it.
+        let event = std::mem::replace(slot, Event::TraceSample);
+        self.today_cursor += 1;
+        self.len -= 1;
+        if self.today_cursor == self.today.len() {
+            self.today.clear();
+            self.today_cursor = 0;
+        }
+        Entry {
+            at: SimTime::from_nanos(self.today_at),
+            seq,
+            event,
+        }
+    }
+
+    /// Return the undrained remainder of the today buffer to its bucket
+    /// (used before an insert earlier than the buffered instant; the
+    /// rewound walk will find the entries where the hash says they
+    /// live).
+    fn flush_today(&mut self) {
+        let idx = self.bucket_of(self.today_at);
+        while self.today.len() > self.today_cursor {
+            let (seq, event) = self.today.pop().expect("buffer is nonempty");
+            self.buckets[idx].push(self.today_at, seq, event);
+        }
+        self.today.clear();
+        self.today_cursor = 0;
     }
 
     /// Locate the entry with the global minimum `(at, seq)`. O(n +
@@ -300,6 +451,27 @@ impl Scheduler for CalendarQueue {
             self.rebuild(self.buckets.len() * 2);
         }
         let nanos = at.as_nanos();
+        if self.today_cursor < self.today.len() {
+            if nanos == self.today_at {
+                // The insert fires at the buffered instant: merge it at
+                // its seq position. The engine's seq is monotonic, so
+                // this is an O(1) append at the back.
+                let pos = self.today_cursor
+                    + self.today[self.today_cursor..].partition_point(|&(s, _)| s < seq);
+                self.today.insert(pos, (seq, event));
+                self.len += 1;
+                return;
+            }
+            if nanos < self.today_at {
+                // Inserting before the buffered instant: the buffer is
+                // no longer the global front. Return it to its bucket
+                // and fall through to the ordinary path (which rewinds
+                // if the insert also predates the current day).
+                self.flush_today();
+            }
+            // nanos > today_at: later entries take the ordinary bucket
+            // path; the drained run stays the global front.
+        }
         // Keep the no-entry-before-day_start invariant: inserts into the
         // past (or into an empty queue whose walk position is stale)
         // rewind the day walk to the new entry.
@@ -316,6 +488,9 @@ impl Scheduler for CalendarQueue {
             return None;
         }
         self.stat_pops += 1;
+        if self.today_cursor < self.today.len() {
+            return Some(self.pop_from_today());
+        }
         if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
             self.rebuild(self.buckets.len() / 2);
         }
@@ -327,24 +502,46 @@ impl Scheduler for CalendarQueue {
                 // distinguish years, so fall through to the direct search.
                 break;
             }
-            let bucket = &mut self.buckets[self.cursor];
+            let bucket = &self.buckets[self.cursor];
             if !bucket.is_empty() {
                 // The whole current day lives in this one bucket, and no
                 // entry predates the current day, so the bucket-local
                 // minimum within the day is the global minimum. Only the
                 // key array is scanned; payloads stay untouched.
-                let mut best: Option<(usize, u64, u64)> = None;
+                let mut besti = usize::MAX;
+                let mut best = (u64::MAX, u64::MAX);
+                let mut ties = 0usize;
                 for (i, &(at, seq)) in bucket.keys.iter().enumerate() {
-                    if at <= day_last && best.is_none_or(|(_, bat, bseq)| (at, seq) < (bat, bseq)) {
-                        best = Some((i, at, seq));
+                    if at > day_last {
+                        continue;
+                    }
+                    if at < best.0 {
+                        best = (at, seq);
+                        besti = i;
+                        ties = 1;
+                    } else if at == best.0 {
+                        ties += 1;
+                        if seq < best.1 {
+                            best = (at, seq);
+                            besti = i;
+                        }
                     }
                 }
-                if let Some((i, _, _)) = best {
+                if besti != usize::MAX {
                     let scanned = bucket.len();
                     self.stat_scanned += scanned as u64;
                     self.stat_walked += walked as u64;
-                    let entry = bucket.swap_remove(i);
+                    if ties > TODAY_DRAIN {
+                        // Oversized same-instant run: no width can spread
+                        // it, and per-pop rescans would make it O(k²).
+                        // Sort the run once and drain it (module docs).
+                        self.stat_drains += 1;
+                        self.start_today_drain(best.0);
+                        return Some(self.pop_from_today());
+                    }
+                    let entry = self.buckets[self.cursor].swap_remove(besti);
                     self.len -= 1;
+                    self.tie_pending = ties >= 2;
                     // Either degeneracy triggers a retune: a long scan of
                     // one bucket (width too coarse) or a long march over
                     // empty days (width too fine).
@@ -364,13 +561,75 @@ impl Scheduler for CalendarQueue {
         let entry = self.buckets[bi].swap_remove(i);
         self.len -= 1;
         self.seek_to(entry.at.as_nanos());
+        self.tie_pending = false;
         self.note_degenerate_pop();
+        Some(entry)
+    }
+
+    fn pop_at(&mut self, at: SimTime) -> Option<Entry> {
+        if self.len == 0 {
+            return None;
+        }
+        let nanos = at.as_nanos();
+        if self.today_cursor < self.today.len() {
+            // Buffer front is the global minimum; one instant compare.
+            if self.today_at != nanos {
+                return None;
+            }
+            self.stat_pops += 1;
+            return Some(self.pop_from_today());
+        }
+        if !self.tie_pending {
+            return None;
+        }
+        self.tie_pending = false;
+        // The last bucket-scan pop saw another entry due at its instant.
+        // Re-validate: the in-day minimum of the cursor bucket is the
+        // global minimum (same invariant the pop scan rests on), so if
+        // it equals `at` it is safe to return. The flag being stale can
+        // only waste this rescan, never misorder.
+        let width = 1u64 << self.shift;
+        let day_last = self.day_start.saturating_add(width - 1);
+        if day_last == u64::MAX || nanos < self.day_start || nanos > day_last {
+            return None;
+        }
+        let bucket = &self.buckets[self.cursor];
+        let mut besti = usize::MAX;
+        let mut best = (u64::MAX, u64::MAX);
+        let mut ties = 0usize;
+        for (i, &(bat, bseq)) in bucket.keys.iter().enumerate() {
+            if bat > day_last {
+                continue;
+            }
+            if bat < best.0 {
+                best = (bat, bseq);
+                besti = i;
+                ties = 1;
+            } else if bat == best.0 {
+                ties += 1;
+                if bseq < best.1 {
+                    best = (bat, bseq);
+                    besti = i;
+                }
+            }
+        }
+        if besti == usize::MAX || best.0 != nanos {
+            return None;
+        }
+        self.stat_pops += 1;
+        self.stat_scanned += bucket.len() as u64;
+        let entry = self.buckets[self.cursor].swap_remove(besti);
+        self.len -= 1;
+        self.tie_pending = ties >= 2;
         Some(entry)
     }
 
     fn peek_time(&self) -> Option<SimTime> {
         if self.len == 0 {
             return None;
+        }
+        if self.today_cursor < self.today.len() {
+            return Some(SimTime::from_nanos(self.today_at));
         }
         let width = 1u64 << self.shift;
         let mut day_start = self.day_start;
@@ -603,6 +862,108 @@ mod tests {
             assert_eq!(peeked, popped.at);
         }
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn oversized_tie_burst_drains_in_order() {
+        let mut q = CalendarQueue::new();
+        // Far more same-instant entries than TODAY_DRAIN, plus stragglers
+        // on both sides of the burst.
+        let mut expect = Vec::new();
+        let mut seq = 0u64;
+        for &at in &[500u64, 900] {
+            q.insert(t(at), seq, wake(0));
+            expect.push((at, seq));
+            seq += 1;
+        }
+        for _ in 0..10 * TODAY_DRAIN {
+            q.insert(t(700), seq, wake(1));
+            expect.push((700, seq));
+            seq += 1;
+        }
+        expect.sort_unstable();
+        assert_eq!(drain_sorted(&mut q), expect);
+    }
+
+    #[test]
+    fn inserts_into_active_today_buffer_stay_sorted() {
+        let mut q = CalendarQueue::new();
+        let base = 1_000_000u64;
+        let n = 200u64; // > TODAY_DRAIN ties at one instant
+        for seq in 0..n {
+            q.insert(t(base), seq, wake(0));
+        }
+        // First pop activates the buffer.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert!(q.today_cursor < q.today.len(), "buffer is active");
+        // One insert at the buffered instant (later seq — pops after the
+        // remaining ties) and one a few ns later (ordinary bucket path).
+        q.insert(t(base), n, wake(2));
+        q.insert(t(base + 5), n + 1, wake(2));
+        // A later-day insert while the buffer is active.
+        q.insert(t(base + 50_000_000), n + 2, wake(3));
+        let rest = drain_sorted(&mut q);
+        let mut expect: Vec<(u64, u64)> = (1..=n).map(|s| (base, s)).collect();
+        expect.push((base + 5, n + 1));
+        expect.push((base + 50_000_000, n + 2));
+        assert_eq!(rest, expect);
+    }
+
+    #[test]
+    fn insert_before_buffered_instant_flushes_and_rewinds() {
+        let mut q = CalendarQueue::new();
+        let base = 10_000_000u64;
+        for seq in 0..100u64 {
+            q.insert(t(base), seq, wake(0));
+        }
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert!(q.today_cursor < q.today.len(), "buffer is active");
+        // Insert earlier than the buffered day: buffer must flush back.
+        q.insert(t(5), 100, wake(1));
+        assert_eq!(q.today.len(), 0, "buffer flushed");
+        assert_eq!(q.pop().unwrap().seq, 100);
+        for seq in 1..100u64 {
+            assert_eq!(q.pop().unwrap().seq, seq);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_at_agrees_with_peek_then_pop() {
+        // Mixed regime: a tie burst (buffer path), small tie runs (the
+        // tie_pending rescan path) and unique times (pop_at must refuse).
+        let mk = || {
+            let mut q = CalendarQueue::new();
+            let mut seq = 0u64;
+            for _ in 0..3 * TODAY_DRAIN {
+                q.insert(t(2_000), seq, wake(0));
+                seq += 1;
+            }
+            // Small tie runs spaced far apart, so they land in days of
+            // their own (the tie_pending rescan path, not the buffer).
+            for i in 0..51u64 {
+                q.insert(t(10_000_000 + 1_000_000 * (i / 3)), seq, wake(1));
+                seq += 1;
+            }
+            for i in 0..50u64 {
+                q.insert(t(100_000_000 + 1_000_000 * i), seq, wake(2));
+                seq += 1;
+            }
+            q
+        };
+        let mut a = mk();
+        let mut b = mk();
+        // Drain `a` with pop + pop_at batching, `b` with pop only.
+        let mut batched = Vec::new();
+        while let Some(e) = a.pop() {
+            let at = e.at;
+            batched.push((e.at.as_nanos(), e.seq));
+            while let Some(f) = a.pop_at(at) {
+                assert_eq!(f.at, at);
+                batched.push((f.at.as_nanos(), f.seq));
+            }
+        }
+        assert_eq!(batched, drain_sorted(&mut b));
     }
 
     #[test]

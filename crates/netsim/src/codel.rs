@@ -68,7 +68,7 @@ impl Codel {
 
     /// Enqueue a packet at the tail.
     pub fn push(&mut self, qp: QueuedPacket) {
-        self.bytes += qp.pkt.size as u64;
+        self.bytes += qp.pkt.size() as u64;
         self.stats.enqueued += 1;
         self.q.push_back(qp);
     }
@@ -98,7 +98,7 @@ impl Codel {
 
     fn pop_front(&mut self) -> Option<QueuedPacket> {
         let qp = self.q.pop_front()?;
-        self.bytes -= qp.pkt.size as u64;
+        self.bytes -= qp.pkt.size() as u64;
         Some(qp)
     }
 
@@ -205,7 +205,7 @@ impl CodelQueue {
 
 impl crate::queue::QueueDiscipline for CodelQueue {
     fn enqueue(&mut self, qp: QueuedPacket, _now: SimTime) -> bool {
-        if self.inner.len_bytes() + qp.pkt.size as u64 > self.capacity_bytes {
+        if self.inner.len_bytes() + qp.pkt.size() as u64 > self.capacity_bytes {
             self.tail_drops += 1;
             return false;
         }
@@ -244,20 +244,7 @@ mod tests {
 
     fn qp(seq: u64, at: SimTime) -> QueuedPacket {
         QueuedPacket {
-            pkt: Packet {
-                flow: FlowId(0),
-                seq,
-                epoch: 0,
-                size: 1500,
-                sent_at: at,
-                tx_index: seq,
-                is_retx: false,
-                hop: 0,
-                dir: crate::packet::PacketDir::Data,
-                recv_at: SimTime::ZERO,
-                batch: 1,
-                rwnd: 0,
-            },
+            pkt: Packet::data(FlowId(0), seq, 0, at, seq, false),
             enqueued_at: at,
         }
     }

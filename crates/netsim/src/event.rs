@@ -20,8 +20,9 @@
 //! `netsim/tests/proptest_scheduler.rs`), so fixed-seed simulations are
 //! bit-identical whichever backend runs them.
 
+use crate::arena::PktId;
 use crate::calendar::CalendarQueue;
-use crate::packet::{Ack, FlowId, LinkId, Packet};
+use crate::packet::{FlowId, LinkId};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -30,36 +31,44 @@ use std::collections::BinaryHeap;
 /// Everything that can happen in the network simulator.
 #[derive(Clone, Debug)]
 pub enum Event {
-    /// A data packet arrives at the ingress of `link` and must be enqueued
+    /// A packet arrives at the ingress of `link` and must be enqueued
     /// (or transmitted immediately if the link is idle).
+    ///
+    /// Packet-carrying events store a [`PktId`] handle into the engine's
+    /// [`crate::arena::PacketArena`] rather than the packet itself, so
+    /// the scheduler moves 16-byte events instead of 56-byte ones and
+    /// the hot Arrive → TxComplete → Propagated chain recycles arena
+    /// slots instead of copying packets through every bucket operation.
     Arrive {
         /// Link whose ingress queue receives the packet.
         link: LinkId,
-        /// The arriving packet.
-        pkt: Packet,
+        /// Arena handle of the arriving packet.
+        pkt: PktId,
     },
     /// `link` finished serializing `pkt`; the packet begins propagating and
     /// the link pulls the next packet from its queue.
     TxComplete {
         /// Link that finished serialization.
         link: LinkId,
-        /// The packet now propagating.
-        pkt: Packet,
+        /// Arena handle of the packet now propagating.
+        pkt: PktId,
     },
     /// `pkt` finished propagating across `link` and is delivered to the far
     /// end (either the next hop or the receiver).
     Propagated {
         /// Link whose far end the packet reached.
         link: LinkId,
-        /// The delivered packet.
-        pkt: Packet,
+        /// Arena handle of the delivered packet.
+        pkt: PktId,
     },
-    /// An ACK arrives back at the sender of `flow`.
+    /// An acknowledgment packet arrives back at the sender of `flow`
+    /// after its pure-delay reverse segment (it converts to an
+    /// [`crate::packet::Ack`] at delivery).
     AckArrive {
         /// Flow whose sender the acknowledgment reaches.
         flow: FlowId,
-        /// The acknowledgment being delivered.
-        ack: Ack,
+        /// Arena handle of the delivered acknowledgment packet.
+        pkt: PktId,
     },
     /// Pacing-timer wakeup for a sender that was clocked out.
     SenderWake {
@@ -185,6 +194,21 @@ pub trait Scheduler {
 
     /// Remove and return the entry with the smallest `(at, seq)`.
     fn pop(&mut self) -> Option<Entry>;
+
+    /// Remove and return the earliest entry only if it fires exactly at
+    /// `at`. Equivalent to checking `peek_time() == Some(at)` before
+    /// popping — the default does exactly that — but a backend may
+    /// answer from state the preceding [`Self::pop`] already computed
+    /// (the calendar queue's today buffer and tie flag make this O(1)
+    /// in the common case). [`EventQueue::pop_batch`] uses it to drain
+    /// same-instant runs without a full peek per event.
+    fn pop_at(&mut self, at: SimTime) -> Option<Entry> {
+        if self.peek_time() == Some(at) {
+            self.pop()
+        } else {
+            None
+        }
+    }
 
     /// Time of the next entry without removing it.
     fn peek_time(&self) -> Option<SimTime>;
@@ -368,6 +392,39 @@ impl EventQueue {
         e.map(|e| (e.at, e.event))
     }
 
+    /// Pop the earliest event plus every further event scheduled for the
+    /// same instant, appending their payloads to `buf` in exact pop
+    /// order, and return the shared firing time (`None` when the queue
+    /// is empty). `buf` is not cleared — the caller owns its lifecycle
+    /// and reuses its allocation across batches.
+    ///
+    /// Draining a whole instant before dispatching is indistinguishable
+    /// from popping one event at a time: anything the caller schedules
+    /// while working through `buf` carries a later insertion seq than
+    /// every event drained here, so it sorts after them even at the same
+    /// instant and is picked up by the next call.
+    #[inline]
+    pub fn pop_batch(&mut self, buf: &mut Vec<Event>) -> Option<SimTime> {
+        let first = match &mut self.backend {
+            Backend::Heap(s) => s.pop(),
+            Backend::Calendar(s) => s.pop(),
+            Backend::Custom(s) => s.pop(),
+        }?;
+        let at = first.at;
+        buf.push(first.event);
+        loop {
+            let next = match &mut self.backend {
+                Backend::Heap(s) => s.pop_at(at),
+                Backend::Calendar(s) => s.pop_at(at),
+                Backend::Custom(s) => s.pop_at(at),
+            };
+            match next {
+                Some(e) => buf.push(e.event),
+                None => return Some(at),
+            }
+        }
+    }
+
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         match &self.backend {
@@ -467,6 +524,52 @@ mod tests {
             let (at, _) = q.pop().unwrap();
             assert_eq!(at, t(30));
             assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_batch_matches_single_pops() {
+        // Same schedule drained two ways must yield the same flat event
+        // order, with batches exactly covering the same-instant runs.
+        let schedule = |q: &mut EventQueue| {
+            let t = |n: u64| SimTime::from_nanos(n);
+            let mut i = 0u32;
+            for &(at, count) in &[
+                (100u64, 3usize),
+                (200, 1),
+                (200, 2),
+                (5_000, 90),
+                (7_000, 1),
+            ] {
+                for _ in 0..count {
+                    q.schedule(t(at), wake(i));
+                    i += 1;
+                }
+            }
+        };
+        for (mut a, mut b) in queues_under_test().into_iter().zip(queues_under_test()) {
+            schedule(&mut a);
+            schedule(&mut b);
+            let mut batched: Vec<(u64, u32)> = Vec::new();
+            let mut buf = Vec::new();
+            while let Some(at) = a.pop_batch(&mut buf) {
+                for ev in buf.drain(..) {
+                    match ev {
+                        Event::SenderWake { flow } => batched.push((at.as_nanos(), flow.0)),
+                        other => panic!("unexpected event {other:?}"),
+                    }
+                }
+                // Nothing left at this instant after a batch.
+                assert_ne!(a.peek_time(), Some(at), "batch drained the instant");
+            }
+            let mut single: Vec<(u64, u32)> = Vec::new();
+            while let Some((at, ev)) = b.pop() {
+                match ev {
+                    Event::SenderWake { flow } => single.push((at.as_nanos(), flow.0)),
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            assert_eq!(batched, single);
         }
     }
 

@@ -55,9 +55,15 @@
 //!   sliding-window vectors keyed by sequence number / transmission
 //!   index rather than `BTreeMap`s, and the RTO's oldest-outstanding
 //!   query is an O(1) front lookup instead of a scan over the window.
-//! * **Copy-only events.** `Packet`/`Ack` are `Copy`; the event queue
-//!   holds plain structs with FIFO tie-breaking, and the hot handlers
-//!   allocate nothing.
+//! * **Allocation-free packet events.** The 48-byte `Packet` never rides
+//!   inside the event enum: scheduled packets park in a generation-
+//!   indexed arena ([`arena::PacketArena`]) and events carry an 8-byte
+//!   handle, so the calendar queue moves slim payloads and the
+//!   Arrive → TxComplete → Propagated chain recycles slots through a
+//!   free-list instead of touching the heap. Per-flow reliability maps
+//!   are pre-sized from the route BDP; at steady state the hot handlers
+//!   and the scheduler allocate nothing (tracked by the
+//!   `sim_allocs_per_event_*` perf-gate metrics).
 //! * **O(1) amortized event dispatch.** The engine schedules through a
 //!   pluggable [`event::Scheduler`]; the default backend is a bucketed
 //!   calendar queue ([`calendar::CalendarQueue`]) whose bucket width is a
@@ -85,6 +91,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod calendar;
 pub mod codel;
 pub mod event;

@@ -80,7 +80,7 @@ impl Link {
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> Offer {
         if !self.busy && !self.down {
             self.busy = true;
-            Offer::StartTx(self.tx_time(pkt.size))
+            Offer::StartTx(self.tx_time(pkt.size()))
         } else if self.queue.enqueue(
             QueuedPacket {
                 pkt,
@@ -103,7 +103,7 @@ impl Link {
         now: SimTime,
     ) -> Option<(Packet, SimDuration)> {
         debug_assert!(self.busy, "tx_complete on idle link");
-        self.bytes_transmitted += finished.size as u64;
+        self.bytes_transmitted += finished.size() as u64;
         if self.down {
             // Blackout began mid-serialization: the in-flight packet
             // finished, but nothing new starts until the link returns.
@@ -111,7 +111,7 @@ impl Link {
             return None;
         }
         match self.queue.dequeue(now) {
-            Some(qp) => Some((qp.pkt, self.tx_time(qp.pkt.size))),
+            Some(qp) => Some((qp.pkt, self.tx_time(qp.pkt.size()))),
             None => {
                 self.busy = false;
                 None
@@ -166,7 +166,7 @@ impl Link {
         }
         let qp = self.queue.dequeue(now)?;
         self.busy = true;
-        Some((qp.pkt, self.tx_time(qp.pkt.size)))
+        Some((qp.pkt, self.tx_time(qp.pkt.size())))
     }
 }
 
@@ -177,19 +177,11 @@ mod tests {
     use crate::queue::DropTail;
 
     fn pkt(seq: u64, size: u32) -> Packet {
-        Packet {
-            flow: FlowId(0),
-            seq,
-            epoch: 0,
-            size,
-            sent_at: SimTime::ZERO,
-            tx_index: seq,
-            is_retx: false,
-            hop: 0,
-            dir: crate::packet::PacketDir::Data,
-            recv_at: SimTime::ZERO,
-            batch: 1,
-            rwnd: 0,
+        let data = Packet::data(FlowId(0), seq, 0, SimTime::ZERO, seq, false);
+        if size == crate::packet::ACK_BYTES {
+            Packet::ack_for(&data, SimTime::ZERO)
+        } else {
+            data
         }
     }
 

@@ -257,12 +257,12 @@ impl DropTail {
 impl QueueDiscipline for DropTail {
     fn enqueue(&mut self, qp: QueuedPacket, _now: SimTime) -> bool {
         if let Some(cap) = self.capacity_bytes {
-            if self.bytes + qp.pkt.size as u64 > cap {
+            if self.bytes + qp.pkt.size() as u64 > cap {
                 self.stats.dropped += 1;
                 return false;
             }
         }
-        self.bytes += qp.pkt.size as u64;
+        self.bytes += qp.pkt.size() as u64;
         self.stats.enqueued += 1;
         self.q.push_back(qp);
         true
@@ -270,7 +270,7 @@ impl QueueDiscipline for DropTail {
 
     fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
         let qp = self.q.pop_front()?;
-        self.bytes -= qp.pkt.size as u64;
+        self.bytes -= qp.pkt.size() as u64;
         self.stats.dequeued += 1;
         Some(qp)
     }
@@ -298,19 +298,11 @@ mod tests {
     use crate::packet::{FlowId, Packet};
 
     pub(crate) fn pkt(flow: u32, seq: u64, size: u32) -> Packet {
-        Packet {
-            flow: FlowId(flow),
-            seq,
-            epoch: 0,
-            size,
-            sent_at: SimTime::ZERO,
-            tx_index: seq,
-            is_retx: false,
-            hop: 0,
-            dir: crate::packet::PacketDir::Data,
-            recv_at: SimTime::ZERO,
-            batch: 1,
-            rwnd: 0,
+        let data = Packet::data(FlowId(flow), seq, 0, SimTime::ZERO, seq, false);
+        if size == crate::packet::ACK_BYTES {
+            Packet::ack_for(&data, SimTime::ZERO)
+        } else {
+            data
         }
     }
 

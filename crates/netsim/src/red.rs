@@ -120,11 +120,11 @@ impl QueueDiscipline for Red {
         // omitted: the study's bottlenecks are persistently busy).
         self.avg = (1.0 - self.params.weight) * self.avg + self.params.weight * self.q.len() as f64;
 
-        if self.bytes + qp.pkt.size as u64 > self.capacity_bytes || self.early_drop() {
+        if self.bytes + qp.pkt.size() as u64 > self.capacity_bytes || self.early_drop() {
             self.stats.dropped += 1;
             return false;
         }
-        self.bytes += qp.pkt.size as u64;
+        self.bytes += qp.pkt.size() as u64;
         self.stats.enqueued += 1;
         self.q.push_back(qp);
         true
@@ -132,7 +132,7 @@ impl QueueDiscipline for Red {
 
     fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
         let qp = self.q.pop_front()?;
-        self.bytes -= qp.pkt.size as u64;
+        self.bytes -= qp.pkt.size() as u64;
         self.stats.dequeued += 1;
         Some(qp)
     }
@@ -161,20 +161,7 @@ mod tests {
 
     fn qp(seq: u64) -> QueuedPacket {
         QueuedPacket {
-            pkt: Packet {
-                flow: FlowId(0),
-                seq,
-                epoch: 0,
-                size: 1500,
-                sent_at: SimTime::ZERO,
-                tx_index: seq,
-                is_retx: false,
-                hop: 0,
-                dir: crate::packet::PacketDir::Data,
-                recv_at: SimTime::ZERO,
-                batch: 1,
-                rwnd: 0,
-            },
+            pkt: Packet::data(FlowId(0), seq, 0, SimTime::ZERO, seq, false),
             enqueued_at: SimTime::ZERO,
         }
     }

@@ -73,12 +73,12 @@ impl SfqCodel {
 
 impl QueueDiscipline for SfqCodel {
     fn enqueue(&mut self, qp: QueuedPacket, _now: SimTime) -> bool {
-        if self.bytes + qp.pkt.size as u64 > self.capacity_bytes {
+        if self.bytes + qp.pkt.size() as u64 > self.capacity_bytes {
             self.stats.dropped += 1;
             return false;
         }
         let idx = self.bin_of(qp.pkt.flow.0);
-        self.bytes += qp.pkt.size as u64;
+        self.bytes += qp.pkt.size() as u64;
         self.stats.enqueued += 1;
         self.bins[idx].codel.push(qp);
         self.activate(idx);
@@ -107,7 +107,7 @@ impl QueueDiscipline for SfqCodel {
                 Some(qp) => {
                     let freed = before - self.bins[idx].codel.len_bytes();
                     self.bytes -= freed;
-                    self.bins[idx].deficit -= qp.pkt.size as i64;
+                    self.bins[idx].deficit -= qp.pkt.size() as i64;
                     // CoDel drops count against the shared buffer too.
                     if self.bins[idx].codel.len_packets() == 0 {
                         self.bins[idx].active = false;
@@ -159,20 +159,7 @@ mod tests {
 
     fn qp(flow: u32, seq: u64, at: SimTime) -> QueuedPacket {
         QueuedPacket {
-            pkt: Packet {
-                flow: FlowId(flow),
-                seq,
-                epoch: 0,
-                size: 1500,
-                sent_at: at,
-                tx_index: seq,
-                is_retx: false,
-                hop: 0,
-                dir: crate::packet::PacketDir::Data,
-                recv_at: SimTime::ZERO,
-                batch: 1,
-                rwnd: 0,
-            },
+            pkt: Packet::data(FlowId(flow), seq, 0, at, seq, false),
             enqueued_at: at,
         }
     }

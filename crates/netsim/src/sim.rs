@@ -54,6 +54,7 @@
 //! the default spec) takes the historical immediate-ACK path bit for
 //! bit.
 
+use crate::arena::PacketArena;
 use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::flow::{FlowOutcome, FlowStats, OnTimeTracker};
 use crate::link::{Link, Offer};
@@ -201,6 +202,10 @@ impl RunOutcome {
 pub struct Simulation {
     now: SimTime,
     events: EventQueue,
+    /// Backing store for packets parked inside scheduled events (see
+    /// [`crate::arena`]); slots recycle through the free-list, so at
+    /// steady state scheduling a packet event allocates nothing.
+    arena: PacketArena,
     /// Forward links (config order), then reverse links (see
     /// [`RunOutcome::link_queues`] for the layout).
     links: Vec<Link>,
@@ -289,6 +294,25 @@ impl Simulation {
             })
             .collect();
         let n = senders.len();
+        // Pre-size each sender's reliability maps to its path's
+        // bandwidth-delay product (the steady-state window bound), so
+        // the first window ramp of every epoch grows into reserved
+        // capacity instead of a chain of doubling reallocations — with
+        // 10^4 churn flows each restarting repeatedly, those reallocs
+        // were a measurable slice of the run. Clamped: tiny paths still
+        // get a useful floor, and a long-fat path can't pin megabytes
+        // per idle flow.
+        for (i, s) in senders.iter_mut().enumerate() {
+            let rate = config.bottleneck_rate(i);
+            let rtt_s: f64 = config.flows[i]
+                .route
+                .iter()
+                .map(|&l| config.links[l].delay_s)
+                .sum();
+            let bdp_packets = rate * rtt_s / (crate::packet::DATA_PACKET_BYTES as f64 * 8.0);
+            s.transport
+                .set_window_hint((bdp_packets.ceil() as usize).clamp(8, 512));
+        }
         // Reverse links, appended after the forward links: one shared
         // link per spec'd LinkSpec (link order), then one private link
         // per (flow, unshared spec'd hop) pair (flow order, reverse-route
@@ -383,6 +407,7 @@ impl Simulation {
         Simulation {
             now: SimTime::ZERO,
             events: EventQueue::with_kind_and_hint(scheduler, spacing_hint),
+            arena: PacketArena::new(),
             links,
             n_forward,
             shared_rev,
@@ -512,21 +537,32 @@ impl Simulation {
             }
         }
 
+        // Batched stepping: drain each instant's same-time run in one
+        // scheduler round-trip (the calendar answers the "more at this
+        // instant?" question in O(1) from its pop state), then dispatch
+        // the run with the clock advanced once. Events scheduled while a
+        // batch is dispatched carry later insertion seqs, so they sort
+        // after every batch member and are picked up by the next
+        // `pop_batch` — the dispatch order, digests, budget accounting
+        // and truncation point are identical to one-at-a-time popping.
         let mut truncated = false;
-        while let Some((at, ev)) = self.events.pop() {
+        let mut batch: Vec<Event> = Vec::new();
+        'event_loop: while let Some(at) = self.events.pop_batch(&mut batch) {
             if at > end {
                 break;
             }
             self.now = at;
-            self.events_processed += 1;
-            if self.events_processed > self.event_budget {
-                truncated = true;
-                break;
+            for ev in batch.drain(..) {
+                self.events_processed += 1;
+                if self.events_processed > self.event_budget {
+                    truncated = true;
+                    break 'event_loop;
+                }
+                if let Some(digest) = &mut self.event_digest {
+                    *digest = fold_event(*digest, at, &ev, &self.arena);
+                }
+                self.dispatch(ev, end);
             }
-            if let Some(digest) = &mut self.event_digest {
-                *digest = fold_event(*digest, at, &ev);
-            }
-            self.dispatch(ev, end);
         }
         self.now = end;
 
@@ -577,10 +613,22 @@ impl Simulation {
 
     fn dispatch(&mut self, ev: Event, end: SimTime) {
         match ev {
-            Event::Arrive { link, pkt } => self.handle_arrive(link, pkt),
-            Event::TxComplete { link, pkt } => self.handle_tx_complete(link, pkt),
-            Event::Propagated { link, pkt } => self.handle_propagated(link, pkt),
-            Event::AckArrive { flow, ack } => self.handle_ack(flow, ack),
+            Event::Arrive { link, pkt } => {
+                let pkt = self.arena.take(pkt);
+                self.handle_arrive(link, pkt)
+            }
+            Event::TxComplete { link, pkt } => {
+                let pkt = self.arena.take(pkt);
+                self.handle_tx_complete(link, pkt)
+            }
+            Event::Propagated { link, pkt } => {
+                let pkt = self.arena.take(pkt);
+                self.handle_propagated(link, pkt)
+            }
+            Event::AckArrive { flow, pkt } => {
+                let ack = self.arena.take(pkt).as_ack();
+                self.handle_ack(flow, ack)
+            }
             Event::SenderWake { flow } => {
                 let i = flow.0 as usize;
                 self.senders[i].pending_wake = None;
@@ -633,13 +681,15 @@ impl Simulation {
             }
         }
         match self.links[l].offer(pkt, self.now) {
-            Offer::StartTx(d) => self
-                .events
-                .schedule(self.now + d, Event::TxComplete { link, pkt }),
+            Offer::StartTx(d) => {
+                let pkt = self.arena.alloc(pkt);
+                self.events
+                    .schedule(self.now + d, Event::TxComplete { link, pkt })
+            }
             Offer::Queued => {}
             Offer::Dropped => {
                 let st = &mut self.stats[pkt.flow.0 as usize];
-                match pkt.dir {
+                match pkt.dir() {
                     PacketDir::Data => st.drops.forward += 1,
                     PacketDir::Ack => st.drops.ack += 1,
                 }
@@ -654,20 +704,23 @@ impl Simulation {
 
     fn handle_tx_complete(&mut self, link: LinkId, pkt: Packet) {
         let l = link.0 as usize;
-        // The finished packet begins propagating.
+        // The finished packet begins propagating (its freed arena slot is
+        // immediately reclaimed here — the steady-state recycle).
+        let id = self.arena.alloc(pkt);
         self.events.schedule(
             self.now + self.links[l].delay(),
-            Event::Propagated { link, pkt },
+            Event::Propagated { link, pkt: id },
         );
         // Pull the next packet from the queue.
         if let Some((next, d)) = self.links[l].tx_complete(&pkt, self.now) {
+            let next = self.arena.alloc(next);
             self.events
                 .schedule(self.now + d, Event::TxComplete { link, pkt: next });
         }
     }
 
     fn handle_propagated(&mut self, link: LinkId, pkt: Packet) {
-        if pkt.dir == PacketDir::Ack {
+        if pkt.dir() == PacketDir::Ack {
             return self.handle_ack_propagated(pkt);
         }
         // Corruption destroys the packet *after* it crossed the link: it
@@ -688,11 +741,12 @@ impl Simulation {
         }
         let flow = pkt.flow.0 as usize;
         let route = &self.senders[flow].route;
-        let next_hop = pkt.hop as usize + 1;
+        let next_hop = pkt.hop() as usize + 1;
         if next_hop < route.len() {
             let mut fwd = pkt;
-            fwd.hop = next_hop as u8;
+            fwd.set_hop(next_hop as u8);
             let next_link = LinkId(route[next_hop] as u32);
+            let fwd = self.arena.alloc(fwd);
             self.events.schedule(
                 self.now,
                 Event::Arrive {
@@ -702,7 +756,7 @@ impl Simulation {
             );
             return;
         }
-        debug_assert_eq!(route[pkt.hop as usize], link.0 as usize);
+        debug_assert_eq!(route[pkt.hop() as usize], link.0 as usize);
 
         // Delivery at the receiver.
         let rx = &mut self.receivers[flow];
@@ -712,7 +766,7 @@ impl Simulation {
         }
         if rx.seen.insert(pkt.seq) {
             let delay = self.now - pkt.sent_at;
-            self.stats[flow].record_delivery(pkt.size, delay);
+            self.stats[flow].record_delivery(pkt.size(), delay);
         }
         self.receive(flow, pkt);
     }
@@ -745,7 +799,7 @@ impl Simulation {
         p.pending += 1;
         // A retransmitted delivery acknowledges immediately: the sender
         // is in recovery and stretching its ACK clock would stall it.
-        let flush_now = pkt.is_retx || p.pending >= p.spec.ack_every;
+        let flush_now = pkt.is_retx() || p.pending >= p.spec.ack_every;
         if !flush_now {
             if let Some(t) = p.spec.flush_timer_s {
                 if !p.timer_armed {
@@ -783,9 +837,9 @@ impl Simulation {
         p.timer_armed = false;
         let rwnd = p.spec.rwnd_packets;
         let mut ack = Packet::ack_for(&pkt, recv_at);
-        ack.batch = batch;
+        ack.batch = batch as u16;
         if let Some(w) = rwnd {
-            ack.rwnd = w;
+            ack.rwnd = w as u16;
         }
         self.emit_ack(flow, ack);
     }
@@ -800,24 +854,22 @@ impl Simulation {
             // path, negligible (1 Gbps) ACK serialization.
             let arrive_at =
                 self.now + s.ack_delay + SimDuration::from_secs_f64(ACK_BYTES as f64 * 8.0 / 1e9);
-            self.events.schedule(
-                arrive_at,
-                Event::AckArrive {
-                    flow: ack_pkt.flow,
-                    ack: ack_pkt.as_ack(),
-                },
-            );
+            let flow = ack_pkt.flow;
+            let id = self.arena.alloc(ack_pkt);
+            self.events
+                .schedule(arrive_at, Event::AckArrive { flow, pkt: id });
         } else {
             // The ACK is a real packet: it enters the first reverse link
             // and queues, serializes and propagates like any other
             // traffic (contending with every other flow's ACKs when the
             // reverse link is shared).
             let first = LinkId(s.ack_route[0] as u32);
+            let id = self.arena.alloc(ack_pkt);
             self.events.schedule(
                 self.now,
                 Event::Arrive {
                     link: first,
-                    pkt: ack_pkt,
+                    pkt: id,
                 },
             );
         }
@@ -845,11 +897,12 @@ impl Simulation {
     fn handle_ack_propagated(&mut self, pkt: Packet) {
         let flow = pkt.flow.0 as usize;
         let s = &self.senders[flow];
-        let next_hop = pkt.hop as usize + 1;
+        let next_hop = pkt.hop() as usize + 1;
         if next_hop < s.ack_route.len() {
             let mut fwd = pkt;
-            fwd.hop = next_hop as u8;
+            fwd.set_hop(next_hop as u8);
             let next_link = LinkId(s.ack_route[next_hop] as u32);
+            let fwd = self.arena.alloc(fwd);
             self.events.schedule(
                 self.now,
                 Event::Arrive {
@@ -862,13 +915,10 @@ impl Simulation {
         if s.ack_residual_delay.is_zero() {
             self.handle_ack(pkt.flow, pkt.as_ack());
         } else {
-            self.events.schedule(
-                self.now + s.ack_residual_delay,
-                Event::AckArrive {
-                    flow: pkt.flow,
-                    ack: pkt.as_ack(),
-                },
-            );
+            let at = self.now + s.ack_residual_delay;
+            let flow = pkt.flow;
+            let id = self.arena.alloc(pkt);
+            self.events.schedule(at, Event::AckArrive { flow, pkt: id });
         }
     }
 
@@ -1054,16 +1104,17 @@ impl Simulation {
             };
             s.last_send = Some(self.now);
             self.stats[i].transmissions += 1;
-            if pkt.is_retx {
+            if pkt.is_retx() {
                 self.stats[i].retransmissions += 1;
             }
             let first_link = LinkId(s.route[0] as u32);
             let had_outstanding = s.transport.in_flight() > 1;
+            let id = self.arena.alloc(pkt);
             self.events.schedule(
                 self.now,
                 Event::Arrive {
                     link: first_link,
-                    pkt,
+                    pkt: id,
                 },
             );
             if !had_outstanding {
@@ -1113,6 +1164,7 @@ impl Simulation {
     fn handle_link_up(&mut self, link: LinkId) {
         let l = link.0 as usize;
         if let Some((pkt, d)) = self.links[l].set_up(self.now) {
+            let pkt = self.arena.alloc(pkt);
             self.events
                 .schedule(self.now + d, Event::TxComplete { link, pkt });
         }
@@ -1167,25 +1219,42 @@ fn outage_dwell(mean_s: f64, scheduled: bool, rng: &mut SimRng) -> SimDuration {
 
 /// Fold one dispatched event into the order-sensitive run digest: firing
 /// time, event kind, and the identifying payload (flow/link/seq/gen).
-fn fold_event(digest: u64, at: SimTime, ev: &Event) -> u64 {
+/// Packet-carrying events resolve their [`crate::arena::PktId`] through
+/// `arena` — the handle is still live here because the digest folds
+/// *before* dispatch frees the slot — and fold exactly the words the
+/// by-value representation folded, so digests are unchanged across the
+/// arena refactor.
+fn fold_event(digest: u64, at: SimTime, ev: &Event, arena: &PacketArena) -> u64 {
     let digest = fnv(digest, at.as_nanos());
     match ev {
-        Event::Arrive { link, pkt } => fnv(
-            fnv(fnv(digest, 1), link.0 as u64),
-            pkt.seq ^ ((pkt.flow.0 as u64) << 48),
-        ),
-        Event::TxComplete { link, pkt } => fnv(
-            fnv(fnv(digest, 2), link.0 as u64),
-            pkt.seq ^ ((pkt.flow.0 as u64) << 48),
-        ),
-        Event::Propagated { link, pkt } => fnv(
-            fnv(fnv(digest, 3), link.0 as u64),
-            pkt.seq ^ ((pkt.flow.0 as u64) << 48),
-        ),
-        Event::AckArrive { flow, ack } => fnv(
-            fnv(fnv(digest, 4), flow.0 as u64),
-            ack.seq ^ ack.echo_tx_index.rotate_left(32),
-        ),
+        Event::Arrive { link, pkt } => {
+            let pkt = arena.get(*pkt);
+            fnv(
+                fnv(fnv(digest, 1), link.0 as u64),
+                pkt.seq ^ ((pkt.flow.0 as u64) << 48),
+            )
+        }
+        Event::TxComplete { link, pkt } => {
+            let pkt = arena.get(*pkt);
+            fnv(
+                fnv(fnv(digest, 2), link.0 as u64),
+                pkt.seq ^ ((pkt.flow.0 as u64) << 48),
+            )
+        }
+        Event::Propagated { link, pkt } => {
+            let pkt = arena.get(*pkt);
+            fnv(
+                fnv(fnv(digest, 3), link.0 as u64),
+                pkt.seq ^ ((pkt.flow.0 as u64) << 48),
+            )
+        }
+        Event::AckArrive { flow, pkt } => {
+            let ack = arena.get(*pkt);
+            fnv(
+                fnv(fnv(digest, 4), flow.0 as u64),
+                ack.seq ^ ack.tx_index.rotate_left(32),
+            )
+        }
         Event::SenderWake { flow } => fnv(fnv(digest, 5), flow.0 as u64),
         Event::RtoCheck { flow, gen } => fnv(fnv(fnv(digest, 6), flow.0 as u64), *gen),
         Event::WorkloadToggle { flow, gen } => fnv(fnv(fnv(digest, 7), flow.0 as u64), *gen),

@@ -484,8 +484,11 @@ impl NetworkConfig {
                     return Err(format!("flow {i} routes over unknown link {l}"));
                 }
             }
-            if f.route.len() > u8::MAX as usize {
-                return Err(format!("flow {i} route too long"));
+            if f.route.len() > crate::packet::MAX_ROUTE_LINKS {
+                return Err(format!(
+                    "flow {i} route too long (max {} links)",
+                    crate::packet::MAX_ROUTE_LINKS
+                ));
             }
             if let crate::workload::WorkloadSpec::Churn {
                 arrival_rate_hz,
@@ -629,6 +632,14 @@ fn validate_receiver(flow: usize, r: &ReceiverSpec) -> Result<(), String> {
              acks"
         ));
     }
+    if r.ack_every > u16::MAX as u32 {
+        return Err(format!(
+            "flow {flow} receiver ack_every {} exceeds the ACK batch-count \
+             field's range (max {})",
+            r.ack_every,
+            u16::MAX
+        ));
+    }
     if let Some(t) = r.flush_timer_s {
         if !t.is_finite() || t <= 0.0 {
             return Err(format!(
@@ -643,6 +654,13 @@ fn validate_receiver(flow: usize, r: &ReceiverSpec) -> Result<(), String> {
                 "flow {flow} receiver advertises a zero receive window (got \
                  {w} packets): the sender could never transmit; drop \
                  rwnd_packets for no advertisement"
+            ));
+        }
+        if w > u16::MAX as u32 {
+            return Err(format!(
+                "flow {flow} receiver rwnd_packets {w} exceeds the ACK \
+                 window field's range (max {})",
+                u16::MAX
             ));
         }
     }

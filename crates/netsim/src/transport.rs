@@ -11,7 +11,7 @@
 //! once three transmissions sent after it have been acknowledged. RTO uses
 //! the standard `srtt + 4·rttvar` estimator with exponential backoff.
 
-use crate::packet::{Ack, FlowId, Packet, DATA_PACKET_BYTES};
+use crate::packet::{Ack, FlowId, Packet};
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -46,6 +46,15 @@ impl<T> WindowMap<T> {
         self.slots.clear();
         self.len = 0;
         self.base = 0;
+    }
+
+    /// Grow the backing ring to hold `cap` slots without reallocating
+    /// (no-op once capacity is there — `clear` keeps it).
+    fn reserve(&mut self, cap: usize) {
+        if self.slots.capacity() < cap {
+            let extra = cap - self.slots.len();
+            self.slots.reserve(extra);
+        }
     }
 
     fn insert(&mut self, key: u64, value: T) {
@@ -243,6 +252,12 @@ pub struct Transport {
     backoff: u32,
     /// Generation counter invalidating stale RTO events.
     rto_gen: u64,
+    /// Expected steady-state window in packets (0 = no hint). Set once
+    /// from the flow's bottleneck bandwidth-delay product; every
+    /// [`start_epoch`](Self::start_epoch) pre-sizes the in-flight maps
+    /// to it, so churn flows ramp their first window without a chain of
+    /// doubling reallocations.
+    window_hint: usize,
     /// Order-sensitive FNV-1a digest of every ack processed (valid or
     /// not), `None` until [`enable_ack_digest`](Self::enable_ack_digest).
     /// Opt-in like the engine's event digest: it is a test-only probe,
@@ -283,8 +298,15 @@ impl Transport {
             peer_rwnd: None,
             backoff: 0,
             rto_gen: 0,
+            window_hint: 0,
             ack_digest: None,
         }
+    }
+
+    /// Record the expected steady-state window (packets); subsequent
+    /// epochs pre-size the in-flight maps to it. Zero disables.
+    pub fn set_window_hint(&mut self, hint: usize) {
+        self.window_hint = hint;
     }
 
     /// Current flow epoch (bumped on each workload ON transition).
@@ -344,6 +366,10 @@ impl Transport {
         self.peer_rwnd = None;
         self.backoff = 0;
         self.rto_gen += 1;
+        if self.window_hint > 0 {
+            self.outstanding.reserve(self.window_hint);
+            self.by_tx_index.reserve(self.window_hint);
+        }
         self.epoch
     }
 
@@ -380,20 +406,9 @@ impl Transport {
             },
         );
         self.by_tx_index.insert(tx_index, seq);
-        Some(Packet {
-            flow: self.flow,
-            seq,
-            epoch: self.epoch,
-            size: DATA_PACKET_BYTES,
-            sent_at: now,
-            tx_index,
-            is_retx,
-            hop: 0,
-            dir: crate::packet::PacketDir::Data,
-            recv_at: SimTime::ZERO,
-            batch: 1,
-            rwnd: 0,
-        })
+        Some(Packet::data(
+            self.flow, seq, self.epoch, now, tx_index, is_retx,
+        ))
     }
 
     /// Process an acknowledgment: RTT estimation, removal from the
@@ -573,7 +588,7 @@ mod tests {
             echo_sent_at: pkt.sent_at,
             echo_tx_index: pkt.tx_index,
             recv_at: now,
-            was_retx: pkt.is_retx,
+            was_retx: pkt.is_retx(),
             batch: 1,
             rwnd: 0,
         }
@@ -647,7 +662,7 @@ mod tests {
         // The retransmission goes out first and carries is_retx.
         let r = tr.produce(t(200), 10).unwrap();
         assert_eq!(r.seq, 0);
-        assert!(r.is_retx);
+        assert!(r.is_retx());
     }
 
     #[test]
@@ -659,7 +674,7 @@ mod tests {
             tr.on_ack(t(150 + i), &ack_for(&pkts[i as usize], t(75)));
         }
         let r = tr.produce(t(200), 10).unwrap();
-        assert!(r.is_retx);
+        assert!(r.is_retx());
         let out = tr.on_ack(t(900), &ack_for(&r, t(850)));
         assert!(out.valid);
         assert_eq!(out.info.unwrap().rtt, None, "retx ack gives no RTT sample");
@@ -682,7 +697,7 @@ mod tests {
         for want in 0..4 {
             let p = tr.produce(t(1000), 10).unwrap();
             assert_eq!(p.seq, want);
-            assert!(p.is_retx);
+            assert!(p.is_retx());
         }
     }
 
